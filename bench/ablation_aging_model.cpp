@@ -1,0 +1,84 @@
+/// Ablation bench for the aging-model design choices DESIGN.md calls out:
+/// how the guardband-relevant delay deltas react to (a) the NBTI/PBTI
+/// asymmetry, (b) the AC-recovery strength of the duty-cycle factor, and
+/// (c) dropping the oxide-trap component. Uses direct transistor-level
+/// characterization of representative cells (no library cache), so it
+/// reflects the *current* model parameters.
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "cells/catalog.hpp"
+#include "charlib/characterizer.hpp"
+
+namespace {
+
+using namespace rw;
+
+/// Worst-arc delay delta [%] of a cell at a typical OPC for given BTI params.
+double delta_pct(const std::string& cell, const aging::BtiParams& params) {
+  charlib::CharacterizeOptions opts;
+  opts.grid = charlib::OpcGrid::single(60.0, 4.0);
+  opts.bti = params;
+  const auto& spec = cells::find_cell(cell);
+  const auto fresh = charlib::characterize_cell(spec, aging::AgingScenario::fresh(), opts);
+  const auto aged = charlib::characterize_cell(spec, aging::AgingScenario::worst_case(10), opts);
+  double worst = 0.0;
+  for (std::size_t a = 0; a < fresh.arcs.size(); ++a) {
+    for (const bool rise : {true, false}) {
+      const auto& tf = rise ? fresh.arcs[a].rise : fresh.arcs[a].fall;
+      const auto& ta = rise ? aged.arcs[a].rise : aged.arcs[a].fall;
+      if (tf.empty()) continue;
+      worst = std::max(worst, 100.0 * (ta.delay_ps.at(0, 0) - tf.delay_ps.at(0, 0)) /
+                                  std::max(1.0, tf.delay_ps.at(0, 0)));
+    }
+  }
+  return worst;
+}
+
+void run_variant(const char* label, const aging::BtiParams& params) {
+  std::printf("%-34s", label);
+  for (const char* cell : {"INV_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1"}) {
+    std::printf(" %7.1f%%", delta_pct(cell, params));
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — aging-model knobs vs worst-arc delay increase\n"
+      "(10-year worst case, OPC = 60 ps / 4 fF)");
+  std::printf("%-34s %8s %8s %8s %8s\n", "variant", "INV", "NAND2", "NOR2", "XOR2");
+
+  run_variant("baseline", aging::BtiParams{});
+
+  aging::BtiParams symmetric;
+  symmetric.pbti_scale = 1.0;
+  run_variant("PBTI = NBTI (pbti_scale 1.0)", symmetric);
+
+  aging::BtiParams weak_pbti;
+  weak_pbti.pbti_scale = 0.2;
+  run_variant("weak PBTI (pbti_scale 0.2)", weak_pbti);
+
+  aging::BtiParams no_recovery;
+  no_recovery.ac_recovery = 0.0;
+  run_variant("no AC recovery (S(lambda)=1)", no_recovery);
+
+  aging::BtiParams no_ot;
+  no_ot.b_ot_cm2 = 0.0;
+  run_variant("no oxide traps (b_ot = 0)", no_ot);
+
+  aging::BtiParams no_mu;
+  no_mu.alpha_mu_cm2 = 0.0;
+  run_variant("no mobility term (alpha_mu = 0)", no_mu);
+
+  std::printf(
+      "\nReading: the NBTI/PBTI asymmetry sets how differently rise- and\n"
+      "fall-limited arcs age (the optimizer's lever); oxide traps and the\n"
+      "mobility term each carry a significant share of the total delta —\n"
+      "dropping the latter is the Fig. 5(a) under-estimation.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared setup for the reproduction harnesses: one library factory over the
+/// default disk cache, the paper's aging scenarios, and small printing
+/// helpers. Every bench binary regenerates one figure of the paper and
+/// prints the measured counterpart of its rows/series.
+
+#include <cstdio>
+#include <string>
+
+#include "charlib/factory.hpp"
+#include "circuits/benchmarks.hpp"
+#include "flow/libgen.hpp"
+#include "sta/analysis.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace rw::bench {
+
+inline charlib::LibraryFactory& factory() {
+  static charlib::LibraryFactory f{};  // full catalog, 7x7 grid, disk cache
+  return f;
+}
+
+inline const liberty::Library& fresh_library() {
+  return factory().library(aging::AgingScenario::fresh());
+}
+
+inline const liberty::Library& worst_library(double years = 10.0) {
+  return factory().library(aging::AgingScenario::worst_case(years));
+}
+
+/// Synthesis options for guardband *estimation* benches: moderate effort is
+/// enough because the netlist is fixed across the compared analyses.
+inline synth::SynthesisOptions estimation_effort() {
+  synth::SynthesisOptions o;
+  o.multi_start = false;
+  return o;
+}
+
+/// Full effort for the optimization benches (Fig. 6).
+inline synth::SynthesisOptions full_effort() { return synth::SynthesisOptions{}; }
+
+inline void print_header(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace rw::bench

@@ -1,0 +1,64 @@
+/// Exercises the dynamic-aging-stress flow of Fig. 4(b): simulate a
+/// workload, extract per-transistor duty cycles, quantize them onto the
+/// paper's 0.1 λ grid, annotate the netlist (AND2_X1 -> AND2_X1_0.40_0.60),
+/// time it against the merged complete library, and compare the
+/// workload-specific guardband against static worst-case stress.
+
+#include "bench/common.hpp"
+#include "flow/guardband_flow.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace rw;
+  bench::print_header(
+      "Fig. 4(b) dynamic flow — workload-driven duty cycles vs static\n"
+      "worst-case stress (DSP benchmark, 10-year lifetime)");
+
+  const auto res = synth::synthesize(circuits::make_dsp(), bench::fresh_library(), "dsp",
+                                     bench::estimation_effort());
+  const auto& module = res.module;
+
+  // Workload 1: random operands every cycle (high activity).
+  // Workload 2: sparse bursts (long idle stretches -> asymmetric stress).
+  struct Workload {
+    const char* name;
+    flow::Stimulus stimulus;
+  };
+  util::Rng rng_a(1);
+  util::Rng rng_b(2);
+  const Workload workloads[] = {
+      {"random operands", [&](logicsim::CycleSimulator& sim, int) {
+         for (netlist::NetId pi : module.inputs()) {
+           if (pi != module.clock()) sim.set_input(pi, rng_a.chance(0.5));
+         }
+       }},
+      {"sparse bursts", [&](logicsim::CycleSimulator& sim, int cycle) {
+         const bool active = (cycle / 32) % 4 == 0;
+         for (netlist::NetId pi : module.inputs()) {
+           if (pi != module.clock()) sim.set_input(pi, active && rng_b.chance(0.5));
+         }
+       }},
+  };
+
+  const auto worst = flow::static_guardband(module, bench::factory(),
+                                            aging::AgingScenario::worst_case(10));
+  std::printf("static worst-case: CP %.1f -> %.1f ps, guardband %.1f ps (%.1f%%)\n\n",
+              worst.fresh_cp_ps, worst.aged_cp_ps, worst.guardband_ps(), worst.guardband_pct());
+
+  for (const auto& w : workloads) {
+    const auto dyn =
+        flow::dynamic_workload_guardband(module, bench::factory(), w.stimulus, 500, 10.0);
+    std::printf("workload '%s':\n", w.name);
+    std::printf("  distinct quantized (lambda_p, lambda_n) corners: %zu\n", dyn.corners.size());
+    std::printf("  example annotated instance: %s\n", dyn.annotated.instances()[0].cell.c_str());
+    std::printf("  CP %.1f -> %.1f ps, guardband %.1f ps (%.1f%% of worst-case %.1f ps)\n\n",
+                dyn.report.fresh_cp_ps, dyn.report.aged_cp_ps, dyn.report.guardband_ps(),
+                100.0 * dyn.report.guardband_ps() / worst.guardband_ps(), worst.guardband_ps());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "Shape check: workload-specific guardbands are below the static worst\n"
+      "case (Section 4.2: worst-case stress suppresses aging under ANY workload\n"
+      "at the price of margin).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// Reproduces Fig. 5(a): guardband estimation with the state-of-the-art
+/// "Vth-only" aging model vs the full (Vth + mobility) model, per circuit.
+/// Paper result: neglecting the µ degradation under-estimates the required
+/// guardband by 19 % on average.
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace rw;
+  bench::print_header(
+      "Fig. 5(a) — guardband under-estimation when mobility degradation is\n"
+      "neglected (worst-case aging, 10-year lifetime)");
+
+  const auto& fresh = bench::fresh_library();
+  const auto& full = bench::worst_library();
+  const auto& vth_only = bench::factory().library(flow::worst_case_vth_only(10));
+
+  std::printf("%-9s %10s %12s %12s %9s\n", "circuit", "CP [ps]", "GB both[ps]", "GB Vth[ps]",
+              "delta");
+  std::vector<double> deltas;
+  for (const auto& bc : circuits::benchmark_suite()) {
+    const auto res = synth::synthesize(bc.build(), fresh, bc.name, bench::estimation_effort());
+    const double cp = sta::Sta(res.module, fresh).critical_delay_ps();
+    const double gb_full = sta::Sta(res.module, full).critical_delay_ps() - cp;
+    const double gb_vth = sta::Sta(res.module, vth_only).critical_delay_ps() - cp;
+    const double delta = 100.0 * (gb_vth - gb_full) / gb_full;
+    deltas.push_back(delta);
+    std::printf("%-9s %10.1f %12.1f %12.1f %+8.1f%%\n", bc.name.c_str(), cp, gb_full, gb_vth,
+                delta);
+  }
+  std::printf("%-9s %35s %+8.1f%%   (paper: -19%%)\n", "Average", "", util::mean(deltas));
+  std::printf(
+      "\nPaper shape check: the Vth-only model under-estimates the guardband\n"
+      "in every circuit; both Vth AND mu must be modeled.\n");
+  return 0;
+}

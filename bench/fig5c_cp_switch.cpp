@@ -1,0 +1,55 @@
+/// Reproduces Fig. 5(c): guardband estimation that tracks only the
+/// *initially*-critical path through aging ([13]) vs a full post-aging
+/// analysis over all paths. Because aging can switch path criticality
+/// (Fig. 3), the initial-CP-only estimate is wrong — the paper reports a
+/// 6 % average under-estimation.
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "sta/paths.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace rw;
+  bench::print_header(
+      "Fig. 5(c) — mis-estimation when only the initial critical path is\n"
+      "tracked through aging (CP switching neglected)");
+
+  const auto& fresh = bench::fresh_library();
+  const auto& aged = bench::worst_library();
+
+  std::printf("%-9s %10s %12s %14s %9s %8s\n", "circuit", "CP [ps]", "GB true[ps]",
+              "GB init-CP[ps]", "delta", "switch?");
+  std::vector<double> deltas;
+  int switches = 0;
+  for (const auto& bc : circuits::benchmark_suite()) {
+    const auto res = synth::synthesize(bc.build(), fresh, bc.name, bench::estimation_effort());
+    const sta::Sta sta_fresh(res.module, fresh);
+    const sta::Sta sta_aged(res.module, aged);
+    const double cp = sta_fresh.critical_delay_ps();
+    const double gb_true = sta_aged.critical_delay_ps() - cp;
+
+    // State-of-the-art flow: age only the initially-critical path.
+    const sta::TimingPath initial_cp = sta::worst_path(sta_fresh);
+    const double aged_initial_path =
+        sta::evaluate_path_ps(res.module, aged, initial_cp, sta_fresh.options());
+    const double gb_init = aged_initial_path - cp;
+
+    // Did the critical endpoint change with aging?
+    const bool switched =
+        sta::worst_path(sta_aged).endpoint.net != initial_cp.endpoint.net;
+    if (switched) ++switches;
+
+    const double delta = 100.0 * (gb_init - gb_true) / gb_true;
+    deltas.push_back(delta);
+    std::printf("%-9s %10.1f %12.1f %14.1f %+8.1f%% %8s\n", bc.name.c_str(), cp, gb_true, gb_init,
+                delta, switched ? "yes" : "no");
+  }
+  std::printf("%-9s %37s %+8.1f%%   (paper: ~-6%%)\n", "Average", "", util::mean(deltas));
+  std::printf("critical-endpoint switches under aging: %d / 7 circuits\n", switches);
+  std::printf(
+      "\nPaper shape check: tracking only the initial CP never over-covers and\n"
+      "usually under-estimates — all potentially-critical paths must be timed.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+/// Reproduces Fig. 6(a): guardband *containment* by aging-aware synthesis.
+/// Each circuit is synthesized twice — with the initial library and with the
+/// worst-case degradation-aware library — and both guardbands are measured
+/// against the same fresh baseline. Paper result: 50 % smaller guardbands on
+/// average (up to 75 %), with 4-6 % higher achievable lifetime frequency.
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "flow/aging_aware_synthesis.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace rw;
+  bench::print_header(
+      "Fig. 6(a) — required vs contained guardbands (aging-aware synthesis\n"
+      "with the worst-case degradation-aware library, 10-year lifetime)");
+
+  const auto& fresh = bench::fresh_library();
+  const auto& aged = bench::worst_library();
+
+  std::printf("%-9s %12s %12s %12s %10s %8s\n", "circuit", "CP t0 [ps]", "required", "contained",
+              "reduction", "f gain");
+  std::vector<double> reductions;
+  std::vector<double> fgains;
+  for (const auto& bc : circuits::benchmark_suite()) {
+    const auto r = flow::run_containment(bc.build(), fresh, aged, bc.name, bench::full_effort());
+    reductions.push_back(r.guardband_reduction_pct());
+    fgains.push_back(r.frequency_gain_pct());
+    std::printf("%-9s %12.1f %12.1f %12.1f %+9.1f%% %+7.1f%%\n", bc.name.c_str(),
+                r.conventional_fresh_cp_ps, r.required_guardband_ps(),
+                r.contained_guardband_ps(), r.guardband_reduction_pct(),
+                r.frequency_gain_pct());
+    std::fflush(stdout);
+  }
+  std::printf("%-9s %38s %+9.1f%% %+7.1f%%\n", "Average", "", util::mean(reductions),
+              util::mean(fgains));
+  std::printf(
+      "\nPaper: avg 50%% (up to 75%%) smaller guardbands, 4-6%% frequency gain.\n"
+      "Reproduction: same direction — the aging-aware netlists consistently\n"
+      "need less margin — with a smaller factor (our mapper/sizer has less\n"
+      "optimization freedom than Design Compiler's compile_ultra; see\n"
+      "EXPERIMENTS.md for the discussion).\n");
+  return 0;
+}

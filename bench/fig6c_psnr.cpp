@@ -1,0 +1,96 @@
+/// Reproduces Fig. 6(c): PSNR of the DCT->quantize->IDCT image chain under
+/// aging, from gate-level timing simulation with SDF-style delays. All
+/// scenarios run at the SAME clock period — the fresh critical delay of the
+/// conventionally-synthesized design (max performance without aging), with
+/// no guardband — exactly the paper's setup. Paper numbers: unaged ~high
+/// quality; aging-unaware design collapses (9 dB after 1 worst-case year,
+/// 19 dB after 1 balanced year); the aging-aware design keeps the unaged
+/// quality.
+
+#include "bench/common.hpp"
+#include "image/chain.hpp"
+#include "netlist/sdf.hpp"
+#include "sta/analysis.hpp"
+
+namespace {
+
+using namespace rw;
+
+struct Design {
+  synth::SynthesisResult dct;
+  synth::SynthesisResult idct;
+};
+
+double run_scenario(const Design& d, const liberty::Library& lib, double period_ps,
+                    const image::Image& img, const image::QuantTable& quant) {
+  const sta::Sta sd(d.dct.module, lib);
+  const sta::Sta si(d.idct.module, lib);
+  const auto ad = netlist::compute_delay_annotation(sd);
+  const auto ai = netlist::compute_delay_annotation(si);
+  image::TimedVectorPort pd(d.dct.module, lib, ad, period_ps, "x", 12, "y", 12);
+  image::TimedVectorPort pi(d.idct.module, lib, ai, period_ps, "y", 12, "x", 12);
+  return image::run_dct_idct_chain(img, pd, pi, quant).psnr_db;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 6(c) — image quality (PSNR) of the DCT-IDCT chain under aging,\n"
+      "no guardband, all scenarios at the fresh conventional design's period");
+
+  auto& factory = bench::factory();
+  const auto& fresh = bench::fresh_library();
+  const auto& worst10 = bench::worst_library(10);
+
+  const Design conv{synth::synthesize(circuits::make_dct8(), fresh, "dct", bench::full_effort()),
+                    synth::synthesize(circuits::make_idct8(), fresh, "idct",
+                                      bench::full_effort())};
+  const Design aware{
+      synth::synthesize(circuits::make_dct8(), worst10, "dct_aw", bench::full_effort()),
+      synth::synthesize(circuits::make_idct8(), worst10, "idct_aw", bench::full_effort())};
+
+  const double period = std::max(sta::Sta(conv.dct.module, fresh).critical_delay_ps(),
+                                 sta::Sta(conv.idct.module, fresh).critical_delay_ps());
+  std::printf("clock period (fresh conventional maximum performance): %.1f ps\n", period);
+
+  const image::Image img = image::make_synthetic_image(64, 64);
+  const auto quant = image::QuantTable::jpeg_luma(1.0);
+  image::ReferenceDct rdct;
+  image::ReferenceIdct ridct;
+  std::printf("software golden chain PSNR (quantization-limited): %.1f dB\n\n",
+              image::run_dct_idct_chain(img, rdct, ridct, quant).psnr_db);
+
+  struct Row {
+    const char* label;
+    const Design* design;
+    aging::AgingScenario scenario;
+  };
+  const Row rows[] = {
+      {"aging-unaware @ unaged", &conv, aging::AgingScenario::fresh()},
+      {"aging-unaware @ balance 1y", &conv, aging::AgingScenario::balanced(1)},
+      {"aging-unaware @ balance 10y", &conv, aging::AgingScenario::balanced(10)},
+      {"aging-unaware @ worst 1y", &conv, aging::AgingScenario::worst_case(1)},
+      {"aging-unaware @ worst 10y", &conv, aging::AgingScenario::worst_case(10)},
+      {"aging-aware   @ unaged", &aware, aging::AgingScenario::fresh()},
+      {"aging-aware   @ worst 1y", &aware, aging::AgingScenario::worst_case(1)},
+      {"aging-aware   @ worst 3y", &aware, aging::AgingScenario::worst_case(3)},
+      {"aging-aware   @ worst 5y", &aware, aging::AgingScenario::worst_case(5)},
+      {"aging-aware   @ worst 10y", &aware, aging::AgingScenario::worst_case(10)},
+  };
+  std::printf("%-30s %10s %s\n", "scenario", "PSNR [dB]", "(30 dB = acceptable)");
+  for (const Row& row : rows) {
+    const auto& lib = factory.library(row.scenario);
+    const double psnr = run_scenario(*row.design, lib, period, img, quant);
+    std::printf("%-30s %10.1f %s\n", row.label, psnr,
+                psnr >= image::kAcceptablePsnrDb ? "ok" : "UNACCEPTABLE");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper shape check: the aging-unaware design collapses under worst-case\n"
+      "stress within one year (paper: 9 dB) and under balanced stress later\n"
+      "(paper: 19 dB at 1 y). The paper's aware design holds unaged quality for\n"
+      "10 years; ours does not separate from the unaware one — its contained\n"
+      "guardband is within our optimizer's variance (EXPERIMENTS.md, Note A).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// Reproduces Fig. 7: the actual output images of the DCT-IDCT chain for
+/// the reliability-unaware vs reliability-aware designs under aging. Writes
+/// PGM files (fig7_*.pgm) next to the binary and prints their PSNR. Paper
+/// shape: one worst-case year destroys the unaware design's image; the
+/// aware design's output stays visually identical to the unaged one.
+
+#include "bench/common.hpp"
+#include "image/chain.hpp"
+#include "netlist/sdf.hpp"
+#include "sta/analysis.hpp"
+
+namespace {
+
+using namespace rw;
+
+image::ChainResult run_timed(const synth::SynthesisResult& dct,
+                             const synth::SynthesisResult& idct, const liberty::Library& lib,
+                             double period_ps, const image::Image& img,
+                             const image::QuantTable& quant) {
+  const sta::Sta sd(dct.module, lib);
+  const sta::Sta si(idct.module, lib);
+  const auto ad = netlist::compute_delay_annotation(sd);
+  const auto ai = netlist::compute_delay_annotation(si);
+  image::TimedVectorPort pd(dct.module, lib, ad, period_ps, "x", 12, "y", 12);
+  image::TimedVectorPort pi(idct.module, lib, ai, period_ps, "y", 12, "x", 12);
+  return image::run_dct_idct_chain(img, pd, pi, quant);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 7 — DCT-IDCT output images (written as fig7_*.pgm)");
+
+  auto& factory = bench::factory();
+  const auto& fresh = bench::fresh_library();
+  const auto& worst10 = bench::worst_library(10);
+
+  const auto conv_dct = synth::synthesize(circuits::make_dct8(), fresh, "dct",
+                                          bench::full_effort());
+  const auto conv_idct = synth::synthesize(circuits::make_idct8(), fresh, "idct",
+                                           bench::full_effort());
+  const auto aw_dct = synth::synthesize(circuits::make_dct8(), worst10, "dct_aw",
+                                        bench::full_effort());
+  const auto aw_idct = synth::synthesize(circuits::make_idct8(), worst10, "idct_aw",
+                                         bench::full_effort());
+  const double period = std::max(sta::Sta(conv_dct.module, fresh).critical_delay_ps(),
+                                 sta::Sta(conv_idct.module, fresh).critical_delay_ps());
+
+  const image::Image original = image::make_synthetic_image(64, 64);
+  const auto quant = image::QuantTable::jpeg_luma(1.0);
+  image::write_pgm(original, "fig7_original.pgm");
+
+  struct Shot {
+    const char* file;
+    const char* label;
+    bool aware;
+    aging::AgingScenario scenario;
+  };
+  const Shot shots[] = {
+      {"fig7_unaware_balance_1y.pgm", "unaware, balance-case, year 1", false,
+       aging::AgingScenario::balanced(1)},
+      {"fig7_unaware_worst_1y.pgm", "unaware, worst-case, year 1", false,
+       aging::AgingScenario::worst_case(1)},
+      {"fig7_unaware_worst_10y.pgm", "unaware, worst-case, year 10", false,
+       aging::AgingScenario::worst_case(10)},
+      {"fig7_aware_worst_1y.pgm", "aware,   worst-case, year 1", true,
+       aging::AgingScenario::worst_case(1)},
+      {"fig7_aware_worst_10y.pgm", "aware,   worst-case, year 10", true,
+       aging::AgingScenario::worst_case(10)},
+  };
+  std::printf("%-34s %10s  %s\n", "scenario", "PSNR [dB]", "file");
+  for (const Shot& shot : shots) {
+    const auto& lib = factory.library(shot.scenario);
+    const auto result = shot.aware
+                            ? run_timed(aw_dct, aw_idct, lib, period, original, quant)
+                            : run_timed(conv_dct, conv_idct, lib, period, original, quant);
+    image::write_pgm(result.output, shot.file);
+    std::printf("%-34s %10.1f  %s\n", shot.label, result.psnr_db, shot.file);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nInspect the PGMs: one worst-case year destroys the unaware design's\n"
+      "image (paper: PSNR 9 dB). In the paper the aware design's image stays\n"
+      "clean for 10 years; see EXPERIMENTS.md Note A for why ours does not.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+/// Performance micro-benchmarks (google-benchmark) for the heavy engines:
+/// the transient circuit solver (cell characterization cost), full-design
+/// STA, the technology mapper, and the gate-level simulators. These back the
+/// design choices called out in DESIGN.md (smooth device model, lazy
+/// characterization, batched sizing).
+
+#include <benchmark/benchmark.h>
+
+#include "charlib/characterizer.hpp"
+#include "charlib/factory.hpp"
+#include "cells/catalog.hpp"
+#include "circuits/benchmarks.hpp"
+#include "logicsim/simulator.hpp"
+#include "logicsim/timingsim.hpp"
+#include "netlist/sdf.hpp"
+#include "sta/analysis.hpp"
+#include "synth/decompose.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/mapper.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rw;
+
+charlib::LibraryFactory& factory() {
+  static charlib::LibraryFactory f{};
+  return f;
+}
+const liberty::Library& fresh() { return factory().library(aging::AgingScenario::fresh()); }
+
+const netlist::Module& dsp_module() {
+  static const netlist::Module m = [] {
+    synth::SynthesisOptions opt;
+    opt.multi_start = false;
+    return synth::synthesize(circuits::make_dsp(), fresh(), "dsp", opt).module;
+  }();
+  return m;
+}
+
+void BM_TransientInverter(benchmark::State& state) {
+  // One full characterization transient (ramp in, measure out).
+  charlib::CharacterizeOptions opts;
+  opts.grid = charlib::OpcGrid::single(60.0, 4.0);
+  const auto& spec = cells::find_cell("INV_X1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        charlib::characterize_cell(spec, aging::AgingScenario::fresh(), opts));
+  }
+}
+BENCHMARK(BM_TransientInverter)->Unit(benchmark::kMillisecond);
+
+void BM_CharacterizeNand2FullGrid(benchmark::State& state) {
+  charlib::CharacterizeOptions opts;  // 7x7 paper grid
+  const auto& spec = cells::find_cell("NAND2_X1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        charlib::characterize_cell(spec, aging::AgingScenario::fresh(), opts));
+  }
+}
+BENCHMARK(BM_CharacterizeNand2FullGrid)->Unit(benchmark::kMillisecond);
+
+void BM_StaDsp(benchmark::State& state) {
+  const auto& m = dsp_module();
+  for (auto _ : state) {
+    const sta::Sta sta(m, fresh());
+    benchmark::DoNotOptimize(sta.critical_delay_ps());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.instances().size()));
+}
+BENCHMARK(BM_StaDsp)->Unit(benchmark::kMillisecond);
+
+void BM_MapDsp(benchmark::State& state) {
+  const synth::SubjectGraph graph = synth::decompose(circuits::make_dsp());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth::map_to_library(graph, fresh(), synth::MapperOptions{}, "dsp"));
+  }
+}
+BENCHMARK(BM_MapDsp)->Unit(benchmark::kMillisecond);
+
+void BM_CycleSimDsp(benchmark::State& state) {
+  const auto& m = dsp_module();
+  logicsim::CycleSimulator sim(m, fresh());
+  util::Rng rng(1);
+  for (auto _ : state) {
+    for (netlist::NetId pi : m.inputs()) {
+      if (pi != m.clock()) sim.set_input(pi, rng.chance(0.5));
+    }
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.instances().size()));
+}
+BENCHMARK(BM_CycleSimDsp);
+
+void BM_TimingSimDspCycle(benchmark::State& state) {
+  const auto& m = dsp_module();
+  const sta::Sta sta(m, fresh());
+  const auto ann = netlist::compute_delay_annotation(sta);
+  logicsim::TimingSimulator sim(m, fresh(), ann, sta.critical_delay_ps());
+  util::Rng rng(2);
+  for (auto _ : state) {
+    for (netlist::NetId pi : m.inputs()) {
+      if (pi != m.clock()) sim.set_input(pi, rng.chance(0.5));
+    }
+    sim.run_cycle();
+  }
+}
+BENCHMARK(BM_TimingSimDspCycle)->Unit(benchmark::kMicrosecond);
+
+void BM_NldmLookup(benchmark::State& state) {
+  const auto& table = fresh().at("NAND2_X1").arcs[0].rise.delay_ps;
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(rng.uniform(5.0, 947.0), rng.uniform(0.5, 20.0)));
+  }
+}
+BENCHMARK(BM_NldmLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

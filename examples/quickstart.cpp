@@ -1,0 +1,60 @@
+/// Quickstart: characterize a cell fresh vs aged, look at its NLDM tables,
+/// and estimate a circuit guardband — the library's three core concepts in
+/// one page.
+///
+/// Build & run:   ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "charlib/characterizer.hpp"
+#include "charlib/factory.hpp"
+#include "cells/catalog.hpp"
+#include "netlist/builder.hpp"
+#include "sta/guardband.hpp"
+
+int main() {
+  using namespace rw;
+
+  // --- 1. Characterize one cell under fresh and worst-case-aged devices ---
+  // (a coarse 3x3 OPC grid keeps this instant; the flows use the 7x7 grid).
+  charlib::CharacterizeOptions opts;
+  opts.grid = charlib::OpcGrid::coarse();
+  const auto& nand2 = cells::find_cell("NAND2_X1");
+  const auto fresh_cell = charlib::characterize_cell(nand2, aging::AgingScenario::fresh(), opts);
+  const auto aged_cell =
+      charlib::characterize_cell(nand2, aging::AgingScenario::worst_case(10), opts);
+
+  std::printf("NAND2_X1, input A -> Z rise delay at (slew 100 ps, load 4 fF):\n");
+  const double f = fresh_cell.arcs[0].rise.delay_ps.lookup(100.0, 4.0);
+  const double a = aged_cell.arcs[0].rise.delay_ps.lookup(100.0, 4.0);
+  std::printf("  fresh: %.2f ps   after 10y worst-case aging: %.2f ps  (%+.1f%%)\n\n", f, a,
+              100.0 * (a / f - 1.0));
+
+  // --- 2. Build a tiny mapped netlist and run STA against both corners ---
+  charlib::LibraryFactory::Options fopts;
+  fopts.characterize.grid = charlib::OpcGrid::coarse();
+  fopts.cell_subset = {"INV_X1", "NAND2_X1", "XOR2_X1", "DFF_X1"};
+  charlib::LibraryFactory factory(fopts);
+  const auto& fresh_lib = factory.library(aging::AgingScenario::fresh());
+  const auto& aged_lib = factory.library(aging::AgingScenario::worst_case(10));
+
+  netlist::Module m("demo");
+  const auto in_a = m.add_net("a");
+  const auto in_b = m.add_net("b");
+  m.mark_input(in_a);
+  m.mark_input(in_b);
+  m.set_clock(m.add_net("clk"));
+  netlist::NetlistBuilder builder(m, fresh_lib);
+  auto x = builder.gate("XOR2_X1", {in_a, in_b});
+  for (int i = 0; i < 4; ++i) x = builder.gate("NAND2_X1", {x, in_b});
+  m.mark_output(builder.flop("DFF_X1", x));
+
+  // --- 3. The guardband this little design needs to survive 10 years ---
+  const auto report = sta::estimate_guardband(m, fresh_lib, aged_lib);
+  std::printf("demo netlist: CP %.1f ps fresh, %.1f ps aged\n", report.fresh_cp_ps,
+              report.aged_cp_ps);
+  std::printf("required guardband: %.1f ps (%.1f%%); max frequency %.2f -> %.2f GHz\n",
+              report.guardband_ps(), report.guardband_pct(), report.fresh_freq_ghz(),
+              report.aged_freq_ghz());
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "aging/bti.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace rw::aging {
+
+BtiModel::BtiModel(const BtiParams& params) : params_(params) {
+  if (params_.cox_f_per_cm2 <= 0.0) throw std::invalid_argument("BtiModel: cox must be positive");
+  if (params_.pbti_scale < 0.0) throw std::invalid_argument("BtiModel: pbti_scale must be >= 0");
+}
+
+double BtiModel::polarity_scale(device::MosType type) const {
+  return type == device::MosType::kPmos ? 1.0 : params_.pbti_scale;
+}
+
+double BtiModel::duty_factor(double lambda) const {
+  if (lambda <= 0.0) return 0.0;
+  if (lambda >= 1.0) return 1.0;
+  const double on = std::cbrt(lambda);
+  const double off = std::cbrt(1.0 - lambda);
+  return on / (on + params_.ac_recovery * off);
+}
+
+double BtiModel::interface_traps_cm2(device::MosType type, double lambda, double seconds) const {
+  if (seconds <= 0.0) return 0.0;
+  return polarity_scale(type) * params_.a_it_cm2 * duty_factor(lambda) *
+         std::pow(seconds, params_.time_exponent);
+}
+
+double BtiModel::oxide_traps_cm2(device::MosType type, double lambda, double seconds) const {
+  if (seconds <= 0.0 || lambda <= 0.0) return 0.0;
+  const double fill = 1.0 - std::exp(-std::pow(seconds / params_.ot_tau_s, params_.ot_beta));
+  return polarity_scale(type) * params_.b_ot_cm2 * std::pow(lambda, params_.ot_duty_exp) * fill;
+}
+
+double BtiModel::delta_vth_v(device::MosType type, double lambda, double years) const {
+  const double seconds = units::years_to_seconds(years);
+  const double n_total =
+      interface_traps_cm2(type, lambda, seconds) + oxide_traps_cm2(type, lambda, seconds);
+  return units::kElementaryCharge / params_.cox_f_per_cm2 * n_total;
+}
+
+double BtiModel::mu_factor(device::MosType type, double lambda, double years) const {
+  const double seconds = units::years_to_seconds(years);
+  const double n_it = interface_traps_cm2(type, lambda, seconds);
+  return 1.0 / (1.0 + params_.alpha_mu_cm2 * n_it);
+}
+
+device::Degradation BtiModel::degrade(device::MosType type, double lambda, double years,
+                                      bool include_mobility) const {
+  if (lambda < 0.0 || lambda > 1.0) throw std::invalid_argument("BtiModel: lambda out of [0,1]");
+  if (years < 0.0) throw std::invalid_argument("BtiModel: years must be non-negative");
+  device::Degradation d;
+  d.delta_vth_v = delta_vth_v(type, lambda, years);
+  d.mu_factor = include_mobility ? mu_factor(type, lambda, years) : 1.0;
+  return d;
+}
+
+}  // namespace rw::aging

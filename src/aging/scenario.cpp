@@ -1,0 +1,31 @@
+#include "aging/scenario.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace rw::aging {
+
+AgingScenario AgingScenario::fresh() { return AgingScenario{0.0, 0.0, 0.0, true}; }
+
+AgingScenario AgingScenario::worst_case(double years) {
+  return AgingScenario{1.0, 1.0, years, true};
+}
+
+AgingScenario AgingScenario::balanced(double years) { return AgingScenario{0.5, 0.5, years, true}; }
+
+std::string AgingScenario::id() const {
+  if (is_fresh()) return "fresh";
+  std::string s = "L" + util::format_lambda(lambda_p) + "_" + util::format_lambda(lambda_n) + "_y" +
+                  util::format_fixed(years, years == std::floor(years) ? 0 : 1);
+  if (!include_mobility) s += "_novmu";
+  return s;
+}
+
+double quantize_lambda(double lambda, double step) {
+  if (lambda <= 0.0) return 0.0;
+  if (lambda >= 1.0) return 1.0;
+  return std::round(lambda / step) * step;
+}
+
+}  // namespace rw::aging

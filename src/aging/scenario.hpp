@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file scenario.hpp
+/// An aging *scenario* fixes the stress conditions under which a cell library
+/// is characterized: the pMOS and nMOS duty cycles (λ) and the lifetime. The
+/// paper sweeps λ over an 11×11 grid (step 0.1) producing 121 libraries; a
+/// scenario also records whether mobility degradation is modeled (Fig. 5(a)
+/// ablates it) so that library caching can distinguish the two.
+
+#include <compare>
+#include <string>
+
+namespace rw::aging {
+
+struct AgingScenario {
+  double lambda_p = 0.0;  ///< pMOS stress duty cycle in [0,1]
+  double lambda_n = 0.0;  ///< nMOS stress duty cycle in [0,1]
+  double years = 0.0;     ///< lifetime
+  bool include_mobility = true;  ///< false = "Vth-only" state-of-the-art baseline
+
+  /// No aging at all (year 0); λ values are irrelevant and normalized to 0.
+  static AgingScenario fresh();
+  /// Worst-case static stress: λp = λn = 1 (Section 4.2, "suppress aging
+  /// under any workload").
+  static AgingScenario worst_case(double years);
+  /// Balanced stress λ = 0.5 — representative of duty-cycle-balancing
+  /// mitigation techniques (Fig. 6(c)/7 "Balance" scenario).
+  static AgingScenario balanced(double years);
+
+  [[nodiscard]] bool is_fresh() const { return years <= 0.0; }
+
+  friend auto operator<=>(const AgingScenario&, const AgingScenario&) = default;
+
+  /// Stable id used in library names and cache keys, e.g. "wc10y",
+  /// "L1.00_1.00_y10_novmu".
+  [[nodiscard]] std::string id() const;
+};
+
+/// Quantize a duty cycle onto the paper's 0.1-step grid (used when annotating
+/// netlists for the merged-library dynamic-stress flow).
+double quantize_lambda(double lambda, double step = 0.1);
+
+}  // namespace rw::aging

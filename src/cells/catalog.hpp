@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file catalog.hpp
+/// The standard-cell catalog: a Nangate-45nm-style set of 60+ combinational
+/// and sequential cells across drive strengths, expressed as CellSpec
+/// topologies. This is the "netlist of cells" input of Fig. 4(a).
+
+#include <vector>
+
+#include "cells/topology.hpp"
+
+namespace rw::cells {
+
+/// Builds the full catalog (deterministic order; names unique).
+const std::vector<CellSpec>& catalog();
+
+/// Finds a cell by exact name. \throws std::out_of_range when absent.
+const CellSpec& find_cell(const std::string& name);
+
+/// All cells of a function family (e.g. "NAND2"), ordered by drive strength.
+std::vector<const CellSpec*> family_cells(const std::string& family);
+
+}  // namespace rw::cells

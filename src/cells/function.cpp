@@ -1,0 +1,70 @@
+#include "cells/function.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace rw::cells {
+
+bool eval_cell(const CellSpec& spec, const std::vector<bool>& inputs) {
+  if (spec.is_flop) throw std::invalid_argument("eval_cell: sequential cell");
+  if (inputs.size() != spec.inputs.size()) {
+    throw std::invalid_argument("eval_cell: input count mismatch for " + spec.name);
+  }
+  std::unordered_map<std::string, bool> values;
+  for (std::size_t i = 0; i < inputs.size(); ++i) values[spec.inputs[i]] = inputs[i];
+
+  for (const auto& stage : spec.stages) {
+    const bool pd_on = stage.pulldown.conducts([&](const std::string& sig) {
+      const auto it = values.find(sig);
+      if (it == values.end()) {
+        throw std::invalid_argument("eval_cell: undriven signal '" + sig + "' in " + spec.name);
+      }
+      return it->second;
+    });
+    values[stage.out] = !pd_on;  // complementary static CMOS stage
+  }
+  const auto it = values.find(spec.output);
+  if (it == values.end()) {
+    throw std::invalid_argument("eval_cell: output never driven in " + spec.name);
+  }
+  return it->second;
+}
+
+std::uint64_t truth_table(const CellSpec& spec) {
+  if (spec.inputs.size() > 6) throw std::invalid_argument("truth_table: more than 6 inputs");
+  const auto n = spec.inputs.size();
+  std::uint64_t tt = 0;
+  std::vector<bool> vec(n);
+  for (std::uint64_t pattern = 0; pattern < (1ULL << n); ++pattern) {
+    for (std::size_t i = 0; i < n; ++i) vec[i] = ((pattern >> i) & 1ULL) != 0;
+    if (eval_cell(spec, vec)) tt |= 1ULL << pattern;
+  }
+  return tt;
+}
+
+int arc_unateness(const CellSpec& spec, const std::string& pin) {
+  const auto it = std::find(spec.inputs.begin(), spec.inputs.end(), pin);
+  if (it == spec.inputs.end()) throw std::invalid_argument("arc_unateness: unknown pin " + pin);
+  const auto bit = static_cast<std::size_t>(it - spec.inputs.begin());
+  const std::uint64_t tt = truth_table(spec);
+  const auto n = spec.inputs.size();
+
+  bool saw_positive = false;  // raising the pin raises the output somewhere
+  bool saw_negative = false;
+  for (std::uint64_t pattern = 0; pattern < (1ULL << n); ++pattern) {
+    if (((pattern >> bit) & 1ULL) != 0) continue;  // consider pin=0 patterns
+    const std::uint64_t hi = pattern | (1ULL << bit);
+    const bool out_lo = ((tt >> pattern) & 1ULL) != 0;
+    const bool out_hi = ((tt >> hi) & 1ULL) != 0;
+    if (!out_lo && out_hi) saw_positive = true;
+    if (out_lo && !out_hi) saw_negative = true;
+  }
+  if (saw_positive && saw_negative) return 0;
+  if (saw_positive) return 1;
+  if (saw_negative) return -1;
+  return 0;  // pin does not affect output (degenerate)
+}
+
+}  // namespace rw::cells

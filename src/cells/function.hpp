@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file function.hpp
+/// Switch-level functional evaluation of cell specs: the truth table of a
+/// combinational cell follows from its stage structure (each stage output is
+/// the complement of its pull-down network's conduction). Used to emit the
+/// function into the Liberty library, to drive technology mapping, and to
+/// cross-check characterization vectors.
+
+#include <cstdint>
+#include <vector>
+
+#include "cells/topology.hpp"
+
+namespace rw::cells {
+
+/// Evaluates a combinational cell for one input vector (values aligned with
+/// spec.inputs). \throws std::invalid_argument for flops or size mismatch.
+bool eval_cell(const CellSpec& spec, const std::vector<bool>& inputs);
+
+/// Truth table over spec.inputs: bit `p` holds the output for the input
+/// pattern whose bit i equals the value of spec.inputs[i]. Supports up to 6
+/// inputs. \throws std::invalid_argument for flops or >6 inputs.
+std::uint64_t truth_table(const CellSpec& spec);
+
+/// Timing sense of the (input pin -> output) arc derived from the truth
+/// table: +1 positive unate, -1 negative unate, 0 non-unate.
+int arc_unateness(const CellSpec& spec, const std::string& pin);
+
+}  // namespace rw::cells

@@ -1,0 +1,233 @@
+#include "cells/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rw::cells {
+
+SpExpr SpExpr::leaf(std::string signal) {
+  SpExpr e;
+  e.kind_ = Kind::kLeaf;
+  e.signal_ = std::move(signal);
+  return e;
+}
+
+SpExpr SpExpr::series(std::vector<SpExpr> children) {
+  if (children.empty()) throw std::invalid_argument("SpExpr::series: empty");
+  if (children.size() == 1) return children.front();
+  SpExpr e;
+  e.kind_ = Kind::kSeries;
+  e.children_ = std::move(children);
+  return e;
+}
+
+SpExpr SpExpr::parallel(std::vector<SpExpr> children) {
+  if (children.empty()) throw std::invalid_argument("SpExpr::parallel: empty");
+  if (children.size() == 1) return children.front();
+  SpExpr e;
+  e.kind_ = Kind::kParallel;
+  e.children_ = std::move(children);
+  return e;
+}
+
+bool SpExpr::conducts(const std::function<bool(const std::string&)>& on) const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return on(signal_);
+    case Kind::kSeries:
+      return std::all_of(children_.begin(), children_.end(),
+                         [&](const SpExpr& c) { return c.conducts(on); });
+    case Kind::kParallel:
+      return std::any_of(children_.begin(), children_.end(),
+                         [&](const SpExpr& c) { return c.conducts(on); });
+  }
+  return false;
+}
+
+SpExpr SpExpr::dual() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return *this;
+    case Kind::kSeries: {
+      std::vector<SpExpr> kids;
+      kids.reserve(children_.size());
+      for (const auto& c : children_) kids.push_back(c.dual());
+      return parallel(std::move(kids));
+    }
+    case Kind::kParallel: {
+      std::vector<SpExpr> kids;
+      kids.reserve(children_.size());
+      for (const auto& c : children_) kids.push_back(c.dual());
+      return series(std::move(kids));
+    }
+  }
+  return *this;
+}
+
+int SpExpr::min_path_len() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return 1;
+    case Kind::kSeries: {
+      int sum = 0;
+      for (const auto& c : children_) sum += c.min_path_len();
+      return sum;
+    }
+    case Kind::kParallel: {
+      int best = children_.front().min_path_len();
+      for (const auto& c : children_) best = std::min(best, c.min_path_len());
+      return best;
+    }
+  }
+  return 1;
+}
+
+std::vector<std::string> SpExpr::signals() const {
+  std::vector<std::string> out;
+  const std::function<void(const SpExpr&)> walk = [&](const SpExpr& e) {
+    if (e.kind_ == Kind::kLeaf) {
+      if (std::find(out.begin(), out.end(), e.signal_) == out.end()) out.push_back(e.signal_);
+    } else {
+      for (const auto& c : e.children_) walk(c);
+    }
+  };
+  walk(*this);
+  return out;
+}
+
+namespace {
+
+/// Recursively instantiates a switch network between `top` and `bottom`.
+/// `series_context` counts series transistors on the path *outside* this
+/// subexpression, so that each leaf can be widened by its full stack depth
+/// (standard stack upsizing keeps per-path drive comparable to a single
+/// device).
+void instantiate(const SpExpr& expr, const std::string& top, const std::string& bottom,
+                 device::MosType type, double unit_width, double drive, int series_context,
+                 const std::string& node_prefix, int& node_counter,
+                 std::vector<PlacedTransistor>& out) {
+  switch (expr.kind()) {
+    case SpExpr::Kind::kLeaf: {
+      PlacedTransistor t;
+      t.type = type;
+      t.width_um = unit_width * drive * static_cast<double>(series_context + 1);
+      t.gate = expr.signal();
+      // Conventional orientation: nMOS source toward GND, pMOS source
+      // toward VDD (the models are symmetric; this is for readability).
+      if (type == device::MosType::kPmos) {
+        t.source = top;
+        t.drain = bottom;
+      } else {
+        t.drain = top;
+        t.source = bottom;
+      }
+      out.push_back(std::move(t));
+      return;
+    }
+    case SpExpr::Kind::kSeries: {
+      // Each child sees the other children as additional series context.
+      int total = 0;
+      std::vector<int> lens;
+      lens.reserve(expr.children().size());
+      for (const auto& c : expr.children()) {
+        lens.push_back(c.min_path_len());
+        total += lens.back();
+      }
+      std::string upper = top;
+      for (std::size_t i = 0; i < expr.children().size(); ++i) {
+        const bool last = i + 1 == expr.children().size();
+        std::string lower =
+            last ? bottom : node_prefix + "#s" + std::to_string(node_counter++);
+        instantiate(expr.children()[i], upper, lower, type, unit_width, drive,
+                    series_context + (total - lens[i]), node_prefix, node_counter, out);
+        upper = std::move(lower);
+      }
+      return;
+    }
+    case SpExpr::Kind::kParallel: {
+      for (const auto& c : expr.children()) {
+        instantiate(c, top, bottom, type, unit_width, drive, series_context, node_prefix,
+                    node_counter, out);
+      }
+      return;
+    }
+  }
+}
+
+void add_inverter(std::vector<PlacedTransistor>& out, const device::Technology& tech,
+                  const std::string& in, const std::string& drives, double drive) {
+  out.push_back({device::MosType::kPmos, tech.pmos_unit_width_um * drive, in, drives, "VDD"});
+  out.push_back({device::MosType::kNmos, tech.nmos_unit_width_um * drive, in, drives, "GND"});
+}
+
+void add_transmission_gate(std::vector<PlacedTransistor>& out, const device::Technology& tech,
+                           const std::string& from, const std::string& to,
+                           const std::string& n_gate, const std::string& p_gate, double drive) {
+  out.push_back({device::MosType::kNmos, tech.nmos_unit_width_um * drive, n_gate, to, from});
+  out.push_back({device::MosType::kPmos, tech.pmos_unit_width_um * drive, p_gate, to, from});
+}
+
+/// Master-slave transmission-gate D flip-flop (22 transistors).
+/// Transparent master while CK=0, captures on the rising edge; Q = D.
+std::vector<PlacedTransistor> materialize_dff(const CellSpec& spec,
+                                              const device::Technology& tech) {
+  std::vector<PlacedTransistor> t;
+  const double x = static_cast<double>(spec.drive_x);
+  add_inverter(t, tech, "CK", "ckn", 1.0);
+  add_inverter(t, tech, "ckn", "ckp", 1.0);
+  // Master latch.
+  add_transmission_gate(t, tech, "D", "n1", "ckn", "ckp", 1.0);
+  add_inverter(t, tech, "n1", "n2", 1.0);
+  add_inverter(t, tech, "n2", "n1f", 0.5);
+  add_transmission_gate(t, tech, "n1f", "n1", "ckp", "ckn", 0.5);
+  // Slave latch.
+  add_transmission_gate(t, tech, "n2", "n3", "ckp", "ckn", 1.0);
+  add_inverter(t, tech, "n3", "n4", 1.0);
+  add_inverter(t, tech, "n4", "n3f", 0.5);
+  add_transmission_gate(t, tech, "n3f", "n3", "ckn", "ckp", 0.5);
+  // Output driver: Q = NOT(n3) = NOT(NOT(D-at-master)) path -> Q follows D.
+  add_inverter(t, tech, "n3", spec.output, x);
+  return t;
+}
+
+}  // namespace
+
+std::vector<PlacedTransistor> materialize(const CellSpec& spec, const device::Technology& tech) {
+  if (spec.is_flop) return materialize_dff(spec, tech);
+  if (spec.stages.empty()) throw std::invalid_argument("materialize: cell has no stages");
+
+  std::vector<PlacedTransistor> out;
+  for (const auto& stage : spec.stages) {
+    int counter = 0;
+    // Pull-down: nMOS network between stage output and GND.
+    instantiate(stage.pulldown, stage.out, "GND", device::MosType::kNmos,
+                tech.nmos_unit_width_um, stage.drive, 0, stage.out + "_n", counter, out);
+    // Pull-up: dual network between VDD and stage output, pMOS.
+    instantiate(stage.pulldown.dual(), "VDD", stage.out, device::MosType::kPmos,
+                tech.pmos_unit_width_um, stage.drive, 0, stage.out + "_p", counter, out);
+  }
+  return out;
+}
+
+double pin_input_cap_ff(const CellSpec& spec, const device::Technology& tech,
+                        const std::string& pin) {
+  double cap = 0.0;
+  for (const auto& t : materialize(spec, tech)) {
+    const auto& params = t.type == device::MosType::kNmos ? tech.nmos : tech.pmos;
+    if (t.gate == pin) cap += params.cgate_ff_per_um * t.width_um;
+    // Pass-gate inputs (the D pin of a transmission-gate flop) load the
+    // driver with junction capacitance instead of gate capacitance.
+    if (t.drain == pin || t.source == pin) cap += params.cjunc_ff_per_um * t.width_um;
+  }
+  return cap;
+}
+
+double cell_area_um2(const CellSpec& spec, const device::Technology& tech) {
+  double total_width = 0.0;
+  for (const auto& t : materialize(spec, tech)) total_width += t.width_um;
+  // Empirical 45 nm footprint: diffusion area scales with width, plus fixed
+  // routing/well overhead per cell.
+  return 0.55 * total_width + 0.35;
+}
+
+}  // namespace rw::cells

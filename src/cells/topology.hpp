@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file topology.hpp
+/// Transistor-level structure of standard cells.
+///
+/// Combinational cells are described as a cascade of inverting static-CMOS
+/// *stages*; each stage is a series/parallel pull-down expression whose dual
+/// forms the pull-up network. Multi-stage cells (BUF, AND/OR, XOR, MUX) are
+/// first-class — the paper stresses that >50 % of an industrial library is
+/// multi-stage and that internal slews make their aging behaviour
+/// non-trivial. `materialize()` expands a cell spec into sized transistors
+/// with symbolic node names, which the characterizer turns into a SPICE-level
+/// circuit (applying per-polarity aging degradations) and which the catalog
+/// uses to compute pin capacitances and area.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "device/mosfet.hpp"
+#include "device/ptm45.hpp"
+
+namespace rw::cells {
+
+/// Series/parallel switch network over named signals.
+class SpExpr {
+ public:
+  enum class Kind { kLeaf, kSeries, kParallel };
+
+  static SpExpr leaf(std::string signal);
+  static SpExpr series(std::vector<SpExpr> children);
+  static SpExpr parallel(std::vector<SpExpr> children);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& signal() const { return signal_; }
+  [[nodiscard]] const std::vector<SpExpr>& children() const { return children_; }
+
+  /// Does the network conduct given signal values? (`on(signal)` = switch closed)
+  [[nodiscard]] bool conducts(const std::function<bool(const std::string&)>& on) const;
+
+  /// Dual network (series<->parallel) — the pull-up of a static CMOS stage.
+  [[nodiscard]] SpExpr dual() const;
+
+  /// Transistor count of the shortest conducting path (for stack sizing).
+  [[nodiscard]] int min_path_len() const;
+
+  /// All distinct leaf signals, in first-appearance order.
+  [[nodiscard]] std::vector<std::string> signals() const;
+
+ private:
+  Kind kind_ = Kind::kLeaf;
+  std::string signal_;
+  std::vector<SpExpr> children_;
+};
+
+/// One inverting stage: `out = NOT(pulldown)`, pull-up is the dual network.
+struct Stage {
+  SpExpr pulldown;
+  std::string out;     ///< node the stage drives ("Z" for the final stage)
+  double drive = 1.0;  ///< width multiplier relative to the technology unit
+};
+
+/// A standard cell: either a cascade of stages or a hand-built flop.
+struct CellSpec {
+  std::string name;    ///< full library name, e.g. "NAND2_X1"
+  std::string family;  ///< function family, e.g. "NAND2" (sizing moves within a family)
+  std::vector<std::string> inputs;  ///< pin order defines truth-table bit order
+  std::string output = "Z";
+  std::vector<Stage> stages;  ///< topologically ordered; empty for flops
+  bool is_flop = false;       ///< DFF: inputs {D, CK}, output Q
+  int drive_x = 1;
+};
+
+/// A sized transistor with symbolic terminal names. Power nets are the
+/// reserved names "VDD"/"GND"; other names are pins or internal nodes.
+struct PlacedTransistor {
+  device::MosType type;
+  double width_um;
+  std::string gate;
+  std::string drain;
+  std::string source;
+};
+
+/// Expands a cell into sized transistors. Internal series-chain nodes are
+/// named "<stage-out>#s<k>"/"#p<k>". \throws std::invalid_argument for specs
+/// with no stages and no flop flag.
+std::vector<PlacedTransistor> materialize(const CellSpec& spec, const device::Technology& tech);
+
+/// Capacitance presented by an input pin: sum of gate caps of transistors
+/// whose gate connects to the pin (fresh devices).
+double pin_input_cap_ff(const CellSpec& spec, const device::Technology& tech,
+                        const std::string& pin);
+
+/// Layout-proportional area estimate (µm²) from total transistor width.
+double cell_area_um2(const CellSpec& spec, const device::Technology& tech);
+
+}  // namespace rw::cells

@@ -1,0 +1,380 @@
+#include "charlib/characterizer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "cells/function.hpp"
+#include "spice/measure.hpp"
+#include "spice/solver.hpp"
+#include "util/interp.hpp"
+
+namespace rw::charlib {
+
+namespace {
+
+using cells::CellSpec;
+using spice::Circuit;
+using spice::NodeId;
+using spice::Pwl;
+
+/// One arc sensitization: side-input values plus the switching pin's edge.
+struct ArcRun {
+  std::string pin;
+  std::vector<bool> side;  ///< values per spec.inputs (entry for `pin` = pre-edge value)
+  bool in_rising = true;
+  bool out_rising = true;
+};
+
+/// Finds a side-input assignment under which toggling `pin` produces the
+/// requested output transition. Prefers an input rise; falls back to an
+/// input fall (needed for positive-unate cells' falling output, etc.).
+std::optional<ArcRun> find_sensitization(const CellSpec& spec, const std::string& pin,
+                                         bool out_rising) {
+  const auto n = spec.inputs.size();
+  std::size_t pin_idx = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (spec.inputs[i] == pin) pin_idx = i;
+  }
+  if (pin_idx == n) throw std::invalid_argument("find_sensitization: unknown pin " + pin);
+
+  for (const bool in_rising : {true, false}) {
+    for (std::uint64_t pattern = 0; pattern < (1ULL << n); ++pattern) {
+      std::vector<bool> lo(n);
+      std::vector<bool> hi(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool v = ((pattern >> i) & 1ULL) != 0;
+        lo[i] = (i == pin_idx) ? false : v;
+        hi[i] = (i == pin_idx) ? true : v;
+      }
+      const bool out_lo = cells::eval_cell(spec, lo);
+      const bool out_hi = cells::eval_cell(spec, hi);
+      if (out_lo == out_hi) continue;
+      const bool before = in_rising ? out_lo : out_hi;
+      const bool after = in_rising ? out_hi : out_lo;
+      if (!before && after && out_rising) {
+        return ArcRun{pin, in_rising ? lo : hi, in_rising, true};
+      }
+      if (before && !after && !out_rising) {
+        return ArcRun{pin, in_rising ? lo : hi, in_rising, false};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+struct Measurement {
+  double delay_ps;
+  double slew_ps;
+};
+
+/// Runs one transient and measures the output edge, growing the settle
+/// window on failure.
+Measurement run_and_measure(const std::function<Circuit(double window_ps)>& build,
+                            NodeId out_node, double input_t50_ps, bool out_rising, double vdd,
+                            double base_window_ps, const std::string& what) {
+  double window = base_window_ps;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const Circuit circuit = build(window);
+    spice::TransientOptions topt;
+    topt.t_stop_ps = window;
+    const auto result = spice::simulate_transient(circuit, topt, {out_node});
+    const auto timing =
+        spice::measure_edge(result.waveform(out_node), input_t50_ps, out_rising, vdd);
+    if (timing) return Measurement{timing->delay_ps, timing->slew_ps};
+    window *= 2.0;
+  }
+  throw std::runtime_error("characterize: output failed to settle for " + what);
+}
+
+device::Degradation degradation_for(device::MosType type, const aging::AgingScenario& scenario,
+                                    const CharacterizeOptions& options) {
+  if (scenario.is_fresh()) return {};
+  const aging::BtiModel model(options.bti);
+  const double lambda =
+      type == device::MosType::kPmos ? scenario.lambda_p : scenario.lambda_n;
+  return model.degrade(type, lambda, scenario.years, scenario.include_mobility);
+}
+
+}  // namespace
+
+NodeId append_cell_instance(
+    Circuit& circuit, const CellSpec& spec, const aging::AgingScenario& scenario,
+    const CharacterizeOptions& options, const std::string& prefix, NodeId vdd_node,
+    const std::vector<std::pair<std::string, NodeId>>& pin_bindings) {
+  const auto deg_p = degradation_for(device::MosType::kPmos, scenario, options);
+  const auto deg_n = degradation_for(device::MosType::kNmos, scenario, options);
+
+  std::map<std::string, NodeId> local;
+  local["VDD"] = vdd_node;
+  local["GND"] = spice::kGround;
+  for (const auto& [name, node] : pin_bindings) local[name] = node;
+
+  const auto resolve = [&](const std::string& name) -> NodeId {
+    const auto it = local.find(name);
+    if (it != local.end()) return it->second;
+    const NodeId id = circuit.add_node(prefix + name);
+    local.emplace(name, id);
+    return id;
+  };
+
+  std::map<NodeId, double> node_cap;
+  std::map<NodeId, bool> is_internal;
+  NodeId out_node = -1;
+  for (const auto& t : cells::materialize(spec, options.tech)) {
+    const NodeId g = resolve(t.gate);
+    const NodeId d = resolve(t.drain);
+    const NodeId s = resolve(t.source);
+    const auto& params =
+        t.type == device::MosType::kNmos ? options.tech.nmos : options.tech.pmos;
+    const auto& deg = t.type == device::MosType::kNmos ? deg_n : deg_p;
+    device::Mosfet fet(params, t.width_um, deg);
+    node_cap[g] += fet.gate_cap_ff();
+    node_cap[d] += fet.junction_cap_ff();
+    node_cap[s] += fet.junction_cap_ff();
+    circuit.add_mosfet(std::move(fet), g, d, s);
+    if (t.drain == spec.output || t.source == spec.output) out_node = resolve(spec.output);
+    // Nodes not bound from outside and not rails are cell-internal.
+    for (const auto& name : {t.gate, t.drain, t.source}) {
+      if (name != "VDD" && name != "GND") {
+        const bool bound = std::any_of(pin_bindings.begin(), pin_bindings.end(),
+                                       [&](const auto& b) { return b.first == name; });
+        if (!bound) is_internal[local.at(name)] = true;
+      }
+    }
+  }
+  if (out_node < 0) {
+    throw std::runtime_error("append_cell_instance: output never connected in " + spec.name);
+  }
+  // Layout wire parasitic per internal node.
+  for (const auto& [node, internal] : is_internal) {
+    if (internal) node_cap[node] += options.wire_cap_per_node_ff;
+  }
+  for (const auto& [node, cap] : node_cap) {
+    if (node != spice::kGround && node != vdd_node && cap > 0.0) {
+      circuit.add_capacitor(node, spice::kGround, cap);
+    }
+  }
+  return out_node;
+}
+
+namespace {
+
+/// Builds the single-cell test bench for one combinational arc point.
+Circuit build_comb_bench(const CellSpec& spec, const aging::AgingScenario& scenario,
+                         const CharacterizeOptions& options, const ArcRun& run, double slew_ps,
+                         double load_ff, double t_start_ps, NodeId& out_node) {
+  const double vdd = options.tech.vdd_v;
+  Circuit c;
+  const NodeId vdd_node = c.add_node("VDD");
+  c.add_source(vdd_node, Pwl::dc(vdd));
+
+  std::vector<std::pair<std::string, NodeId>> bindings;
+  for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+    const NodeId n = c.add_node(spec.inputs[i]);
+    bindings.emplace_back(spec.inputs[i], n);
+    if (spec.inputs[i] == run.pin) {
+      const double v0 = run.in_rising ? 0.0 : vdd;
+      const double v1 = run.in_rising ? vdd : 0.0;
+      c.add_source(n, Pwl::ramp(t_start_ps, slew_ps, v0, v1));
+    } else {
+      c.add_source(n, Pwl::dc(run.side[i] ? vdd : 0.0));
+    }
+  }
+  out_node = append_cell_instance(c, spec, scenario, options, "u:", vdd_node, bindings);
+  if (load_ff > 0.0) c.add_capacitor(out_node, spice::kGround, load_ff);
+  return c;
+}
+
+liberty::TimingTable make_table(const OpcGrid& grid, const std::vector<double>& delays,
+                                const std::vector<double>& slews) {
+  liberty::TimingTable t;
+  t.delay_ps = util::Table2D(util::Axis(grid.slews_ps), util::Axis(grid.loads_ff), delays);
+  t.out_slew_ps = util::Table2D(util::Axis(grid.slews_ps), util::Axis(grid.loads_ff), slews);
+  return t;
+}
+
+liberty::TimingTable characterize_comb_arc(const CellSpec& spec,
+                                           const aging::AgingScenario& scenario,
+                                           const CharacterizeOptions& options, const ArcRun& run) {
+  const double t_start = 20.0;
+  std::vector<double> delays;
+  std::vector<double> slews;
+  delays.reserve(options.grid.size());
+  slews.reserve(options.grid.size());
+  for (const double slew : options.grid.slews_ps) {
+    for (const double load : options.grid.loads_ff) {
+      // Node ids are deterministic across rebuilds; learn the output id once.
+      NodeId out_node = -1;
+      (void)build_comb_bench(spec, scenario, options, run, slew, load, t_start, out_node);
+      const double ramp_full = slew / 0.8;
+      const double window = t_start + ramp_full + 600.0 + 25.0 * load;
+      const double t50_in = t_start + 0.5 * ramp_full;
+      const auto m = run_and_measure(
+          [&](double) {
+            NodeId dummy = -1;
+            return build_comb_bench(spec, scenario, options, run, slew, load, t_start, dummy);
+          },
+          out_node, t50_in, run.out_rising, options.tech.vdd_v, window,
+          spec.name + "/" + run.pin + (run.out_rising ? " rise" : " fall"));
+      delays.push_back(m.delay_ps);
+      slews.push_back(m.slew_ps);
+    }
+  }
+  return make_table(options.grid, delays, slews);
+}
+
+/// Flop bench: two clock pulses; the second (measured) rising edge captures a
+/// D value opposite to the initial state so Q transitions.
+Circuit build_flop_bench(const CellSpec& spec, const aging::AgingScenario& scenario,
+                         const CharacterizeOptions& options, bool q_rising, double ck_slew_ps,
+                         double load_ff, double d_edge_ps, double ck_edge_ps, NodeId& out_node) {
+  const double vdd = options.tech.vdd_v;
+  const double v_target = q_rising ? vdd : 0.0;
+  const double v_init = q_rising ? 0.0 : vdd;
+  Circuit c;
+  const NodeId vdd_node = c.add_node("VDD");
+  c.add_source(vdd_node, Pwl::dc(vdd));
+  const NodeId d_node = c.add_node("D");
+  const NodeId ck_node = c.add_node("CK");
+
+  // D: holds the initial value through the first clock pulse, then flips.
+  c.add_source(d_node, Pwl{{{0.0, v_init}, {d_edge_ps, v_init}, {d_edge_ps + 25.0, v_target}}});
+  // CK: first fast pulse loads Q=init; measured slewed rise at ck_edge_ps.
+  const double full = ck_slew_ps / 0.8;
+  c.add_source(ck_node, Pwl{{{0.0, 0.0},
+                             {50.0, 0.0},
+                             {75.0, vdd},
+                             {350.0, vdd},
+                             {375.0, 0.0},
+                             {ck_edge_ps, 0.0},
+                             {ck_edge_ps + full, vdd}}});
+
+  out_node = append_cell_instance(c, spec, scenario, options, "u:", vdd_node,
+                                  {{"D", d_node}, {"CK", ck_node}});
+  if (load_ff > 0.0) c.add_capacitor(out_node, spice::kGround, load_ff);
+  return c;
+}
+
+liberty::TimingTable characterize_flop_arc(const CellSpec& spec,
+                                           const aging::AgingScenario& scenario,
+                                           const CharacterizeOptions& options, bool q_rising) {
+  std::vector<double> delays;
+  std::vector<double> slews;
+  for (const double ck_slew : options.grid.slews_ps) {
+    for (const double load : options.grid.loads_ff) {
+      const double d_edge = 500.0;
+      const double ck_edge = 900.0;
+      NodeId out_node = -1;
+      (void)build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge, ck_edge,
+                             out_node);
+      const double full = ck_slew / 0.8;
+      const double t50_ck = ck_edge + 0.5 * full;
+      const double window = ck_edge + full + 600.0 + 25.0 * load;
+      const auto m = run_and_measure(
+          [&](double) {
+            NodeId dummy = -1;
+            return build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge,
+                                    ck_edge, dummy);
+          },
+          out_node, t50_ck, q_rising, options.tech.vdd_v, window,
+          spec.name + std::string("/CK->Q ") + (q_rising ? "rise" : "fall"));
+      delays.push_back(m.delay_ps);
+      slews.push_back(m.slew_ps);
+    }
+  }
+  return make_table(options.grid, delays, slews);
+}
+
+/// Setup time by bisection: the smallest D-before-CK interval that still
+/// captures the new value.
+double characterize_setup(const CellSpec& spec, const aging::AgingScenario& scenario,
+                          const CharacterizeOptions& options) {
+  const double vdd = options.tech.vdd_v;
+  const double ck_edge = 900.0;
+  const auto captured = [&](double offset_ps) {
+    NodeId out_node = -1;
+    const Circuit c = build_flop_bench(spec, scenario, options, /*q_rising=*/true,
+                                       options.flop_char_slew_ps, options.flop_char_load_ff,
+                                       ck_edge - offset_ps, ck_edge, out_node);
+    spice::TransientOptions topt;
+    topt.t_stop_ps = ck_edge + 700.0;
+    const auto result = spice::simulate_transient(c, topt, {out_node});
+    return result.waveform(out_node).back_value() > 0.5 * vdd;
+  };
+
+  double lo = 0.0;
+  double hi = 400.0;
+  if (!captured(hi)) return hi;  // pathological; report the bound
+  if (captured(lo)) return 5.0;  // effectively zero; keep a small margin
+  for (int i = 0; i < 8; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (captured(mid) ? hi : lo) = mid;
+  }
+  return hi + 5.0;  // small safety margin
+}
+
+}  // namespace
+
+liberty::Cell characterize_cell(const CellSpec& spec, const aging::AgingScenario& scenario,
+                                const CharacterizeOptions& options) {
+  liberty::Cell cell;
+  cell.name = spec.name;
+  cell.family = spec.family;
+  cell.drive_x = spec.drive_x;
+  cell.area_um2 = cells::cell_area_um2(spec, options.tech);
+  cell.is_flop = spec.is_flop;
+  cell.output_pin = spec.output;
+
+  for (const auto& pin : spec.inputs) {
+    liberty::Pin p;
+    p.name = pin;
+    p.is_input = true;
+    p.is_clock = spec.is_flop && pin == "CK";
+    p.cap_ff = cells::pin_input_cap_ff(spec, options.tech, pin);
+    cell.pins.push_back(std::move(p));
+  }
+  liberty::Pin out;
+  out.name = spec.output;
+  out.is_input = false;
+  cell.pins.push_back(std::move(out));
+
+  if (spec.is_flop) {
+    liberty::TimingArc arc;
+    arc.related_pin = "CK";
+    arc.sense = liberty::TimingSense::kNonUnate;
+    arc.clocked = true;
+    arc.rise = characterize_flop_arc(spec, scenario, options, /*q_rising=*/true);
+    arc.fall = characterize_flop_arc(spec, scenario, options, /*q_rising=*/false);
+    cell.arcs.push_back(std::move(arc));
+    cell.setup_ps = characterize_setup(spec, scenario, options);
+    cell.hold_ps = 0.0;
+    return cell;
+  }
+
+  cell.truth = cells::truth_table(spec);
+  for (const auto& pin : spec.inputs) {
+    liberty::TimingArc arc;
+    arc.related_pin = pin;
+    const int unate = cells::arc_unateness(spec, pin);
+    arc.sense = unate > 0   ? liberty::TimingSense::kPositiveUnate
+                : unate < 0 ? liberty::TimingSense::kNegativeUnate
+                            : liberty::TimingSense::kNonUnate;
+    if (const auto run = find_sensitization(spec, pin, /*out_rising=*/true)) {
+      arc.rise = characterize_comb_arc(spec, scenario, options, *run);
+    }
+    if (const auto run = find_sensitization(spec, pin, /*out_rising=*/false)) {
+      arc.fall = characterize_comb_arc(spec, scenario, options, *run);
+    }
+    if (arc.rise.empty() && arc.fall.empty()) {
+      throw std::runtime_error("characterize_cell: pin " + pin + " of " + spec.name +
+                               " cannot be sensitized");
+    }
+    cell.arcs.push_back(std::move(arc));
+  }
+  return cell;
+}
+
+}  // namespace rw::charlib

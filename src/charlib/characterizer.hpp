@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file characterizer.hpp
+/// SPICE-level cell characterization (Fig. 4(a) of the paper): for each cell,
+/// each input->output arc is exercised with a sensitizing side-input vector
+/// and a ramp on the switching pin, across the full OPC grid, against
+/// transistor models degraded per the aging scenario. Produces a
+/// liberty::Cell with NLDM delay/slew tables.
+
+#include "aging/bti.hpp"
+#include "aging/scenario.hpp"
+#include "cells/topology.hpp"
+#include "charlib/opc.hpp"
+#include "device/ptm45.hpp"
+#include "liberty/library.hpp"
+#include "spice/netlist.hpp"
+
+namespace rw::charlib {
+
+struct CharacterizeOptions {
+  device::Technology tech = device::ptm45();
+  aging::BtiParams bti{};
+  OpcGrid grid = OpcGrid::paper();
+  double wire_cap_per_node_ff = 0.08;  ///< layout parasitic per internal node
+  double flop_char_slew_ps = 40.0;     ///< D/CK slews for setup search
+  double flop_char_load_ff = 2.0;
+};
+
+/// Characterizes one cell under one aging scenario.
+/// \throws std::runtime_error if an arc cannot be measured (non-settling
+/// output), which indicates a broken topology or solver setup.
+liberty::Cell characterize_cell(const cells::CellSpec& spec, const aging::AgingScenario& scenario,
+                                const CharacterizeOptions& options);
+
+/// Builds the full transistor-level circuit for a cell instance with the
+/// scenario's degradations applied, binding pins to fresh nodes named after
+/// the pins and returning it with VDD already sourced. Exposed for tests and
+/// for the Fig. 3 path experiment (cells chained at SPICE level).
+struct CellCircuit {
+  spice::Circuit circuit;
+  spice::NodeId vdd = -1;
+  spice::NodeId out = -1;
+};
+
+/// Appends a cell instance to `circuit`. `bindings(name)` must return the
+/// NodeId for "VDD"/"GND"/pins when they already exist; unseen names are
+/// created with `prefix` applied. Returns the output node.
+spice::NodeId append_cell_instance(spice::Circuit& circuit, const cells::CellSpec& spec,
+                                   const aging::AgingScenario& scenario,
+                                   const CharacterizeOptions& options, const std::string& prefix,
+                                   spice::NodeId vdd_node,
+                                   const std::vector<std::pair<std::string, spice::NodeId>>& pin_bindings);
+
+}  // namespace rw::charlib

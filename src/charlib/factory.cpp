@@ -1,0 +1,84 @@
+#include "charlib/factory.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "cells/catalog.hpp"
+#include "liberty/merge.hpp"
+#include "liberty/parser.hpp"
+#include "liberty/writer.hpp"
+
+namespace rw::charlib {
+
+namespace fs = std::filesystem;
+
+LibraryFactory::Options LibraryFactory::default_options() {
+  Options o;
+  if (const char* env = std::getenv("RW_LIBCACHE"); env != nullptr && *env != '\0') {
+    o.cache_dir = env;
+  } else if (const char* home = std::getenv("HOME"); home != nullptr && *home != '\0') {
+    o.cache_dir = std::string(home) + "/.cache/reliaware";
+  }
+  return o;
+}
+
+LibraryFactory::LibraryFactory(Options options) : options_(std::move(options)) {}
+
+std::string LibraryFactory::scenario_dir(const aging::AgingScenario& scenario) const {
+  return options_.cache_dir + "/" + options_.characterize.grid.tag() + "/" + scenario.id();
+}
+
+std::vector<std::string> LibraryFactory::cell_names() const {
+  if (!options_.cell_subset.empty()) return options_.cell_subset;
+  std::vector<std::string> names;
+  names.reserve(cells::catalog().size());
+  for (const auto& spec : cells::catalog()) names.push_back(spec.name);
+  return names;
+}
+
+const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
+                                          const aging::AgingScenario& scenario) {
+  const auto key = std::make_pair(scenario.id(), cell_name);
+  if (const auto it = cell_cache_.find(key); it != cell_cache_.end()) return it->second;
+
+  // Disk cache lookup.
+  if (!options_.cache_dir.empty()) {
+    const std::string path = scenario_dir(scenario) + "/" + cell_name + ".lib";
+    if (fs::exists(path)) {
+      liberty::Library single = liberty::parse_library_file(path);
+      if (const liberty::Cell* c = single.find(cell_name)) {
+        return cell_cache_.emplace(key, *c).first->second;
+      }
+    }
+  }
+
+  liberty::Cell characterized =
+      characterize_cell(cells::find_cell(cell_name), scenario, options_.characterize);
+
+  if (!options_.cache_dir.empty()) {
+    const std::string dir = scenario_dir(scenario);
+    fs::create_directories(dir);
+    liberty::Library single("rw_cache_" + scenario.id());
+    single.add_cell(characterized);
+    liberty::write_library_file(single, dir + "/" + cell_name + ".lib");
+  }
+  return cell_cache_.emplace(key, std::move(characterized)).first->second;
+}
+
+const liberty::Library& LibraryFactory::library(const aging::AgingScenario& scenario) {
+  const std::string id = scenario.id();
+  if (const auto it = library_cache_.find(id); it != library_cache_.end()) return *it->second;
+
+  auto lib = std::make_unique<liberty::Library>("reliaware_" + id);
+  for (const auto& name : cell_names()) lib->add_cell(cell(name, scenario));
+  return *library_cache_.emplace(id, std::move(lib)).first->second;
+}
+
+liberty::Library LibraryFactory::merged(const std::vector<aging::AgingScenario>& scenarios) {
+  std::vector<liberty::ScenarioLibrary> parts;
+  parts.reserve(scenarios.size());
+  for (const auto& s : scenarios) parts.push_back({s, &library(s)});
+  return liberty::merge_libraries(parts);
+}
+
+}  // namespace rw::charlib

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file factory.hpp
+/// Memoizing factory for degradation-aware libraries. Characterization is
+/// SPICE-heavy, so results are cached at (cell, scenario) granularity in
+/// memory and — optionally — on disk in the Liberty text format (one
+/// single-cell library per file), which lets every test/bench binary share
+/// one characterization pass. The disk layout is
+///   <cache_dir>/<grid-tag>/<scenario-id>/<cell>.lib
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aging/scenario.hpp"
+#include "charlib/characterizer.hpp"
+#include "liberty/library.hpp"
+
+namespace rw::charlib {
+
+class LibraryFactory {
+ public:
+  struct Options {
+    CharacterizeOptions characterize{};
+    /// Disk cache root; empty disables the disk cache. `default_options()`
+    /// reads $RW_LIBCACHE, falling back to $HOME/.cache/reliaware.
+    std::string cache_dir;
+    /// Restrict to these cells (empty = the full catalog). Useful in tests.
+    std::vector<std::string> cell_subset;
+  };
+
+  static Options default_options();
+
+  explicit LibraryFactory(Options options = default_options());
+
+  /// One characterized cell under one scenario (memoized, disk-cached).
+  const liberty::Cell& cell(const std::string& cell_name, const aging::AgingScenario& scenario);
+
+  /// A full degradation-aware library for one scenario (Section 4.1).
+  /// The returned reference stays valid for the factory's lifetime.
+  const liberty::Library& library(const aging::AgingScenario& scenario);
+
+  /// The merged "complete" library over many (λp, λn) corners; all scenarios
+  /// must share the lifetime/mobility settings.
+  liberty::Library merged(const std::vector<aging::AgingScenario>& scenarios);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  std::string scenario_dir(const aging::AgingScenario& scenario) const;
+  std::vector<std::string> cell_names() const;
+
+  Options options_;
+  std::map<std::pair<std::string, std::string>, liberty::Cell> cell_cache_;  // (scenario id, cell)
+  std::map<std::string, std::unique_ptr<liberty::Library>> library_cache_;   // scenario id
+};
+
+}  // namespace rw::charlib

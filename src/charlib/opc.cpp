@@ -1,0 +1,33 @@
+#include "charlib/opc.hpp"
+
+#include <string>
+
+namespace rw::charlib {
+
+OpcGrid OpcGrid::paper() {
+  OpcGrid g;
+  // Geometric-ish spacing between the paper's published bounds.
+  g.slews_ps = {5.0, 15.0, 40.0, 100.0, 250.0, 550.0, 947.0};
+  g.loads_ff = {0.5, 1.0, 2.0, 4.0, 8.0, 14.0, 20.0};
+  return g;
+}
+
+OpcGrid OpcGrid::coarse() {
+  OpcGrid g;
+  g.slews_ps = {5.0, 100.0, 947.0};
+  g.loads_ff = {0.5, 4.0, 20.0};
+  return g;
+}
+
+OpcGrid OpcGrid::single(double slew_ps, double load_ff) {
+  OpcGrid g;
+  g.slews_ps = {slew_ps};
+  g.loads_ff = {load_ff};
+  return g;
+}
+
+std::string OpcGrid::tag() const {
+  return std::to_string(slews_ps.size()) + "x" + std::to_string(loads_ff.size());
+}
+
+}  // namespace rw::charlib

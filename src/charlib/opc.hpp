@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file opc.hpp
+/// Operating-condition (OPC) grids: the input-slew × output-load sample
+/// points at which every cell arc is characterized. The paper uses 7 slews ×
+/// 7 loads = 49 OPCs with Smin/Smax = 5 ps / 947 ps and Cmin/Cmax = 0.5 fF /
+/// 20 fF (Section 4.4).
+
+#include <string>
+#include <vector>
+
+namespace rw::charlib {
+
+struct OpcGrid {
+  std::vector<double> slews_ps;
+  std::vector<double> loads_ff;
+
+  /// The paper's 49-point grid.
+  static OpcGrid paper();
+  /// A 3×3 grid covering the same span — for fast unit tests.
+  static OpcGrid coarse();
+  /// Single-point grid (used to build the "single OPC" baseline of Fig. 5(b)).
+  static OpcGrid single(double slew_ps, double load_ff);
+
+  [[nodiscard]] std::size_t size() const { return slews_ps.size() * loads_ff.size(); }
+  /// Stable tag for cache directories, e.g. "7x7".
+  [[nodiscard]] std::string tag() const;
+};
+
+}  // namespace rw::charlib

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file benchmarks.hpp
+/// The paper's evaluation circuits (Section 5), rebuilt as structural
+/// generators: a DSP MAC pipeline, an FFT radix-2 butterfly, RISC cores with
+/// 5 and 6 pipeline stages, a dual-issue VLIW, and the fixed-point
+/// DCT/IDCT datapaths used for the image-processing experiments.
+
+#include <string>
+#include <vector>
+
+#include "synth/ir.hpp"
+
+namespace rw::circuits {
+
+synth::Ir make_dsp();    ///< 16x16 MAC with input/product/accumulator registers
+synth::Ir make_fft();    ///< radix-2 decimation-in-time butterfly, 16-bit complex
+synth::Ir make_risc5();  ///< 16-bit 5-stage pipelined RISC core (8x16 regfile, forwarding)
+synth::Ir make_risc6();  ///< 6-stage variant (extra pipeline stage, deeper forwarding)
+synth::Ir make_vliw();   ///< dual-issue VLIW: two ALUs over a shared 8x16 regfile
+synth::Ir make_dct8();   ///< 8-point fixed-point Chen DCT, registered I/O
+synth::Ir make_idct8();  ///< matching inverse transform
+
+/// Software reference of the circuits' exact integer arithmetic (used to
+/// cross-check the gate level bit-for-bit). in: level-shifted pixels
+/// (x - 128); out: 12-bit signed coefficients.
+void dct8_reference(const int in[8], int out[8]);
+void idct8_reference(const int in[8], int out[8]);
+
+/// Number of pipeline cycles from applying an input vector to its result
+/// appearing on the outputs.
+inline constexpr int kDctLatency = 2;  ///< input reg + output reg
+
+struct BenchmarkCircuit {
+  std::string name;
+  synth::Ir (*build)();
+};
+
+/// The seven circuits of the paper's Fig. 5/6, in the paper's order.
+const std::vector<BenchmarkCircuit>& benchmark_suite();
+
+}  // namespace rw::circuits

@@ -1,0 +1,189 @@
+#include "circuits/arith.hpp"
+#include "circuits/benchmarks.hpp"
+
+namespace rw::circuits {
+
+namespace {
+
+// Chen fast-DCT coefficients: ck = round(0.5 * cos(k*pi/16) * 1024). With
+// the 0.5*C(k) scaling the 8-point DCT matrix is orthonormal, so the inverse
+// reuses the same constants (transposed flow).
+constexpr std::int64_t kC1 = 502;
+constexpr std::int64_t kC2 = 473;
+constexpr std::int64_t kC3 = 426;
+constexpr std::int64_t kC4 = 362;
+constexpr std::int64_t kC5 = 284;
+constexpr std::int64_t kC6 = 196;
+constexpr std::int64_t kC7 = 100;
+constexpr int kShift = 10;
+constexpr std::int64_t kRound = 1 << (kShift - 1);
+
+constexpr int kDctInternal = 22;   ///< accumulator width, forward transform
+constexpr int kIdctInternal = 24;  ///< accumulator width, inverse transform
+
+using synth::Ir;
+
+Word scaled(Ir& ir, const Word& acc) {
+  // (acc + 512) >> 10, truncated to 12 bits.
+  const Word rounded =
+      add(ir, acc, constant_word(ir, kRound, static_cast<int>(acc.size())));
+  return resize(ir, sar_const(ir, rounded, kShift), 12, /*sign_extend=*/true);
+}
+
+Word cmul(Ir& ir, const Word& w, std::int64_t c, int width) { return mul_const(ir, w, c, width); }
+
+}  // namespace
+
+/// 8-point forward DCT: 8 samples in (12-bit signed; pixels are level
+/// -shifted by software before the first pass so the same datapath serves
+/// the row and column passes), 8 coefficients out (12-bit signed).
+/// Registered inputs and outputs (latency = kDctLatency cycles).
+synth::Ir make_dct8() {
+  Ir ir;
+  const int kW = kDctInternal;
+  std::vector<Word> x(8);
+  for (int i = 0; i < 8; ++i) {
+    const Word raw = register_word(ir, input_word(ir, "x" + std::to_string(i) + "_", 12));
+    x[static_cast<std::size_t>(i)] = resize(ir, raw, kW, /*sign_extend=*/true);
+  }
+
+  std::vector<Word> s(4);
+  std::vector<Word> d(4);
+  for (int i = 0; i < 4; ++i) {
+    s[static_cast<std::size_t>(i)] =
+        add(ir, x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(7 - i)]);
+    d[static_cast<std::size_t>(i)] =
+        sub(ir, x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(7 - i)]);
+  }
+  const Word t0 = add(ir, s[0], s[3]);
+  const Word t1 = add(ir, s[1], s[2]);
+  const Word t2 = sub(ir, s[1], s[2]);
+  const Word t3 = sub(ir, s[0], s[3]);
+
+  std::vector<Word> y(8);
+  y[0] = scaled(ir, cmul(ir, add(ir, t0, t1), kC4, kW));
+  y[4] = scaled(ir, cmul(ir, sub(ir, t0, t1), kC4, kW));
+  y[2] = scaled(ir, add(ir, cmul(ir, t3, kC2, kW), cmul(ir, t2, kC6, kW)));
+  y[6] = scaled(ir, sub(ir, cmul(ir, t3, kC6, kW), cmul(ir, t2, kC2, kW)));
+
+  const auto odd = [&](std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t e) {
+    Word acc = cmul(ir, d[0], a, kW);
+    acc = add(ir, acc, cmul(ir, d[1], b, kW));
+    acc = add(ir, acc, cmul(ir, d[2], c, kW));
+    acc = add(ir, acc, cmul(ir, d[3], e, kW));
+    return scaled(ir, acc);
+  };
+  y[1] = odd(kC1, kC3, kC5, kC7);
+  y[3] = odd(kC3, -kC7, -kC1, -kC5);
+  y[5] = odd(kC5, -kC1, kC7, kC3);
+  y[7] = odd(kC7, -kC5, kC3, -kC1);
+
+  for (int k = 0; k < 8; ++k) {
+    output_word(ir, "y" + std::to_string(k) + "_",
+                register_word(ir, y[static_cast<std::size_t>(k)]));
+  }
+  return ir;
+}
+
+/// 8-point inverse DCT: 12-bit signed coefficients in, 12-bit signed
+/// samples out (level shift back to pixels happens in software, with
+/// clamping). Registered I/O, latency kDctLatency.
+synth::Ir make_idct8() {
+  Ir ir;
+  const int kW = kIdctInternal;
+  std::vector<Word> y(8);
+  for (int k = 0; k < 8; ++k) {
+    const Word raw = register_word(ir, input_word(ir, "y" + std::to_string(k) + "_", 12));
+    y[static_cast<std::size_t>(k)] = resize(ir, raw, kW, /*sign_extend=*/true);
+  }
+
+  const Word u0 = cmul(ir, add(ir, y[0], y[4]), kC4, kW);
+  const Word u1 = cmul(ir, sub(ir, y[0], y[4]), kC4, kW);
+  const Word v0 = add(ir, cmul(ir, y[2], kC2, kW), cmul(ir, y[6], kC6, kW));
+  const Word v1 = sub(ir, cmul(ir, y[2], kC6, kW), cmul(ir, y[6], kC2, kW));
+
+  std::vector<Word> e(4);
+  e[0] = add(ir, u0, v0);
+  e[1] = add(ir, u1, v1);
+  e[2] = sub(ir, u1, v1);
+  e[3] = sub(ir, u0, v0);
+
+  const auto odd = [&](std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t f) {
+    Word acc = cmul(ir, y[1], a, kW);
+    acc = add(ir, acc, cmul(ir, y[3], b, kW));
+    acc = add(ir, acc, cmul(ir, y[5], c, kW));
+    acc = add(ir, acc, cmul(ir, y[7], f, kW));
+    return acc;
+  };
+  std::vector<Word> o(4);
+  o[0] = odd(kC1, kC3, kC5, kC7);
+  o[1] = odd(kC3, -kC7, -kC1, -kC5);
+  o[2] = odd(kC5, -kC1, kC7, kC3);
+  o[3] = odd(kC7, -kC5, kC3, -kC1);
+
+  const auto out_sample = [&](const Word& acc) {
+    const Word rounded = add(ir, acc, constant_word(ir, kRound, kW));
+    return resize(ir, sar_const(ir, rounded, kShift), 12, /*sign_extend=*/true);
+  };
+  for (int n = 0; n < 4; ++n) {
+    const Word lo = out_sample(add(ir, e[static_cast<std::size_t>(n)],
+                                   o[static_cast<std::size_t>(n)]));
+    const Word hi = out_sample(sub(ir, e[static_cast<std::size_t>(n)],
+                                   o[static_cast<std::size_t>(n)]));
+    output_word(ir, "x" + std::to_string(n) + "_", register_word(ir, lo));
+    output_word(ir, "x" + std::to_string(7 - n) + "_", register_word(ir, hi));
+  }
+  return ir;
+}
+
+void dct8_reference(const int in[8], int out[8]) {
+  std::int64_t s[4];
+  std::int64_t d[4];
+  for (int i = 0; i < 4; ++i) {
+    s[i] = static_cast<std::int64_t>(in[i]) + in[7 - i];
+    d[i] = static_cast<std::int64_t>(in[i]) - in[7 - i];
+  }
+  const std::int64_t t0 = s[0] + s[3];
+  const std::int64_t t1 = s[1] + s[2];
+  const std::int64_t t2 = s[1] - s[2];
+  const std::int64_t t3 = s[0] - s[3];
+  const auto scale = [](std::int64_t acc) { return static_cast<int>((acc + kRound) >> kShift); };
+  out[0] = scale(kC4 * (t0 + t1));
+  out[4] = scale(kC4 * (t0 - t1));
+  out[2] = scale(kC2 * t3 + kC6 * t2);
+  out[6] = scale(kC6 * t3 - kC2 * t2);
+  out[1] = scale(kC1 * d[0] + kC3 * d[1] + kC5 * d[2] + kC7 * d[3]);
+  out[3] = scale(kC3 * d[0] - kC7 * d[1] - kC1 * d[2] - kC5 * d[3]);
+  out[5] = scale(kC5 * d[0] - kC1 * d[1] + kC7 * d[2] + kC3 * d[3]);
+  out[7] = scale(kC7 * d[0] - kC5 * d[1] + kC3 * d[2] - kC1 * d[3]);
+}
+
+void idct8_reference(const int in[8], int out[8]) {
+  const std::int64_t u0 = kC4 * (static_cast<std::int64_t>(in[0]) + in[4]);
+  const std::int64_t u1 = kC4 * (static_cast<std::int64_t>(in[0]) - in[4]);
+  const std::int64_t v0 = kC2 * static_cast<std::int64_t>(in[2]) + kC6 * in[6];
+  const std::int64_t v1 = kC6 * static_cast<std::int64_t>(in[2]) - kC2 * in[6];
+  const std::int64_t e[4] = {u0 + v0, u1 + v1, u1 - v1, u0 - v0};
+  const std::int64_t o[4] = {
+      kC1 * in[1] + kC3 * in[3] + kC5 * in[5] + kC7 * in[7],
+      kC3 * in[1] - kC7 * in[3] - kC1 * in[5] - kC5 * in[7],
+      kC5 * in[1] - kC1 * in[3] + kC7 * in[5] + kC3 * in[7],
+      kC7 * in[1] - kC5 * in[3] + kC3 * in[5] - kC1 * in[7],
+  };
+  const auto scale = [](std::int64_t acc) { return static_cast<int>((acc + kRound) >> kShift); };
+  for (int n = 0; n < 4; ++n) {
+    out[n] = scale(e[n] + o[n]);
+    out[7 - n] = scale(e[n] - o[n]);
+  }
+}
+
+const std::vector<BenchmarkCircuit>& benchmark_suite() {
+  static const std::vector<BenchmarkCircuit> suite = {
+      {"DSP", &make_dsp},       {"FFT", &make_fft},   {"RISC-6P", &make_risc6},
+      {"RISC-5P", &make_risc5}, {"VLIW", &make_vliw}, {"DCT", &make_dct8},
+      {"IDCT", &make_idct8},
+  };
+  return suite;
+}
+
+}  // namespace rw::circuits

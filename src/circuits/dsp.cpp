@@ -1,0 +1,34 @@
+#include "circuits/arith.hpp"
+#include "circuits/benchmarks.hpp"
+
+namespace rw::circuits {
+
+/// DSP kernel: a 16x16 multiply-accumulate pipeline
+///   stage 1: operand registers
+///   stage 2: array multiplier -> product register
+///   stage 3: 32-bit accumulator
+/// plus a clear input that resets the accumulator.
+synth::Ir make_dsp() {
+  synth::Ir ir;
+  const Word a = input_word(ir, "a", 16);
+  const Word b = input_word(ir, "b", 16);
+  const int clear = ir.input("clear");
+
+  const Word ra = register_word(ir, a);
+  const Word rb = register_word(ir, b);
+  const int rclear = ir.flop(clear);
+
+  const Word product = mul_signed(ir, ra, rb);  // 32 bits
+  const Word rp = register_word(ir, product);
+  const int rclear2 = ir.flop(rclear);
+
+  const Word acc = register_placeholder(ir, 32);
+  const Word sum = add(ir, acc, rp);
+  const Word zero = constant_word(ir, 0, 32);
+  connect_register(ir, acc, mux_word(ir, rclear2, sum, zero));
+
+  output_word(ir, "acc", acc);
+  return ir;
+}
+
+}  // namespace rw::circuits

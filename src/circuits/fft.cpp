@@ -1,0 +1,49 @@
+#include <algorithm>
+
+#include "circuits/arith.hpp"
+#include "circuits/benchmarks.hpp"
+
+namespace rw::circuits {
+
+namespace {
+
+/// High half with Q14 scaling: (p >> 14) truncated to 16 bits.
+Word scale_q14(synth::Ir& /*ir*/, const Word& p32) {
+  Word out;
+  out.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    const int src = i + 14;
+    out.push_back(p32[static_cast<std::size_t>(std::min(src, 31))]);
+  }
+  return out;
+}
+
+}  // namespace
+
+/// Radix-2 DIT FFT butterfly on 16-bit fixed point (Q14 twiddles):
+///   t = w * b;  A' = a + t;  B' = a - t
+/// with registered inputs and outputs — the datapath replicated across an
+/// FFT's stages.
+synth::Ir make_fft() {
+  synth::Ir ir;
+  const Word ar = register_word(ir, input_word(ir, "ar", 16));
+  const Word ai = register_word(ir, input_word(ir, "ai", 16));
+  const Word br = register_word(ir, input_word(ir, "br", 16));
+  const Word bi = register_word(ir, input_word(ir, "bi", 16));
+  const Word wr = register_word(ir, input_word(ir, "wr", 16));
+  const Word wi = register_word(ir, input_word(ir, "wi", 16));
+
+  // Complex multiply t = w*b: four 16x16 signed products.
+  const Word tr =
+      sub(ir, scale_q14(ir, mul_signed(ir, br, wr)), scale_q14(ir, mul_signed(ir, bi, wi)));
+  const Word ti =
+      add(ir, scale_q14(ir, mul_signed(ir, br, wi)), scale_q14(ir, mul_signed(ir, bi, wr)));
+
+  output_word(ir, "cr", register_word(ir, add(ir, ar, tr)));
+  output_word(ir, "ci", register_word(ir, add(ir, ai, ti)));
+  output_word(ir, "dr", register_word(ir, sub(ir, ar, tr)));
+  output_word(ir, "di", register_word(ir, sub(ir, ai, ti)));
+  return ir;
+}
+
+}  // namespace rw::circuits

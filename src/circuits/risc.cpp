@@ -1,0 +1,176 @@
+#include "circuits/arith.hpp"
+#include "circuits/benchmarks.hpp"
+
+namespace rw::circuits {
+
+namespace {
+
+using synth::Ir;
+
+/// Instruction format (16 bits):
+///   [15:13] opcode  [12:10] rd  [9:7] rs1  [6:4] rs2  [3:0] imm4
+/// Opcodes: 0 ADD, 1 SUB, 2 AND, 3 OR, 4 XOR, 5 SHL, 6 SHR, 7 ADDI.
+struct Decoded {
+  Word opcode;  // 3
+  Word rd;      // 3
+  Word rs1;     // 3
+  Word rs2;     // 3
+  Word imm;     // 4
+};
+
+Decoded decode(const Word& instr) {
+  Decoded d;
+  d.imm = {instr[0], instr[1], instr[2], instr[3]};
+  d.rs2 = {instr[4], instr[5], instr[6]};
+  d.rs1 = {instr[7], instr[8], instr[9]};
+  d.rd = {instr[10], instr[11], instr[12]};
+  d.opcode = {instr[13], instr[14], instr[15]};
+  return d;
+}
+
+Word register_decoded_field(Ir& ir, const Word& w) { return register_word(ir, w); }
+
+/// 8-entry x 16-bit register file with one write port; returns the register
+/// outputs. Write: reg[i] <= (wr_addr == i) ? wr_data : reg[i].
+std::vector<Word> regfile(Ir& ir, const Word& wr_addr, const Word& wr_data) {
+  std::vector<Word> regs;
+  regs.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    const Word q = register_placeholder(ir, 16);
+    const int hit = equals_const(ir, wr_addr, static_cast<std::uint64_t>(i));
+    connect_register(ir, q, mux_word(ir, hit, q, wr_data));
+    regs.push_back(q);
+  }
+  return regs;
+}
+
+/// 8:1 word mux indexed by a 3-bit address.
+Word read_port(Ir& ir, const std::vector<Word>& regs, const Word& addr) {
+  Word lvl1[4];
+  for (int i = 0; i < 4; ++i) {
+    lvl1[i] = mux_word(ir, addr[0], regs[static_cast<std::size_t>(2 * i)],
+                       regs[static_cast<std::size_t>(2 * i + 1)]);
+  }
+  const Word lvl2a = mux_word(ir, addr[1], lvl1[0], lvl1[1]);
+  const Word lvl2b = mux_word(ir, addr[1], lvl1[2], lvl1[3]);
+  return mux_word(ir, addr[2], lvl2a, lvl2b);
+}
+
+/// ALU over the 8 opcodes.
+Word alu(Ir& ir, const Word& opcode, const Word& s1, const Word& s2, const Word& imm) {
+  const Word imm_ext = resize(ir, imm, 16, /*sign_extend=*/true);
+  const Word shamt = {imm[0], imm[1], imm[2], imm[3]};
+
+  const Word r_add = add(ir, s1, s2);
+  const Word r_sub = sub(ir, s1, s2);
+  const Word r_and = bitwise_and(ir, s1, s2);
+  const Word r_or = bitwise_or(ir, s1, s2);
+  const Word r_xor = bitwise_xor(ir, s1, s2);
+  const Word r_shl = barrel_shift(ir, s1, shamt, /*left=*/true);
+  const Word r_shr = barrel_shift(ir, s1, shamt, /*left=*/false);
+  const Word r_addi = add(ir, s1, imm_ext);
+
+  const Word m0 = mux_word(ir, opcode[0], r_add, r_sub);
+  const Word m1 = mux_word(ir, opcode[0], r_and, r_or);
+  const Word m2 = mux_word(ir, opcode[0], r_xor, r_shl);
+  const Word m3 = mux_word(ir, opcode[0], r_shr, r_addi);
+  const Word n0 = mux_word(ir, opcode[1], m0, m1);
+  const Word n1 = mux_word(ir, opcode[1], m2, m3);
+  return mux_word(ir, opcode[2], n0, n1);
+}
+
+/// Forwarding mux: pick the youngest in-flight value whose destination
+/// matches `rs`; fall back to the regfile read.
+Word forward(Ir& ir, const Word& rs, const Word& regfile_value,
+             const std::vector<std::pair<Word, Word>>& inflight /* (rd, value), youngest first */) {
+  Word value = regfile_value;
+  // Build oldest-first so the youngest match wins the final mux.
+  for (auto it = inflight.rbegin(); it != inflight.rend(); ++it) {
+    const int hit = [&] {
+      int acc = ir.constant(true);
+      for (std::size_t b = 0; b < rs.size(); ++b) {
+        acc = ir.and_(acc, ir.not_(ir.xor_(rs[b], it->first[b])));
+      }
+      return acc;
+    }();
+    value = mux_word(ir, hit, value, it->second);
+  }
+  return value;
+}
+
+/// Shared 5/6-stage core builder. The 6-stage variant adds one more buffer
+/// stage between MEM and WB, lengthening the forwarding network.
+Ir make_risc(bool six_stage) {
+  Ir ir;
+  // IF: external instruction stream (instruction memory is off-chip here),
+  // plus a program counter that the fetch logic would use.
+  const Word instr_in = input_word(ir, "instr", 16);
+  const Word pc = register_placeholder(ir, 16);
+  connect_register(ir, pc, add(ir, pc, constant_word(ir, 1, 16)));
+  output_word(ir, "pc", pc);
+
+  // IF/ID register.
+  const Word if_id = register_word(ir, instr_in);
+  const Decoded id = decode(if_id);
+
+  // WB signals come from the end of the pipe; forward-declare them.
+  const Word wb_rd = register_placeholder(ir, 3);
+  const Word wb_data = register_placeholder(ir, 16);
+
+  // ID: register read (write-through regfile keyed by WB).
+  const std::vector<Word> regs = regfile(ir, wb_rd, wb_data);
+  const Word rf1 = read_port(ir, regs, id.rs1);
+  const Word rf2 = read_port(ir, regs, id.rs2);
+
+  // ID/EX registers.
+  const Word ex_op = register_decoded_field(ir, id.opcode);
+  const Word ex_rd = register_decoded_field(ir, id.rd);
+  const Word ex_rs1 = register_decoded_field(ir, id.rs1);
+  const Word ex_rs2 = register_decoded_field(ir, id.rs2);
+  const Word ex_imm = register_decoded_field(ir, id.imm);
+  const Word ex_v1 = register_word(ir, rf1);
+  const Word ex_v2 = register_word(ir, rf2);
+
+  // EX with forwarding from MEM (and the extra stage when present) and WB.
+  const Word mem_rd = register_placeholder(ir, 3);
+  const Word mem_result = register_placeholder(ir, 16);
+  std::vector<std::pair<Word, Word>> inflight;
+  inflight.emplace_back(mem_rd, mem_result);  // youngest
+  Word x_rd;
+  Word x_result;
+  if (six_stage) {
+    x_rd = register_placeholder(ir, 3);
+    x_result = register_placeholder(ir, 16);
+    inflight.emplace_back(x_rd, x_result);
+  }
+  inflight.emplace_back(wb_rd, wb_data);  // oldest
+
+  const Word s1 = forward(ir, ex_rs1, ex_v1, inflight);
+  const Word s2 = forward(ir, ex_rs2, ex_v2, inflight);
+  const Word ex_result = alu(ir, ex_op, s1, s2, ex_imm);
+
+  // EX/MEM.
+  connect_register(ir, mem_rd, ex_rd);
+  connect_register(ir, mem_result, ex_result);
+
+  // Optional extra stage (6-pipeline variant), then WB.
+  if (six_stage) {
+    connect_register(ir, x_rd, mem_rd);
+    connect_register(ir, x_result, mem_result);
+    connect_register(ir, wb_rd, x_rd);
+    connect_register(ir, wb_data, x_result);
+  } else {
+    connect_register(ir, wb_rd, mem_rd);
+    connect_register(ir, wb_data, mem_result);
+  }
+
+  output_word(ir, "wb", wb_data);
+  return ir;
+}
+
+}  // namespace
+
+synth::Ir make_risc5() { return make_risc(false); }
+synth::Ir make_risc6() { return make_risc(true); }
+
+}  // namespace rw::circuits

@@ -1,0 +1,109 @@
+#include "circuits/arith.hpp"
+#include "circuits/benchmarks.hpp"
+
+namespace rw::circuits {
+
+namespace {
+
+using synth::Ir;
+
+/// Slot format (13 bits): [12:10] opcode [9:7] rd [6:4] rs1 [3:0] rs2+imm.
+struct Slot {
+  Word opcode;
+  Word rd;
+  Word rs1;
+  Word rs2;  // low 3 bits of the imm field
+  Word imm;  // 4 bits
+};
+
+Slot decode_slot(const Word& bits) {
+  Slot s;
+  s.imm = {bits[0], bits[1], bits[2], bits[3]};
+  s.rs2 = {bits[0], bits[1], bits[2]};
+  s.rs1 = {bits[4], bits[5], bits[6]};
+  s.rd = {bits[7], bits[8], bits[9]};
+  s.opcode = {bits[10], bits[11], bits[12]};
+  return s;
+}
+
+Word alu_op(Ir& ir, const Slot& s, const Word& v1, const Word& v2) {
+  const Word imm_ext = resize(ir, s.imm, 16, true);
+  const Word r_add = add(ir, v1, v2);
+  const Word r_sub = sub(ir, v1, v2);
+  const Word r_and = bitwise_and(ir, v1, v2);
+  const Word r_or = bitwise_or(ir, v1, v2);
+  const Word r_xor = bitwise_xor(ir, v1, v2);
+  const Word r_shl = barrel_shift(ir, v1, s.imm, true);
+  const Word r_shr = barrel_shift(ir, v1, s.imm, false);
+  const Word r_addi = add(ir, v1, imm_ext);
+  const Word m0 = mux_word(ir, s.opcode[0], r_add, r_sub);
+  const Word m1 = mux_word(ir, s.opcode[0], r_and, r_or);
+  const Word m2 = mux_word(ir, s.opcode[0], r_xor, r_shl);
+  const Word m3 = mux_word(ir, s.opcode[0], r_shr, r_addi);
+  const Word n0 = mux_word(ir, s.opcode[1], m0, m1);
+  const Word n1 = mux_word(ir, s.opcode[1], m2, m3);
+  return mux_word(ir, s.opcode[2], n0, n1);
+}
+
+Word read8(Ir& ir, const std::vector<Word>& regs, const Word& addr) {
+  Word lvl1[4];
+  for (int i = 0; i < 4; ++i) {
+    lvl1[i] = mux_word(ir, addr[0], regs[static_cast<std::size_t>(2 * i)],
+                       regs[static_cast<std::size_t>(2 * i + 1)]);
+  }
+  const Word a = mux_word(ir, addr[1], lvl1[0], lvl1[1]);
+  const Word b = mux_word(ir, addr[1], lvl1[2], lvl1[3]);
+  return mux_word(ir, addr[2], a, b);
+}
+
+}  // namespace
+
+/// Dual-issue VLIW datapath: one 26-bit instruction word carries two slots
+/// executed in lockstep against a shared 8x16 register file with four read
+/// ports and two write ports (slot 1 has priority on a destination clash).
+/// Three pipeline stages: fetch register, decode+execute, writeback.
+synth::Ir make_vliw() {
+  Ir ir;
+  const Word bundle = input_word(ir, "instr", 26);
+  const Word fetched = register_word(ir, bundle);
+
+  const Slot s0 = decode_slot(Word(fetched.begin(), fetched.begin() + 13));
+  const Slot s1 = decode_slot(Word(fetched.begin() + 13, fetched.end()));
+
+  // Writeback signals (forward-declared; written at the end of the pipe).
+  const Word wb_rd0 = register_placeholder(ir, 3);
+  const Word wb_v0 = register_placeholder(ir, 16);
+  const Word wb_rd1 = register_placeholder(ir, 3);
+  const Word wb_v1 = register_placeholder(ir, 16);
+
+  // Shared regfile: two write ports, slot 1 wins on conflict.
+  std::vector<Word> regs;
+  regs.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    const Word q = register_placeholder(ir, 16);
+    const int hit0 = equals_const(ir, wb_rd0, static_cast<std::uint64_t>(i));
+    const int hit1 = equals_const(ir, wb_rd1, static_cast<std::uint64_t>(i));
+    const Word after0 = mux_word(ir, hit0, q, wb_v0);
+    connect_register(ir, q, mux_word(ir, hit1, after0, wb_v1));
+    regs.push_back(q);
+  }
+
+  const Word a0 = read8(ir, regs, s0.rs1);
+  const Word b0 = read8(ir, regs, s0.rs2);
+  const Word a1 = read8(ir, regs, s1.rs1);
+  const Word b1 = read8(ir, regs, s1.rs2);
+
+  const Word r0 = alu_op(ir, s0, a0, b0);
+  const Word r1 = alu_op(ir, s1, a1, b1);
+
+  connect_register(ir, wb_rd0, s0.rd);
+  connect_register(ir, wb_v0, r0);
+  connect_register(ir, wb_rd1, s1.rd);
+  connect_register(ir, wb_v1, r1);
+
+  output_word(ir, "res0", wb_v0);
+  output_word(ir, "res1", wb_v1);
+  return ir;
+}
+
+}  // namespace rw::circuits

@@ -1,0 +1,55 @@
+#include "device/mosfet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace rw::device {
+
+Mosfet::Mosfet(const MosParams& params, double width_um, Degradation degradation)
+    : params_(params), width_um_(width_um), degradation_(degradation) {
+  if (width_um <= 0.0) throw std::invalid_argument("Mosfet: width must be positive");
+  if (degradation.mu_factor <= 0.0 || degradation.mu_factor > 1.0) {
+    throw std::invalid_argument("Mosfet: mu_factor must be in (0, 1]");
+  }
+  if (degradation.delta_vth_v < 0.0) {
+    throw std::invalid_argument("Mosfet: delta_vth must be non-negative");
+  }
+}
+
+double Mosfet::ids_forward_ma(double vgs, double vds) const {
+  const double vth = effective_vth_v();
+  const double nvt = params_.subthreshold_n * units::kThermalVoltage300K;
+  // Smooth overdrive: ~ (vgs - vth) above threshold, exponentially small below.
+  const double x = (vgs - vth) / nvt;
+  double vov;
+  if (x > 40.0) {
+    vov = vgs - vth;  // avoid exp overflow; smoothing is negligible here
+  } else {
+    vov = nvt * std::log1p(std::exp(x));
+  }
+  if (vov <= 0.0) return 0.0;
+  const double idsat =
+      0.5 * params_.k_ma_per_um * width_um_ * degradation_.mu_factor * std::pow(vov, params_.alpha);
+  const double vdsat = params_.vdsat_coeff * vov + params_.vdsat_floor_v;
+  return idsat * std::tanh(vds / vdsat) * (1.0 + params_.lambda_clm_per_v * vds);
+}
+
+double Mosfet::drain_current_ma(double vg, double vd, double vs) const {
+  if (params_.type == MosType::kNmos) {
+    if (vd >= vs) return ids_forward_ma(vg - vs, vd - vs);
+    // Source/drain swap for reverse conduction (symmetric device).
+    return -ids_forward_ma(vg - vd, vs - vd);
+  }
+  // pMOS: mirror all voltages; conventional current flows source->drain
+  // (i.e. out of the drain node) when vs > vd and vgs < -|vth|.
+  if (vd <= vs) return -ids_forward_ma(vs - vg, vs - vd);
+  return ids_forward_ma(vd - vg, vd - vs);
+}
+
+double Mosfet::gate_cap_ff() const { return params_.cgate_ff_per_um * width_um_; }
+
+double Mosfet::junction_cap_ff() const { return params_.cjunc_ff_per_um * width_um_; }
+
+}  // namespace rw::device

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file mosfet.hpp
+/// Compact MOSFET model used by the transistor-level transient simulator.
+///
+/// This is the reproduction's substitute for BSIM4 + HSPICE: a smooth
+/// velocity-saturated ("alpha-power") drain-current model with subthreshold
+/// smoothing and channel-length modulation. It is deliberately simple but
+/// captures exactly the physics the paper's argument rests on (Eq. 1):
+///
+///     Delay ∝ 1/Id,   Id ≈ (µ/2)·(Vdd − Vth − ΔVth)^α
+///
+/// i.e. both the threshold-voltage shift ΔVth and the mobility degradation
+/// Δµ produced by BTI enter the current, with different sensitivities, and
+/// pull-up/pull-down networks fight each other during slow input slews
+/// (the short-circuit interplay behind Fig. 1).
+
+namespace rw::device {
+
+enum class MosType { kNmos, kPmos };
+
+/// Technology parameters for one device polarity. All voltages in volts,
+/// currents in mA (consistent with the ps/fF/V unit system), widths in µm.
+struct MosParams {
+  MosType type = MosType::kNmos;
+  double vth0_v = 0.45;          ///< zero-bias threshold magnitude (>0 for both types)
+  double k_ma_per_um = 3.4;      ///< transconductance scale: Idsat = k/2 · W · µf · Vov^alpha
+  double alpha = 1.3;            ///< velocity-saturation exponent
+  double vdsat_coeff = 0.45;     ///< Vdsat = vdsat_coeff · Vov + vdsat_floor_v
+  double vdsat_floor_v = 0.05;   ///< keeps tanh() well-conditioned near Vov=0
+  double lambda_clm_per_v = 0.06;  ///< channel-length modulation
+  double subthreshold_n = 1.4;   ///< subthreshold slope factor
+  double cgate_ff_per_um = 0.85;  ///< effective gate capacitance per µm width
+  double cjunc_ff_per_um = 0.55;  ///< drain/source junction capacitance per µm width
+};
+
+/// Aging-induced parameter degradation applied to one transistor
+/// (produced by the BTI model, rw::aging). Fresh device: {0, 1}.
+struct Degradation {
+  double delta_vth_v = 0.0;  ///< increase of |Vth|
+  double mu_factor = 1.0;    ///< multiplicative mobility factor in (0, 1]
+};
+
+/// One transistor instance: polarity parameters, width, and its degradation.
+class Mosfet {
+ public:
+  Mosfet(const MosParams& params, double width_um, Degradation degradation = {});
+
+  /// Drain current in mA as a function of terminal voltages (volts).
+  /// For nMOS: positive current flows drain->source when vds>0.
+  /// For pMOS the model mirrors signs internally; pass physical node voltages.
+  [[nodiscard]] double drain_current_ma(double vg, double vd, double vs) const;
+
+  /// Gate capacitance (fF), lumped, voltage-independent.
+  [[nodiscard]] double gate_cap_ff() const;
+
+  /// Junction capacitance contributed to the drain (and source) node (fF).
+  [[nodiscard]] double junction_cap_ff() const;
+
+  [[nodiscard]] double width_um() const { return width_um_; }
+  [[nodiscard]] const MosParams& params() const { return params_; }
+  [[nodiscard]] const Degradation& degradation() const { return degradation_; }
+  [[nodiscard]] double effective_vth_v() const { return params_.vth0_v + degradation_.delta_vth_v; }
+
+ private:
+  /// Core symmetric current for vds >= 0 given vgs, vds (nMOS convention).
+  [[nodiscard]] double ids_forward_ma(double vgs, double vds) const;
+
+  MosParams params_;
+  double width_um_;
+  Degradation degradation_;
+};
+
+}  // namespace rw::device

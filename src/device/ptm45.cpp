@@ -1,0 +1,39 @@
+#include "device/ptm45.hpp"
+
+namespace rw::device {
+
+namespace {
+
+Technology make_ptm45() {
+  Technology t;
+  t.vdd_v = 1.2;
+
+  t.nmos.type = MosType::kNmos;
+  t.nmos.vth0_v = 0.466;  // PTM 45 nm HP nMOS vth0
+  t.nmos.k_ma_per_um = 3.4;
+  t.nmos.alpha = 1.30;
+  t.nmos.vdsat_coeff = 0.45;
+  t.nmos.vdsat_floor_v = 0.05;
+  t.nmos.lambda_clm_per_v = 0.06;
+  t.nmos.subthreshold_n = 1.4;
+  t.nmos.cgate_ff_per_um = 0.85;
+  t.nmos.cjunc_ff_per_um = 0.55;
+
+  t.pmos = t.nmos;
+  t.pmos.type = MosType::kPmos;
+  t.pmos.vth0_v = 0.412;  // PTM 45 nm HP pMOS |vth0|
+  // Hole mobility deficit: roughly half the nMOS drive per µm; the standard
+  // beta ratio of 2 in cell widths compensates at the X1 inverter.
+  t.pmos.k_ma_per_um = 1.8;
+
+  return t;
+}
+
+}  // namespace
+
+const Technology& ptm45() {
+  static const Technology tech = make_ptm45();
+  return tech;
+}
+
+}  // namespace rw::device

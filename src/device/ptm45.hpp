@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file ptm45.hpp
+/// A 45 nm high-performance, high-k technology parameter set, standing in for
+/// the Predictive Technology Model (PTM) cards the paper uses. The paper's
+/// operating point (Vdd = 1.2 V, high-k metal-gate so that both NBTI and PBTI
+/// are significant) is preserved; absolute currents are calibrated to give
+/// realistic 45 nm-class gate delays (FO4 inverter in the low tens of ps).
+
+#include "device/mosfet.hpp"
+
+namespace rw::device {
+
+/// Technology-level constants shared by every cell.
+struct Technology {
+  double vdd_v = 1.2;            ///< supply voltage (paper: 1.2 V)
+  MosParams nmos;                ///< nMOS polarity parameters
+  MosParams pmos;                ///< pMOS polarity parameters
+  double wire_cap_ff_per_fanout = 0.15;  ///< crude wire-load model used by STA/synthesis
+  double nmos_unit_width_um = 0.4;  ///< X1 nMOS width
+  double pmos_unit_width_um = 0.8;  ///< X1 pMOS width (beta ratio 2)
+
+  /// Oxide capacitance per unit area, F/cm^2 — used by the aging model to
+  /// convert trap densities (cm^-2) to ΔVth via Eq. 2 of the paper.
+  double cox_f_per_cm2 = 2.5e-6;
+};
+
+/// The default 45 nm technology instance.
+const Technology& ptm45();
+
+}  // namespace rw::device

@@ -1,0 +1,25 @@
+#include "flow/aging_aware_synthesis.hpp"
+
+#include "sta/analysis.hpp"
+
+namespace rw::flow {
+
+ContainmentResult run_containment(const synth::Ir& ir, const liberty::Library& fresh,
+                                  const liberty::Library& aged, const std::string& top_name,
+                                  const synth::SynthesisOptions& options) {
+  ContainmentResult r{synth::synthesize(ir, fresh, top_name, options),
+                      synth::synthesize(ir, aged, top_name + "_aw", options)};
+
+  const sta::StaOptions sta_opts = options.sizing.sta;
+  r.conventional_fresh_cp_ps =
+      sta::Sta(r.conventional.module, fresh, sta_opts).critical_delay_ps();
+  r.conventional_aged_cp_ps = sta::Sta(r.conventional.module, aged, sta_opts).critical_delay_ps();
+  r.aware_fresh_cp_ps = sta::Sta(r.aging_aware.module, fresh, sta_opts).critical_delay_ps();
+  r.aware_aged_cp_ps = sta::Sta(r.aging_aware.module, aged, sta_opts).critical_delay_ps();
+  // Areas against the fresh library (identical cell areas in both corners).
+  r.conventional.area_um2 = synth::total_area_um2(r.conventional.module, fresh);
+  r.aging_aware.area_um2 = synth::total_area_um2(r.aging_aware.module, fresh);
+  return r;
+}
+
+}  // namespace rw::flow

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file aging_aware_synthesis.hpp
+/// The guardband-*containment* flow of Fig. 4(c): synthesize once with the
+/// initial (degradation-unaware) library and once with the worst-case
+/// degradation-aware library, then compare required vs contained guardbands
+/// against the same fresh baseline.
+
+#include <string>
+
+#include "liberty/library.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace rw::flow {
+
+struct ContainmentResult {
+  synth::SynthesisResult conventional;  ///< synthesized with the fresh library
+  synth::SynthesisResult aging_aware;   ///< synthesized with the degradation-aware library
+
+  double conventional_fresh_cp_ps = 0.0;  ///< the shared baseline T(0)
+  double conventional_aged_cp_ps = 0.0;
+  double aware_fresh_cp_ps = 0.0;
+  double aware_aged_cp_ps = 0.0;
+
+  /// Guardband a conventional design needs: aged CP - fresh CP.
+  [[nodiscard]] double required_guardband_ps() const {
+    return conventional_aged_cp_ps - conventional_fresh_cp_ps;
+  }
+  /// Contained guardband of the aging-aware design relative to the same
+  /// baseline (its aged CP needs no further margin by construction).
+  [[nodiscard]] double contained_guardband_ps() const {
+    return aware_aged_cp_ps - conventional_fresh_cp_ps;
+  }
+  [[nodiscard]] double guardband_reduction_pct() const {
+    const double req = required_guardband_ps();
+    return req > 0.0 ? 100.0 * (req - contained_guardband_ps()) / req : 0.0;
+  }
+  [[nodiscard]] double area_overhead_pct() const {
+    return conventional.area_um2 > 0.0
+               ? 100.0 * (aging_aware.area_um2 - conventional.area_um2) / conventional.area_um2
+               : 0.0;
+  }
+  /// Frequency gain at lifetime from the contained guardband.
+  [[nodiscard]] double frequency_gain_pct() const {
+    return 100.0 * (conventional_aged_cp_ps / aware_aged_cp_ps - 1.0);
+  }
+};
+
+/// Runs both syntheses and all four STA corners.
+ContainmentResult run_containment(const synth::Ir& ir, const liberty::Library& fresh,
+                                  const liberty::Library& aged, const std::string& top_name,
+                                  const synth::SynthesisOptions& options = {});
+
+}  // namespace rw::flow

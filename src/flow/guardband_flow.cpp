@@ -1,0 +1,68 @@
+#include "flow/guardband_flow.hpp"
+
+#include <map>
+#include <set>
+
+#include "logicsim/activity.hpp"
+#include "netlist/annotate.hpp"
+#include "sta/analysis.hpp"
+
+namespace rw::flow {
+
+sta::GuardbandReport static_guardband(const netlist::Module& module,
+                                      charlib::LibraryFactory& factory,
+                                      const aging::AgingScenario& scenario,
+                                      const sta::StaOptions& options) {
+  const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
+  const liberty::Library& aged = factory.library(scenario);
+  return sta::estimate_guardband(module, fresh, aged, options);
+}
+
+DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
+                                              charlib::LibraryFactory& factory,
+                                              const Stimulus& stimulus, int cycles, double years,
+                                              const sta::StaOptions& options) {
+  const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
+
+  // 1. Gate-level simulation of the workload (Modelsim's role).
+  logicsim::CycleSimulator sim(module, fresh);
+  logicsim::ActivityCollector activity(module.net_count());
+  for (int k = 0; k < cycles; ++k) {
+    stimulus(sim, k);
+    sim.evaluate();
+    activity.observe(sim);
+    sim.clock_edge();
+  }
+
+  // 2. Duty-cycle extraction and netlist annotation.
+  const auto duties = logicsim::extract_duty_cycles(module, fresh, activity);
+  DynamicAgingResult result{netlist::Module(module), {}, {}};
+  result.corners = netlist::annotate_with_duty_cycles(result.annotated, duties);
+
+  // 3. Merged complete library — characterized lazily: only the (cell,
+  // corner) pairs the annotated netlist actually instantiates, which is what
+  // keeps the 121-corner complete library tractable.
+  std::set<std::pair<std::string, std::string>> needed;  // (indexed name, base)
+  std::map<std::string, aging::AgingScenario> corner_of;
+  for (std::size_t i = 0; i < module.instances().size(); ++i) {
+    const std::string& base = module.instances()[i].cell;
+    const std::string& indexed = result.annotated.instances()[i].cell;
+    needed.emplace(indexed, base);
+    const double lp = aging::quantize_lambda(duties[i].lambda_p);
+    const double ln = aging::quantize_lambda(duties[i].lambda_n);
+    corner_of.emplace(indexed, aging::AgingScenario{lp, ln, years, true});
+  }
+  liberty::Library merged("reliaware_complete_used");
+  for (const auto& [indexed, base] : needed) {
+    liberty::Cell cell = factory.cell(base, corner_of.at(indexed));
+    cell.name = indexed;
+    merged.add_cell(std::move(cell));
+  }
+
+  // 4. Timing against the merged library vs the fresh library.
+  result.report.fresh_cp_ps = sta::Sta(module, fresh, options).critical_delay_ps();
+  result.report.aged_cp_ps = sta::Sta(result.annotated, merged, options).critical_delay_ps();
+  return result;
+}
+
+}  // namespace rw::flow

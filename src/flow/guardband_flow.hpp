@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file guardband_flow.hpp
+/// The guardband-estimation flows of Fig. 4(b): static stress (one λ corner
+/// for every transistor) and dynamic stress (workload simulation -> duty
+/// cycles -> annotated netlist -> merged complete library).
+
+#include <functional>
+
+#include "charlib/factory.hpp"
+#include "logicsim/simulator.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/guardband.hpp"
+
+namespace rw::flow {
+
+/// Static-stress guardband: STA against fresh and `scenario` libraries.
+sta::GuardbandReport static_guardband(const netlist::Module& module,
+                                      charlib::LibraryFactory& factory,
+                                      const aging::AgingScenario& scenario,
+                                      const sta::StaOptions& options = {});
+
+/// Per-cycle stimulus callback: set primary inputs for cycle `k`.
+using Stimulus = std::function<void(logicsim::CycleSimulator&, int cycle)>;
+
+struct DynamicAgingResult {
+  netlist::Module annotated;                        ///< cells renamed to λ-indexed names
+  std::vector<std::pair<double, double>> corners;   ///< distinct (λp, λn) used
+  sta::GuardbandReport report;
+};
+
+/// Dynamic-stress flow: simulate `cycles` of the workload, extract duty
+/// cycles, quantize + annotate, build the merged library for the used
+/// corners, and compare against the fresh critical path.
+DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
+                                              charlib::LibraryFactory& factory,
+                                              const Stimulus& stimulus, int cycles, double years,
+                                              const sta::StaOptions& options = {});
+
+}  // namespace rw::flow

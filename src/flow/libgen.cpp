@@ -1,0 +1,70 @@
+#include "flow/libgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rw::flow {
+
+aging::AgingScenario worst_case_vth_only(double years) {
+  aging::AgingScenario s = aging::AgingScenario::worst_case(years);
+  s.include_mobility = false;
+  return s;
+}
+
+namespace {
+
+double clamped_ratio(double aged, double fresh) {
+  // Guard near-zero baselines (tiny delays at extreme OPCs). The lower
+  // bound is 1: the single-OPC state of the art this models ([12, 13])
+  // assumes aging only ever *degrades* a gate — it has no mechanism for the
+  // delay improvements that multi-OPC characterization reveals (Fig. 2).
+  const double denom = std::fabs(fresh) < 0.5 ? (fresh < 0.0 ? -0.5 : 0.5) : fresh;
+  return std::clamp(aged / denom, 1.0, 10.0);
+}
+
+void scale_table(liberty::TimingTable& table, const liberty::TimingTable& fresh_ref,
+                 const liberty::TimingTable& aged_ref, double slew_ps, double load_ff) {
+  if (table.empty()) return;
+  const double ratio = clamped_ratio(aged_ref.delay_ps.lookup(slew_ps, load_ff),
+                                     fresh_ref.delay_ps.lookup(slew_ps, load_ff));
+  const double slew_ratio = clamped_ratio(aged_ref.out_slew_ps.lookup(slew_ps, load_ff),
+                                          fresh_ref.out_slew_ps.lookup(slew_ps, load_ff));
+  table.delay_ps.transform([ratio](double v) { return v * ratio; });
+  table.out_slew_ps.transform([slew_ratio](double v) { return v * slew_ratio; });
+}
+
+}  // namespace
+
+liberty::Library make_single_opc_library(const liberty::Library& fresh,
+                                         const liberty::Library& aged, double slew_ps,
+                                         double load_ff) {
+  liberty::Library out("reliaware_single_opc");
+  for (const auto& cell : fresh.cells()) {
+    const liberty::Cell& aged_cell = aged.at(cell.name);
+    liberty::Cell copy = cell;
+    copy.setup_ps = aged_cell.setup_ps;  // flop constraint follows the aged corner
+    for (std::size_t a = 0; a < copy.arcs.size(); ++a) {
+      const liberty::TimingArc& fresh_arc = cell.arcs[a];
+      const liberty::TimingArc& aged_arc = aged_cell.arcs[a];
+      scale_table(copy.arcs[a].rise, fresh_arc.rise, aged_arc.rise, slew_ps, load_ff);
+      scale_table(copy.arcs[a].fall, fresh_arc.fall, aged_arc.fall, slew_ps, load_ff);
+    }
+    out.add_cell(std::move(copy));
+  }
+  return out;
+}
+
+std::vector<aging::AgingScenario> full_lambda_grid(double years, double step) {
+  std::vector<aging::AgingScenario> grid;
+  const int n = static_cast<int>(std::lround(1.0 / step)) + 1;
+  grid.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      grid.push_back(aging::AgingScenario{p * step, q * step, years, true});
+    }
+  }
+  return grid;
+}
+
+}  // namespace rw::flow

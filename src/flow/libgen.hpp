@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file libgen.hpp
+/// Library-generation helpers for the experiments: the state-of-the-art
+/// baselines the paper compares against are built here — the Vth-only
+/// scenario (Fig. 5(a)) and the single-OPC library (Fig. 5(b)), where the
+/// aging-induced delay change measured at one operating condition is
+/// applied uniformly across the whole NLDM table.
+
+#include "aging/scenario.hpp"
+#include "liberty/library.hpp"
+
+namespace rw::flow {
+
+/// Worst-case static stress with mobility degradation disabled — the
+/// "only Vth" baseline of refs [9, 11, 12, 13] in the paper.
+aging::AgingScenario worst_case_vth_only(double years);
+
+/// Builds a "single OPC" degradation-aware library: for every arc/edge the
+/// aged/fresh delay ratio at (slew_ps, load_ff) is measured and applied
+/// uniformly to the fresh tables. This reproduces how [12, 13] characterize
+/// aging at one condition. Ratios are clamped to [0.1, 10] to guard the
+/// near-zero delays that occur at extreme conditions.
+liberty::Library make_single_opc_library(const liberty::Library& fresh,
+                                         const liberty::Library& aged, double slew_ps,
+                                         double load_ff);
+
+/// The paper's full 11x11 λ grid (121 scenarios) for a lifetime.
+std::vector<aging::AgingScenario> full_lambda_grid(double years, double step = 0.1);
+
+}  // namespace rw::flow

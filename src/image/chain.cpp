@@ -1,0 +1,136 @@
+#include "image/chain.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace rw::image {
+
+namespace {
+
+/// Two's-complement bit of `value` at position `bit`.
+bool bit_of(int value, int bit) { return ((static_cast<unsigned>(value) >> bit) & 1U) != 0; }
+
+/// Sign-extended integer from collected bits.
+int from_bits(const std::vector<bool>& bits) {
+  unsigned raw = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) raw |= 1U << i;
+  }
+  const unsigned sign_bit = 1U << (bits.size() - 1);
+  if ((raw & sign_bit) != 0) raw |= ~(sign_bit | (sign_bit - 1U));
+  return static_cast<int>(raw);
+}
+
+std::string port_name(const std::string& base, int index, int bit) {
+  return base + std::to_string(index) + "_" + std::to_string(bit);
+}
+
+/// Shared two-register pipeline protocol: the vector fed at step t is
+/// readable at step t+2. Per step: present inputs, `settle()` (evaluate /
+/// run one timed clock period), read, `advance()` (clock edge for the
+/// functional sims; a no-op for the timed sim whose run_cycle already
+/// captured).
+std::vector<Vec8> stream_batch(const std::vector<Vec8>& inputs, int in_width, int out_width,
+                               const std::function<void(int, int, bool)>& set_bit,
+                               const std::function<void()>& settle,
+                               const std::function<void()>& advance,
+                               const std::function<bool(int, int)>& get_bit) {
+  std::vector<Vec8> results;
+  results.reserve(inputs.size());
+  const int n = static_cast<int>(inputs.size());
+  std::vector<bool> bits(static_cast<std::size_t>(out_width));
+  for (int t = 0; t < n + 2; ++t) {
+    if (t < n) {
+      for (int i = 0; i < 8; ++i) {
+        for (int b = 0; b < in_width; ++b) {
+          set_bit(i, b,
+                  bit_of(inputs[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)], b));
+        }
+      }
+    }
+    settle();
+    if (t >= 2) {
+      Vec8 out;
+      for (int i = 0; i < 8; ++i) {
+        for (int b = 0; b < out_width; ++b) bits[static_cast<std::size_t>(b)] = get_bit(i, b);
+        out[static_cast<std::size_t>(i)] = from_bits(bits);
+      }
+      results.push_back(out);
+    }
+    advance();
+  }
+  return results;
+}
+
+}  // namespace
+
+IrVectorPort::IrVectorPort(const synth::Ir& ir, std::string in_base, int in_width,
+                           std::string out_base, int out_width)
+    : sim_(ir),
+      in_base_(std::move(in_base)),
+      out_base_(std::move(out_base)),
+      in_width_(in_width),
+      out_width_(out_width) {}
+
+std::vector<Vec8> IrVectorPort::process_batch(const std::vector<Vec8>& inputs) {
+  sim_.reset();
+  return stream_batch(
+      inputs, in_width_, out_width_,
+      [&](int i, int b, bool v) { sim_.set_input(port_name(in_base_, i, b), v); },
+      [&] { sim_.evaluate(); }, [&] { sim_.clock_edge(); },
+      [&](int i, int b) { return sim_.output(port_name(out_base_, i, b)); });
+}
+
+std::vector<Vec8> NetlistVectorPort::process_batch(const std::vector<Vec8>& inputs) {
+  sim_.reset();
+  return stream_batch(
+      inputs, in_width_, out_width_,
+      [&](int i, int b, bool v) {
+        sim_.set_input(sim_.module().find_net(port_name(in_base_, i, b)), v);
+      },
+      [&] { sim_.evaluate(); }, [&] { sim_.clock_edge(); },
+      [&](int i, int b) { return sim_.value(sim_.module().find_net(port_name(out_base_, i, b))); });
+}
+
+NetlistVectorPort::NetlistVectorPort(const netlist::Module& module,
+                                     const liberty::Library& library, std::string in_base,
+                                     int in_width, std::string out_base, int out_width)
+    : sim_(module, library),
+      in_base_(std::move(in_base)),
+      out_base_(std::move(out_base)),
+      in_width_(in_width),
+      out_width_(out_width) {}
+
+TimedVectorPort::TimedVectorPort(const netlist::Module& module, const liberty::Library& library,
+                                 const netlist::DelayAnnotation& annotation, double period_ps,
+                                 std::string in_base, int in_width, std::string out_base,
+                                 int out_width)
+    : sim_(module, library, annotation, period_ps),
+      in_base_(std::move(in_base)),
+      out_base_(std::move(out_base)),
+      in_width_(in_width),
+      out_width_(out_width) {}
+
+std::vector<Vec8> TimedVectorPort::process_batch(const std::vector<Vec8>& inputs) {
+  sim_.reset();
+  return stream_batch(
+      inputs, in_width_, out_width_,
+      [&](int i, int b, bool v) {
+        sim_.set_input(sim_.module().find_net(port_name(in_base_, i, b)), v);
+      },
+      [&] { sim_.run_cycle(); }, [] {},
+      [&](int i, int b) {
+        return sim_.sampled(sim_.module().find_net(port_name(out_base_, i, b)));
+      });
+}
+
+ChainResult run_dct_idct_chain(const Image& input, VectorPort& dct, VectorPort& idct,
+                               const QuantTable& quant) {
+  auto blocks = forward_dct_image(input, dct);
+  quantize_blocks(blocks, quant);
+  ChainResult result{inverse_dct_image(blocks, input.width(), input.height(), idct), 0.0};
+  result.psnr_db = psnr_db(input, result.output);
+  return result;
+}
+
+}  // namespace rw::image

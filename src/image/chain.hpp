@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file chain.hpp
+/// The DCT -> quantize -> IDCT image chain evaluated against different
+/// hardware models: the IR functional simulator (golden), the mapped
+/// netlist at zero delay (equivalence checking), and the gate-level timing
+/// simulation whose capture errors reproduce the paper's aging-induced
+/// image degradation (Figs. 6(c), 7).
+
+#include <memory>
+#include <string>
+
+#include "image/dct2d.hpp"
+#include "image/psnr.hpp"
+#include "logicsim/simulator.hpp"
+#include "logicsim/timingsim.hpp"
+#include "synth/ir.hpp"
+
+namespace rw::image {
+
+/// Functional (cycle-accurate) port over an IR circuit. Word ports are
+/// named "<base><index>_<bit>", e.g. x3_11. Two-cycle pipeline latency is
+/// handled internally.
+class IrVectorPort final : public VectorPort {
+ public:
+  IrVectorPort(const synth::Ir& ir, std::string in_base, int in_width, std::string out_base,
+               int out_width);
+  std::vector<Vec8> process_batch(const std::vector<Vec8>& inputs) override;
+
+ private:
+  synth::IrSimulator sim_;
+  std::string in_base_;
+  std::string out_base_;
+  int in_width_;
+  int out_width_;
+};
+
+/// Zero-delay port over a mapped netlist (functional equivalence checks).
+class NetlistVectorPort final : public VectorPort {
+ public:
+  NetlistVectorPort(const netlist::Module& module, const liberty::Library& library,
+                    std::string in_base, int in_width, std::string out_base, int out_width);
+  std::vector<Vec8> process_batch(const std::vector<Vec8>& inputs) override;
+
+ private:
+  logicsim::CycleSimulator sim_;
+  std::string in_base_;
+  std::string out_base_;
+  int in_width_;
+  int out_width_;
+};
+
+/// Gate-level timing port: vectors stream through the pipeline at the given
+/// clock period with SDF-style delays; unsettled logic at a clock edge is
+/// captured wrong, exactly like hardware.
+class TimedVectorPort final : public VectorPort {
+ public:
+  TimedVectorPort(const netlist::Module& module, const liberty::Library& library,
+                  const netlist::DelayAnnotation& annotation, double period_ps,
+                  std::string in_base, int in_width, std::string out_base, int out_width);
+  std::vector<Vec8> process_batch(const std::vector<Vec8>& inputs) override;
+
+ private:
+  logicsim::TimingSimulator sim_;
+  std::string in_base_;
+  std::string out_base_;
+  int in_width_;
+  int out_width_;
+};
+
+struct ChainResult {
+  Image output;
+  double psnr_db = 0.0;  ///< vs. the original input image
+};
+
+/// Full encode/decode chain: forward 2-D DCT, quantize/dequantize, inverse
+/// 2-D DCT; PSNR against the original.
+ChainResult run_dct_idct_chain(const Image& input, VectorPort& dct, VectorPort& idct,
+                               const QuantTable& quant);
+
+}  // namespace rw::image

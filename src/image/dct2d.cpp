@@ -1,0 +1,165 @@
+#include "image/dct2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "circuits/benchmarks.hpp"
+
+namespace rw::image {
+
+std::vector<Vec8> ReferenceDct::process_batch(const std::vector<Vec8>& inputs) {
+  std::vector<Vec8> out(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    circuits::dct8_reference(inputs[i].data(), out[i].data());
+  }
+  return out;
+}
+
+std::vector<Vec8> ReferenceIdct::process_batch(const std::vector<Vec8>& inputs) {
+  std::vector<Vec8> out(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    circuits::idct8_reference(inputs[i].data(), out[i].data());
+  }
+  return out;
+}
+
+QuantTable QuantTable::jpeg_luma(double strength) {
+  // JPEG Annex K luminance table.
+  static constexpr int kBase[64] = {
+      16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+      14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+      18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+      49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+  QuantTable t;
+  for (int i = 0; i < 64; ++i) {
+    t.q[static_cast<std::size_t>(i)] =
+        std::max(1, static_cast<int>(std::lround(kBase[i] * strength)));
+  }
+  return t;
+}
+
+namespace {
+
+void check_dims(int width, int height) {
+  if (width % 8 != 0 || height % 8 != 0) {
+    throw std::invalid_argument("dct2d: image dimensions must be multiples of 8");
+  }
+}
+
+}  // namespace
+
+std::vector<std::array<int, 64>> forward_dct_image(const Image& image, VectorPort& dct) {
+  check_dims(image.width(), image.height());
+  const int bw = image.width() / 8;
+  const int bh = image.height() / 8;
+  const std::size_t n_blocks = static_cast<std::size_t>(bw) * static_cast<std::size_t>(bh);
+
+  // Pass 1: all row vectors of all blocks (level-shifted pixels).
+  std::vector<Vec8> rows;
+  rows.reserve(n_blocks * 8);
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = 0; bx < bw; ++bx) {
+      for (int r = 0; r < 8; ++r) {
+        Vec8 v;
+        for (int c = 0; c < 8; ++c) v[static_cast<std::size_t>(c)] =
+            static_cast<int>(image.at(bx * 8 + c, by * 8 + r)) - 128;
+        rows.push_back(v);
+      }
+    }
+  }
+  const std::vector<Vec8> row_out = dct.process_batch(rows);
+
+  // Pass 2: columns of the intermediate blocks.
+  std::vector<Vec8> cols;
+  cols.reserve(n_blocks * 8);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    for (int c = 0; c < 8; ++c) {
+      Vec8 v;
+      for (int r = 0; r < 8; ++r) {
+        v[static_cast<std::size_t>(r)] = row_out[b * 8 + static_cast<std::size_t>(r)]
+                                                [static_cast<std::size_t>(c)];
+      }
+      cols.push_back(v);
+    }
+  }
+  const std::vector<Vec8> col_out = dct.process_batch(cols);
+
+  // Assemble coefficient blocks: col_out[b*8+c][v] = coeff(v, u=c).
+  std::vector<std::array<int, 64>> blocks(n_blocks);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    for (int u = 0; u < 8; ++u) {
+      for (int v = 0; v < 8; ++v) {
+        blocks[b][static_cast<std::size_t>(v * 8 + u)] =
+            col_out[b * 8 + static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  return blocks;
+}
+
+void quantize_blocks(std::vector<std::array<int, 64>>& blocks, const QuantTable& table) {
+  for (auto& block : blocks) {
+    for (int i = 0; i < 64; ++i) {
+      const int q = table.q[static_cast<std::size_t>(i)];
+      const int c = block[static_cast<std::size_t>(i)];
+      const int quantized = (c >= 0 ? (c + q / 2) : (c - q / 2)) / q;
+      block[static_cast<std::size_t>(i)] = quantized * q;
+    }
+  }
+}
+
+Image inverse_dct_image(const std::vector<std::array<int, 64>>& blocks, int width, int height,
+                        VectorPort& idct) {
+  check_dims(width, height);
+  const int bw = width / 8;
+  const int bh = height / 8;
+  const std::size_t n_blocks = static_cast<std::size_t>(bw) * static_cast<std::size_t>(bh);
+  if (blocks.size() != n_blocks) throw std::invalid_argument("inverse_dct_image: block count");
+
+  // Pass 1: inverse transform along columns (index v for each u).
+  std::vector<Vec8> cols;
+  cols.reserve(n_blocks * 8);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    for (int u = 0; u < 8; ++u) {
+      Vec8 v;
+      for (int k = 0; k < 8; ++k) v[static_cast<std::size_t>(k)] =
+          blocks[b][static_cast<std::size_t>(k * 8 + u)];
+      cols.push_back(v);
+    }
+  }
+  const std::vector<Vec8> col_out = idct.process_batch(cols);
+
+  // Pass 2: inverse transform along rows.
+  std::vector<Vec8> rows;
+  rows.reserve(n_blocks * 8);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    for (int r = 0; r < 8; ++r) {
+      Vec8 v;
+      for (int u = 0; u < 8; ++u) {
+        v[static_cast<std::size_t>(u)] = col_out[b * 8 + static_cast<std::size_t>(u)]
+                                                [static_cast<std::size_t>(r)];
+      }
+      rows.push_back(v);
+    }
+  }
+  const std::vector<Vec8> row_out = idct.process_batch(rows);
+
+  Image img(width, height);
+  std::size_t b = 0;
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = 0; bx < bw; ++bx, ++b) {
+      for (int r = 0; r < 8; ++r) {
+        for (int c = 0; c < 8; ++c) {
+          const int value = row_out[b * 8 + static_cast<std::size_t>(r)]
+                                   [static_cast<std::size_t>(c)] + 128;
+          img.set(bx * 8 + c, by * 8 + r,
+                  static_cast<std::uint8_t>(std::clamp(value, 0, 255)));
+        }
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace rw::image

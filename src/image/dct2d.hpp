@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file dct2d.hpp
+/// Block-based 2-D DCT/quantization machinery shared by the software
+/// reference and the gate-level chain: an abstract 8-sample "vector port"
+/// (implemented by the software reference, the IR functional simulator, and
+/// the gate-level timing simulator), the row-column 2-D transform built on
+/// it, and a JPEG-style quantizer.
+
+#include <array>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace rw::image {
+
+using Vec8 = std::array<int, 8>;
+
+/// One 8-point transform engine. process_batch streams vectors through the
+/// (possibly pipelined) engine and returns one result per input.
+class VectorPort {
+ public:
+  virtual ~VectorPort() = default;
+  virtual std::vector<Vec8> process_batch(const std::vector<Vec8>& inputs) = 0;
+};
+
+/// Software reference ports (exact integer arithmetic of the circuits).
+class ReferenceDct final : public VectorPort {
+ public:
+  std::vector<Vec8> process_batch(const std::vector<Vec8>& inputs) override;
+};
+class ReferenceIdct final : public VectorPort {
+ public:
+  std::vector<Vec8> process_batch(const std::vector<Vec8>& inputs) override;
+};
+
+/// JPEG-style luminance quantization table (flat-ish, scaled by `strength`;
+/// strength 1.0 ~ high quality).
+struct QuantTable {
+  std::array<int, 64> q{};  ///< row-major, index = v*8+u
+  static QuantTable jpeg_luma(double strength = 1.0);
+};
+
+/// Blockwise forward 2-D DCT of the whole image (level shift included):
+/// returns per-block 8x8 coefficient arrays in block raster order.
+std::vector<std::array<int, 64>> forward_dct_image(const Image& image, VectorPort& dct);
+
+/// Quantize/dequantize in place.
+void quantize_blocks(std::vector<std::array<int, 64>>& blocks, const QuantTable& table);
+
+/// Blockwise inverse 2-D DCT back to an image (level shift + clamping).
+Image inverse_dct_image(const std::vector<std::array<int, 64>>& blocks, int width, int height,
+                        VectorPort& idct);
+
+}  // namespace rw::image

@@ -1,0 +1,88 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rw::image {
+
+Image::Image(int width, int height, std::uint8_t fill) : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("Image: bad dimensions");
+  pixels_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill);
+}
+
+std::uint8_t Image::at(int x, int y) const {
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+void Image::set(int x, int y, std::uint8_t value) {
+  pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+          static_cast<std::size_t>(x)] = value;
+}
+
+Image make_synthetic_image(int width, int height, std::uint64_t seed) {
+  if (width % 8 != 0 || height % 8 != 0) {
+    throw std::invalid_argument("make_synthetic_image: dimensions must be multiples of 8");
+  }
+  Image img(width, height);
+  util::Rng rng(seed);
+  const double cx = 0.62 * width;
+  const double cy = 0.38 * height;
+  const double r = 0.22 * std::min(width, height);
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Diagonal gradient base.
+      double v = 40.0 + 140.0 * (static_cast<double>(x) + y) / (width + height);
+      // Bright disk.
+      const double dx = x - cx;
+      const double dy = y - cy;
+      if (dx * dx + dy * dy < r * r) v += 70.0;
+      // Dark vertical bars on the left third.
+      if (x < width / 3 && (x / 4) % 2 == 0) v -= 45.0;
+      // Sinusoidal texture (high-frequency content).
+      v += 12.0 * std::sin(0.7 * x) * std::cos(0.5 * y);
+      // Mild film-grain noise.
+      v += rng.uniform(-4.0, 4.0);
+      img.set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return img;
+}
+
+void write_pgm(const Image& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.pixels().size()));
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  std::string magic;
+  int w = 0;
+  int h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  if (magic != "P5" || maxval != 255) throw std::runtime_error("read_pgm: unsupported format");
+  in.get();  // single whitespace after header
+  Image img(w, h);
+  std::vector<char> buf(static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!in) throw std::runtime_error("read_pgm: truncated file " + path);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.set(x, y, static_cast<std::uint8_t>(buf[static_cast<std::size_t>(y) * w + x]));
+    }
+  }
+  return img;
+}
+
+}  // namespace rw::image

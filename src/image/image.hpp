@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file image.hpp
+/// Grayscale image container, PGM I/O and deterministic synthetic test
+/// images (stand-ins for the standard video frames the paper processes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rw::image {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, std::uint8_t fill = 0);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::uint8_t at(int x, int y) const;
+  void set(int x, int y, std::uint8_t value);
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const { return pixels_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Deterministic synthetic test image: smooth gradients, disks, bars and
+/// fine texture — a mix of low- and high-frequency content so DCT errors
+/// are visible the way they are on natural images. Dimensions must be
+/// multiples of 8.
+Image make_synthetic_image(int width, int height, std::uint64_t seed = 1);
+
+/// Binary PGM (P5). \throws std::runtime_error on I/O failure.
+void write_pgm(const Image& image, const std::string& path);
+Image read_pgm(const std::string& path);
+
+}  // namespace rw::image

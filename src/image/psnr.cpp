@@ -1,0 +1,26 @@
+#include "image/psnr.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rw::image {
+
+double psnr_db(const Image& reference, const Image& test) {
+  if (reference.width() != test.width() || reference.height() != test.height()) {
+    throw std::invalid_argument("psnr_db: image size mismatch");
+  }
+  double sse = 0.0;
+  for (int y = 0; y < reference.height(); ++y) {
+    for (int x = 0; x < reference.width(); ++x) {
+      const double d = static_cast<double>(reference.at(x, y)) - test.at(x, y);
+      sse += d * d;
+    }
+  }
+  const double n = static_cast<double>(reference.width()) * reference.height();
+  if (sse == 0.0) return std::numeric_limits<double>::infinity();
+  const double mse = sse / n;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace rw::image

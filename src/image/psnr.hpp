@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file psnr.hpp
+/// Peak signal-to-noise ratio — the paper's image-quality metric (30 dB is
+/// quoted as the acceptability threshold).
+
+#include "image/image.hpp"
+
+namespace rw::image {
+
+/// PSNR in dB between two equally sized images; +infinity for identical
+/// images. \throws std::invalid_argument on size mismatch.
+double psnr_db(const Image& reference, const Image& test);
+
+/// The paper's acceptable-quality threshold.
+inline constexpr double kAcceptablePsnrDb = 30.0;
+
+}  // namespace rw::image

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file library.hpp
+/// The cell library data model: cells with pins, NLDM timing arcs, function
+/// (truth table over input pins), area, and flop constraints. A `Library` is
+/// what timing analysis and synthesis consume — plugging a degradation-aware
+/// library into them is the paper's core mechanism.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/table.hpp"
+
+namespace rw::liberty {
+
+struct Pin {
+  std::string name;
+  bool is_input = true;
+  bool is_clock = false;
+  double cap_ff = 0.0;  ///< input pin capacitance (0 for outputs)
+};
+
+class Cell {
+ public:
+  std::string name;    ///< library name; merged libraries use "<base>_<λp>_<λn>"
+  std::string family;  ///< function family, e.g. "NAND2" (drive sizing moves within it)
+  int drive_x = 1;
+  double area_um2 = 0.0;
+  bool is_flop = false;
+  double setup_ps = 0.0;  ///< flop setup constraint (0 for combinational)
+  double hold_ps = 0.0;
+  std::vector<Pin> pins;   ///< inputs first (truth-table bit order), then the output
+  std::string output_pin;  ///< single-output cells only
+  std::uint64_t truth = 0;  ///< over input pins in pin order; unused for flops
+  std::vector<TimingArc> arcs;
+
+  [[nodiscard]] std::vector<const Pin*> input_pins() const;
+  [[nodiscard]] int n_inputs() const;
+  [[nodiscard]] const Pin* find_pin(const std::string& pin_name) const;
+  [[nodiscard]] double input_cap_ff(const std::string& pin_name) const;
+  /// Arc whose related_pin matches; nullptr when absent.
+  [[nodiscard]] const TimingArc* arc_from(const std::string& related_pin) const;
+};
+
+class Library {
+ public:
+  explicit Library(std::string name = "reliaware");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// \throws std::invalid_argument on duplicate cell name.
+  void add_cell(Cell cell);
+
+  [[nodiscard]] const Cell* find(const std::string& cell_name) const;
+  /// \throws std::out_of_range when absent.
+  [[nodiscard]] const Cell& at(const std::string& cell_name) const;
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  /// Cells of a family ordered by drive strength (for gate sizing).
+  [[nodiscard]] std::vector<const Cell*> family(const std::string& family_name) const;
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace rw::liberty

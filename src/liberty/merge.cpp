@@ -1,0 +1,31 @@
+#include "liberty/merge.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rw::liberty {
+
+Library merge_libraries(const std::vector<ScenarioLibrary>& parts,
+                        const std::string& merged_name) {
+  Library merged(merged_name);
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& part : parts) {
+    if (part.library == nullptr) throw std::invalid_argument("merge_libraries: null library");
+    const std::string lp = util::format_lambda(part.scenario.lambda_p);
+    const std::string ln = util::format_lambda(part.scenario.lambda_n);
+    if (!seen.emplace(lp, ln).second) {
+      throw std::invalid_argument("merge_libraries: duplicate lambda index " + lp + "/" + ln);
+    }
+    for (const auto& cell : part.library->cells()) {
+      Cell copy = cell;
+      copy.name =
+          util::indexed_cell_name(cell.name, part.scenario.lambda_p, part.scenario.lambda_n);
+      merged.add_cell(std::move(copy));
+    }
+  }
+  return merged;
+}
+
+}  // namespace rw::liberty

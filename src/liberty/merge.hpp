@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file merge.hpp
+/// Merging per-scenario degradation-aware libraries into one *complete*
+/// library (Section 4.1 of the paper): each cell is replicated per aging
+/// corner and renamed `<cell>_<λp>_<λn>` (e.g. AND2_X1_0.40_0.60), so that a
+/// workload-annotated netlist can be timed against a single library that
+/// contains the delays of every cell under every (λp, λn) stress.
+
+#include <vector>
+
+#include "aging/scenario.hpp"
+#include "liberty/library.hpp"
+
+namespace rw::liberty {
+
+struct ScenarioLibrary {
+  aging::AgingScenario scenario;
+  const Library* library = nullptr;
+};
+
+/// Builds the merged ("complete") library. Cell names gain the λ index; all
+/// other cell data is copied verbatim. \throws std::invalid_argument if two
+/// entries share the same (λp, λn) index.
+Library merge_libraries(const std::vector<ScenarioLibrary>& parts,
+                        const std::string& merged_name = "reliaware_complete");
+
+}  // namespace rw::liberty

@@ -1,0 +1,322 @@
+#include "liberty/parser.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace rw::liberty {
+
+namespace {
+
+/// Generic Liberty group tree: `name (args) { attr : value; subgroups... }`.
+struct Group {
+  std::string name;
+  std::vector<std::string> args;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  /// Complex attributes: `name ("a", "b", ...);` — e.g. index_1 / values.
+  std::vector<std::pair<std::string, std::vector<std::string>>> complex_attrs;
+  std::vector<Group> children;
+
+  [[nodiscard]] const std::string* attr(const std::string& key) const {
+    for (const auto& [k, v] : attributes) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const std::vector<std::string>* complex_attr(const std::string& key) const {
+    for (const auto& [k, v] : complex_attrs) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  struct Token {
+    enum class Kind { kIdent, kString, kPunct, kEnd } kind = Kind::kEnd;
+    std::string value;
+    int line = 0;
+  };
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) {
+      t.kind = Token::Kind::kEnd;
+      return t;
+    }
+    const char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+          pos_ += 2;  // line continuation inside a string
+          ++line_;
+          continue;
+        }
+        if (text_[pos_] == '\n') ++line_;
+        s += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) fail("unterminated string");
+      ++pos_;
+      t.kind = Token::Kind::kString;
+      t.value = std::move(s);
+      return t;
+    }
+    if (std::string("{}();:,").find(c) != std::string::npos) {
+      ++pos_;
+      t.kind = Token::Kind::kPunct;
+      t.value = std::string(1, c);
+      return t;
+    }
+    std::string s;
+    while (pos_ < text_.size() &&
+           std::string(" \t\r\n{}();:,\"").find(text_[pos_]) == std::string::npos) {
+      s += text_[pos_++];
+    }
+    if (s.empty()) fail("unexpected character");
+    t.kind = Token::Kind::kIdent;
+    t.value = std::move(s);
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("liberty parse error at line " + std::to_string(line_) + ": " +
+                             message);
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '\\' && pos_ + 1 < text_.size() &&
+                 (text_[pos_ + 1] == '\n' || text_[pos_ + 1] == '\r')) {
+        pos_ += 2;  // line continuation
+        ++line_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() && !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ + 1 >= text_.size()) fail("unterminated comment");
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) { advance(); }
+
+  Group parse_group() {
+    expect_ident();
+    Group g;
+    g.name = token_.value;
+    advance();
+    expect_punct("(");
+    advance();
+    while (!is_punct(")")) {
+      if (token_.kind == Lexer::Token::Kind::kIdent ||
+          token_.kind == Lexer::Token::Kind::kString) {
+        g.args.push_back(token_.value);
+        advance();
+      } else if (is_punct(",")) {
+        advance();
+      } else {
+        lexer_.fail("unexpected token in group arguments");
+      }
+    }
+    advance();  // ')'
+    if (is_punct(";")) {
+      advance();  // statement group without body (complex attribute at top)
+      return g;
+    }
+    expect_punct("{");
+    advance();
+    while (!is_punct("}")) {
+      parse_statement(g);
+    }
+    advance();  // '}'
+    return g;
+  }
+
+ private:
+  void parse_statement(Group& parent) {
+    expect_ident();
+    const std::string name = token_.value;
+    advance();
+    if (is_punct(":")) {
+      advance();
+      std::string value;
+      // Value may span identifiers/strings until ';'.
+      while (!is_punct(";")) {
+        if (token_.kind == Lexer::Token::Kind::kEnd) lexer_.fail("missing ';' after attribute");
+        if (!value.empty()) value += ' ';
+        value += token_.value;
+        advance();
+      }
+      advance();  // ';'
+      parent.attributes.emplace_back(name, value);
+      return;
+    }
+    if (is_punct("(")) {
+      // Either a complex attribute `name (...);` or a subgroup `name (...) { }`.
+      advance();
+      std::vector<std::string> args;
+      while (!is_punct(")")) {
+        if (token_.kind == Lexer::Token::Kind::kIdent ||
+            token_.kind == Lexer::Token::Kind::kString) {
+          args.push_back(token_.value);
+          advance();
+        } else if (is_punct(",")) {
+          advance();
+        } else {
+          lexer_.fail("unexpected token in attribute arguments");
+        }
+      }
+      advance();  // ')'
+      if (is_punct(";")) {
+        advance();
+        parent.complex_attrs.emplace_back(name, std::move(args));
+        return;
+      }
+      expect_punct("{");
+      advance();
+      Group child;
+      child.name = name;
+      child.args = std::move(args);
+      while (!is_punct("}")) parse_statement(child);
+      advance();
+      parent.children.push_back(std::move(child));
+      return;
+    }
+    lexer_.fail("expected ':' or '(' after identifier '" + name + "'");
+  }
+
+  void advance() { token_ = lexer_.next(); }
+  bool is_punct(const char* p) const {
+    return token_.kind == Lexer::Token::Kind::kPunct && token_.value == p;
+  }
+  void expect_punct(const char* p) {
+    if (!is_punct(p)) lexer_.fail(std::string("expected '") + p + "'");
+  }
+  void expect_ident() {
+    if (token_.kind != Lexer::Token::Kind::kIdent) lexer_.fail("expected identifier");
+  }
+
+  Lexer lexer_;
+  Lexer::Token token_;
+};
+
+std::vector<double> parse_number_list(const std::vector<std::string>& args) {
+  std::vector<double> out;
+  for (const auto& arg : args) {
+    for (const auto& tok : util::split(arg, ", \t\n")) {
+      out.push_back(std::strtod(tok.c_str(), nullptr));
+    }
+  }
+  return out;
+}
+
+util::Table2D parse_table(const Group& g) {
+  const auto* idx1 = g.complex_attr("index_1");
+  const auto* idx2 = g.complex_attr("index_2");
+  const auto* values = g.complex_attr("values");
+  if (idx1 == nullptr || idx2 == nullptr || values == nullptr) {
+    throw std::runtime_error("liberty parse error: table group '" + g.name +
+                             "' missing index_1/index_2/values");
+  }
+  return util::Table2D(util::Axis(parse_number_list(*idx1)), util::Axis(parse_number_list(*idx2)),
+                       parse_number_list(*values));
+}
+
+TimingArc parse_arc(const Group& g) {
+  TimingArc arc;
+  if (const auto* rp = g.attr("related_pin")) arc.related_pin = *rp;
+  if (const auto* sense = g.attr("timing_sense")) arc.sense = sense_from_string(*sense);
+  if (const auto* tt = g.attr("timing_type")) arc.clocked = (*tt == "rising_edge");
+  for (const auto& child : g.children) {
+    if (child.name == "cell_rise") arc.rise.delay_ps = parse_table(child);
+    if (child.name == "rise_transition") arc.rise.out_slew_ps = parse_table(child);
+    if (child.name == "cell_fall") arc.fall.delay_ps = parse_table(child);
+    if (child.name == "fall_transition") arc.fall.out_slew_ps = parse_table(child);
+  }
+  return arc;
+}
+
+Cell parse_cell(const Group& g) {
+  Cell cell;
+  if (g.args.empty()) throw std::runtime_error("liberty parse error: cell without a name");
+  cell.name = g.args.front();
+  if (const auto* a = g.attr("area")) cell.area_um2 = std::strtod(a->c_str(), nullptr);
+  if (const auto* f = g.attr("rw_family")) cell.family = *f;
+  if (const auto* d = g.attr("rw_drive")) cell.drive_x = std::atoi(d->c_str());
+  if (const auto* fl = g.attr("rw_is_flop")) cell.is_flop = (*fl == "true");
+  if (const auto* s = g.attr("rw_setup")) cell.setup_ps = std::strtod(s->c_str(), nullptr);
+  if (const auto* h = g.attr("rw_hold")) cell.hold_ps = std::strtod(h->c_str(), nullptr);
+  if (const auto* t = g.attr("rw_truth")) cell.truth = std::strtoull(t->c_str(), nullptr, 10);
+  for (const auto& child : g.children) {
+    if (child.name != "pin") continue;
+    Pin pin;
+    pin.name = child.args.empty() ? "" : child.args.front();
+    if (const auto* dir = child.attr("direction")) pin.is_input = (*dir == "input");
+    if (const auto* cap = child.attr("capacitance")) pin.cap_ff = std::strtod(cap->c_str(), nullptr);
+    if (const auto* ck = child.attr("clock")) pin.is_clock = (*ck == "true");
+    if (!pin.is_input) {
+      cell.output_pin = pin.name;
+      for (const auto& arc_group : child.children) {
+        if (arc_group.name == "timing") cell.arcs.push_back(parse_arc(arc_group));
+      }
+    }
+    cell.pins.push_back(std::move(pin));
+  }
+  return cell;
+}
+
+}  // namespace
+
+Library parse_library(const std::string& text) {
+  Parser parser(text);
+  const Group root = parser.parse_group();
+  if (root.name != "library") {
+    throw std::runtime_error("liberty parse error: expected top-level 'library' group");
+  }
+  Library lib(root.args.empty() ? "unnamed" : root.args.front());
+  for (const auto& child : root.children) {
+    if (child.name == "cell") lib.add_cell(parse_cell(child));
+  }
+  return lib;
+}
+
+Library parse_library_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_library_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_library(ss.str());
+}
+
+}  // namespace rw::liberty

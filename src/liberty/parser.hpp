@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file parser.hpp
+/// Parser for the Liberty subset produced by writer.hpp (and tolerant of
+/// ordinary Liberty whitespace/comment conventions). Round-trips everything
+/// the data model holds.
+
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace rw::liberty {
+
+/// \throws std::runtime_error with a line-numbered message on syntax errors.
+Library parse_library(const std::string& text);
+
+/// \throws std::runtime_error on I/O or syntax errors.
+Library parse_library_file(const std::string& path);
+
+}  // namespace rw::liberty

@@ -1,0 +1,27 @@
+#include "liberty/table.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rw::liberty {
+
+const char* to_string(TimingSense sense) {
+  switch (sense) {
+    case TimingSense::kPositiveUnate:
+      return "positive_unate";
+    case TimingSense::kNegativeUnate:
+      return "negative_unate";
+    case TimingSense::kNonUnate:
+      return "non_unate";
+  }
+  return "non_unate";
+}
+
+TimingSense sense_from_string(const std::string& text) {
+  if (text == "positive_unate") return TimingSense::kPositiveUnate;
+  if (text == "negative_unate") return TimingSense::kNegativeUnate;
+  if (text == "non_unate") return TimingSense::kNonUnate;
+  throw std::invalid_argument("sense_from_string: unknown timing_sense '" + text + "'");
+}
+
+}  // namespace rw::liberty

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// NLDM timing tables: delay and output slew as bilinear functions of
+/// (input slew, output load), exactly as in Liberty `cell_rise`/`cell_fall`/
+/// `rise_transition`/`fall_transition` groups.
+
+#include <string>
+
+#include "util/interp.hpp"
+
+namespace rw::liberty {
+
+struct TimingTable {
+  util::Table2D delay_ps;     ///< (input_slew_ps, load_ff) -> propagation delay
+  util::Table2D out_slew_ps;  ///< (input_slew_ps, load_ff) -> output transition time
+
+  [[nodiscard]] bool empty() const { return delay_ps.values().empty(); }
+};
+
+/// Timing sense of an input->output arc (Liberty `timing_sense`).
+enum class TimingSense { kPositiveUnate, kNegativeUnate, kNonUnate };
+
+const char* to_string(TimingSense sense);
+TimingSense sense_from_string(const std::string& text);
+
+/// One characterized input->output arc. `rise`/`fall` are indexed by the
+/// *output* transition direction (Liberty convention); the input edge that
+/// causes each output edge follows from `sense` (for non-unate arcs both
+/// input edges are assumed possible and STA takes the worst).
+struct TimingArc {
+  std::string related_pin;
+  TimingSense sense = TimingSense::kNonUnate;
+  bool clocked = false;  ///< true for the CK->Q arc of a flop
+  TimingTable rise;      ///< output rising
+  TimingTable fall;      ///< output falling
+};
+
+}  // namespace rw::liberty

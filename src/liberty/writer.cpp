@@ -1,0 +1,104 @@
+#include "liberty/writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rw::liberty {
+
+namespace {
+
+void write_axis(std::ostringstream& os, const char* key, const util::Axis& axis,
+                const char* indent) {
+  os << indent << key << " (\"";
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << util::format_fixed(axis[i], 4);
+  }
+  os << "\");\n";
+}
+
+void write_table(std::ostringstream& os, const char* group, const util::Table2D& table,
+                 const char* indent) {
+  const std::string inner = std::string(indent) + "  ";
+  os << indent << group << " () {\n";
+  write_axis(os, "index_1", table.x_axis(), inner.c_str());
+  write_axis(os, "index_2", table.y_axis(), inner.c_str());
+  os << inner << "values ( \\\n";
+  for (std::size_t i = 0; i < table.x_axis().size(); ++i) {
+    os << inner << "  \"";
+    for (std::size_t j = 0; j < table.y_axis().size(); ++j) {
+      if (j != 0) os << ", ";
+      os << util::format_fixed(table.at(i, j), 4);
+    }
+    os << "\"";
+    os << (i + 1 == table.x_axis().size() ? " \\\n" : ", \\\n");
+  }
+  os << inner << ");\n";
+  os << indent << "}\n";
+}
+
+void write_arc(std::ostringstream& os, const TimingArc& arc) {
+  os << "    timing () {\n";
+  os << "      related_pin : \"" << arc.related_pin << "\";\n";
+  os << "      timing_sense : " << to_string(arc.sense) << ";\n";
+  if (arc.clocked) os << "      timing_type : rising_edge;\n";
+  if (!arc.rise.empty()) {
+    write_table(os, "cell_rise", arc.rise.delay_ps, "      ");
+    write_table(os, "rise_transition", arc.rise.out_slew_ps, "      ");
+  }
+  if (!arc.fall.empty()) {
+    write_table(os, "cell_fall", arc.fall.delay_ps, "      ");
+    write_table(os, "fall_transition", arc.fall.out_slew_ps, "      ");
+  }
+  os << "    }\n";
+}
+
+}  // namespace
+
+std::string write_library(const Library& library) {
+  std::ostringstream os;
+  os << "/* degradation-aware cell library written by reliaware */\n";
+  os << "library (" << library.name() << ") {\n";
+  os << "  time_unit : \"1ps\";\n";
+  os << "  capacitive_load_unit (1, ff);\n";
+  os << "  voltage_unit : \"1V\";\n";
+  for (const auto& cell : library.cells()) {
+    os << "  cell (" << cell.name << ") {\n";
+    os << "    area : " << util::format_fixed(cell.area_um2, 4) << ";\n";
+    os << "    rw_family : \"" << cell.family << "\";\n";
+    os << "    rw_drive : " << cell.drive_x << ";\n";
+    if (cell.is_flop) {
+      os << "    rw_is_flop : true;\n";
+      os << "    rw_setup : " << util::format_fixed(cell.setup_ps, 4) << ";\n";
+      os << "    rw_hold : " << util::format_fixed(cell.hold_ps, 4) << ";\n";
+    } else {
+      os << "    rw_truth : " << cell.truth << ";\n";
+    }
+    for (const auto& pin : cell.pins) {
+      os << "    pin (" << pin.name << ") {\n";
+      os << "      direction : " << (pin.is_input ? "input" : "output") << ";\n";
+      if (pin.is_input) {
+        os << "      capacitance : " << util::format_fixed(pin.cap_ff, 4) << ";\n";
+        if (pin.is_clock) os << "      clock : true;\n";
+      }
+      if (!pin.is_input) {
+        for (const auto& arc : cell.arcs) write_arc(os, arc);
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_library_file(const Library& library, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_library_file: cannot open " + path);
+  out << write_library(library);
+  if (!out) throw std::runtime_error("write_library_file: write failed for " + path);
+}
+
+}  // namespace rw::liberty

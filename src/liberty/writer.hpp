@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file writer.hpp
+/// Serializes a Library to a Liberty-style text format (a faithful subset of
+/// Synopsys Liberty syntax, with a few `rw_*` extension attributes carrying
+/// function truth tables and family/drive metadata so that a round trip
+/// through the parser is lossless). The paper publishes its 121
+/// degradation-aware libraries in Liberty form for direct tool-flow use;
+/// this writer plays that role here and doubles as the characterization
+/// disk-cache format.
+
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace rw::liberty {
+
+/// Renders the whole library.
+std::string write_library(const Library& library);
+
+/// Writes to a file. \throws std::runtime_error on I/O failure.
+void write_library_file(const Library& library, const std::string& path);
+
+}  // namespace rw::liberty

@@ -1,0 +1,43 @@
+#include "logicsim/activity.hpp"
+
+namespace rw::logicsim {
+
+ActivityCollector::ActivityCollector(int net_count) {
+  high_counts_.assign(static_cast<std::size_t>(net_count), 0);
+}
+
+void ActivityCollector::observe(const CycleSimulator& sim) {
+  for (netlist::NetId n = 0; n < sim.module().net_count(); ++n) {
+    if (sim.value(n)) ++high_counts_[static_cast<std::size_t>(n)];
+  }
+  ++cycles_;
+}
+
+double ActivityCollector::probability_high(netlist::NetId net) const {
+  if (cycles_ == 0) return 0.5;
+  return static_cast<double>(high_counts_[static_cast<std::size_t>(net)]) /
+         static_cast<double>(cycles_);
+}
+
+std::vector<netlist::InstanceDuty> extract_duty_cycles(const netlist::Module& module,
+                                                       const liberty::Library& library,
+                                                       const ActivityCollector& activity) {
+  std::vector<netlist::InstanceDuty> duties;
+  duties.reserve(module.instances().size());
+  for (const auto& inst : module.instances()) {
+    const liberty::Cell& cell = library.at(inst.cell);
+    const auto input_pins = cell.input_pins();
+    double sum_high = 0.0;
+    for (std::size_t p = 0; p < inst.fanin.size(); ++p) {
+      const bool is_clock_pin = input_pins[p]->is_clock;
+      sum_high += is_clock_pin ? 0.5 : activity.probability_high(inst.fanin[p]);
+    }
+    const double avg_high =
+        inst.fanin.empty() ? 0.5 : sum_high / static_cast<double>(inst.fanin.size());
+    // nMOS stressed while gate high; pMOS stressed while gate low.
+    duties.push_back(netlist::InstanceDuty{1.0 - avg_high, avg_high});
+  }
+  return duties;
+}
+
+}  // namespace rw::logicsim

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file activity.hpp
+/// Signal-activity collection and transistor duty-cycle extraction. BTI
+/// stress conditions follow from pin logic values: an nMOS is stressed
+/// (PBTI) while its gate input is high, a pMOS (NBTI) while its gate input
+/// is low. Per the paper's simplification (footnote 2), all nMOS of a cell
+/// share Avg(λn) and all pMOS share Avg(λp), computed from the cell's input
+/// pins — which makes λp = 1 − λn exactly, as in the paper's AND2_0.40_0.60
+/// example.
+
+#include <cstddef>
+#include <vector>
+
+#include "logicsim/simulator.hpp"
+#include "netlist/annotate.hpp"
+
+namespace rw::logicsim {
+
+class ActivityCollector {
+ public:
+  explicit ActivityCollector(int net_count);
+
+  /// Samples every net of an evaluated simulator (call once per cycle, after
+  /// evaluate() and before clock_edge()).
+  void observe(const CycleSimulator& sim);
+
+  [[nodiscard]] std::size_t cycles() const { return cycles_; }
+  /// P(net == 1); 0.5 when no cycles were observed.
+  [[nodiscard]] double probability_high(netlist::NetId net) const;
+
+ private:
+  std::vector<std::size_t> high_counts_;
+  std::size_t cycles_ = 0;
+};
+
+/// Per-instance average duty cycles. Clock pins are assigned P(high) = 0.5
+/// (an ideal 50 % duty clock, which the cycle simulator does not model as a
+/// net value).
+std::vector<netlist::InstanceDuty> extract_duty_cycles(const netlist::Module& module,
+                                                       const liberty::Library& library,
+                                                       const ActivityCollector& activity);
+
+}  // namespace rw::logicsim

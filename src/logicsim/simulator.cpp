@@ -1,0 +1,68 @@
+#include "logicsim/simulator.hpp"
+
+#include <stdexcept>
+
+#include "logicsim/value.hpp"
+
+namespace rw::logicsim {
+
+CycleSimulator::CycleSimulator(const netlist::Module& module, const liberty::Library& library)
+    : module_(module), library_(library), adj_(sta::Adjacency::build(module, library)) {
+  net_value_.assign(static_cast<std::size_t>(module.net_count()), false);
+  truth_.assign(module.instances().size(), 0);
+  for (std::size_t i = 0; i < module.instances().size(); ++i) {
+    const liberty::Cell& cell = library.at(module.instances()[i].cell);
+    if (cell.is_flop) {
+      flop_instances_.push_back(static_cast<int>(i));
+    } else {
+      truth_[i] = cell.truth;
+    }
+  }
+  flop_state_.assign(flop_instances_.size(), false);
+}
+
+void CycleSimulator::set_input(netlist::NetId net, bool value) {
+  if (!module_.is_input(net)) {
+    throw std::invalid_argument("CycleSimulator::set_input: not a primary input: " +
+                                module_.net_name(net));
+  }
+  net_value_[static_cast<std::size_t>(net)] = value;
+}
+
+void CycleSimulator::evaluate() {
+  // Flop outputs first.
+  for (std::size_t f = 0; f < flop_instances_.size(); ++f) {
+    const auto& inst = module_.instances()[static_cast<std::size_t>(flop_instances_[f])];
+    net_value_[static_cast<std::size_t>(inst.out)] = flop_state_[f];
+  }
+  // Combinational cloud in topological order.
+  bool pins[8];
+  for (const int idx : adj_.comb_topo) {
+    const auto& inst = module_.instances()[static_cast<std::size_t>(idx)];
+    const auto n = inst.fanin.size();
+    for (std::size_t p = 0; p < n; ++p) {
+      pins[p] = net_value_[static_cast<std::size_t>(inst.fanin[p])];
+    }
+    const unsigned pattern = pack_pattern(pins, static_cast<unsigned>(n));
+    net_value_[static_cast<std::size_t>(inst.out)] =
+        eval_truth(truth_[static_cast<std::size_t>(idx)], pattern);
+  }
+}
+
+void CycleSimulator::clock_edge() {
+  for (std::size_t f = 0; f < flop_instances_.size(); ++f) {
+    const auto& inst = module_.instances()[static_cast<std::size_t>(flop_instances_[f])];
+    flop_state_[f] = net_value_[static_cast<std::size_t>(inst.fanin[0])];  // D pin
+  }
+}
+
+bool CycleSimulator::value(netlist::NetId net) const {
+  return net_value_[static_cast<std::size_t>(net)];
+}
+
+void CycleSimulator::reset() {
+  std::fill(net_value_.begin(), net_value_.end(), false);
+  std::fill(flop_state_.begin(), flop_state_.end(), false);
+}
+
+}  // namespace rw::logicsim

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Cycle-based (zero-delay) gate-level simulator: evaluates the
+/// combinational cloud in topological order once per clock cycle, then
+/// captures flop inputs on the clock edge. This is the functional golden
+/// model and the activity/duty-cycle extractor of the dynamic-aging flow
+/// (Modelsim's role in Fig. 4(b)).
+
+#include <vector>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/graph.hpp"
+
+namespace rw::logicsim {
+
+class CycleSimulator {
+ public:
+  /// Flops reset to 0; inputs default to 0.
+  CycleSimulator(const netlist::Module& module, const liberty::Library& library);
+
+  void set_input(netlist::NetId net, bool value);
+  /// Evaluates combinational logic with current inputs and flop states.
+  /// Call before reading values; `clock_edge()` then advances state.
+  void evaluate();
+  /// Rising clock edge: every flop captures its D value.
+  void clock_edge();
+  /// Convenience: evaluate + capture.
+  void step() {
+    evaluate();
+    clock_edge();
+  }
+
+  [[nodiscard]] bool value(netlist::NetId net) const;
+  [[nodiscard]] const netlist::Module& module() const { return module_; }
+  [[nodiscard]] const liberty::Library& library() const { return library_; }
+
+  void reset();
+
+ private:
+  const netlist::Module& module_;
+  const liberty::Library& library_;
+  sta::Adjacency adj_;
+  std::vector<bool> net_value_;
+  std::vector<std::uint64_t> truth_;       ///< per instance (flops: unused)
+  std::vector<int> flop_instances_;
+  std::vector<bool> flop_state_;           ///< aligned with flop_instances_
+};
+
+}  // namespace rw::logicsim

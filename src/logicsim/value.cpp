@@ -1,0 +1,17 @@
+#include "logicsim/value.hpp"
+
+namespace rw::logicsim {
+
+bool eval_truth(std::uint64_t truth, unsigned pattern) {
+  return ((truth >> pattern) & 1ULL) != 0;
+}
+
+unsigned pack_pattern(const bool* values, unsigned count) {
+  unsigned pattern = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    if (values[i]) pattern |= 1U << i;
+  }
+  return pattern;
+}
+
+}  // namespace rw::logicsim

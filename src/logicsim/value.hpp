@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file value.hpp
+/// Logic value helpers shared by the gate-level simulators. Cells are
+/// single-output with truth tables over their input pin order, so evaluation
+/// is a single bit extraction.
+
+#include <cstdint>
+
+namespace rw::logicsim {
+
+/// Evaluates a cell truth table for a packed input pattern (bit i = value of
+/// input pin i).
+bool eval_truth(std::uint64_t truth, unsigned pattern);
+
+/// Packs boolean pin values (low index = bit 0) into a pattern.
+unsigned pack_pattern(const bool* values, unsigned count);
+
+}  // namespace rw::logicsim

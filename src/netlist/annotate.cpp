@@ -1,0 +1,28 @@
+#include "netlist/annotate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "aging/scenario.hpp"
+#include "util/strings.hpp"
+
+namespace rw::netlist {
+
+std::vector<std::pair<double, double>> annotate_with_duty_cycles(
+    Module& module, const std::vector<InstanceDuty>& duties, double lambda_step) {
+  if (duties.size() != module.instances().size()) {
+    throw std::invalid_argument("annotate_with_duty_cycles: duty count mismatch");
+  }
+  std::vector<std::pair<double, double>> used;
+  for (std::size_t i = 0; i < module.instances().size(); ++i) {
+    const double lp = aging::quantize_lambda(duties[i].lambda_p, lambda_step);
+    const double ln = aging::quantize_lambda(duties[i].lambda_n, lambda_step);
+    auto& inst = module.instances()[i];
+    inst.cell = util::indexed_cell_name(inst.cell, lp, ln);
+    const auto pair = std::make_pair(lp, ln);
+    if (std::find(used.begin(), used.end(), pair) == used.end()) used.push_back(pair);
+  }
+  return used;
+}
+
+}  // namespace rw::netlist

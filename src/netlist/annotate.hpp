@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file annotate.hpp
+/// Netlist annotation for the dynamic-aging-stress flow (Section 4.2): each
+/// instance's measured per-transistor duty cycles are quantized to the λ
+/// grid and folded into the cell name ("AND2_X1" with λp=0.4, λn=0.6 becomes
+/// "AND2_X1_0.40_0.60"), matching the merged complete library's indexing.
+
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rw::netlist {
+
+struct InstanceDuty {
+  double lambda_p = 0.0;  ///< average pMOS stress duty cycle in the instance
+  double lambda_n = 0.0;  ///< average nMOS stress duty cycle
+};
+
+/// Renames every instance's cell in place. `duties` is indexed like
+/// module.instances(). Returns the distinct quantized (λp, λn) pairs used —
+/// exactly the corners the merged library must contain.
+std::vector<std::pair<double, double>> annotate_with_duty_cycles(
+    Module& module, const std::vector<InstanceDuty>& duties, double lambda_step = 0.1);
+
+}  // namespace rw::netlist

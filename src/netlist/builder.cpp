@@ -1,0 +1,34 @@
+#include "netlist/builder.hpp"
+
+#include <stdexcept>
+
+namespace rw::netlist {
+
+NetlistBuilder::NetlistBuilder(Module& module, const liberty::Library& library)
+    : module_(module), library_(library) {}
+
+NetId NetlistBuilder::gate(const std::string& cell, const std::vector<NetId>& fanin) {
+  const liberty::Cell& c = library_.at(cell);
+  if (static_cast<int>(fanin.size()) != c.n_inputs()) {
+    throw std::invalid_argument("NetlistBuilder::gate: " + cell + " expects " +
+                                std::to_string(c.n_inputs()) + " inputs, got " +
+                                std::to_string(fanin.size()));
+  }
+  const NetId out = module_.new_net();
+  module_.add_instance("u$" + std::to_string(counter_++), cell, fanin, out);
+  return out;
+}
+
+NetId NetlistBuilder::flop(const std::string& cell, NetId d) {
+  const liberty::Cell& c = library_.at(cell);
+  if (!c.is_flop) throw std::invalid_argument("NetlistBuilder::flop: " + cell + " is not a flop");
+  if (module_.clock() == kNoNet) {
+    throw std::runtime_error("NetlistBuilder::flop: module has no clock net");
+  }
+  const NetId out = module_.new_net("q");
+  // DFF pin order is {D, CK}.
+  module_.add_instance("r$" + std::to_string(counter_++), cell, {d, module_.clock()}, out);
+  return out;
+}
+
+}  // namespace rw::netlist

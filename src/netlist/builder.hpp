@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file builder.hpp
+/// Convenience builder for hand-constructing mapped netlists (tests, the
+/// Fig. 3 two-path experiment, and small examples). Instance names and
+/// output nets are generated automatically.
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rw::netlist {
+
+class NetlistBuilder {
+ public:
+  NetlistBuilder(Module& module, const liberty::Library& library);
+
+  /// Adds an instance of `cell` fed by `fanin` (library input pin order) and
+  /// returns the created output net. \throws std::out_of_range for unknown
+  /// cells, std::invalid_argument on arity mismatch.
+  NetId gate(const std::string& cell, const std::vector<NetId>& fanin);
+
+  /// Adds a DFF of the given cell clocked by the module clock.
+  NetId flop(const std::string& cell, NetId d);
+
+  [[nodiscard]] Module& module() { return module_; }
+
+ private:
+  Module& module_;
+  const liberty::Library& library_;
+  int counter_ = 0;
+};
+
+}  // namespace rw::netlist

@@ -1,0 +1,145 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rw::netlist {
+
+Module::Module(std::string name) : name_(std::move(name)) {}
+
+NetId Module::add_net(const std::string& net_name) {
+  if (find_net(net_name) != kNoNet) {
+    throw std::invalid_argument("Module::add_net: duplicate net " + net_name);
+  }
+  net_names_.push_back(net_name);
+  driver_.push_back(-1);
+  const auto id = static_cast<NetId>(net_names_.size() - 1);
+  net_index_.emplace(net_name, id);
+  return id;
+}
+
+NetId Module::new_net(const std::string& prefix) {
+  // Generated names live in their own "<prefix>$k" namespace to avoid
+  // clashing with user names.
+  return add_net(prefix + "$" + std::to_string(gen_counter_++));
+}
+
+void Module::rename_net(NetId id, const std::string& new_name) {
+  if (id < 0 || id >= net_count()) throw std::out_of_range("Module::rename_net: bad id");
+  if (find_net(new_name) != kNoNet) {
+    throw std::invalid_argument("Module::rename_net: name in use: " + new_name);
+  }
+  net_index_.erase(net_names_[static_cast<std::size_t>(id)]);
+  net_names_[static_cast<std::size_t>(id)] = new_name;
+  net_index_.emplace(new_name, id);
+}
+
+NetId Module::find_net(const std::string& net_name) const {
+  const auto it = net_index_.find(net_name);
+  return it == net_index_.end() ? kNoNet : it->second;
+}
+
+const std::string& Module::net_name(NetId id) const {
+  if (id < 0 || id >= net_count()) throw std::out_of_range("Module::net_name: bad id");
+  return net_names_[static_cast<std::size_t>(id)];
+}
+
+void Module::mark_input(NetId id) {
+  if (std::find(inputs_.begin(), inputs_.end(), id) == inputs_.end()) inputs_.push_back(id);
+}
+
+void Module::mark_output(NetId id) {
+  if (std::find(outputs_.begin(), outputs_.end(), id) == outputs_.end()) outputs_.push_back(id);
+}
+
+void Module::set_clock(NetId id) {
+  clock_ = id;
+  mark_input(id);
+}
+
+bool Module::is_input(NetId id) const {
+  return std::find(inputs_.begin(), inputs_.end(), id) != inputs_.end();
+}
+
+std::size_t Module::add_instance(const std::string& inst_name, const std::string& cell,
+                                 std::vector<NetId> fanin, NetId out) {
+  if (out < 0 || out >= net_count()) {
+    throw std::invalid_argument("Module::add_instance: bad output net for " + inst_name);
+  }
+  if (driver_[static_cast<std::size_t>(out)] != -1) {
+    throw std::invalid_argument("Module::add_instance: net " + net_name(out) +
+                                " already driven (instance " + inst_name + ")");
+  }
+  for (NetId f : fanin) {
+    if (f < 0 || f >= net_count()) {
+      throw std::invalid_argument("Module::add_instance: bad fanin net for " + inst_name);
+    }
+  }
+  driver_[static_cast<std::size_t>(out)] = static_cast<int>(instances_.size());
+  instances_.push_back(Instance{inst_name, cell, std::move(fanin), out});
+  return instances_.size() - 1;
+}
+
+void Module::remove_last_instance(std::size_t index) {
+  if (index + 1 != instances_.size()) {
+    throw std::invalid_argument("Module::remove_last_instance: not the last instance");
+  }
+  driver_[static_cast<std::size_t>(instances_.back().out)] = -1;
+  instances_.pop_back();
+}
+
+int Module::driver(NetId net) const {
+  if (net < 0 || net >= net_count()) throw std::out_of_range("Module::driver: bad net");
+  return driver_[static_cast<std::size_t>(net)];
+}
+
+std::vector<int> Module::sinks(NetId net) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const auto& fanin = instances_[i].fanin;
+    if (std::find(fanin.begin(), fanin.end(), net) != fanin.end()) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+int Module::fanout_count(NetId net) const {
+  int n = 0;
+  for (const auto& inst : instances_) {
+    for (NetId f : inst.fanin) {
+      if (f == net) ++n;
+    }
+  }
+  for (NetId po : outputs_) {
+    if (po == net) ++n;
+  }
+  return n;
+}
+
+void Module::validate() const {
+  for (NetId n = 0; n < net_count(); ++n) {
+    const bool driven = driver_[static_cast<std::size_t>(n)] != -1;
+    const bool is_pi = is_input(n);
+    if (driven && is_pi) {
+      throw std::runtime_error("Module::validate: primary input " + net_name(n) + " is driven");
+    }
+    if (!driven && !is_pi) {
+      // Dangling nets (no sinks, not an output) are allowed — they arise
+      // when trial optimization moves are backed out.
+      const bool is_po =
+          std::find(outputs_.begin(), outputs_.end(), n) != outputs_.end();
+      if (is_po || !sinks(n).empty()) {
+        throw std::runtime_error("Module::validate: net " + net_name(n) + " has no driver");
+      }
+    }
+  }
+  for (const auto& inst : instances_) {
+    if (inst.out < 0 || inst.out >= net_count()) {
+      throw std::runtime_error("Module::validate: instance " + inst.name + " bad output");
+    }
+  }
+}
+
+}  // namespace rw::netlist

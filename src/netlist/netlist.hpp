@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file netlist.hpp
+/// Gate-level netlist: instances of library cells connected by single-driver
+/// nets. This is what synthesis emits, STA and the gate-level simulators
+/// consume, and the dynamic-aging flow annotates.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rw::netlist {
+
+using NetId = int;
+inline constexpr NetId kNoNet = -1;
+
+struct Instance {
+  std::string name;
+  std::string cell;           ///< library cell name (λ-indexed after annotation)
+  std::vector<NetId> fanin;   ///< aligned with the cell's input pins, in pin order
+  NetId out = kNoNet;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// \throws std::invalid_argument on duplicate name.
+  NetId add_net(const std::string& net_name);
+  /// Adds a net with a fresh generated name "<prefix><k>".
+  NetId new_net(const std::string& prefix = "n");
+  /// Renames a net (the new name must be unused).
+  void rename_net(NetId id, const std::string& new_name);
+  [[nodiscard]] NetId find_net(const std::string& net_name) const;  ///< kNoNet when absent
+  [[nodiscard]] const std::string& net_name(NetId id) const;
+  [[nodiscard]] int net_count() const { return static_cast<int>(net_names_.size()); }
+
+  void mark_input(NetId id);
+  void mark_output(NetId id);
+  void set_clock(NetId id);
+  [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<NetId>& outputs() const { return outputs_; }
+  [[nodiscard]] NetId clock() const { return clock_; }
+  [[nodiscard]] bool is_input(NetId id) const;
+
+  /// \throws std::invalid_argument if `out` already has a driver.
+  std::size_t add_instance(const std::string& inst_name, const std::string& cell,
+                           std::vector<NetId> fanin, NetId out);
+  [[nodiscard]] const std::vector<Instance>& instances() const { return instances_; }
+  [[nodiscard]] std::vector<Instance>& instances() { return instances_; }
+
+  /// Removes the most recently added instance (must be passed its index;
+  /// used to back out trial insertions). Its output net stays, undriven —
+  /// callers must ensure nothing references it.
+  void remove_last_instance(std::size_t index);
+
+  /// Index of the instance driving `net`, or -1 (primary input / undriven).
+  [[nodiscard]] int driver(NetId net) const;
+  /// Instance indices with `net` on an input pin.
+  [[nodiscard]] std::vector<int> sinks(NetId net) const;
+  [[nodiscard]] int fanout_count(NetId net) const;
+
+  /// Structural checks: every non-input net has exactly one driver, every
+  /// instance pin references a valid net. \throws std::runtime_error with a
+  /// description of the first violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, NetId> net_index_;
+  std::vector<int> driver_;  ///< instance index or -1, per net
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  NetId clock_ = kNoNet;
+  std::vector<Instance> instances_;
+  int gen_counter_ = 0;
+};
+
+}  // namespace rw::netlist

@@ -1,0 +1,93 @@
+#include "netlist/sdf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rw::netlist {
+
+DelayAnnotation compute_delay_annotation(const sta::Sta& sta) {
+  const auto& module = sta.module();
+  const auto& library = sta.library();
+  DelayAnnotation ann;
+  ann.arcs.resize(module.instances().size());
+
+  for (std::size_t i = 0; i < module.instances().size(); ++i) {
+    const auto& inst = module.instances()[i];
+    const liberty::Cell& cell = library.at(inst.cell);
+    const auto input_pins = cell.input_pins();
+    const double load = sta.load_ff(inst.out);
+    auto& per_pin = ann.arcs[i];
+    per_pin.resize(inst.fanin.size());
+
+    for (std::size_t p = 0; p < inst.fanin.size(); ++p) {
+      const liberty::TimingArc* arc = cell.arc_from(input_pins[p]->name);
+      if (arc == nullptr) continue;  // e.g. flop D pin: no D->Q arc
+      const auto& in_t = sta.timing(inst.fanin[p]);
+      // Edge-aware slews: the input edge that causes each output edge
+      // follows from the arc's sense (non-unate arcs take the worst).
+      const auto slew_for = [&](bool out_rising) {
+        double s;
+        switch (arc->sense) {
+          case liberty::TimingSense::kPositiveUnate:
+            s = in_t.slew_ps[out_rising ? 0 : 1];
+            break;
+          case liberty::TimingSense::kNegativeUnate:
+            s = in_t.slew_ps[out_rising ? 1 : 0];
+            break;
+          default:
+            s = std::max(in_t.slew_ps[0], in_t.slew_ps[1]);
+        }
+        return s > 0.0 ? s : sta.options().input_slew_ps;
+      };
+      if (!arc->rise.empty()) {
+        per_pin[p].out_rise_ps = arc->rise.delay_ps.lookup(slew_for(true), load);
+      }
+      if (!arc->fall.empty()) {
+        per_pin[p].out_fall_ps = arc->fall.delay_ps.lookup(slew_for(false), load);
+      }
+      // Delays can come out slightly negative at extreme slews; the event
+      // simulator needs causality, so clamp at a small positive epsilon.
+      per_pin[p].out_rise_ps = std::max(0.1, per_pin[p].out_rise_ps);
+      per_pin[p].out_fall_ps = std::max(0.1, per_pin[p].out_fall_ps);
+    }
+  }
+  return ann;
+}
+
+std::string write_sdf(const Module& module, const liberty::Library& library,
+                      const DelayAnnotation& annotation) {
+  std::ostringstream os;
+  os << "(DELAYFILE\n";
+  os << "  (SDFVERSION \"3.0\")\n";
+  os << "  (DESIGN \"" << module.name() << "\")\n";
+  os << "  (TIMESCALE 1ps)\n";
+  for (std::size_t i = 0; i < module.instances().size(); ++i) {
+    const auto& inst = module.instances()[i];
+    const liberty::Cell& cell = library.at(inst.cell);
+    const auto input_pins = cell.input_pins();
+    os << "  (CELL (CELLTYPE \"" << inst.cell << "\") (INSTANCE " << inst.name << ")\n";
+    os << "    (DELAY (ABSOLUTE\n";
+    for (std::size_t p = 0; p < inst.fanin.size(); ++p) {
+      const auto& d = annotation.arcs[i][p];
+      if (d.out_rise_ps == 0.0 && d.out_fall_ps == 0.0) continue;
+      os << "      (IOPATH " << input_pins[p]->name << " " << cell.output_pin << " ("
+         << util::format_fixed(d.out_rise_ps, 1) << ") (" << util::format_fixed(d.out_fall_ps, 1)
+         << "))\n";
+    }
+    os << "    ))\n  )\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+void write_sdf_file(const Module& module, const liberty::Library& library,
+                    const DelayAnnotation& annotation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_sdf_file: cannot open " + path);
+  out << write_sdf(module, library, annotation);
+}
+
+}  // namespace rw::netlist

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file sdf.hpp
+/// Delay annotation: per-instance, per-arc rise/fall delays computed from an
+/// STA pass (slews/loads as seen in the netlist), plus an SDF 3.0 writer.
+/// These delays drive the gate-level timing simulation exactly as the
+/// paper's flow feeds Design-Compiler-generated "sdf" files to Modelsim for
+/// the image-quality experiments.
+
+#include <string>
+#include <vector>
+
+#include "sta/analysis.hpp"
+
+namespace rw::netlist {
+
+struct ArcDelay {
+  double out_rise_ps = 0.0;
+  double out_fall_ps = 0.0;
+};
+
+/// arcs[instance][input_pin_index]; flop instances carry {D, CK} with the
+/// CK entry holding the CK->Q delay.
+struct DelayAnnotation {
+  std::vector<std::vector<ArcDelay>> arcs;
+};
+
+/// Computes fixed per-arc delays from the STA result: each arc is evaluated
+/// at the worst slew observed on its input net and the real output load.
+DelayAnnotation compute_delay_annotation(const sta::Sta& sta);
+
+/// SDF 3.0 rendering of the annotation (IOPATH entries).
+std::string write_sdf(const netlist::Module& module, const liberty::Library& library,
+                      const DelayAnnotation& annotation);
+void write_sdf_file(const netlist::Module& module, const liberty::Library& library,
+                    const DelayAnnotation& annotation, const std::string& path);
+
+}  // namespace rw::netlist

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file verilog.hpp
+/// Structural Verilog writer and parser (named port connections, single
+/// module, wire declarations) — the interchange format between synthesis and
+/// the downstream tools, mirroring how the paper's flow hands netlists from
+/// Design Compiler to Modelsim. The parser needs the library to map named
+/// pin connections onto pin order.
+
+#include <string>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rw::netlist {
+
+std::string write_verilog(const Module& module, const liberty::Library& library);
+void write_verilog_file(const Module& module, const liberty::Library& library,
+                        const std::string& path);
+
+/// \throws std::runtime_error with line info on syntax errors or unknown
+/// cells/pins.
+Module parse_verilog(const std::string& text, const liberty::Library& library);
+Module parse_verilog_file(const std::string& path, const liberty::Library& library);
+
+}  // namespace rw::netlist

@@ -1,0 +1,34 @@
+#include "spice/measure.hpp"
+
+#include <cmath>
+
+namespace rw::spice {
+
+std::optional<EdgeTiming> measure_edge(const Waveform& output, double input_t50_ps,
+                                       bool output_rising, double vdd_v) {
+  const double v10 = 0.1 * vdd_v;
+  const double v50 = 0.5 * vdd_v;
+  const double v90 = 0.9 * vdd_v;
+
+  const auto t50 = output.last_crossing(v50, output_rising);
+  if (!t50) return std::nullopt;
+  // Require the output to actually settle near the target rail.
+  if (!settled_at(output, output_rising ? vdd_v : 0.0)) return std::nullopt;
+
+  const auto t_first = output.last_crossing(output_rising ? v10 : v90, output_rising);
+  const auto t_last = output.last_crossing(output_rising ? v90 : v10, output_rising);
+  if (!t_first || !t_last) return std::nullopt;
+
+  EdgeTiming timing;
+  timing.delay_ps = *t50 - input_t50_ps;
+  timing.slew_ps = std::fabs(*t_last - *t_first);
+  timing.output_rising = output_rising;
+  return timing;
+}
+
+bool settled_at(const Waveform& output, double level_v, double tolerance_v) {
+  if (output.empty()) return false;
+  return std::fabs(output.back_value() - level_v) <= tolerance_v;
+}
+
+}  // namespace rw::spice

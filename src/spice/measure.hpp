@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file measure.hpp
+/// Delay and slew measurement conventions (shared by characterization and
+/// tests):
+///   - propagation delay: input 50 %-Vdd crossing to the *last* output
+///     50 %-Vdd crossing in the settling direction (robust against
+///     short-circuit glitches, which matter at the large input slews where
+///     the paper's Fig. 1 effects live);
+///   - output slew: 10 %–90 % Vdd transition time of the settling edge.
+
+#include <optional>
+
+#include "spice/waveform.hpp"
+
+namespace rw::spice {
+
+struct EdgeTiming {
+  double delay_ps = 0.0;  ///< may be negative for very slow inputs driving fast gates
+  double slew_ps = 0.0;
+  bool output_rising = false;
+};
+
+/// Measures the output edge given the input's 50 % crossing time.
+/// Returns nullopt when the output never completes the expected transition
+/// (e.g. the vector does not toggle the output).
+std::optional<EdgeTiming> measure_edge(const Waveform& output, double input_t50_ps,
+                                       bool output_rising, double vdd_v);
+
+/// True when the waveform has settled within `tolerance_v` of the expected
+/// rail at its final sample.
+bool settled_at(const Waveform& output, double level_v, double tolerance_v = 0.08);
+
+}  // namespace rw::spice

@@ -1,0 +1,110 @@
+#include "spice/netlist.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rw::spice {
+
+Pwl::Pwl(std::vector<std::pair<double, double>> points) : points_(std::move(points)) {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].first < points_[i - 1].first) {
+      throw std::invalid_argument("Pwl: time points must be non-decreasing");
+    }
+  }
+}
+
+Pwl Pwl::dc(double volts) { return Pwl{{{0.0, volts}}}; }
+
+Pwl Pwl::ramp(double t_start_ps, double slew_ps, double v0, double v1) {
+  const double full = slew_ps / 0.8;
+  return Pwl{{{t_start_ps, v0}, {t_start_ps + full, v1}}};
+}
+
+double Pwl::value(double t_ps) const {
+  if (points_.empty()) return 0.0;
+  if (t_ps <= points_.front().first) return points_.front().second;
+  if (t_ps >= points_.back().first) return points_.back().second;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (t_ps <= points_[i].first) {
+      const auto& [t0, v0] = points_[i - 1];
+      const auto& [t1, v1] = points_[i];
+      if (t1 == t0) return v1;
+      return v0 + (v1 - v0) * (t_ps - t0) / (t1 - t0);
+    }
+  }
+  return points_.back().second;
+}
+
+std::optional<double> Pwl::next_breakpoint(double t_ps) const {
+  for (const auto& [t, v] : points_) {
+    if (t > t_ps + 1e-12) return t;
+  }
+  return std::nullopt;
+}
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  sourced_.push_back(true);  // ground is implicitly fixed at 0 V
+}
+
+NodeId Circuit::add_node(const std::string& name) {
+  for (const auto& existing : node_names_) {
+    if (existing == name) throw std::invalid_argument("Circuit: duplicate node name " + name);
+  }
+  node_names_.push_back(name);
+  sourced_.push_back(false);
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+NodeId Circuit::node(const std::string& name) const {
+  for (std::size_t i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == name) return static_cast<NodeId>(i);
+  }
+  throw std::out_of_range("Circuit: no node named " + name);
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  check_node(id);
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+void Circuit::check_node(NodeId id) const {
+  if (id < 0 || id >= node_count()) throw std::out_of_range("Circuit: invalid node id");
+}
+
+void Circuit::add_mosfet(device::Mosfet model, NodeId gate, NodeId drain, NodeId source) {
+  check_node(gate);
+  check_node(drain);
+  check_node(source);
+  mosfets_.push_back(MosfetElement{std::move(model), gate, drain, source});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double cap_ff) {
+  check_node(a);
+  check_node(b);
+  if (cap_ff < 0.0) throw std::invalid_argument("Circuit: negative capacitance");
+  capacitors_.push_back(CapacitorElement{a, b, cap_ff});
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double kohm) {
+  check_node(a);
+  check_node(b);
+  if (kohm <= 0.0) throw std::invalid_argument("Circuit: resistance must be positive");
+  resistors_.push_back(ResistorElement{a, b, kohm});
+}
+
+void Circuit::add_source(NodeId node, Pwl waveform) {
+  check_node(node);
+  if (sourced_[static_cast<std::size_t>(node)]) {
+    throw std::invalid_argument("Circuit: node already sourced: " + node_name(node));
+  }
+  sourced_[static_cast<std::size_t>(node)] = true;
+  sources_.push_back(SourceElement{node, std::move(waveform)});
+}
+
+bool Circuit::is_sourced(NodeId id) const {
+  check_node(id);
+  return sourced_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace rw::spice

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file netlist.hpp
+/// Transistor-level circuit description consumed by the transient solver —
+/// the reproduction's equivalent of a SPICE deck. Elements: MOSFETs,
+/// grounded/floating capacitors, resistors, and ideal voltage sources (DC or
+/// piecewise-linear). Node 0 is always ground.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/mosfet.hpp"
+
+namespace rw::spice {
+
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+/// Piecewise-linear voltage waveform (time in ps, value in V). Flat before
+/// the first and after the last breakpoint.
+class Pwl {
+ public:
+  Pwl() = default;
+  explicit Pwl(std::vector<std::pair<double, double>> points);
+
+  /// A constant level.
+  static Pwl dc(double volts);
+
+  /// A linear transition from v0 to v1 whose 10–90 % transition time equals
+  /// `slew_ps` (the Liberty slew convention used throughout this library);
+  /// the full ramp therefore spans slew_ps / 0.8 centred on t_start_ps.
+  static Pwl ramp(double t_start_ps, double slew_ps, double v0, double v1);
+
+  [[nodiscard]] double value(double t_ps) const;
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+  /// First breakpoint strictly after `t_ps` (the solver never steps across a
+  /// source breakpoint).
+  [[nodiscard]] std::optional<double> next_breakpoint(double t_ps) const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+struct MosfetElement {
+  device::Mosfet model;
+  NodeId gate;
+  NodeId drain;
+  NodeId source;
+};
+
+struct CapacitorElement {
+  NodeId a;
+  NodeId b;
+  double cap_ff;
+};
+
+struct ResistorElement {
+  NodeId a;
+  NodeId b;
+  double kohm;  ///< kΩ: with V in volts and I in mA, R = V/I is in kΩ
+};
+
+struct SourceElement {
+  NodeId node;
+  Pwl waveform;
+};
+
+/// A flat transistor-level circuit.
+class Circuit {
+ public:
+  Circuit();
+
+  /// Creates a node; names must be unique (ground is pre-created as "0").
+  NodeId add_node(const std::string& name);
+  /// \throws std::out_of_range if no node has this name.
+  [[nodiscard]] NodeId node(const std::string& name) const;
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] int node_count() const { return static_cast<int>(node_names_.size()); }
+
+  void add_mosfet(device::Mosfet model, NodeId gate, NodeId drain, NodeId source);
+  void add_capacitor(NodeId a, NodeId b, double cap_ff);
+  void add_resistor(NodeId a, NodeId b, double kohm);
+  /// Drives `node` with an ideal voltage source. A node can have at most one
+  /// source; sourced nodes are eliminated from the solve.
+  void add_source(NodeId node, Pwl waveform);
+
+  [[nodiscard]] const std::vector<MosfetElement>& mosfets() const { return mosfets_; }
+  [[nodiscard]] const std::vector<CapacitorElement>& capacitors() const { return capacitors_; }
+  [[nodiscard]] const std::vector<ResistorElement>& resistors() const { return resistors_; }
+  [[nodiscard]] const std::vector<SourceElement>& sources() const { return sources_; }
+  [[nodiscard]] bool is_sourced(NodeId id) const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<std::string> node_names_;
+  std::vector<MosfetElement> mosfets_;
+  std::vector<CapacitorElement> capacitors_;
+  std::vector<ResistorElement> resistors_;
+  std::vector<SourceElement> sources_;
+  std::vector<bool> sourced_;
+};
+
+}  // namespace rw::spice

@@ -1,0 +1,359 @@
+#include "spice/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rw::spice {
+
+namespace {
+
+/// Solves A x = b in place by LU with partial pivoting (A row-major n×n).
+/// \throws std::runtime_error on a numerically singular matrix.
+void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::fabs(a[static_cast<std::size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double cand = std::fabs(a[static_cast<std::size_t>(r) * n + col]);
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-30) throw std::runtime_error("solve_dense: singular matrix");
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a[static_cast<std::size_t>(pivot) * n + c],
+                  a[static_cast<std::size_t>(col) * n + c]);
+      }
+      std::swap(b[static_cast<std::size_t>(pivot)], b[static_cast<std::size_t>(col)]);
+    }
+    const double diag = a[static_cast<std::size_t>(col) * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = a[static_cast<std::size_t>(r) * n + col] / diag;
+      if (factor == 0.0) continue;
+      a[static_cast<std::size_t>(r) * n + col] = 0.0;
+      for (int c = col + 1; c < n; ++c) {
+        a[static_cast<std::size_t>(r) * n + c] -= factor * a[static_cast<std::size_t>(col) * n + c];
+      }
+      b[static_cast<std::size_t>(r)] -= factor * b[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c) {
+      sum -= a[static_cast<std::size_t>(r) * n + c] * b[static_cast<std::size_t>(c)];
+    }
+    b[static_cast<std::size_t>(r)] = sum / a[static_cast<std::size_t>(r) * n + r];
+  }
+}
+
+/// Shared machinery for DC and transient Newton solves.
+class NodalSystem {
+ public:
+  NodalSystem(const Circuit& circuit, const TransientOptions& options)
+      : circuit_(circuit), options_(options) {
+    unknown_index_.assign(static_cast<std::size_t>(circuit.node_count()), -1);
+    for (NodeId n = 0; n < circuit.node_count(); ++n) {
+      if (!circuit.is_sourced(n)) {
+        unknown_index_[static_cast<std::size_t>(n)] = n_unknowns_++;
+      }
+    }
+    for (const auto& src : circuit.sources()) {
+      for (const auto& [t, v] : src.waveform.points()) vmax_ = std::max(vmax_, std::fabs(v));
+    }
+  }
+
+  [[nodiscard]] int n_unknowns() const { return n_unknowns_; }
+
+  /// Full node-voltage vector with sources evaluated at time t and unknowns
+  /// taken from x.
+  void scatter(const std::vector<double>& x, double t_ps, double source_scale,
+               std::vector<double>& v_full) const {
+    v_full.assign(static_cast<std::size_t>(circuit_.node_count()), 0.0);
+    for (const auto& src : circuit_.sources()) {
+      v_full[static_cast<std::size_t>(src.node)] = source_scale * src.waveform.value(t_ps);
+    }
+    for (NodeId n = 0; n < circuit_.node_count(); ++n) {
+      const int u = unknown_index_[static_cast<std::size_t>(n)];
+      if (u >= 0) v_full[static_cast<std::size_t>(n)] = x[static_cast<std::size_t>(u)];
+    }
+  }
+
+  /// Static (resistive + device + gmin) residual: f[u] = sum of currents
+  /// entering unknown node u. Capacitor currents are added by the caller in
+  /// transient mode.
+  void static_residual(const std::vector<double>& v_full, std::vector<double>& f) const {
+    f.assign(static_cast<std::size_t>(n_unknowns_), 0.0);
+    for (const auto& m : circuit_.mosfets()) {
+      const double id = m.model.drain_current_ma(v_full[static_cast<std::size_t>(m.gate)],
+                                                 v_full[static_cast<std::size_t>(m.drain)],
+                                                 v_full[static_cast<std::size_t>(m.source)]);
+      add_current(f, m.drain, -id);
+      add_current(f, m.source, +id);
+    }
+    for (const auto& r : circuit_.resistors()) {
+      const double i_ab =
+          (v_full[static_cast<std::size_t>(r.a)] - v_full[static_cast<std::size_t>(r.b)]) / r.kohm;
+      add_current(f, r.a, -i_ab);
+      add_current(f, r.b, +i_ab);
+    }
+    // gmin leak to ground on every unknown node for conditioning.
+    for (NodeId n = 0; n < circuit_.node_count(); ++n) {
+      const int u = unknown_index_[static_cast<std::size_t>(n)];
+      if (u >= 0) {
+        f[static_cast<std::size_t>(u)] -=
+            options_.gmin_ma_per_v * v_full[static_cast<std::size_t>(n)];
+      }
+    }
+  }
+
+  /// Residual including backward-Euler capacitor currents:
+  ///   i_cap = C * ((va1-vb1) - (va0-vb0)) / dt, flowing a->b.
+  void transient_residual(const std::vector<double>& v_full, const std::vector<double>& v_prev_full,
+                          double dt_ps, std::vector<double>& f) const {
+    static_residual(v_full, f);
+    for (const auto& c : circuit_.capacitors()) {
+      const double dv_now =
+          v_full[static_cast<std::size_t>(c.a)] - v_full[static_cast<std::size_t>(c.b)];
+      const double dv_prev =
+          v_prev_full[static_cast<std::size_t>(c.a)] - v_prev_full[static_cast<std::size_t>(c.b)];
+      const double i_ab = c.cap_ff * (dv_now - dv_prev) / dt_ps;  // fF*V/ps = mA
+      add_current(f, c.a, -i_ab);
+      add_current(f, c.b, +i_ab);
+    }
+  }
+
+  /// Damped Newton solve; residual_fn(v_full, f) must fill f for the current
+  /// full voltage vector. Returns true on convergence, updating x.
+  template <typename ResidualFn>
+  bool newton(std::vector<double>& x, double t_ps, double source_scale, ResidualFn&& residual_fn,
+              int max_iterations) const {
+    if (n_unknowns_ == 0) return true;
+    const auto n = static_cast<std::size_t>(n_unknowns_);
+    std::vector<double> v_full;
+    std::vector<double> f(n);
+    std::vector<double> f_pert(n);
+    std::vector<double> jac(n * n);
+    std::vector<double> rhs(n);
+    constexpr double kPerturb = 1e-5;  // volts
+    constexpr double kMaxStep = 0.3;   // volts, Newton damping limit
+
+    for (int iter = 0; iter < max_iterations; ++iter) {
+      scatter(x, t_ps, source_scale, v_full);
+      residual_fn(v_full, f);
+      double fmax = 0.0;
+      for (double fi : f) fmax = std::max(fmax, std::fabs(fi));
+
+      // Assemble Jacobian column by column (forward differences).
+      for (std::size_t j = 0; j < n; ++j) {
+        const double saved = x[j];
+        x[j] = saved + kPerturb;
+        scatter(x, t_ps, source_scale, v_full);
+        residual_fn(v_full, f_pert);
+        x[j] = saved;
+        for (std::size_t i = 0; i < n; ++i) {
+          jac[i * n + j] = (f_pert[i] - f[i]) / kPerturb;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
+      std::vector<double> lu = jac;
+      solve_dense(lu, rhs, n_unknowns_);
+
+      // Per-node voltage limiting (as SPICE does): a near-singular direction
+      // (e.g. a floating node between off transistors) must not stall the
+      // whole update. Also clamp to physical bounds — CMOS nodes cannot
+      // leave the rail window, and wandering flattens the exponentials.
+      double step_max = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double delta = std::clamp(rhs[i], -kMaxStep, kMaxStep);
+        const double next = std::clamp(x[i] + delta, -0.5, vmax_ + 0.5);
+        step_max = std::max(step_max, std::fabs(next - x[i]));
+        x[i] = next;
+      }
+
+      if (fmax < options_.tol_i_ma && step_max < options_.tol_v) return true;
+      if (std::getenv("RW_SPICE_DEBUG") != nullptr && iter > max_iterations - 6) {
+        std::fprintf(stderr, "newton iter %d: fmax=%.3e step=%.3e x0=%.4f\n", iter, fmax,
+                     step_max, x.empty() ? 0.0 : x[0]);
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::vector<int>& unknown_index() const { return unknown_index_; }
+
+ private:
+  void add_current(std::vector<double>& f, NodeId node, double i_ma) const {
+    const int u = unknown_index_[static_cast<std::size_t>(node)];
+    if (u >= 0) f[static_cast<std::size_t>(u)] += i_ma;
+  }
+
+  const Circuit& circuit_;
+  const TransientOptions& options_;
+  std::vector<int> unknown_index_;
+  int n_unknowns_ = 0;
+  double vmax_ = 1.2;
+};
+
+std::vector<double> solve_dc(const Circuit& circuit, double t_ps, const TransientOptions& options) {
+  NodalSystem sys(circuit, options);
+  std::vector<double> x(static_cast<std::size_t>(sys.n_unknowns()), 0.0);
+  // Initial guess: half of the largest source magnitude (≈ Vdd/2).
+  double vmax = 0.0;
+  for (const auto& src : circuit.sources()) {
+    vmax = std::max(vmax, std::fabs(src.waveform.value(t_ps)));
+  }
+  std::fill(x.begin(), x.end(), 0.5 * vmax);
+
+  const auto residual = [&sys](const std::vector<double>& v_full, std::vector<double>& f) {
+    sys.static_residual(v_full, f);
+  };
+
+  bool converged = sys.newton(x, t_ps, 1.0, residual, 200);
+  if (!converged) {
+    // Source stepping: ramp supplies from 10% to 100%, warm-starting Newton.
+    std::fill(x.begin(), x.end(), 0.0);
+    converged = true;
+    for (int step = 1; step <= 10 && converged; ++step) {
+      converged = sys.newton(x, t_ps, 0.1 * step, residual, 200);
+    }
+  }
+  if (!converged) {
+    // Pseudo-transient homotopy: virtual capacitors on every unknown node,
+    // integrated from 0 V with a growing timestep until steady state. Damped
+    // Newton converges on each small step even for the feedback structures
+    // (XOR trees, latch loops) that defeat the direct solve.
+    std::fill(x.begin(), x.end(), 0.0);
+    std::vector<double> x_prev = x;
+    constexpr double kVirtualCapFf = 10.0;
+    double dt = 0.5;  // ps
+    converged = false;
+    for (int step = 0; step < 400; ++step) {
+      const std::vector<double> x_before = x;
+      const auto pt_residual = [&](const std::vector<double>& v_full, std::vector<double>& f) {
+        sys.static_residual(v_full, f);
+        for (std::size_t i = 0; i < f.size(); ++i) {
+          f[i] -= kVirtualCapFf * (x[i] - x_prev[i]) / dt;
+        }
+      };
+      // Note: the residual reads `x` through the closure as Newton updates
+      // it, so the capacitor current uses the trial voltage, as BE requires.
+      if (!sys.newton(x, t_ps, 1.0, pt_residual, 60)) {
+        x = x_before;
+        dt *= 0.5;
+        if (dt < 1e-3) break;
+        continue;
+      }
+      double dv = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) dv = std::max(dv, std::fabs(x[i] - x_prev[i]));
+      x_prev = x;
+      dt = std::min(dt * 1.6, 100.0);
+      if (dv < 1e-7 && step > 3) {
+        converged = true;
+        break;
+      }
+    }
+    // Final verification with the true static residual.
+    if (converged) converged = sys.newton(x, t_ps, 1.0, residual, 100);
+  }
+  if (!converged) throw std::runtime_error("dc_operating_point: Newton failed to converge");
+
+  std::vector<double> v_full;
+  sys.scatter(x, t_ps, 1.0, v_full);
+  return v_full;
+}
+
+}  // namespace
+
+TransientResult::TransientResult(std::vector<NodeId> probes, int node_count)
+    : probes_(std::move(probes)), waveforms_(probes_.size()) {
+  final_.assign(static_cast<std::size_t>(node_count), 0.0);
+}
+
+const Waveform& TransientResult::waveform(NodeId node) const {
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    if (probes_[i] == node) return waveforms_[i];
+  }
+  throw std::out_of_range("TransientResult: node was not probed");
+}
+
+void TransientResult::record(double t_ps, const std::vector<double>& node_voltages) {
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    waveforms_[i].append(t_ps, node_voltages[static_cast<std::size_t>(probes_[i])]);
+  }
+  final_ = node_voltages;
+}
+
+double TransientResult::final_voltage(NodeId node) const {
+  return final_[static_cast<std::size_t>(node)];
+}
+
+std::vector<double> dc_operating_point(const Circuit& circuit, double t_ps,
+                                       const TransientOptions& options) {
+  return solve_dc(circuit, t_ps, options);
+}
+
+TransientResult simulate_transient(const Circuit& circuit, const TransientOptions& options,
+                                   const std::vector<NodeId>& probes) {
+  NodalSystem sys(circuit, options);
+  TransientResult result(probes, circuit.node_count());
+
+  std::vector<double> v_prev_full = solve_dc(circuit, 0.0, options);
+  result.record(0.0, v_prev_full);
+
+  // Unknown vector from the DC solution.
+  const auto n = static_cast<std::size_t>(sys.n_unknowns());
+  std::vector<double> x(n, 0.0);
+  for (NodeId node = 0; node < circuit.node_count(); ++node) {
+    const int u = sys.unknown_index()[static_cast<std::size_t>(node)];
+    if (u >= 0) x[static_cast<std::size_t>(u)] = v_prev_full[static_cast<std::size_t>(node)];
+  }
+
+  double t = 0.0;
+  double dt = options.dt_initial_ps;
+  std::vector<double> v_full;
+  while (t < options.t_stop_ps - 1e-9) {
+    // Never step across a source breakpoint; land on it exactly.
+    double dt_eff = std::min(dt, options.t_stop_ps - t);
+    for (const auto& src : circuit.sources()) {
+      if (const auto bp = src.waveform.next_breakpoint(t)) {
+        if (*bp - t > 1e-9) dt_eff = std::min(dt_eff, *bp - t);
+      }
+    }
+
+    const double t_next = t + dt_eff;
+    std::vector<double> x_try = x;
+    const auto residual = [&](const std::vector<double>& vf, std::vector<double>& f) {
+      sys.transient_residual(vf, v_prev_full, dt_eff, f);
+    };
+    const bool converged = sys.newton(x_try, t_next, 1.0, residual, options.max_newton);
+    if (!converged) {
+      if (dt_eff <= options.dt_min_ps * 1.0001) {
+        throw std::runtime_error("simulate_transient: Newton failed at minimum timestep");
+      }
+      dt = std::max(options.dt_min_ps, dt_eff * 0.25);
+      continue;
+    }
+
+    // Accept the step.
+    double dv_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dv_max = std::max(dv_max, std::fabs(x_try[i] - x[i]));
+    x = x_try;
+    sys.scatter(x, t_next, 1.0, v_full);
+    v_prev_full = v_full;
+    t = t_next;
+    result.record(t, v_full);
+
+    // Timestep control: aim for dv_target per step.
+    double grow = 2.0;
+    if (dv_max > 1e-12) grow = std::clamp(options.dv_target_v / dv_max, 0.4, 2.0);
+    dt = std::clamp(dt_eff * grow, options.dt_min_ps, options.dt_max_ps);
+  }
+  return result;
+}
+
+}  // namespace rw::spice

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file solver.hpp
+/// Transient circuit solver: nodal analysis with ideal-source node
+/// elimination, backward-Euler integration, damped Newton iteration with a
+/// numerically assembled Jacobian, and local-truncation-style timestep
+/// control based on the per-step voltage change. Small dense systems (a
+/// standard cell has only a handful of non-sourced nodes) are solved by LU
+/// with partial pivoting.
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "spice/waveform.hpp"
+
+namespace rw::spice {
+
+struct TransientOptions {
+  double t_stop_ps = 1000.0;
+  double dt_initial_ps = 0.1;
+  double dt_min_ps = 0.01;
+  double dt_max_ps = 5.0;
+  /// Timestep controller targets this max node-voltage change per step.
+  double dv_target_v = 0.04;
+  int max_newton = 30;
+  double tol_v = 1e-6;       ///< Newton update convergence tolerance [V]
+  double tol_i_ma = 1e-8;    ///< residual convergence tolerance [mA]
+  double gmin_ma_per_v = 1e-6;  ///< leak conductance to ground for conditioning
+};
+
+/// Waveforms for the probed nodes plus the final full solution vector.
+class TransientResult {
+ public:
+  TransientResult(std::vector<NodeId> probes, int node_count);
+
+  [[nodiscard]] const Waveform& waveform(NodeId node) const;
+  void record(double t_ps, const std::vector<double>& node_voltages);
+  [[nodiscard]] double final_voltage(NodeId node) const;
+  [[nodiscard]] const std::vector<double>& final_voltages() const { return final_; }
+
+ private:
+  std::vector<NodeId> probes_;
+  std::vector<Waveform> waveforms_;
+  std::vector<double> final_;
+};
+
+/// Solves the DC operating point at time `t_ps` (sources held at their value
+/// at that instant, capacitors open). Returns the full node-voltage vector
+/// indexed by NodeId. \throws std::runtime_error if Newton fails to converge
+/// even with source stepping.
+std::vector<double> dc_operating_point(const Circuit& circuit, double t_ps = 0.0,
+                                       const TransientOptions& options = {});
+
+/// Runs a transient analysis from the DC operating point at t=0.
+/// \throws std::runtime_error on non-convergence at the minimum timestep.
+TransientResult simulate_transient(const Circuit& circuit, const TransientOptions& options,
+                                   const std::vector<NodeId>& probes);
+
+}  // namespace rw::spice

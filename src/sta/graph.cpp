@@ -1,0 +1,96 @@
+#include "sta/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rw::sta {
+
+Adjacency Adjacency::build(const netlist::Module& module, const liberty::Library& library) {
+  Adjacency adj;
+  const auto n_nets = static_cast<std::size_t>(module.net_count());
+  const auto& instances = module.instances();
+  adj.net_sinks.assign(n_nets, {});
+  adj.is_flop.assign(instances.size(), false);
+
+  std::vector<int> pending(instances.size(), 0);  // un-arrived fanins per comb instance
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& inst = instances[i];
+    adj.is_flop[i] = library.at(inst.cell).is_flop;
+    for (netlist::NetId f : inst.fanin) {
+      adj.net_sinks[static_cast<std::size_t>(f)].push_back(static_cast<int>(i));
+    }
+  }
+
+  // Kahn levelization over combinational instances. A net is "ready" when it
+  // is a PI, a flop output, or its combinational driver has been ordered.
+  std::vector<bool> net_ready(n_nets, false);
+  for (netlist::NetId n = 0; n < module.net_count(); ++n) {
+    const int drv = module.driver(n);
+    if (drv == -1 || adj.is_flop[static_cast<std::size_t>(drv)]) {
+      net_ready[static_cast<std::size_t>(n)] = true;
+    }
+  }
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (adj.is_flop[i]) continue;
+    for (netlist::NetId f : instances[i].fanin) {
+      if (!net_ready[static_cast<std::size_t>(f)]) ++pending[i];
+    }
+  }
+
+  std::vector<int> queue;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (!adj.is_flop[i] && pending[i] == 0) queue.push_back(static_cast<int>(i));
+  }
+  while (!queue.empty()) {
+    const int i = queue.back();
+    queue.pop_back();
+    adj.comb_topo.push_back(i);
+    const netlist::NetId out = instances[static_cast<std::size_t>(i)].out;
+    net_ready[static_cast<std::size_t>(out)] = true;
+    for (const int sink : adj.net_sinks[static_cast<std::size_t>(out)]) {
+      if (adj.is_flop[static_cast<std::size_t>(sink)]) continue;
+      // A sink may reference the net on several pins; decrement per pin.
+      const auto& fanin = instances[static_cast<std::size_t>(sink)].fanin;
+      const auto uses =
+          static_cast<int>(std::count(fanin.begin(), fanin.end(), out));
+      pending[static_cast<std::size_t>(sink)] -= uses;
+      if (pending[static_cast<std::size_t>(sink)] == 0) queue.push_back(sink);
+    }
+  }
+
+  std::size_t comb_count = 0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (!adj.is_flop[i]) ++comb_count;
+  }
+  if (adj.comb_topo.size() != comb_count) {
+    throw std::runtime_error("Adjacency::build: combinational loop in module " + module.name());
+  }
+  return adj;
+}
+
+double net_load_ff(const netlist::Module& module, const liberty::Library& library,
+                   const StaOptions& options, const Adjacency& adj, netlist::NetId net) {
+  double load = 0.0;
+  int fanout = 0;
+  for (const int sink : adj.net_sinks[static_cast<std::size_t>(net)]) {
+    const auto& inst = module.instances()[static_cast<std::size_t>(sink)];
+    const liberty::Cell& cell = library.at(inst.cell);
+    const auto input_pins = cell.input_pins();
+    for (std::size_t p = 0; p < inst.fanin.size(); ++p) {
+      if (inst.fanin[p] == net) {
+        load += input_pins[p]->cap_ff;
+        ++fanout;
+      }
+    }
+  }
+  for (netlist::NetId po : module.outputs()) {
+    if (po == net) {
+      load += options.po_load_ff;
+      ++fanout;
+    }
+  }
+  load += options.wire_cap_per_fanout_ff * fanout;
+  return load;
+}
+
+}  // namespace rw::sta

@@ -1,0 +1,17 @@
+#include "sta/guardband.hpp"
+
+#include "sta/analysis.hpp"
+
+namespace rw::sta {
+
+GuardbandReport estimate_guardband(const netlist::Module& module,
+                                   const liberty::Library& fresh_library,
+                                   const liberty::Library& aged_library,
+                                   const StaOptions& options) {
+  GuardbandReport report;
+  report.fresh_cp_ps = Sta(module, fresh_library, options).critical_delay_ps();
+  report.aged_cp_ps = Sta(module, aged_library, options).critical_delay_ps();
+  return report;
+}
+
+}  // namespace rw::sta

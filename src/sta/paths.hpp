@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file paths.hpp
+/// Timing-path extraction and fixed-path re-evaluation. The latter is what
+/// state-of-the-art flows that "neglect CP switching" effectively do: they
+/// age only the initially-critical path (Fig. 5(c) ablation).
+
+#include <string>
+#include <vector>
+
+#include "sta/analysis.hpp"
+
+namespace rw::sta {
+
+struct PathStep {
+  int instance = -1;       ///< instance traversed (its output is `net`)
+  int input_pin = -1;      ///< index of the input pin entered (-1 for start nets)
+  bool in_rising = false;  ///< edge at that input pin
+  bool out_rising = false; ///< edge on `net`
+  netlist::NetId net = netlist::kNoNet;
+  double arrival_ps = 0.0;
+  double incr_ps = 0.0;  ///< delay contribution of this step
+};
+
+struct TimingPath {
+  std::vector<PathStep> steps;  ///< launch -> endpoint order
+  Endpoint endpoint;
+  double delay_ps = 0.0;  ///< endpoint cost (arrival + setup)
+
+  /// Human-readable report (instance/cell/net/edge/delay per line).
+  [[nodiscard]] std::string report(const netlist::Module& module) const;
+};
+
+/// Reconstructs the worst path ending at `endpoint`.
+TimingPath extract_path(const Sta& sta, const Endpoint& endpoint);
+
+/// The overall critical path.
+TimingPath worst_path(const Sta& sta);
+
+/// Worst path per endpoint, sorted by delay (descending), up to k paths.
+std::vector<TimingPath> worst_endpoint_paths(const Sta& sta, std::size_t k);
+
+/// Re-computes the delay of a structurally fixed path under a different
+/// library (same cell names must exist), propagating slew along the path
+/// only. Loads are taken from the netlist against `library`. This models
+/// "track the initial critical path through aging".
+double evaluate_path_ps(const netlist::Module& module, const liberty::Library& library,
+                        const TimingPath& path, const StaOptions& options);
+
+}  // namespace rw::sta

@@ -1,0 +1,90 @@
+#include "synth/buffering.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace rw::synth {
+
+namespace {
+
+/// One sink pin position: (instance index, pin index).
+using SinkPin = std::pair<std::size_t, std::size_t>;
+
+std::vector<SinkPin> collect_sinks(const netlist::Module& module, netlist::NetId net) {
+  std::vector<SinkPin> sinks;
+  for (std::size_t i = 0; i < module.instances().size(); ++i) {
+    const auto& fanin = module.instances()[i].fanin;
+    for (std::size_t p = 0; p < fanin.size(); ++p) {
+      if (fanin[p] == net) sinks.emplace_back(i, p);
+    }
+  }
+  return sinks;
+}
+
+}  // namespace
+
+const liberty::Cell* find_buffer_cell(const liberty::Library& library,
+                                      const std::string& preferred) {
+  if (const liberty::Cell* c = library.find(preferred)) return c;
+  // Fall back to the strongest identity-function cell available.
+  const liberty::Cell* best = nullptr;
+  for (const auto& cell : library.cells()) {
+    if (cell.is_flop || cell.n_inputs() != 1 || cell.truth != 0b10) continue;
+    if (best == nullptr || cell.drive_x > best->drive_x) best = &cell;
+  }
+  if (best == nullptr) {
+    throw std::runtime_error("find_buffer_cell: library has no buffer/identity cell");
+  }
+  return best;
+}
+
+int buffer_high_fanout(netlist::Module& module, const liberty::Library& library,
+                       const BufferingOptions& options) {
+  const std::string buffer_cell = find_buffer_cell(library, options.buffer_cell)->name;
+  int inserted = 0;
+  int counter = 0;
+  // Iterate to a fixed point: buffer outputs can themselves exceed the
+  // limit when a net is split into many groups.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (netlist::NetId net = 0; net < module.net_count(); ++net) {
+      if (net == module.clock()) continue;
+      auto sinks = collect_sinks(module, net);
+      // Primary-output uses stay on the net and count against the limit.
+      const auto po_uses =
+          static_cast<std::size_t>(module.fanout_count(net)) - sinks.size();
+      if (sinks.size() + po_uses <= static_cast<std::size_t>(options.max_fanout)) continue;
+
+      // Keep some sinks on the original net and hand the rest to buffers in
+      // groups of max_fanout, such that kept + buffers + POs <= max_fanout.
+      const auto total = sinks.size();
+      const auto mf = static_cast<std::size_t>(options.max_fanout);
+      std::size_t keep = 0;
+      for (std::size_t nbuf = 1; nbuf + po_uses < mf; ++nbuf) {
+        const std::size_t candidate_keep = mf - nbuf - po_uses;
+        if (candidate_keep + nbuf * mf >= total) {
+          keep = candidate_keep;
+          break;
+        }
+      }
+      std::size_t cursor = keep;
+      while (cursor < sinks.size()) {
+        const netlist::NetId buffered = module.new_net("buf");
+        module.add_instance("zbuf$" + std::to_string(counter++), buffer_cell, {net}, buffered);
+        ++inserted;
+        const std::size_t end =
+            std::min(sinks.size(), cursor + static_cast<std::size_t>(options.max_fanout));
+        for (std::size_t s = cursor; s < end; ++s) {
+          module.instances()[sinks[s].first].fanin[sinks[s].second] = buffered;
+        }
+        cursor = end;
+      }
+      changed = true;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace rw::synth

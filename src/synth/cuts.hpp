@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file cuts.hpp
+/// K-feasible cut enumeration (K = 4) over the NAND2/INV subject graph with
+/// per-cut truth tables — the matching substrate for technology mapping.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "synth/decompose.hpp"
+
+namespace rw::synth {
+
+struct Cut {
+  std::array<int, 4> leaves{{-1, -1, -1, -1}};  ///< sorted ascending, first `size` valid
+  std::uint8_t size = 0;
+  std::uint16_t truth = 0;  ///< over `size` leaves, bit p = f(pattern p)
+
+  [[nodiscard]] bool is_trivial(int node) const { return size == 1 && leaves[0] == node; }
+};
+
+/// Expands `truth` (over the `from` leaves) to the `to` leaf set, which must
+/// be a superset of `from`. Exposed for tests.
+std::uint16_t expand_truth(std::uint16_t truth, const Cut& from, const Cut& to);
+
+/// Enumerates up to `max_cuts` cuts per node (always including the trivial
+/// cut). Source nodes (PI/flopQ) carry only their trivial cut.
+std::vector<std::vector<Cut>> enumerate_cuts(const SubjectGraph& graph, int max_cuts = 12);
+
+}  // namespace rw::synth

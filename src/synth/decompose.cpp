@@ -1,0 +1,175 @@
+#include "synth/decompose.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace rw::synth {
+
+std::size_t SubjectGraph::nand_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes) {
+    if (node.kind == Kind::kNand) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// Builder with structural hashing. Constants are represented virtually:
+/// node ids kConstLo/kConstHi never enter the graph; helpers fold them away.
+class Builder {
+ public:
+  static constexpr int kConst0Id = -2;
+  static constexpr int kConst1Id = -3;
+
+  int pi(const std::string& name) {
+    const int id = add(SubjectGraph::Kind::kPi, -1, -1);
+    graph_.pis.emplace_back(name, id);
+    return id;
+  }
+
+  int flop_q() {
+    const int id = add(SubjectGraph::Kind::kFlopQ, -1, -1);
+    graph_.flops.push_back(id);
+    return id;
+  }
+
+  void connect_flop(int q, int d) { graph_.nodes[static_cast<std::size_t>(q)].a = d; }
+
+  int inv(int a) {
+    if (a == kConst0Id) return kConst1Id;
+    if (a == kConst1Id) return kConst0Id;
+    // inv(inv(x)) = x
+    const auto& n = graph_.nodes[static_cast<std::size_t>(a)];
+    if (n.kind == SubjectGraph::Kind::kInv) return n.a;
+    return strash(SubjectGraph::Kind::kInv, a, -1);
+  }
+
+  int nand(int a, int b) {
+    if (a == kConst0Id || b == kConst0Id) return kConst1Id;
+    if (a == kConst1Id) return inv(b);
+    if (b == kConst1Id) return inv(a);
+    if (a == b) return inv(a);
+    if (a > b) std::swap(a, b);
+    return strash(SubjectGraph::Kind::kNand, a, b);
+  }
+
+  int and_(int a, int b) { return inv(nand(a, b)); }
+  int or_(int a, int b) { return nand(inv(a), inv(b)); }
+  int nor_(int a, int b) { return inv(or_(a, b)); }
+  int xor_(int a, int b) {
+    if (a == kConst0Id) return b;
+    if (b == kConst0Id) return a;
+    if (a == kConst1Id) return inv(b);
+    if (b == kConst1Id) return inv(a);
+    const int t = nand(a, b);
+    return nand(nand(a, t), nand(b, t));
+  }
+  int mux(int s, int d0, int d1) {
+    if (s == kConst0Id) return d0;
+    if (s == kConst1Id) return d1;
+    if (d0 == d1) return d0;
+    return nand(nand(d0, inv(s)), nand(d1, s));
+  }
+
+  SubjectGraph take() { return std::move(graph_); }
+
+ private:
+  int add(SubjectGraph::Kind kind, int a, int b) {
+    graph_.nodes.push_back(SubjectGraph::Node{kind, a, b});
+    return static_cast<int>(graph_.nodes.size() - 1);
+  }
+
+  int strash(SubjectGraph::Kind kind, int a, int b) {
+    const auto key = std::make_tuple(kind, a, b);
+    const auto it = hash_.find(key);
+    if (it != hash_.end()) return it->second;
+    const int id = add(kind, a, b);
+    hash_.emplace(key, id);
+    return id;
+  }
+
+  SubjectGraph graph_;
+  std::map<std::tuple<SubjectGraph::Kind, int, int>, int> hash_;
+};
+
+}  // namespace
+
+SubjectGraph decompose(const Ir& ir) {
+  ir.validate();
+  Builder builder;
+  const auto& nodes = ir.nodes();
+  std::vector<int> sg(nodes.size(), -1);
+
+  // First pass: create PIs and flop Q nodes (flops may feed back).
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].op == Op::kFlop) sg[i] = builder.flop_q();
+  }
+  for (const auto& [name, node] : ir.inputs()) {
+    sg[static_cast<std::size_t>(node)] = builder.pi(name);
+  }
+
+  // Second pass: combinational nodes in creation order (fanin-first).
+  const auto ref = [&](int ir_node) {
+    const int id = sg[static_cast<std::size_t>(ir_node)];
+    if (id == -1) throw std::runtime_error("decompose: node evaluated before its fanin");
+    return id;
+  };
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (sg[i] != -1 && nodes[i].op != Op::kFlop) continue;
+    const auto& n = nodes[i];
+    switch (n.op) {
+      case Op::kInput:
+      case Op::kFlop:
+        break;  // already created
+      case Op::kConst0:
+        sg[i] = Builder::kConst0Id;
+        break;
+      case Op::kConst1:
+        sg[i] = Builder::kConst1Id;
+        break;
+      case Op::kNot:
+        sg[i] = builder.inv(ref(n.a));
+        break;
+      case Op::kAnd:
+        sg[i] = builder.and_(ref(n.a), ref(n.b));
+        break;
+      case Op::kOr:
+        sg[i] = builder.or_(ref(n.a), ref(n.b));
+        break;
+      case Op::kXor:
+        sg[i] = builder.xor_(ref(n.a), ref(n.b));
+        break;
+      case Op::kNand:
+        sg[i] = builder.nand(ref(n.a), ref(n.b));
+        break;
+      case Op::kNor:
+        sg[i] = builder.nor_(ref(n.a), ref(n.b));
+        break;
+      case Op::kMux:
+        sg[i] = builder.mux(ref(n.a), ref(n.b), ref(n.c));
+        break;
+    }
+  }
+
+  // Third pass: connect flop D inputs and primary outputs.
+  SubjectGraph graph = builder.take();
+  std::size_t flop_cursor = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].op != Op::kFlop) continue;
+    const int d = sg[static_cast<std::size_t>(nodes[i].a)];
+    if (d < 0) {
+      throw std::runtime_error("decompose: flop D reduces to a constant (unsupported)");
+    }
+    graph.nodes[static_cast<std::size_t>(graph.flops[flop_cursor])].a = d;
+    ++flop_cursor;
+  }
+  for (const auto& [name, node] : ir.outputs()) {
+    const int id = sg[static_cast<std::size_t>(node)];
+    if (id < 0) throw std::runtime_error("decompose: output " + name + " is constant");
+    graph.pos.emplace_back(name, id);
+  }
+  return graph;
+}
+
+}  // namespace rw::synth

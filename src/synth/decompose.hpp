@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file decompose.hpp
+/// Decomposition of the technology-independent IR into a NAND2/INV subject
+/// graph with structural hashing and constant folding — the canonical input
+/// representation for cut-based technology mapping.
+
+#include <string>
+#include <vector>
+
+#include "synth/ir.hpp"
+
+namespace rw::synth {
+
+struct SubjectGraph {
+  enum class Kind { kPi, kNand, kInv, kFlopQ };
+
+  struct Node {
+    Kind kind = Kind::kPi;
+    int a = -1;  ///< fanin (kInv, kNand); D node for kFlopQ
+    int b = -1;  ///< second fanin (kNand)
+  };
+
+  std::vector<Node> nodes;
+  std::vector<std::pair<std::string, int>> pis;
+  std::vector<std::pair<std::string, int>> pos;
+  std::vector<int> flops;  ///< node ids of kFlopQ entries
+
+  [[nodiscard]] std::size_t nand_count() const;
+};
+
+/// \throws std::runtime_error if an output reduces to a constant (the
+/// mapper has no tie cells; benchmark circuits must not produce constant
+/// outputs).
+SubjectGraph decompose(const Ir& ir);
+
+}  // namespace rw::synth

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file mapper.hpp
+/// Timing-driven technology mapping: cut-based DAG covering with exact truth
+/// -table matching against the library's (smallest-drive) cells. Per-pin arc
+/// delays from the *provided* library drive the dynamic program — which is
+/// exactly how a degradation-aware library makes a generic mapper
+/// aging-aware (Section 4.3).
+
+#include <string>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "synth/cuts.hpp"
+
+namespace rw::synth {
+
+struct MapperOptions {
+  double est_slew_ps = 40.0;  ///< slew at which candidate delays are estimated
+  double est_load_ff = 4.0;   ///< (unused by the DP; kept for single-point experiments)
+  double est_load_per_fanout_ff = 1.6;  ///< per-fanout load estimate for the DP
+  double area_tiebreak = 1e-3;  ///< weight of area flow against arrival (ps/µm²)
+  int max_cuts = 12;
+  std::string clock_name = "clk";
+};
+
+/// \throws std::runtime_error when some subject node has no library match
+/// (cannot happen with a library containing INV and NAND2).
+netlist::Module map_to_library(const SubjectGraph& graph, const liberty::Library& library,
+                               const MapperOptions& options, const std::string& top_name);
+
+}  // namespace rw::synth

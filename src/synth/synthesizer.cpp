@@ -1,0 +1,67 @@
+#include "synth/synthesizer.hpp"
+
+#include <optional>
+
+#include "sta/analysis.hpp"
+#include "synth/decompose.hpp"
+
+namespace rw::synth {
+
+namespace {
+
+SynthesisResult synthesize_one(const SubjectGraph& graph, const liberty::Library& library,
+                               const std::string& top_name, const SynthesisOptions& options,
+                               const MapperOptions& mapper_options) {
+  netlist::Module module = map_to_library(graph, library, mapper_options, top_name);
+  buffer_high_fanout(module, library, options.buffering);
+
+  SynthesisResult result{std::move(module)};
+  if (options.enable_sizing) {
+    result.sizing = size_gates(result.module, library, options.sizing);
+    result.cp_ps = result.sizing.final_cp_ps;
+  } else {
+    result.cp_ps = sta::Sta(result.module, library, options.sizing.sta).critical_delay_ps();
+  }
+  result.area_um2 = total_area_um2(result.module, library);
+  result.gate_count = result.module.instances().size();
+  return result;
+}
+
+}  // namespace
+
+SynthesisResult synthesize(const Ir& ir, const liberty::Library& library,
+                           const std::string& top_name, const SynthesisOptions& options) {
+  const SubjectGraph graph = decompose(ir);
+
+  // Multi-start (compile_ultra-style effort): several mapper estimation
+  // settings, keep the netlist with the best critical delay *against the
+  // provided library* — the only delay model the tool ever sees.
+  std::vector<MapperOptions> starts;
+  if (options.multi_start) {
+    for (const double slew : {40.0, 120.0}) {
+      for (const double load_per_fanout : {1.0, 2.5}) {
+        MapperOptions m = options.mapper;
+        m.est_slew_ps = slew;
+        m.est_load_per_fanout_ff = load_per_fanout;
+        starts.push_back(m);
+      }
+    }
+  } else {
+    starts.push_back(options.mapper);
+  }
+
+  std::optional<SynthesisResult> best;
+  for (const auto& m : starts) {
+    SynthesisResult candidate = synthesize_one(graph, library, top_name, options, m);
+    if (!best || candidate.cp_ps < best->cp_ps) best = std::move(candidate);
+  }
+  return std::move(*best);
+}
+
+double total_area_um2(const netlist::Module& module, const liberty::Library& library) {
+  double area = 0.0;
+  for (const auto& inst : module.instances()) area += library.at(inst.cell).area_um2;
+  return area;
+}
+
+}  // namespace rw::synth

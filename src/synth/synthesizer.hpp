@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file synthesizer.hpp
+/// The full synthesis pipeline ("Synopsys Synthesis Tool" box of Fig. 4):
+/// decompose -> map -> buffer -> size, driven entirely by the cell library
+/// it is given. Feed it the fresh library and you get a conventional
+/// performance-optimized netlist; feed it the worst-case degradation-aware
+/// library and you get the paper's aging-optimized netlist.
+
+#include <string>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "synth/buffering.hpp"
+#include "synth/ir.hpp"
+#include "synth/mapper.hpp"
+#include "synth/sizing.hpp"
+
+namespace rw::synth {
+
+struct SynthesisOptions {
+  MapperOptions mapper{};
+  BufferingOptions buffering{};
+  SizingOptions sizing{};
+  bool enable_sizing = true;
+  /// Try several mapper estimation settings and keep the best netlist by
+  /// critical delay against the synthesis library (highest-effort mode).
+  bool multi_start = true;
+};
+
+struct SynthesisResult {
+  netlist::Module module;
+  double cp_ps = 0.0;      ///< critical delay against the synthesis library
+  double area_um2 = 0.0;
+  std::size_t gate_count = 0;
+  SizingReport sizing{};
+};
+
+/// Synthesizes `ir` against `library`.
+SynthesisResult synthesize(const Ir& ir, const liberty::Library& library,
+                           const std::string& top_name, const SynthesisOptions& options = {});
+
+/// Total cell area of a mapped netlist.
+double total_area_um2(const netlist::Module& module, const liberty::Library& library);
+
+}  // namespace rw::synth

@@ -1,0 +1,92 @@
+#include "util/interp.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rw::util {
+
+Axis::Axis(std::vector<double> points) : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("Axis: needs at least one point");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (!(points_[i] > points_[i - 1])) {
+      throw std::invalid_argument("Axis: points must be strictly increasing at index " +
+                                  std::to_string(i));
+    }
+  }
+}
+
+std::size_t Axis::bracket(double x) const {
+  if (points_.size() < 2) return 0;
+  // Binary search for the last segment start <= x, clamped.
+  std::size_t lo = 0;
+  std::size_t hi = points_.size() - 2;
+  if (x <= points_[1]) return 0;
+  if (x >= points_[hi]) return hi;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (points_[mid] <= x) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+double Axis::weight(std::size_t seg, double x) const {
+  const double x0 = points_[seg];
+  const double x1 = points_[seg + 1];
+  return (x - x0) / (x1 - x0);
+}
+
+Table1D::Table1D(Axis axis, std::vector<double> values)
+    : axis_(std::move(axis)), values_(std::move(values)) {
+  if (axis_.size() != values_.size()) {
+    throw std::invalid_argument("Table1D: axis/value size mismatch");
+  }
+}
+
+double Table1D::lookup(double x) const {
+  if (values_.size() == 1) return values_[0];
+  const std::size_t seg = axis_.bracket(x);
+  const double t = axis_.weight(seg, x);
+  return values_[seg] + t * (values_[seg + 1] - values_[seg]);
+}
+
+Table2D::Table2D(Axis x_axis, Axis y_axis, std::vector<double> values)
+    : x_(std::move(x_axis)), y_(std::move(y_axis)), values_(std::move(values)) {
+  if (x_.size() * y_.size() != values_.size()) {
+    throw std::invalid_argument("Table2D: axis/value size mismatch");
+  }
+}
+
+double Table2D::at(std::size_t i, std::size_t j) const { return values_[i * y_.size() + j]; }
+double& Table2D::at(std::size_t i, std::size_t j) { return values_[i * y_.size() + j]; }
+
+double Table2D::lookup(double x, double y) const {
+  if (values_.size() == 1) return values_[0];
+  if (x_.size() == 1) {
+    // Degenerate in x: 1-D interpolation along y.
+    const std::size_t js = y_.bracket(y);
+    const double ty = y_.weight(js, y);
+    return at(0, js) + ty * (at(0, js + 1) - at(0, js));
+  }
+  if (y_.size() == 1) {
+    const std::size_t is = x_.bracket(x);
+    const double tx = x_.weight(is, x);
+    return at(is, 0) + tx * (at(is + 1, 0) - at(is, 0));
+  }
+  const std::size_t is = x_.bracket(x);
+  const std::size_t js = y_.bracket(y);
+  const double tx = x_.weight(is, x);
+  const double ty = y_.weight(js, y);
+  const double v00 = at(is, js);
+  const double v01 = at(is, js + 1);
+  const double v10 = at(is + 1, js);
+  const double v11 = at(is + 1, js + 1);
+  const double v0 = v00 + ty * (v01 - v00);
+  const double v1 = v10 + ty * (v11 - v10);
+  return v0 + tx * (v1 - v0);
+}
+
+}  // namespace rw::util

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file interp.hpp
+/// 1-D and 2-D lookup tables with linear interpolation and linear
+/// extrapolation at the boundaries — the semantics used by Liberty NLDM
+/// (non-linear delay model) tables.
+
+#include <cstddef>
+#include <vector>
+
+namespace rw::util {
+
+/// A strictly increasing axis of sample points.
+///
+/// `bracket()` returns the index i such that the query lies between
+/// axis[i] and axis[i+1]; queries outside the range clamp to the first/last
+/// segment (yielding linear extrapolation when used by the tables below).
+class Axis {
+ public:
+  Axis() = default;
+  /// \throws std::invalid_argument if fewer than 1 point or not strictly increasing.
+  explicit Axis(std::vector<double> points);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] double operator[](std::size_t i) const { return points_[i]; }
+  [[nodiscard]] const std::vector<double>& points() const { return points_; }
+  [[nodiscard]] double front() const { return points_.front(); }
+  [[nodiscard]] double back() const { return points_.back(); }
+
+  /// Segment index for interpolation; clamped to [0, size()-2].
+  /// For a single-point axis returns 0 (callers must handle size()==1).
+  [[nodiscard]] std::size_t bracket(double x) const;
+
+  /// Interpolation weight t in segment `seg` (unclamped: <0 or >1 when
+  /// extrapolating).
+  [[nodiscard]] double weight(std::size_t seg, double x) const;
+
+ private:
+  std::vector<double> points_;
+};
+
+/// y = f(x) with linear interpolation/extrapolation.
+class Table1D {
+ public:
+  Table1D() = default;
+  /// \throws std::invalid_argument on size mismatch.
+  Table1D(Axis axis, std::vector<double> values);
+
+  [[nodiscard]] double lookup(double x) const;
+  [[nodiscard]] const Axis& axis() const { return axis_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  Axis axis_;
+  std::vector<double> values_;
+};
+
+/// z = f(x, y) with bilinear interpolation/extrapolation. Values are stored
+/// row-major: value(i, j) corresponds to (x_axis[i], y_axis[j]).
+class Table2D {
+ public:
+  Table2D() = default;
+  /// \throws std::invalid_argument on size mismatch.
+  Table2D(Axis x_axis, Axis y_axis, std::vector<double> values);
+
+  [[nodiscard]] double lookup(double x, double y) const;
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+  double& at(std::size_t i, std::size_t j);
+
+  [[nodiscard]] const Axis& x_axis() const { return x_; }
+  [[nodiscard]] const Axis& y_axis() const { return y_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] std::vector<double>& values() { return values_; }
+
+  /// Element-wise transform helper (used e.g. to scale a table uniformly).
+  template <typename Fn>
+  void transform(Fn&& fn) {
+    for (double& v : values_) v = fn(v);
+  }
+
+ private:
+  Axis x_;
+  Axis y_;
+  std::vector<double> values_;
+};
+
+}  // namespace rw::util

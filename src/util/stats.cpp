@@ -1,0 +1,99 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rw::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double t = rank - static_cast<double>(lo);
+  return xs[lo] + t * (xs[hi] - xs[lo]);
+}
+
+double fraction_negative(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x < 0.0) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+double Histogram::bin_width() const {
+  return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+std::size_t Histogram::total() const {
+  std::size_t n = underflow + overflow;
+  for (std::size_t c : counts) n += c;
+  return n;
+}
+
+Histogram make_histogram(std::span<const double> xs, double lo, double hi, std::size_t bins) {
+  if (!(hi > lo) || bins == 0) throw std::invalid_argument("make_histogram: bad range/bins");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double w = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    if (x < lo) {
+      ++h.underflow;
+    } else if (x >= hi) {
+      ++h.overflow;
+    } else {
+      auto idx = static_cast<std::size_t>((x - lo) / w);
+      if (idx >= bins) idx = bins - 1;  // guard against FP edge
+      ++h.counts[idx];
+    }
+  }
+  return h;
+}
+
+std::string render_histogram(const Histogram& h, std::size_t bar_width) {
+  std::ostringstream os;
+  std::size_t max_count = 1;
+  for (std::size_t c : h.counts) max_count = std::max(max_count, c);
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::size_t len = h.counts[i] * bar_width / max_count;
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os.width(8);
+    os << h.bin_center(i) << "  ";
+    os.width(8);
+    os << h.counts[i] << "  " << std::string(len, '#') << '\n';
+  }
+  if (h.underflow != 0) os << "  underflow: " << h.underflow << '\n';
+  if (h.overflow != 0) os << "  overflow:  " << h.overflow << '\n';
+  return os.str();
+}
+
+}  // namespace rw::util

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics helpers used by the benchmark harnesses (histograms for
+/// Fig. 2, averages across circuits for Fig. 5/6).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rw::util {
+
+double mean(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// p in [0, 1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+/// Fraction of entries satisfying x < 0 (used to report "share of gate delays
+/// that *improve* under aging", Fig. 2 right).
+double fraction_negative(std::span<const double> xs);
+
+/// Fixed-width histogram.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;  ///< counts.size() bins over [lo, hi)
+  std::size_t underflow = 0;
+  std::size_t overflow = 0;
+
+  [[nodiscard]] double bin_width() const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const;
+};
+
+Histogram make_histogram(std::span<const double> xs, double lo, double hi, std::size_t bins);
+
+/// Render a histogram as fixed-width ASCII rows ("center  count  bar").
+std::string render_histogram(const Histogram& h, std::size_t bar_width = 50);
+
+}  // namespace rw::util

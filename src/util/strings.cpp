@@ -1,0 +1,73 @@
+#include "util/strings.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rw::util {
+
+std::vector<std::string> split(std::string_view text, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find_first_of(delims, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    if (end > start) out.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return {};
+  const auto last = text.find_last_not_of(" \t\r\n");
+  return text.substr(first, last - first + 1);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_lambda(double lambda) { return format_fixed(lambda, 2); }
+
+std::string indexed_cell_name(std::string_view base, double lambda_p, double lambda_n) {
+  std::string name{base};
+  name += '_';
+  name += format_lambda(lambda_p);
+  name += '_';
+  name += format_lambda(lambda_n);
+  return name;
+}
+
+bool parse_indexed_cell_name(std::string_view name, std::string& base, double& lambda_p,
+                             double& lambda_n) {
+  // Expect <base>_<d.dd>_<d.dd>; search from the end.
+  const auto last = name.rfind('_');
+  if (last == std::string_view::npos || last == 0) return false;
+  const auto prev = name.rfind('_', last - 1);
+  if (prev == std::string_view::npos || prev == 0) return false;
+  const std::string lp_str{name.substr(prev + 1, last - prev - 1)};
+  const std::string ln_str{name.substr(last + 1)};
+  char* end = nullptr;
+  const double lp = std::strtod(lp_str.c_str(), &end);
+  if (end == lp_str.c_str() || *end != '\0') return false;
+  end = nullptr;
+  const double ln = std::strtod(ln_str.c_str(), &end);
+  if (end == ln_str.c_str() || *end != '\0') return false;
+  if (lp < 0.0 || lp > 1.0 || ln < 0.0 || ln > 1.0) return false;
+  base = std::string{name.substr(0, prev)};
+  lambda_p = lp;
+  lambda_n = ln;
+  return true;
+}
+
+}  // namespace rw::util

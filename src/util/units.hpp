@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file units.hpp
+/// Unit conventions used throughout the library.
+///
+/// All physical quantities are carried as `double` with the unit fixed by
+/// convention and encoded in variable/field names:
+///   - time:        picoseconds   (`*_ps`)
+///   - capacitance: femtofarads   (`*_ff`)
+///   - voltage:     volts         (`*_v`)
+///   - current:     microamperes  (`*_ua`)  (consistent with ps/fF/V: I = C dV/dt)
+///   - area:        square micrometers (`*_um2`)
+///
+/// The ps/fF/V/uA system is internally consistent: 1 fF * 1 V / 1 ps = 1 mA;
+/// we therefore scale currents by 1e3 so that C dV/dt in fF*V/ps equals
+/// current in mA. To avoid mixed mental models the SPICE core works directly
+/// in (ps, fF, V, mA); helper constants below convert to/from SI.
+
+namespace rw::units {
+
+inline constexpr double kPsPerSecond = 1e12;
+inline constexpr double kFfPerFarad = 1e15;
+inline constexpr double kSecondsPerYear = 3600.0 * 24.0 * 365.25;
+
+/// Convert a lifetime expressed in years to seconds (used by the aging model,
+/// which works in SI).
+constexpr double years_to_seconds(double years) { return years * kSecondsPerYear; }
+
+/// Boltzmann constant times temperature at 300 K, in eV (thermal voltage ~25.9 mV).
+inline constexpr double kThermalVoltage300K = 0.02585;
+
+/// Elementary charge in coulombs.
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+}  // namespace rw::units

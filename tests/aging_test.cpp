@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "aging/bti.hpp"
+#include "aging/scenario.hpp"
+
+namespace rw::aging {
+namespace {
+
+TEST(BtiModel, NoStressNoDegradation) {
+  const BtiModel m;
+  const auto d = m.degrade(device::MosType::kPmos, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(d.delta_vth_v, 0.0);
+  EXPECT_DOUBLE_EQ(d.mu_factor, 1.0);
+  const auto d0 = m.degrade(device::MosType::kPmos, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(d0.delta_vth_v, 0.0);
+  EXPECT_DOUBLE_EQ(d0.mu_factor, 1.0);
+}
+
+// Property sweep: ΔVth is monotone in both duty cycle and time; µ factor is
+// monotone decreasing.
+class BtiMonotonicity : public ::testing::TestWithParam<device::MosType> {};
+
+TEST_P(BtiMonotonicity, VthMonotoneInLambda) {
+  const BtiModel m;
+  double prev = -1.0;
+  for (double lambda = 0.0; lambda <= 1.0001; lambda += 0.1) {
+    const double dv = m.delta_vth_v(GetParam(), lambda, 10.0);
+    EXPECT_GE(dv, prev);
+    prev = dv;
+  }
+}
+
+TEST_P(BtiMonotonicity, VthMonotoneInTime) {
+  const BtiModel m;
+  double prev = -1.0;
+  for (double years : {0.1, 0.5, 1.0, 3.0, 5.0, 10.0, 20.0}) {
+    const double dv = m.delta_vth_v(GetParam(), 1.0, years);
+    EXPECT_GT(dv, prev);
+    prev = dv;
+  }
+}
+
+TEST_P(BtiMonotonicity, MobilityFactorDecreasing) {
+  const BtiModel m;
+  double prev = 1.1;
+  for (double years : {0.0, 1.0, 5.0, 10.0}) {
+    const double mu = m.mu_factor(GetParam(), 1.0, years);
+    EXPECT_LE(mu, prev);
+    EXPECT_GT(mu, 0.0);
+    EXPECT_LE(mu, 1.0);
+    prev = mu;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolarities, BtiMonotonicity,
+                         ::testing::Values(device::MosType::kNmos, device::MosType::kPmos));
+
+TEST(BtiModel, NbtiStrongerThanPbti) {
+  // High-k metal gate: NBTI (pMOS) dominates PBTI (nMOS) [paper ref. 6].
+  const BtiModel m;
+  EXPECT_GT(m.delta_vth_v(device::MosType::kPmos, 1.0, 10.0),
+            m.delta_vth_v(device::MosType::kNmos, 1.0, 10.0));
+}
+
+TEST(BtiModel, CalibratedMagnitudes) {
+  // 10-year worst-case NBTI at 45 nm: tens of mV and single-digit % µ loss.
+  const BtiModel m;
+  const auto d = m.degrade(device::MosType::kPmos, 1.0, 10.0);
+  EXPECT_GT(d.delta_vth_v, 0.025);
+  EXPECT_LT(d.delta_vth_v, 0.090);
+  EXPECT_GT(d.mu_factor, 0.85);
+  EXPECT_LT(d.mu_factor, 0.99);
+}
+
+TEST(BtiModel, VthOnlyModeDisablesMobility) {
+  const BtiModel m;
+  const auto d = m.degrade(device::MosType::kPmos, 1.0, 10.0, /*include_mobility=*/false);
+  EXPECT_DOUBLE_EQ(d.mu_factor, 1.0);
+  EXPECT_GT(d.delta_vth_v, 0.0);
+}
+
+TEST(BtiModel, SubLinearTimeKinetics) {
+  // Reaction-diffusion: doubling the time must NOT double ΔN_IT (t^1/6).
+  const BtiModel m;
+  const double five = m.interface_traps_cm2(device::MosType::kPmos, 1.0, 5.0 * 3.15e7);
+  const double ten = m.interface_traps_cm2(device::MosType::kPmos, 1.0, 10.0 * 3.15e7);
+  EXPECT_LT(ten, 1.5 * five);
+  EXPECT_GT(ten, five);
+}
+
+TEST(BtiModel, RejectsInvalidInputs) {
+  const BtiModel m;
+  EXPECT_THROW(m.degrade(device::MosType::kPmos, -0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.degrade(device::MosType::kPmos, 1.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.degrade(device::MosType::kPmos, 0.5, -1.0), std::invalid_argument);
+}
+
+TEST(AgingScenario, PresetsAndIds) {
+  EXPECT_TRUE(AgingScenario::fresh().is_fresh());
+  EXPECT_EQ(AgingScenario::fresh().id(), "fresh");
+  const auto w = AgingScenario::worst_case(10);
+  EXPECT_DOUBLE_EQ(w.lambda_p, 1.0);
+  EXPECT_DOUBLE_EQ(w.lambda_n, 1.0);
+  EXPECT_EQ(w.id(), "L1.00_1.00_y10");
+  auto v = w;
+  v.include_mobility = false;
+  EXPECT_NE(v.id(), w.id());
+  const auto b = AgingScenario::balanced(1);
+  EXPECT_DOUBLE_EQ(b.lambda_p, 0.5);
+}
+
+TEST(AgingScenario, QuantizeLambda) {
+  EXPECT_DOUBLE_EQ(quantize_lambda(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantize_lambda(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantize_lambda(0.44), 0.4);
+  EXPECT_DOUBLE_EQ(quantize_lambda(0.46), 0.5);
+  EXPECT_DOUBLE_EQ(quantize_lambda(-0.2), 0.0);
+  EXPECT_DOUBLE_EQ(quantize_lambda(1.7), 1.0);
+}
+
+}  // namespace
+}  // namespace rw::aging

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cells/catalog.hpp"
+#include "cells/function.hpp"
+#include "cells/topology.hpp"
+
+namespace rw::cells {
+namespace {
+
+const device::Technology& tech() { return device::ptm45(); }
+
+TEST(SpExpr, ConductsSeriesParallel) {
+  const SpExpr e = SpExpr::parallel({SpExpr::series({SpExpr::leaf("A"), SpExpr::leaf("B")}),
+                                     SpExpr::leaf("C")});
+  const auto on = [](bool a, bool b, bool c) {
+    return [=](const std::string& s) { return s == "A" ? a : s == "B" ? b : c; };
+  };
+  EXPECT_TRUE(e.conducts(on(true, true, false)));
+  EXPECT_TRUE(e.conducts(on(false, false, true)));
+  EXPECT_FALSE(e.conducts(on(true, false, false)));
+}
+
+TEST(SpExpr, DualSwapsTopology) {
+  const SpExpr e = SpExpr::series({SpExpr::leaf("A"), SpExpr::leaf("B")});
+  const SpExpr d = e.dual();
+  EXPECT_EQ(d.kind(), SpExpr::Kind::kParallel);
+  // Dual of dual is the original structure.
+  EXPECT_EQ(d.dual().kind(), SpExpr::Kind::kSeries);
+}
+
+TEST(SpExpr, MinPathLen) {
+  const SpExpr e = SpExpr::parallel({SpExpr::series({SpExpr::leaf("A"), SpExpr::leaf("B")}),
+                                     SpExpr::leaf("C")});
+  EXPECT_EQ(e.min_path_len(), 1);
+  EXPECT_EQ(e.dual().min_path_len(), 2);  // series(parallel(A,B), C) -> min 2
+}
+
+TEST(Catalog, HasExpectedSizeAndUniqueNames) {
+  std::set<std::string> names;
+  for (const auto& c : catalog()) EXPECT_TRUE(names.insert(c.name).second) << c.name;
+  EXPECT_GE(catalog().size(), 55u);  // Nangate-class library breadth
+}
+
+TEST(Catalog, TruthTables) {
+  EXPECT_EQ(truth_table(find_cell("INV_X1")), 0b01u);
+  EXPECT_EQ(truth_table(find_cell("BUF_X1")), 0b10u);
+  EXPECT_EQ(truth_table(find_cell("NAND2_X1")), 0b0111u);
+  EXPECT_EQ(truth_table(find_cell("NOR2_X1")), 0b0001u);
+  EXPECT_EQ(truth_table(find_cell("AND2_X1")), 0b1000u);
+  EXPECT_EQ(truth_table(find_cell("OR2_X1")), 0b1110u);
+  EXPECT_EQ(truth_table(find_cell("XOR2_X1")), 0b0110u);
+  EXPECT_EQ(truth_table(find_cell("XNOR2_X1")), 0b1001u);
+}
+
+TEST(Catalog, Mux2Function) {
+  // inputs {A, B, S}: Z = A when S=0, B when S=1.
+  const CellSpec& mux = find_cell("MUX2_X1");
+  EXPECT_TRUE(eval_cell(mux, {true, false, false}));
+  EXPECT_FALSE(eval_cell(mux, {true, false, true}));
+  EXPECT_FALSE(eval_cell(mux, {false, true, false}));
+  EXPECT_TRUE(eval_cell(mux, {false, true, true}));
+}
+
+TEST(Catalog, ComplexGateFunctions) {
+  // AOI21: Z = !(A·B + C), OAI21: Z = !((A+B)·C).
+  const CellSpec& aoi = find_cell("AOI21_X1");
+  EXPECT_FALSE(eval_cell(aoi, {true, true, false}));
+  EXPECT_FALSE(eval_cell(aoi, {false, false, true}));
+  EXPECT_TRUE(eval_cell(aoi, {true, false, false}));
+  const CellSpec& oai = find_cell("OAI21_X1");
+  EXPECT_FALSE(eval_cell(oai, {true, false, true}));
+  EXPECT_TRUE(eval_cell(oai, {true, true, false}));
+  EXPECT_TRUE(eval_cell(oai, {false, false, true}));
+}
+
+TEST(Catalog, Unateness) {
+  EXPECT_EQ(arc_unateness(find_cell("INV_X1"), "A"), -1);
+  EXPECT_EQ(arc_unateness(find_cell("BUF_X1"), "A"), 1);
+  EXPECT_EQ(arc_unateness(find_cell("NAND2_X1"), "A"), -1);
+  EXPECT_EQ(arc_unateness(find_cell("AND2_X1"), "B"), 1);
+  EXPECT_EQ(arc_unateness(find_cell("XOR2_X1"), "A"), 0);
+  EXPECT_EQ(arc_unateness(find_cell("MUX2_X1"), "S"), 0);
+}
+
+TEST(Materialize, InverterTransistors) {
+  const auto fets = materialize(find_cell("INV_X1"), tech());
+  ASSERT_EQ(fets.size(), 2u);
+  int n_nmos = 0;
+  for (const auto& t : fets) {
+    EXPECT_EQ(t.gate, "A");
+    if (t.type == device::MosType::kNmos) {
+      ++n_nmos;
+      EXPECT_EQ(t.source, "GND");
+      EXPECT_DOUBLE_EQ(t.width_um, tech().nmos_unit_width_um);
+    } else {
+      EXPECT_EQ(t.source, "VDD");
+      EXPECT_DOUBLE_EQ(t.width_um, tech().pmos_unit_width_um);
+    }
+    EXPECT_EQ(t.drain, "Z");
+  }
+  EXPECT_EQ(n_nmos, 1);
+}
+
+TEST(Materialize, StackUpsizing) {
+  // NAND3 pull-down stack of 3: each nMOS 3x unit width; pull-up parallel
+  // pMOS stay at unit width.
+  for (const auto& t : materialize(find_cell("NAND3_X1"), tech())) {
+    if (t.type == device::MosType::kNmos) {
+      EXPECT_DOUBLE_EQ(t.width_um, 3.0 * tech().nmos_unit_width_um);
+    } else {
+      EXPECT_DOUBLE_EQ(t.width_um, tech().pmos_unit_width_um);
+    }
+  }
+}
+
+TEST(Materialize, DriveScalesWidths) {
+  const auto x1 = materialize(find_cell("NAND2_X1"), tech());
+  const auto x4 = materialize(find_cell("NAND2_X4"), tech());
+  ASSERT_EQ(x1.size(), x4.size());
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_NEAR(x4[i].width_um, 4.0 * x1[i].width_um, 1e-9);
+  }
+}
+
+TEST(Materialize, DffStructure) {
+  const auto fets = materialize(find_cell("DFF_X1"), tech());
+  EXPECT_EQ(fets.size(), 22u);  // master-slave TG flop
+  bool drives_q = false;
+  for (const auto& t : fets) {
+    if (t.drain == "Q" || t.source == "Q") drives_q = true;
+  }
+  EXPECT_TRUE(drives_q);
+}
+
+TEST(PinCap, GrowsWithFanInCount) {
+  // NAND4's A pin sees a 4-high stack (wider device) vs NAND2's A pin.
+  const double c2 = pin_input_cap_ff(find_cell("NAND2_X1"), tech(), "A");
+  const double c4 = pin_input_cap_ff(find_cell("NAND4_X1"), tech(), "A");
+  EXPECT_GT(c4, c2);
+  EXPECT_GT(c2, 0.5);
+  EXPECT_LT(c2, 5.0);
+}
+
+TEST(Area, MonotoneInDrive) {
+  EXPECT_GT(cell_area_um2(find_cell("INV_X4"), tech()),
+            cell_area_um2(find_cell("INV_X1"), tech()));
+  EXPECT_GT(cell_area_um2(find_cell("NAND4_X1"), tech()),
+            cell_area_um2(find_cell("NAND2_X1"), tech()));
+}
+
+// Property: every combinational catalog cell evaluates consistently with its
+// truth table for every input pattern (switch-level model self-consistency).
+TEST(Catalog, TruthTableConsistencyProperty) {
+  for (const auto& spec : catalog()) {
+    if (spec.is_flop) continue;
+    const std::uint64_t tt = truth_table(spec);
+    const auto n = spec.inputs.size();
+    for (std::uint64_t p = 0; p < (1ULL << n); ++p) {
+      std::vector<bool> in(n);
+      for (std::size_t i = 0; i < n; ++i) in[i] = ((p >> i) & 1ULL) != 0;
+      EXPECT_EQ(eval_cell(spec, in), ((tt >> p) & 1ULL) != 0) << spec.name << " pattern " << p;
+    }
+  }
+}
+
+// Property: duals produce complementary networks — for any input pattern,
+// exactly one of pull-down / pull-up conducts (no crowbar, no float).
+TEST(Catalog, ComplementaryNetworksProperty) {
+  for (const auto& spec : catalog()) {
+    if (spec.is_flop) continue;
+    for (const auto& stage : spec.stages) {
+      const auto signals = stage.pulldown.signals();
+      for (std::uint64_t p = 0; p < (1ULL << signals.size()); ++p) {
+        const auto on = [&](const std::string& s) {
+          for (std::size_t i = 0; i < signals.size(); ++i) {
+            if (signals[i] == s) return ((p >> i) & 1ULL) != 0;
+          }
+          ADD_FAILURE() << "unknown signal " << s;
+          return false;
+        };
+        const bool pd = stage.pulldown.conducts(on);
+        const bool pu = stage.pulldown.dual().conducts([&](const std::string& s) { return !on(s); });
+        EXPECT_NE(pd, pu) << spec.name << " stage " << stage.out << " pattern " << p;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rw::cells

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "charlib/characterizer.hpp"
+#include "charlib/factory.hpp"
+#include "spice/solver.hpp"
+#include "cells/catalog.hpp"
+
+namespace rw::charlib {
+namespace {
+
+CharacterizeOptions coarse_options() {
+  CharacterizeOptions o;
+  o.grid = OpcGrid::coarse();
+  return o;
+}
+
+TEST(OpcGrid, PaperGridBounds) {
+  const OpcGrid g = OpcGrid::paper();
+  EXPECT_EQ(g.size(), 49u);
+  EXPECT_DOUBLE_EQ(g.slews_ps.front(), 5.0);
+  EXPECT_DOUBLE_EQ(g.slews_ps.back(), 947.0);
+  EXPECT_DOUBLE_EQ(g.loads_ff.front(), 0.5);
+  EXPECT_DOUBLE_EQ(g.loads_ff.back(), 20.0);
+  EXPECT_EQ(g.tag(), "7x7");
+}
+
+TEST(Characterizer, InverterArcShapes) {
+  const auto cell = characterize_cell(cells::find_cell("INV_X1"),
+                                      aging::AgingScenario::fresh(), coarse_options());
+  ASSERT_EQ(cell.arcs.size(), 1u);
+  const auto& arc = cell.arcs[0];
+  EXPECT_EQ(arc.sense, liberty::TimingSense::kNegativeUnate);
+  ASSERT_FALSE(arc.rise.empty());
+  ASSERT_FALSE(arc.fall.empty());
+  // Delay grows with load at fixed slew (fundamental NLDM property).
+  const auto& g = coarse_options().grid;
+  for (std::size_t s = 0; s < g.slews_ps.size(); ++s) {
+    for (std::size_t l = 1; l < g.loads_ff.size(); ++l) {
+      EXPECT_GT(arc.rise.delay_ps.at(s, l), arc.rise.delay_ps.at(s, l - 1))
+          << "slew " << g.slews_ps[s];
+    }
+  }
+  // Output slew also grows with load.
+  EXPECT_GT(arc.rise.out_slew_ps.at(0, 2), arc.rise.out_slew_ps.at(0, 0));
+  // Pin capacitance and area are populated.
+  EXPECT_GT(cell.input_cap_ff("A"), 0.3);
+  EXPECT_GT(cell.area_um2, 0.2);
+}
+
+TEST(Characterizer, WorstCaseAgingSlowsTypicalOpc) {
+  const auto& spec = cells::find_cell("NAND2_X1");
+  CharacterizeOptions o;
+  o.grid = OpcGrid::single(60.0, 4.0);
+  const auto fresh = characterize_cell(spec, aging::AgingScenario::fresh(), o);
+  const auto aged = characterize_cell(spec, aging::AgingScenario::worst_case(10), o);
+  for (std::size_t a = 0; a < fresh.arcs.size(); ++a) {
+    EXPECT_GT(aged.arcs[a].rise.delay_ps.at(0, 0), fresh.arcs[a].rise.delay_ps.at(0, 0));
+  }
+}
+
+TEST(Characterizer, NorFallDelayImprovesAtLargeSlew) {
+  // The paper's Fig. 1(b) effect: NBTI weakens the opposing pull-up, so the
+  // NOR's fall delay *improves* under aging for slow rising inputs.
+  const auto& spec = cells::find_cell("NOR2_X1");
+  CharacterizeOptions o;
+  o.grid = OpcGrid::single(947.0, 0.5);
+  const auto fresh = characterize_cell(spec, aging::AgingScenario::fresh(), o);
+  const auto aged = characterize_cell(spec, aging::AgingScenario::worst_case(10), o);
+  EXPECT_LT(aged.arcs[0].fall.delay_ps.at(0, 0), fresh.arcs[0].fall.delay_ps.at(0, 0));
+}
+
+TEST(Characterizer, FlopClkToQAndSetup) {
+  const auto cell = characterize_cell(cells::find_cell("DFF_X1"),
+                                      aging::AgingScenario::fresh(), coarse_options());
+  EXPECT_TRUE(cell.is_flop);
+  ASSERT_EQ(cell.arcs.size(), 1u);
+  EXPECT_TRUE(cell.arcs[0].clocked);
+  EXPECT_EQ(cell.arcs[0].related_pin, "CK");
+  // CK->Q delay is positive and reasonable at a mid OPC.
+  const double clkq = cell.arcs[0].rise.delay_ps.lookup(40.0, 4.0);
+  EXPECT_GT(clkq, 10.0);
+  EXPECT_LT(clkq, 300.0);
+  EXPECT_GT(cell.setup_ps, 0.0);
+  EXPECT_LT(cell.setup_ps, 405.0);
+  EXPECT_TRUE(cell.find_pin("CK")->is_clock);
+}
+
+TEST(Factory, MemoizesAndHonorsSubset) {
+  LibraryFactory::Options opts;
+  opts.characterize.grid = OpcGrid::coarse();
+  opts.cache_dir.clear();  // no disk cache for this test
+  opts.cell_subset = {"INV_X1", "INV_X2", "NAND2_X1", "DFF_X1"};
+  LibraryFactory factory(opts);
+  const auto& lib = factory.library(aging::AgingScenario::fresh());
+  EXPECT_EQ(lib.size(), 4u);
+  // Second call returns the same object (memoized).
+  EXPECT_EQ(&factory.library(aging::AgingScenario::fresh()), &lib);
+}
+
+TEST(Factory, DiskCacheRoundTrip) {
+  const std::string dir = std::filesystem::temp_directory_path() / "rw_test_cache";
+  std::filesystem::remove_all(dir);
+  LibraryFactory::Options opts;
+  opts.characterize.grid = OpcGrid::coarse();
+  opts.cache_dir = dir;
+  opts.cell_subset = {"INV_X1"};
+  double delay_first = 0.0;
+  {
+    LibraryFactory factory(opts);
+    delay_first =
+        factory.cell("INV_X1", aging::AgingScenario::fresh()).arcs[0].rise.delay_ps.at(0, 0);
+    EXPECT_TRUE(std::filesystem::exists(std::string(dir) + "/3x3/fresh/INV_X1.lib"));
+  }
+  {
+    // Fresh factory must hit the disk cache and reproduce the exact value.
+    LibraryFactory factory(opts);
+    // The Liberty text format carries 4 decimals; equality holds to that.
+    EXPECT_NEAR(
+        factory.cell("INV_X1", aging::AgingScenario::fresh()).arcs[0].rise.delay_ps.at(0, 0),
+        delay_first, 1e-3);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Factory, MergedLibraryUsesIndexedNames) {
+  LibraryFactory::Options opts;
+  opts.characterize.grid = OpcGrid::coarse();
+  opts.cache_dir.clear();
+  opts.cell_subset = {"INV_X1"};
+  LibraryFactory factory(opts);
+  const auto merged = factory.merged({aging::AgingScenario{0.4, 0.6, 10.0, true},
+                                      aging::AgingScenario{1.0, 1.0, 10.0, true}});
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_NE(merged.find("INV_X1_0.40_0.60"), nullptr);
+  EXPECT_NE(merged.find("INV_X1_1.00_1.00"), nullptr);
+}
+
+TEST(AppendCellInstance, ChainsTwoCells) {
+  // Build INV -> INV chain at transistor level and verify DC logic levels.
+  const auto& spec = cells::find_cell("INV_X1");
+  const CharacterizeOptions o = coarse_options();
+  spice::Circuit c;
+  const auto vdd = c.add_node("VDD");
+  c.add_source(vdd, spice::Pwl::dc(o.tech.vdd_v));
+  const auto in = c.add_node("IN");
+  c.add_source(in, spice::Pwl::dc(0.0));
+  const auto mid = append_cell_instance(c, spec, aging::AgingScenario::fresh(), o, "u1:", vdd,
+                                        {{"A", in}});
+  const auto out = append_cell_instance(c, spec, aging::AgingScenario::fresh(), o, "u2:", vdd,
+                                        {{"A", mid}});
+  const auto v = spice::dc_operating_point(c);
+  EXPECT_NEAR(v[static_cast<std::size_t>(mid)], o.tech.vdd_v, 0.05);
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)], 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rw::charlib

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "circuits/arith.hpp"
+#include "circuits/benchmarks.hpp"
+#include "synth/decompose.hpp"
+#include "util/rng.hpp"
+
+namespace rw::circuits {
+namespace {
+
+using synth::Ir;
+using synth::IrSimulator;
+
+void set_word(IrSimulator& sim, const std::string& base, std::uint64_t value, int width) {
+  for (int i = 0; i < width; ++i) {
+    sim.set_input(base + std::to_string(i), ((value >> i) & 1ULL) != 0);
+  }
+}
+
+std::uint64_t get_word(const IrSimulator& sim, const std::string& base, int width) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    if (sim.output(base + std::to_string(i))) v |= 1ULL << i;
+  }
+  return v;
+}
+
+TEST(Arith, SubAndMulRandom) {
+  Ir ir;
+  const auto a = input_word(ir, "a", 8);
+  const auto b = input_word(ir, "b", 8);
+  output_word(ir, "d", sub(ir, a, b));
+  output_word(ir, "p", mul(ir, a, b));
+  IrSimulator sim(ir);
+  util::Rng rng(17);
+  for (int k = 0; k < 200; ++k) {
+    const std::uint64_t av = rng.next_below(256);
+    const std::uint64_t bv = rng.next_below(256);
+    set_word(sim, "a", av, 8);
+    set_word(sim, "b", bv, 8);
+    sim.evaluate();
+    EXPECT_EQ(get_word(sim, "d", 8), (av - bv) & 0xFFu);
+    EXPECT_EQ(get_word(sim, "p", 16), av * bv);
+  }
+}
+
+TEST(Arith, SignedMultiply) {
+  Ir ir;
+  const auto a = input_word(ir, "a", 8);
+  const auto b = input_word(ir, "b", 8);
+  output_word(ir, "p", mul_signed(ir, a, b));
+  IrSimulator sim(ir);
+  util::Rng rng(18);
+  for (int k = 0; k < 200; ++k) {
+    const int av = rng.uniform_int(-128, 127);
+    const int bv = rng.uniform_int(-128, 127);
+    set_word(sim, "a", static_cast<std::uint64_t>(av) & 0xFF, 8);
+    set_word(sim, "b", static_cast<std::uint64_t>(bv) & 0xFF, 8);
+    sim.evaluate();
+    const auto got = static_cast<std::int32_t>(static_cast<std::uint32_t>(get_word(sim, "p", 16))
+                                               << 16) >> 16;
+    EXPECT_EQ(got, av * bv) << av << "*" << bv;
+  }
+}
+
+TEST(Arith, ConstMultiplyCsd) {
+  Ir ir;
+  const auto a = input_word(ir, "a", 10);
+  output_word(ir, "p", mul_const(ir, a, 473, 22));   // DCT c2
+  output_word(ir, "n", mul_const(ir, a, -100, 22));  // negative factor
+  IrSimulator sim(ir);
+  util::Rng rng(19);
+  for (int k = 0; k < 100; ++k) {
+    const int av = rng.uniform_int(-512, 511);
+    set_word(sim, "a", static_cast<std::uint64_t>(av) & 0x3FF, 10);
+    sim.evaluate();
+    const auto p = static_cast<std::int32_t>(static_cast<std::uint32_t>(get_word(sim, "p", 22))
+                                             << 10) >> 10;
+    const auto n = static_cast<std::int32_t>(static_cast<std::uint32_t>(get_word(sim, "n", 22))
+                                             << 10) >> 10;
+    EXPECT_EQ(p, 473 * av);
+    EXPECT_EQ(n, -100 * av);
+  }
+}
+
+TEST(Arith, BarrelShifter) {
+  Ir ir;
+  const auto a = input_word(ir, "a", 16);
+  const auto sh = input_word(ir, "s", 4);
+  output_word(ir, "l", barrel_shift(ir, a, sh, true));
+  output_word(ir, "r", barrel_shift(ir, a, sh, false));
+  IrSimulator sim(ir);
+  util::Rng rng(20);
+  for (int k = 0; k < 100; ++k) {
+    const std::uint64_t av = rng.next_below(65536);
+    const std::uint64_t sv = rng.next_below(16);
+    set_word(sim, "a", av, 16);
+    set_word(sim, "s", sv, 4);
+    sim.evaluate();
+    EXPECT_EQ(get_word(sim, "l", 16), (av << sv) & 0xFFFFu);
+    EXPECT_EQ(get_word(sim, "r", 16), av >> sv);
+  }
+}
+
+TEST(Dsp, MacAccumulates) {
+  Ir ir = make_dsp();
+  IrSimulator sim(ir);
+  // Stream (a, b) pairs; accumulator lags by the pipeline depth.
+  const int pairs[4][2] = {{3, 5}, {-2, 7}, {100, 100}, {-50, 3}};
+  std::int64_t expect = 0;
+  sim.set_input("clear", false);
+  for (int k = 0; k < 10; ++k) {
+    const int a = pairs[k % 4][0];
+    const int b = pairs[k % 4][1];
+    set_word(sim, "a", static_cast<std::uint64_t>(a) & 0xFFFF, 16);
+    set_word(sim, "b", static_cast<std::uint64_t>(b) & 0xFFFF, 16);
+    sim.step();
+    if (k >= 2) expect += static_cast<std::int64_t>(pairs[(k - 2) % 4][0]) * pairs[(k - 2) % 4][1];
+  }
+  sim.evaluate();
+  const auto acc = static_cast<std::int64_t>(static_cast<std::uint64_t>(get_word(sim, "acc", 32))
+                                             << 32) >> 32;
+  EXPECT_EQ(acc, expect & 0xFFFFFFFFll ? acc : acc);  // acc wraps at 32 bits
+  EXPECT_EQ(static_cast<std::uint32_t>(acc), static_cast<std::uint32_t>(expect));
+}
+
+TEST(Risc, AddiThroughPipeline) {
+  // ADDI r1, r0, 5 -> after the pipeline drains, wb shows 5 (r0 starts 0).
+  Ir ir = make_risc5();
+  IrSimulator sim(ir);
+  const auto encode = [](unsigned op, unsigned rd, unsigned rs1, unsigned rs2, unsigned imm) {
+    return (op << 13) | (rd << 10) | (rs1 << 7) | (rs2 << 4) | imm;
+  };
+  const unsigned addi = encode(7, 1, 0, 0, 5);
+  const unsigned nop = encode(0, 0, 0, 0, 0);  // ADD r0 = r0 + r0
+  std::uint64_t last_wb = 0;
+  for (int k = 0; k < 12; ++k) {
+    set_word(sim, "instr", k == 0 ? addi : nop, 16);
+    sim.step();
+    sim.evaluate();
+    last_wb = get_word(sim, "wb", 16);
+    if (last_wb == 5) break;
+  }
+  EXPECT_EQ(last_wb, 5u);
+}
+
+TEST(Risc, ForwardingChain) {
+  // r1 = 3; r2 = r1 + r1 (back-to-back, needs forwarding); observe wb = 6.
+  Ir ir = make_risc5();
+  IrSimulator sim(ir);
+  const auto encode = [](unsigned op, unsigned rd, unsigned rs1, unsigned rs2, unsigned imm) {
+    return (op << 13) | (rd << 10) | (rs1 << 7) | (rs2 << 4) | imm;
+  };
+  const std::vector<unsigned> program = {
+      encode(7, 1, 0, 0, 3),  // ADDI r1, r0, 3
+      encode(0, 2, 1, 1, 0),  // ADD  r2, r1, r1
+  };
+  bool saw_six = false;
+  for (int k = 0; k < 14; ++k) {
+    const unsigned instr = k < static_cast<int>(program.size()) ? program[static_cast<std::size_t>(k)]
+                                                                : encode(0, 0, 0, 0, 0);
+    set_word(sim, "instr", instr, 16);
+    sim.step();
+    sim.evaluate();
+    if (get_word(sim, "wb", 16) == 6) saw_six = true;
+  }
+  EXPECT_TRUE(saw_six);
+}
+
+TEST(Vliw, DualIssueWrites) {
+  Ir ir = make_vliw();
+  IrSimulator sim(ir);
+  const auto slot = [](unsigned op, unsigned rd, unsigned rs1, unsigned imm4) {
+    return (op << 10) | (rd << 7) | (rs1 << 4) | imm4;
+  };
+  // Slot0: ADDI r1, r0, 7; Slot1: ADDI r2, r0, 4.
+  const std::uint64_t bundle =
+      slot(7, 1, 0, 7) | (static_cast<std::uint64_t>(slot(7, 2, 0, 4)) << 13);
+  bool ok = false;
+  for (int k = 0; k < 8; ++k) {
+    set_word(sim, "instr", k == 0 ? bundle : 0, 26);
+    sim.step();
+    sim.evaluate();
+    if (get_word(sim, "res0", 16) == 7 && get_word(sim, "res1", 16) == 4) ok = true;
+  }
+  EXPECT_TRUE(ok);
+}
+
+TEST(Dct, ReferenceMatchesFloatDct) {
+  // The fixed-point reference must approximate the orthonormal float DCT.
+  int in[8] = {-128, -100, -50, 0, 30, 80, 120, 127};
+  int out[8];
+  dct8_reference(in, out);
+  for (int k = 0; k < 8; ++k) {
+    double acc = 0.0;
+    for (int n = 0; n < 8; ++n) {
+      const double ck = k == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+      acc += 0.5 * ck * in[n] * std::cos((2 * n + 1) * k * M_PI / 16.0);
+    }
+    EXPECT_NEAR(out[k], acc, 2.0) << "k=" << k;
+  }
+}
+
+TEST(Dct, ForwardInverseRoundTrip) {
+  int in[8] = {-100, -5, 3, 77, -128, 127, 0, 64};
+  int coeffs[8];
+  int back[8];
+  dct8_reference(in, coeffs);
+  idct8_reference(coeffs, back);
+  for (int i = 0; i < 8; ++i) EXPECT_NEAR(back[i], in[i], 3) << i;
+}
+
+TEST(Dct, CircuitMatchesReferenceBitExact) {
+  Ir ir = make_dct8();
+  IrSimulator sim(ir);
+  util::Rng rng(23);
+  for (int vec = 0; vec < 40; ++vec) {
+    int in[8];
+    for (int i = 0; i < 8; ++i) {
+      in[i] = rng.uniform_int(-400, 400);  // 12-bit signed operating range
+      set_word(sim, "x" + std::to_string(i) + "_", static_cast<std::uint64_t>(in[i]) & 0xFFF, 12);
+    }
+    sim.step();  // input regs
+    sim.step();  // output regs
+    sim.evaluate();
+    int want[8];
+    dct8_reference(in, want);
+    for (int k = 0; k < 8; ++k) {
+      const auto raw = get_word(sim, "y" + std::to_string(k) + "_", 12);
+      const auto got = static_cast<int>(static_cast<std::int32_t>(static_cast<std::uint32_t>(raw)
+                                                                  << 20) >> 20);
+      EXPECT_EQ(got, want[k]) << "vec " << vec << " k " << k;
+    }
+  }
+}
+
+TEST(Idct, CircuitMatchesReferenceBitExact) {
+  Ir ir = make_idct8();
+  IrSimulator sim(ir);
+  util::Rng rng(24);
+  for (int vec = 0; vec < 40; ++vec) {
+    int in[8];
+    for (int i = 0; i < 8; ++i) {
+      in[i] = rng.uniform_int(-500, 500);
+      set_word(sim, "y" + std::to_string(i) + "_", static_cast<std::uint64_t>(in[i]) & 0xFFF, 12);
+    }
+    sim.step();
+    sim.step();
+    sim.evaluate();
+    int want[8];
+    idct8_reference(in, want);
+    for (int n = 0; n < 8; ++n) {
+      const auto raw = get_word(sim, "x" + std::to_string(n) + "_", 12);
+      const auto got = static_cast<int>(static_cast<std::int32_t>(static_cast<std::uint32_t>(raw)
+                                                                  << 20) >> 20);
+      EXPECT_EQ(got, want[n]) << "vec " << vec << " n " << n;
+    }
+  }
+}
+
+TEST(Suite, AllBenchmarksDecompose) {
+  for (const auto& bc : benchmark_suite()) {
+    const Ir ir = bc.build();
+    ir.validate();
+    const synth::SubjectGraph g = synth::decompose(ir);
+    EXPECT_GT(g.nand_count(), 100u) << bc.name;  // industrial-ish sizes
+    EXPECT_FALSE(g.pos.empty()) << bc.name;
+  }
+}
+
+}  // namespace
+}  // namespace rw::circuits

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "device/mosfet.hpp"
+#include "device/ptm45.hpp"
+
+namespace rw::device {
+namespace {
+
+const Technology& tech() { return ptm45(); }
+
+TEST(Mosfet, OffBelowThreshold) {
+  const Mosfet n(tech().nmos, 0.4);
+  // Deep subthreshold current must be negligible vs on-current.
+  const double off = n.drain_current_ma(0.0, 1.2, 0.0);
+  const double on = n.drain_current_ma(1.2, 1.2, 0.0);
+  EXPECT_GT(on, 1e3 * off);
+  EXPECT_GT(on, 0.1);  // hundreds of µA per 0.4 µm at full drive
+}
+
+TEST(Mosfet, CurrentIncreasesWithGateDrive) {
+  const Mosfet n(tech().nmos, 0.4);
+  double prev = 0.0;
+  for (double vg = 0.5; vg <= 1.2; vg += 0.1) {
+    const double id = n.drain_current_ma(vg, 1.2, 0.0);
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(Mosfet, CurrentMonotoneInVds) {
+  const Mosfet n(tech().nmos, 0.4);
+  double prev = 0.0;
+  for (double vd = 0.05; vd <= 1.2; vd += 0.05) {
+    const double id = n.drain_current_ma(1.2, vd, 0.0);
+    EXPECT_GE(id, prev);
+    prev = id;
+  }
+}
+
+TEST(Mosfet, SymmetricReverseConduction) {
+  const Mosfet n(tech().nmos, 0.4);
+  // Swapping drain/source flips the sign of the current.
+  const double fwd = n.drain_current_ma(1.2, 0.7, 0.3);
+  const double rev = n.drain_current_ma(1.2, 0.3, 0.7);
+  EXPECT_NEAR(fwd, -rev, 1e-12);
+}
+
+TEST(Mosfet, ContinuousAcrossVdsZero) {
+  const Mosfet n(tech().nmos, 0.4);
+  const double lo = n.drain_current_ma(1.0, -1e-7, 0.0);
+  const double hi = n.drain_current_ma(1.0, 1e-7, 0.0);
+  EXPECT_NEAR(lo, hi, 1e-6);
+}
+
+TEST(Mosfet, PmosConductsWhenGateLow) {
+  const Mosfet p(tech().pmos, 0.8);
+  // Source at VDD, drain low, gate low: current flows out of the drain.
+  const double id = p.drain_current_ma(0.0, 0.0, 1.2);
+  EXPECT_LT(id, -0.1);
+  // Gate high: off.
+  EXPECT_NEAR(p.drain_current_ma(1.2, 0.0, 1.2), 0.0, 1e-4);
+}
+
+TEST(Mosfet, ThresholdShiftReducesCurrent) {
+  const Mosfet fresh(tech().nmos, 0.4);
+  const Mosfet aged(tech().nmos, 0.4, Degradation{0.05, 1.0});
+  EXPECT_LT(aged.drain_current_ma(1.2, 1.2, 0.0), fresh.drain_current_ma(1.2, 1.2, 0.0));
+}
+
+TEST(Mosfet, MobilityLossReducesCurrentProportionally) {
+  const Mosfet fresh(tech().nmos, 0.4);
+  const Mosfet aged(tech().nmos, 0.4, Degradation{0.0, 0.9});
+  EXPECT_NEAR(aged.drain_current_ma(1.2, 1.2, 0.0), 0.9 * fresh.drain_current_ma(1.2, 1.2, 0.0),
+              1e-9);
+}
+
+TEST(Mosfet, RejectsInvalidDegradation) {
+  EXPECT_THROW(Mosfet(tech().nmos, 0.4, Degradation{-0.01, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Mosfet(tech().nmos, 0.4, Degradation{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Mosfet(tech().nmos, 0.4, Degradation{0.0, 1.5}), std::invalid_argument);
+  EXPECT_THROW(Mosfet(tech().nmos, -1.0), std::invalid_argument);
+}
+
+TEST(Mosfet, CapsScaleWithWidth) {
+  const Mosfet a(tech().nmos, 0.4);
+  const Mosfet b(tech().nmos, 0.8);
+  EXPECT_NEAR(b.gate_cap_ff(), 2.0 * a.gate_cap_ff(), 1e-12);
+  EXPECT_NEAR(b.junction_cap_ff(), 2.0 * a.junction_cap_ff(), 1e-12);
+}
+
+TEST(Technology, CalibratedDriveBalance) {
+  // Standard beta ratio: X1 pMOS (0.8 µm) roughly matches X1 nMOS (0.4 µm).
+  const Mosfet n(tech().nmos, tech().nmos_unit_width_um);
+  const Mosfet p(tech().pmos, tech().pmos_unit_width_um);
+  const double idn = n.drain_current_ma(1.2, 1.2, 0.0);
+  const double idp = -p.drain_current_ma(0.0, 0.0, 1.2);
+  EXPECT_GT(idp / idn, 0.6);
+  EXPECT_LT(idp / idn, 1.6);
+}
+
+}  // namespace
+}  // namespace rw::device

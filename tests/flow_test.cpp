@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "charlib/factory.hpp"
+#include "circuits/arith.hpp"
+#include "flow/aging_aware_synthesis.hpp"
+#include "flow/guardband_flow.hpp"
+#include "flow/libgen.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/rng.hpp"
+
+namespace rw::flow {
+namespace {
+
+charlib::LibraryFactory& factory() {
+  static charlib::LibraryFactory f = [] {
+    charlib::LibraryFactory::Options o;
+    o.characterize.grid = charlib::OpcGrid::coarse();
+    o.cell_subset = {"INV_X1", "INV_X2", "NAND2_X1", "NAND2_X2", "NOR2_X1",
+                     "AND2_X1", "XOR2_X1", "BUF_X2",  "DFF_X1"};
+    return charlib::LibraryFactory(o);
+  }();
+  return f;
+}
+
+synth::Ir small_datapath() {
+  synth::Ir ir;
+  const auto a = circuits::input_word(ir, "a", 6);
+  const auto b = circuits::input_word(ir, "b", 6);
+  const auto ra = circuits::register_word(ir, a);
+  const auto rb = circuits::register_word(ir, b);
+  const auto sum = circuits::add(ir, ra, rb);
+  circuits::output_word(ir, "s", circuits::register_word(ir, sum));
+  return ir;
+}
+
+netlist::Module mapped_design() {
+  synth::SynthesisOptions opt;
+  opt.multi_start = false;
+  return synth::synthesize(small_datapath(), factory().library(aging::AgingScenario::fresh()),
+                           "dp", opt)
+      .module;
+}
+
+TEST(Libgen, VthOnlyScenario) {
+  const auto s = worst_case_vth_only(10);
+  EXPECT_FALSE(s.include_mobility);
+  EXPECT_DOUBLE_EQ(s.lambda_p, 1.0);
+}
+
+TEST(Libgen, FullLambdaGridHas121Scenarios) {
+  const auto grid = full_lambda_grid(10.0);
+  EXPECT_EQ(grid.size(), 121u);  // the paper's 11x11 λ grid
+  // All distinct ids.
+  std::set<std::string> ids;
+  for (const auto& s : grid) ids.insert(s.id());
+  EXPECT_EQ(ids.size(), 121u);
+}
+
+TEST(Libgen, SingleOpcLibraryScalesUniformly) {
+  const auto& fresh = factory().library(aging::AgingScenario::fresh());
+  const auto& aged = factory().library(aging::AgingScenario::worst_case(10));
+  const auto single = make_single_opc_library(fresh, aged, 947.0, 0.5);
+  const auto& f = fresh.at("NAND2_X1").arcs[0].rise.delay_ps;
+  const auto& s = single.at("NAND2_X1").arcs[0].rise.delay_ps;
+  // Ratio is the same at every table point (uniform scaling).
+  const double r00 = s.at(0, 0) / f.at(0, 0);
+  const double r22 = s.at(2, 2) / f.at(2, 2);
+  EXPECT_NEAR(r00, r22, 1e-9);
+  EXPECT_GT(r00, 1.0);  // aged at the paper's pessimistic OPC
+}
+
+TEST(GuardbandFlow, StaticWorstCase) {
+  const netlist::Module m = mapped_design();
+  const auto report = static_guardband(m, factory(), aging::AgingScenario::worst_case(10));
+  EXPECT_GT(report.guardband_ps(), 0.0);
+  EXPECT_GT(report.aged_cp_ps, report.fresh_cp_ps);
+}
+
+TEST(GuardbandFlow, GuardbandGrowsWithLifetime) {
+  const netlist::Module m = mapped_design();
+  const double g1 =
+      static_guardband(m, factory(), aging::AgingScenario::worst_case(1)).guardband_ps();
+  const double g10 =
+      static_guardband(m, factory(), aging::AgingScenario::worst_case(10)).guardband_ps();
+  EXPECT_GT(g10, g1);
+}
+
+TEST(GuardbandFlow, DynamicWorkloadBelowWorstCase) {
+  const netlist::Module m = mapped_design();
+  util::Rng rng(5);
+  const auto stimulus = [&](logicsim::CycleSimulator& sim, int) {
+    for (netlist::NetId pi : m.inputs()) {
+      if (pi != m.clock()) sim.set_input(pi, rng.chance(0.5));
+    }
+  };
+  const auto dyn = dynamic_workload_guardband(m, factory(), stimulus, 200, 10.0);
+  // Annotated cells carry λ indices; corners were collected.
+  EXPECT_FALSE(dyn.corners.empty());
+  EXPECT_NE(dyn.annotated.instances()[0].cell.find("_0."), std::string::npos);
+  // The workload-specific guardband cannot exceed worst-case static stress.
+  const auto worst = static_guardband(m, factory(), aging::AgingScenario::worst_case(10));
+  EXPECT_GT(dyn.report.guardband_ps(), 0.0);
+  EXPECT_LE(dyn.report.guardband_ps(), worst.guardband_ps() + 1e-6);
+}
+
+TEST(Containment, AwareDesignContainsGuardband) {
+  const auto& fresh = factory().library(aging::AgingScenario::fresh());
+  const auto& aged = factory().library(aging::AgingScenario::worst_case(10));
+  synth::SynthesisOptions opt;  // full effort
+  const ContainmentResult r = run_containment(small_datapath(), fresh, aged, "dp", opt);
+  EXPECT_GT(r.required_guardband_ps(), 0.0);
+  // The aware design never needs *more* margin than required + noise.
+  EXPECT_LE(r.contained_guardband_ps(), 1.15 * r.required_guardband_ps());
+  // Area stays in the same ballpark (paper: ~0.2 % overhead).
+  EXPECT_LT(std::abs(r.area_overhead_pct()), 25.0);
+  // Both netlists implement the same function (spot check: same I/O counts).
+  EXPECT_EQ(r.conventional.module.inputs().size(), r.aging_aware.module.inputs().size());
+  EXPECT_EQ(r.conventional.module.outputs().size(), r.aging_aware.module.outputs().size());
+}
+
+}  // namespace
+}  // namespace rw::flow

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "circuits/benchmarks.hpp"
+#include "image/chain.hpp"
+#include "image/dct2d.hpp"
+#include "image/image.hpp"
+#include "image/psnr.hpp"
+
+namespace rw::image {
+namespace {
+
+TEST(Image, SyntheticIsDeterministicAndInRange) {
+  const Image a = make_synthetic_image(32, 32, 7);
+  const Image b = make_synthetic_image(32, 32, 7);
+  const Image c = make_synthetic_image(32, 32, 8);
+  EXPECT_EQ(a.pixels(), b.pixels());
+  EXPECT_NE(a.pixels(), c.pixels());
+  EXPECT_THROW(make_synthetic_image(30, 32), std::invalid_argument);
+}
+
+TEST(Image, PgmRoundTrip) {
+  const Image img = make_synthetic_image(16, 24, 3);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rw_test_img.pgm").string();
+  write_pgm(img, path);
+  const Image back = read_pgm(path);
+  EXPECT_EQ(back.width(), img.width());
+  EXPECT_EQ(back.height(), img.height());
+  EXPECT_EQ(back.pixels(), img.pixels());
+  std::filesystem::remove(path);
+}
+
+TEST(Psnr, IdenticalIsInfiniteAndNoiseIsFinite) {
+  const Image img = make_synthetic_image(16, 16);
+  EXPECT_TRUE(std::isinf(psnr_db(img, img)));
+  Image noisy = img;
+  noisy.set(3, 3, static_cast<std::uint8_t>(img.at(3, 3) ^ 0x40));
+  const double p = psnr_db(img, noisy);
+  EXPECT_GT(p, 20.0);
+  EXPECT_LT(p, 60.0);
+}
+
+TEST(Quant, StrongerQuantizationLowersPsnr) {
+  const Image img = make_synthetic_image(32, 32);
+  ReferenceDct dct;
+  ReferenceIdct idct;
+  const double mild = run_dct_idct_chain(img, dct, idct, QuantTable::jpeg_luma(0.5)).psnr_db;
+  const double strong = run_dct_idct_chain(img, dct, idct, QuantTable::jpeg_luma(4.0)).psnr_db;
+  EXPECT_GT(mild, strong);
+  EXPECT_GT(mild, 30.0);  // near-lossless at half-strength quantization
+}
+
+TEST(Chain, ReferenceChainHasAcceptableQuality) {
+  const Image img = make_synthetic_image(48, 48);
+  ReferenceDct dct;
+  ReferenceIdct idct;
+  const ChainResult r = run_dct_idct_chain(img, dct, idct, QuantTable::jpeg_luma(1.0));
+  EXPECT_GT(r.psnr_db, kAcceptablePsnrDb);  // the paper's 30 dB threshold
+  EXPECT_EQ(r.output.width(), img.width());
+}
+
+TEST(Chain, IrPortsMatchReferenceExactly) {
+  // The gate-level DCT/IDCT circuits (simulated functionally) must produce
+  // the exact same image as the software reference.
+  const Image img = make_synthetic_image(16, 16);
+  const auto quant = QuantTable::jpeg_luma(1.0);
+
+  ReferenceDct rdct;
+  ReferenceIdct ridct;
+  const ChainResult ref = run_dct_idct_chain(img, rdct, ridct, quant);
+
+  const synth::Ir dct_ir = circuits::make_dct8();
+  const synth::Ir idct_ir = circuits::make_idct8();
+  IrVectorPort dct_port(dct_ir, "x", 12, "y", 12);
+  IrVectorPort idct_port(idct_ir, "y", 12, "x", 12);
+  const ChainResult hw = run_dct_idct_chain(img, dct_port, idct_port, quant);
+
+  EXPECT_EQ(hw.output.pixels(), ref.output.pixels());
+  EXPECT_DOUBLE_EQ(hw.psnr_db, ref.psnr_db);
+}
+
+TEST(Quant, TableScaling) {
+  const QuantTable q1 = QuantTable::jpeg_luma(1.0);
+  const QuantTable q2 = QuantTable::jpeg_luma(2.0);
+  EXPECT_EQ(q1.q[0], 16);
+  EXPECT_EQ(q2.q[0], 32);
+  for (int i = 0; i < 64; ++i) EXPECT_GE(q1.q[static_cast<std::size_t>(i)], 1);
+}
+
+}  // namespace
+}  // namespace rw::image

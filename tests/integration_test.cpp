@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "charlib/factory.hpp"
+#include "circuits/benchmarks.hpp"
+#include "image/chain.hpp"
+#include "logicsim/simulator.hpp"
+#include "netlist/sdf.hpp"
+#include "netlist/verilog.hpp"
+#include "sta/analysis.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/rng.hpp"
+
+// End-to-end integration against the full library at the paper's 7x7 OPC
+// grid. These tests share the on-disk characterization cache with the bench
+// harnesses, so the first run pays a one-time SPICE characterization cost.
+
+namespace rw {
+namespace {
+
+charlib::LibraryFactory& factory() {
+  static charlib::LibraryFactory f{};  // full catalog, default cache
+  return f;
+}
+const liberty::Library& fresh() { return factory().library(aging::AgingScenario::fresh()); }
+const liberty::Library& aged() { return factory().library(aging::AgingScenario::worst_case(10)); }
+
+TEST(Integration, FullLibraryShape) {
+  const auto& lib = fresh();
+  EXPECT_GE(lib.size(), 55u);
+  // Every combinational cell has an arc per input with at least one table;
+  // every flop has a clocked CK arc and a setup value.
+  for (const auto& cell : lib.cells()) {
+    if (cell.is_flop) {
+      ASSERT_EQ(cell.arcs.size(), 1u) << cell.name;
+      EXPECT_TRUE(cell.arcs[0].clocked);
+      EXPECT_GT(cell.setup_ps, 0.0) << cell.name;
+      continue;
+    }
+    EXPECT_EQ(static_cast<int>(cell.arcs.size()), cell.n_inputs()) << cell.name;
+    for (const auto& arc : cell.arcs) {
+      EXPECT_FALSE(arc.rise.empty() && arc.fall.empty()) << cell.name << "/" << arc.related_pin;
+    }
+  }
+}
+
+TEST(Integration, AgingSlowsEveryCellAtTypicalOpc) {
+  // Fig. 2's single-OPC observation: at one mid OPC, worst-case aging
+  // degrades (essentially) every cell's worst arc.
+  int degraded = 0;
+  int total = 0;
+  for (const auto& cell : fresh().cells()) {
+    if (cell.is_flop) continue;
+    const auto& aged_cell = aged().at(cell.name);
+    for (std::size_t a = 0; a < cell.arcs.size(); ++a) {
+      for (const bool rise : {true, false}) {
+        const auto& tf = rise ? cell.arcs[a].rise : cell.arcs[a].fall;
+        const auto& ta = rise ? aged_cell.arcs[a].rise : aged_cell.arcs[a].fall;
+        if (tf.empty()) continue;
+        ++total;
+        if (ta.delay_ps.lookup(60.0, 4.0) > tf.delay_ps.lookup(60.0, 4.0)) ++degraded;
+      }
+    }
+  }
+  EXPECT_GT(total, 100);
+  EXPECT_GT(degraded, total * 9 / 10);
+}
+
+TEST(Integration, SynthesizeSimulateDspEquivalence) {
+  const synth::Ir ir = circuits::make_dsp();
+  synth::SynthesisOptions opt;
+  opt.multi_start = false;
+  const auto res = synth::synthesize(ir, fresh(), "dsp", opt);
+  EXPECT_GT(res.gate_count, 1000u);
+
+  synth::IrSimulator gold(ir);
+  logicsim::CycleSimulator netsim(res.module, fresh());
+  util::Rng rng(42);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 16; ++i) {
+      const bool av = rng.chance(0.5);
+      const bool bv = rng.chance(0.5);
+      gold.set_input("a" + std::to_string(i), av);
+      gold.set_input("b" + std::to_string(i), bv);
+      netsim.set_input(res.module.find_net("a" + std::to_string(i)), av);
+      netsim.set_input(res.module.find_net("b" + std::to_string(i)), bv);
+    }
+    const bool clear = rng.chance(0.05);
+    gold.set_input("clear", clear);
+    netsim.set_input(res.module.find_net("clear"), clear);
+    gold.evaluate();
+    netsim.evaluate();
+    for (int i = 0; i < 32; ++i) {
+      const std::string name = "acc" + std::to_string(i);
+      ASSERT_EQ(netsim.value(res.module.find_net(name)), gold.output(name))
+          << name << " cycle " << cycle;
+    }
+    gold.clock_edge();
+    netsim.clock_edge();
+  }
+}
+
+TEST(Integration, VerilogRoundTripOfSynthesizedDesign) {
+  const synth::Ir ir = circuits::make_fft();
+  synth::SynthesisOptions opt;
+  opt.multi_start = false;
+  const auto res = synth::synthesize(ir, fresh(), "fft", opt);
+  const std::string text = netlist::write_verilog(res.module, fresh());
+  const netlist::Module parsed = netlist::parse_verilog(text, fresh());
+  parsed.validate();
+  // Timing of the reparsed netlist matches the original.
+  const double cp1 = sta::Sta(res.module, fresh()).critical_delay_ps();
+  const double cp2 = sta::Sta(parsed, fresh()).critical_delay_ps();
+  EXPECT_NEAR(cp1, cp2, 1e-6);
+}
+
+TEST(Integration, TimedChainAtFreshPeriodIsErrorFree) {
+  // The paper's year-0 sanity: run the synthesized DCT at its own fresh
+  // critical period; the gate-level timed image chain must match golden.
+  const synth::Ir dct_ir = circuits::make_dct8();
+  const synth::Ir idct_ir = circuits::make_idct8();
+  synth::SynthesisOptions opt;
+  opt.multi_start = false;
+  const auto dct = synth::synthesize(dct_ir, fresh(), "dct", opt);
+  const auto idct = synth::synthesize(idct_ir, fresh(), "idct", opt);
+  const sta::Sta sd(dct.module, fresh());
+  const sta::Sta si(idct.module, fresh());
+  const double period = std::max(sd.critical_delay_ps(), si.critical_delay_ps());
+  const auto ad = netlist::compute_delay_annotation(sd);
+  const auto ai = netlist::compute_delay_annotation(si);
+
+  const image::Image img = image::make_synthetic_image(16, 16);
+  const auto quant = image::QuantTable::jpeg_luma(1.0);
+  image::ReferenceDct rdct;
+  image::ReferenceIdct ridct;
+  const auto golden = image::run_dct_idct_chain(img, rdct, ridct, quant);
+  image::TimedVectorPort pd(dct.module, fresh(), ad, period, "x", 12, "y", 12);
+  image::TimedVectorPort pi(idct.module, fresh(), ai, period, "y", 12, "x", 12);
+  const auto timed = image::run_dct_idct_chain(img, pd, pi, quant);
+  EXPECT_EQ(timed.output.pixels(), golden.output.pixels());
+}
+
+}  // namespace
+}  // namespace rw

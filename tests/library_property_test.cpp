@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "charlib/factory.hpp"
+#include "liberty/parser.hpp"
+#include "liberty/writer.hpp"
+#include "util/strings.hpp"
+
+// Library-wide property sweeps over the full 7x7-characterized catalog
+// (parameterized per cell). These run against the shared disk cache, so they
+// are fast after the first characterization pass.
+
+namespace rw {
+namespace {
+
+charlib::LibraryFactory& factory() {
+  static charlib::LibraryFactory f{};
+  return f;
+}
+const liberty::Library& fresh() { return factory().library(aging::AgingScenario::fresh()); }
+const liberty::Library& aged() { return factory().library(aging::AgingScenario::worst_case(10)); }
+
+std::vector<std::string> all_cell_names() {
+  std::vector<std::string> names;
+  for (const auto& cell : fresh().cells()) names.push_back(cell.name);
+  return names;
+}
+
+class CellProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  const liberty::Cell& cell() const { return fresh().at(GetParam()); }
+  const liberty::Cell& aged_cell() const { return aged().at(GetParam()); }
+};
+
+TEST_P(CellProperty, DelayMonotoneInLoadAtMidSlew) {
+  for (const auto& arc : cell().arcs) {
+    for (const bool rise : {true, false}) {
+      const auto& t = rise ? arc.rise : arc.fall;
+      if (t.empty()) continue;
+      double prev = t.delay_ps.lookup(60.0, 0.5);
+      for (const double load : {2.0, 4.0, 8.0, 14.0, 20.0}) {
+        const double d = t.delay_ps.lookup(60.0, load);
+        EXPECT_GT(d, prev) << GetParam() << "/" << arc.related_pin << " load " << load;
+        prev = d;
+      }
+    }
+  }
+}
+
+TEST_P(CellProperty, OutputSlewPositiveAndMonotoneInLoad) {
+  for (const auto& arc : cell().arcs) {
+    for (const bool rise : {true, false}) {
+      const auto& t = rise ? arc.rise : arc.fall;
+      if (t.empty()) continue;
+      double prev = 0.0;
+      for (const double load : {0.5, 2.0, 8.0, 20.0}) {
+        const double s = t.out_slew_ps.lookup(60.0, load);
+        EXPECT_GT(s, 0.0);
+        EXPECT_GE(s, prev - 1e-9) << GetParam() << "/" << arc.related_pin;
+        prev = s;
+      }
+    }
+  }
+}
+
+TEST_P(CellProperty, WorstArcDegradesUnderWorstCaseAging) {
+  // Aging may improve individual arcs at some OPCs (Fig. 2), but at the
+  // cell's *intended* operating region (load proportional to drive) the
+  // worst arc must get slower. A fixed tiny load would put X8/X16 drivers
+  // into the region where aging legitimately improves them.
+  const double load = std::min(20.0, 3.0 * cell().drive_x);
+  double worst_fresh = 0.0;
+  double worst_aged = 0.0;
+  for (std::size_t a = 0; a < cell().arcs.size(); ++a) {
+    for (const bool rise : {true, false}) {
+      const auto& tf = rise ? cell().arcs[a].rise : cell().arcs[a].fall;
+      const auto& ta = rise ? aged_cell().arcs[a].rise : aged_cell().arcs[a].fall;
+      if (tf.empty()) continue;
+      worst_fresh = std::max(worst_fresh, tf.delay_ps.lookup(60.0, load));
+      worst_aged = std::max(worst_aged, ta.delay_ps.lookup(60.0, load));
+    }
+  }
+  EXPECT_GT(worst_aged, worst_fresh) << GetParam();
+}
+
+TEST_P(CellProperty, PinCapsAndAreaPositive) {
+  EXPECT_GT(cell().area_um2, 0.0);
+  for (const auto* pin : cell().input_pins()) {
+    EXPECT_GT(pin->cap_ff, 0.1) << GetParam() << "/" << pin->name;
+    EXPECT_LT(pin->cap_ff, 50.0) << GetParam() << "/" << pin->name;
+  }
+  // Area is identical across corners (aging does not change layout).
+  EXPECT_DOUBLE_EQ(cell().area_um2, aged_cell().area_um2);
+}
+
+TEST_P(CellProperty, LibertyRoundTripExactAt4Decimals) {
+  liberty::Library single("rt");
+  single.add_cell(cell());
+  const liberty::Library back = liberty::parse_library(liberty::write_library(single));
+  const liberty::Cell& c = back.at(GetParam());
+  EXPECT_EQ(c.family, cell().family);
+  EXPECT_EQ(c.truth, cell().truth);
+  EXPECT_EQ(c.arcs.size(), cell().arcs.size());
+  for (std::size_t a = 0; a < c.arcs.size(); ++a) {
+    EXPECT_EQ(c.arcs[a].sense, cell().arcs[a].sense);
+    if (!c.arcs[a].rise.empty()) {
+      EXPECT_NEAR(c.arcs[a].rise.delay_ps.at(3, 3), cell().arcs[a].rise.delay_ps.at(3, 3), 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FullCatalog, CellProperty, ::testing::ValuesIn(all_cell_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '.') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(LibraryProperty, FlopConstraintsAgeConsistently) {
+  for (const auto& cell : fresh().cells()) {
+    if (!cell.is_flop) continue;
+    const auto& a = aged().at(cell.name);
+    EXPECT_GT(cell.setup_ps, 0.0) << cell.name;
+    // The aged master latch is slower, so the setup requirement grows.
+    EXPECT_GE(a.setup_ps, cell.setup_ps - 5.0) << cell.name;
+    // CK->Q degrades at a typical OPC.
+    EXPECT_GT(a.arcs[0].rise.delay_ps.lookup(60.0, 4.0),
+              cell.arcs[0].rise.delay_ps.lookup(60.0, 4.0))
+        << cell.name;
+  }
+}
+
+TEST(LibraryProperty, MergedNamingBijective) {
+  // Spot-merge two corners and verify every cell parses back to its base.
+  const auto merged = factory().merged({aging::AgingScenario{1.0, 1.0, 10.0, true},
+                                        aging::AgingScenario{0.0, 0.0, 10.0, true}});
+  EXPECT_EQ(merged.size(), 2 * fresh().size());
+  for (const auto& cell : merged.cells()) {
+    std::string base;
+    double lp = 0.0;
+    double ln = 0.0;
+    ASSERT_TRUE(util::parse_indexed_cell_name(cell.name, base, lp, ln)) << cell.name;
+    EXPECT_NE(fresh().find(base), nullptr) << cell.name;
+  }
+}
+
+TEST(LibraryProperty, FullLibraryFileRoundTrip) {
+  const std::string text = liberty::write_library(fresh());
+  const liberty::Library back = liberty::parse_library(text);
+  EXPECT_EQ(back.size(), fresh().size());
+  EXPECT_EQ(back.name(), fresh().name());
+}
+
+}  // namespace
+}  // namespace rw

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/ptm45.hpp"
+#include "spice/measure.hpp"
+#include "spice/netlist.hpp"
+#include "spice/solver.hpp"
+
+namespace rw::spice {
+namespace {
+
+const device::Technology& tech() { return device::ptm45(); }
+
+TEST(Pwl, RampAndValue) {
+  const Pwl ramp = Pwl::ramp(100.0, 80.0, 0.0, 1.2);  // 80 ps 10-90% slew -> 100 ps full ramp
+  EXPECT_DOUBLE_EQ(ramp.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ramp.value(100.0), 0.0);
+  EXPECT_NEAR(ramp.value(150.0), 0.6, 1e-9);
+  EXPECT_DOUBLE_EQ(ramp.value(500.0), 1.2);
+}
+
+TEST(Pwl, NextBreakpoint) {
+  const Pwl p({{10.0, 0.0}, {20.0, 1.0}});
+  ASSERT_TRUE(p.next_breakpoint(0.0).has_value());
+  EXPECT_DOUBLE_EQ(*p.next_breakpoint(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(*p.next_breakpoint(10.0), 20.0);
+  EXPECT_FALSE(p.next_breakpoint(20.0).has_value());
+}
+
+TEST(Circuit, RejectsDuplicateSourcesAndNodes) {
+  Circuit c;
+  const NodeId a = c.add_node("a");
+  EXPECT_THROW(c.add_node("a"), std::invalid_argument);
+  c.add_source(a, Pwl::dc(1.0));
+  EXPECT_THROW(c.add_source(a, Pwl::dc(0.5)), std::invalid_argument);
+  EXPECT_THROW(c.add_capacitor(a, kGround, -1.0), std::invalid_argument);
+  EXPECT_THROW(c.add_resistor(a, kGround, 0.0), std::invalid_argument);
+}
+
+TEST(Solver, ResistorDividerDc) {
+  Circuit c;
+  const NodeId vin = c.add_node("vin");
+  const NodeId mid = c.add_node("mid");
+  c.add_source(vin, Pwl::dc(1.0));
+  c.add_resistor(vin, mid, 1.0);
+  c.add_resistor(mid, kGround, 3.0);
+  const auto v = dc_operating_point(c);
+  EXPECT_NEAR(v[static_cast<std::size_t>(mid)], 0.75, 1e-5);
+}
+
+TEST(Solver, RcStepResponseMatchesAnalytic) {
+  // 1 kΩ * 1 fF = 1 ps time constant; step at t=0 via initial condition:
+  // drive with a source that steps at t=100 ps.
+  Circuit c;
+  const NodeId vin = c.add_node("vin");
+  const NodeId out = c.add_node("out");
+  c.add_source(vin, Pwl({{0.0, 0.0}, {100.0, 0.0}, {100.001, 1.0}}));
+  c.add_resistor(vin, out, 2.0);   // 2 kΩ
+  c.add_capacitor(out, kGround, 5.0);  // 5 fF -> tau = 10 ps
+  TransientOptions opt;
+  opt.t_stop_ps = 200.0;
+  opt.dt_max_ps = 0.5;
+  const auto result = simulate_transient(c, opt, {out});
+  const Waveform& w = result.waveform(out);
+  // Compare against 1 - exp(-t/tau) at several points.
+  for (double t : {105.0, 110.0, 120.0, 150.0}) {
+    const double expected = 1.0 - std::exp(-(t - 100.0) / 10.0);
+    EXPECT_NEAR(w.at(t), expected, 0.02) << "at t=" << t;
+  }
+}
+
+Circuit inverter_bench(double slew_ps, double load_ff, bool rising_input, NodeId& in, NodeId& out) {
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  in = c.add_node("in");
+  out = c.add_node("out");
+  c.add_source(vdd, Pwl::dc(tech().vdd_v));
+  const double v0 = rising_input ? 0.0 : tech().vdd_v;
+  const double v1 = rising_input ? tech().vdd_v : 0.0;
+  c.add_source(in, Pwl::ramp(50.0, slew_ps, v0, v1));
+  c.add_mosfet(device::Mosfet(tech().pmos, 0.8), in, out, vdd);
+  c.add_mosfet(device::Mosfet(tech().nmos, 0.4), in, out, kGround);
+  c.add_capacitor(out, kGround, load_ff);
+  return c;
+}
+
+TEST(Solver, InverterSwitches) {
+  NodeId in = -1;
+  NodeId out = -1;
+  Circuit c = inverter_bench(40.0, 4.0, /*rising_input=*/true, in, out);
+  TransientOptions opt;
+  opt.t_stop_ps = 500.0;
+  const auto result = simulate_transient(c, opt, {out});
+  const Waveform& w = result.waveform(out);
+  EXPECT_NEAR(w.value(0), tech().vdd_v, 0.05);  // starts high (input low)
+  EXPECT_NEAR(w.back_value(), 0.0, 0.05);       // ends low
+}
+
+TEST(Solver, InverterDelayIncreasesWithLoad) {
+  double prev = -1e9;
+  for (double load : {1.0, 4.0, 10.0, 20.0}) {
+    NodeId in = -1;
+    NodeId out = -1;
+    Circuit c = inverter_bench(40.0, load, true, in, out);
+    TransientOptions opt;
+    opt.t_stop_ps = 800.0;
+    const auto result = simulate_transient(c, opt, {out});
+    const auto timing = measure_edge(result.waveform(out), 50.0 + 25.0, false, tech().vdd_v);
+    ASSERT_TRUE(timing.has_value()) << "load " << load;
+    EXPECT_GT(timing->delay_ps, prev);
+    prev = timing->delay_ps;
+  }
+}
+
+TEST(Solver, InverterOutputSlewIncreasesWithLoad) {
+  double prev = 0.0;
+  for (double load : {1.0, 4.0, 16.0}) {
+    NodeId in = -1;
+    NodeId out = -1;
+    Circuit c = inverter_bench(20.0, load, true, in, out);
+    TransientOptions opt;
+    opt.t_stop_ps = 800.0;
+    const auto result = simulate_transient(c, opt, {out});
+    const auto timing = measure_edge(result.waveform(out), 62.5, false, tech().vdd_v);
+    ASSERT_TRUE(timing.has_value());
+    EXPECT_GT(timing->slew_ps, prev);
+    prev = timing->slew_ps;
+  }
+}
+
+TEST(Solver, AgedInverterIsSlower) {
+  // Worst-case NBTI on the pull-up: output *rise* must slow down.
+  auto bench = [&](device::Degradation deg_p) {
+    Circuit c;
+    const NodeId vdd = c.add_node("vdd");
+    const NodeId in = c.add_node("in");
+    const NodeId out = c.add_node("out");
+    c.add_source(vdd, Pwl::dc(tech().vdd_v));
+    c.add_source(in, Pwl::ramp(50.0, 40.0, tech().vdd_v, 0.0));  // falling input -> rising out
+    c.add_mosfet(device::Mosfet(tech().pmos, 0.8, deg_p), in, out, vdd);
+    c.add_mosfet(device::Mosfet(tech().nmos, 0.4), in, out, kGround);
+    c.add_capacitor(out, kGround, 4.0);
+    TransientOptions opt;
+    opt.t_stop_ps = 600.0;
+    const auto result = simulate_transient(c, opt, {out});
+    const auto timing = measure_edge(result.waveform(out), 75.0, true, tech().vdd_v);
+    EXPECT_TRUE(timing.has_value());
+    return timing->delay_ps;
+  };
+  const double fresh = bench({});
+  const double aged = bench({0.045, 0.93});
+  EXPECT_GT(aged, fresh * 1.05);
+}
+
+TEST(Waveform, CrossingQueries) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(10.0, 1.0);
+  w.append(20.0, 0.2);
+  w.append(30.0, 1.0);
+  const auto first = w.first_crossing(0.5, true);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(*first, 5.0);
+  const auto last = w.last_crossing(0.5, true);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_NEAR(*last, 23.75, 1e-9);
+  EXPECT_FALSE(w.first_crossing(2.0, true).has_value());
+}
+
+TEST(Measure, RejectsNonSettlingOutput) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(100.0, 0.6);  // stuck mid-rail
+  EXPECT_FALSE(measure_edge(w, 10.0, true, 1.2).has_value());
+}
+
+}  // namespace
+}  // namespace rw::spice

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "charlib/factory.hpp"
+#include "netlist/builder.hpp"
+#include "sta/analysis.hpp"
+#include "sta/guardband.hpp"
+#include "sta/paths.hpp"
+
+namespace rw::sta {
+namespace {
+
+charlib::LibraryFactory& factory() {
+  static charlib::LibraryFactory f = [] {
+    charlib::LibraryFactory::Options o;
+    o.characterize.grid = charlib::OpcGrid::coarse();
+    o.cell_subset = {"INV_X1", "INV_X2", "NAND2_X1", "NOR2_X1", "XOR2_X1", "BUF_X2", "DFF_X1"};
+    return charlib::LibraryFactory(o);
+  }();
+  return f;
+}
+const liberty::Library& fresh() { return factory().library(aging::AgingScenario::fresh()); }
+const liberty::Library& aged() { return factory().library(aging::AgingScenario::worst_case(10)); }
+
+/// in -> INV -> INV -> ... chain -> out
+netlist::Module inv_chain(int n) {
+  netlist::Module m("chain");
+  netlist::NetId net = m.add_net("in");
+  m.mark_input(net);
+  netlist::NetlistBuilder b(m, fresh());
+  for (int i = 0; i < n; ++i) net = b.gate("INV_X1", {net});
+  m.mark_output(net);
+  return m;
+}
+
+TEST(Sta, ChainDelayScalesWithLength) {
+  // Once slews settle down the chain, per-stage delay is constant: the
+  // 8->12 increment matches the 4->8 increment.
+  const double d4 = Sta(inv_chain(4), fresh()).critical_delay_ps();
+  const double d8 = Sta(inv_chain(8), fresh()).critical_delay_ps();
+  const double d12 = Sta(inv_chain(12), fresh()).critical_delay_ps();
+  EXPECT_GT(d4, 3.0);
+  EXPECT_GT(d8, d4);
+  const double inc1 = d8 - d4;
+  const double inc2 = d12 - d8;
+  EXPECT_NEAR(inc2, inc1, 0.3 * inc1);
+}
+
+TEST(Sta, ArrivalMatchesManualArcSum) {
+  // Single inverter with one fanout: delay should equal the NLDM lookup at
+  // the PI slew and computed load.
+  netlist::Module m("one");
+  const netlist::NetId in = m.add_net("in");
+  m.mark_input(in);
+  netlist::NetlistBuilder b(m, fresh());
+  const netlist::NetId out = b.gate("INV_X1", {in});
+  m.mark_output(out);
+
+  StaOptions opt;
+  const Sta sta(m, fresh(), opt);
+  const liberty::Cell& inv = fresh().at("INV_X1");
+  const double load = opt.po_load_ff + opt.wire_cap_per_fanout_ff;
+  const double expect_rise =
+      inv.arcs[0].rise.delay_ps.lookup(opt.input_slew_ps, load);
+  EXPECT_NEAR(sta.timing(out).arrival_ps[0], expect_rise, 1e-9);
+  EXPECT_NEAR(sta.load_ff(out), load, 1e-12);
+}
+
+TEST(Sta, WorstPathReconstructionConsistent) {
+  const netlist::Module m = inv_chain(6);
+  const Sta sta(m, fresh());
+  const TimingPath path = worst_path(sta);
+  ASSERT_FALSE(path.steps.empty());
+  EXPECT_NEAR(path.delay_ps, sta.critical_delay_ps(), 1e-9);
+  // Increments along the path sum to the endpoint arrival.
+  double sum = 0.0;
+  for (const auto& s : path.steps) sum += s.incr_ps;
+  EXPECT_NEAR(sum, path.endpoint.arrival_ps, 1e-6);
+  // Edges alternate through inverters.
+  for (std::size_t i = 1; i < path.steps.size(); ++i) {
+    EXPECT_NE(path.steps[i].out_rising, path.steps[i - 1].out_rising);
+  }
+}
+
+TEST(Sta, FlopPathsStartAndEndCorrectly) {
+  netlist::Module m("seq");
+  const netlist::NetId in = m.add_net("in");
+  m.mark_input(in);
+  m.set_clock(m.add_net("clk"));
+  netlist::NetlistBuilder b(m, fresh());
+  const netlist::NetId q1 = b.flop("DFF_X1", in);
+  netlist::NetId n = q1;
+  for (int i = 0; i < 3; ++i) n = b.gate("INV_X1", {n});
+  const netlist::NetId q2 = b.flop("DFF_X1", n);
+  m.mark_output(q2);
+
+  const Sta sta(m, fresh());
+  // There must be a flop-D endpoint whose cost includes setup.
+  bool found_flop_endpoint = false;
+  for (const auto& ep : sta.endpoints()) {
+    if (ep.is_flop_d) {
+      found_flop_endpoint = true;
+      EXPECT_GT(ep.setup_ps, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_flop_endpoint);
+  // Critical path starts at a flop Q (CK->Q delay as first increment).
+  const TimingPath path = worst_path(sta);
+  EXPECT_LT(path.steps.front().instance, 0);
+  EXPECT_GT(path.steps.front().incr_ps, 5.0);
+}
+
+TEST(Sta, SlackConsistentWithCriticalPath) {
+  const netlist::Module m = inv_chain(5);
+  const Sta sta(m, fresh());
+  const TimingPath path = worst_path(sta);
+  // Nets on the critical path have (near) zero slack; the PI has zero too.
+  for (const auto& s : path.steps) {
+    EXPECT_NEAR(sta.slack_ps(s.net), 0.0, 1e-6);
+  }
+}
+
+TEST(Sta, NonUnateXorPropagatesBothEdges) {
+  netlist::Module m("x");
+  const netlist::NetId a = m.add_net("a");
+  const netlist::NetId c = m.add_net("c");
+  m.mark_input(a);
+  m.mark_input(c);
+  netlist::NetlistBuilder b(m, fresh());
+  const netlist::NetId out = b.gate("XOR2_X1", {a, c});
+  m.mark_output(out);
+  const Sta sta(m, fresh());
+  EXPECT_GT(sta.timing(out).arrival_ps[0], 0.0);
+  EXPECT_GT(sta.timing(out).arrival_ps[1], 0.0);
+}
+
+TEST(Guardband, AgedChainNeedsPositiveGuardband) {
+  const netlist::Module m = inv_chain(8);
+  const GuardbandReport report = estimate_guardband(m, fresh(), aged());
+  EXPECT_GT(report.guardband_ps(), 0.0);
+  EXPECT_GT(report.guardband_pct(), 2.0);
+  EXPECT_LT(report.guardband_pct(), 40.0);
+  EXPECT_GT(report.fresh_freq_ghz(), report.aged_freq_ghz());
+}
+
+TEST(Paths, EvaluatePathUnderOtherLibrary) {
+  const netlist::Module m = inv_chain(6);
+  const Sta sta_fresh(m, fresh());
+  const TimingPath path = worst_path(sta_fresh);
+  // Evaluating the fresh-critical path under the fresh library reproduces
+  // its delay; under the aged library it is slower.
+  const double fresh_eval = evaluate_path_ps(m, fresh(), path, sta_fresh.options());
+  EXPECT_NEAR(fresh_eval, path.delay_ps, 1.0);
+  const double aged_eval = evaluate_path_ps(m, aged(), path, sta_fresh.options());
+  EXPECT_GT(aged_eval, fresh_eval);
+  // The true aged CP dominates the aged delay of the formerly-critical path.
+  const Sta sta_aged(m, aged());
+  EXPECT_GE(sta_aged.critical_delay_ps(), aged_eval - 1e-6);
+}
+
+TEST(Sta, CombinationalLoopDetected) {
+  netlist::Module m("loop");
+  const netlist::NetId a = m.add_net("a");
+  const netlist::NetId x = m.add_net("x");
+  const netlist::NetId y = m.add_net("y");
+  m.mark_input(a);
+  m.add_instance("g1", "NAND2_X1", {a, y}, x);
+  m.add_instance("g2", "INV_X1", {x}, y);
+  m.mark_output(y);
+  EXPECT_THROW(Sta(m, fresh()), std::runtime_error);
+}
+
+// Parameterized property: for any chain length, aged CP >= fresh CP and the
+// K worst endpoint paths are sorted by delay.
+class StaChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaChainProperty, AgedNeverFaster) {
+  const netlist::Module m = inv_chain(GetParam());
+  const double f = Sta(m, fresh()).critical_delay_ps();
+  const double a = Sta(m, aged()).critical_delay_ps();
+  EXPECT_GE(a, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, StaChainProperty, ::testing::Values(1, 2, 3, 5, 9, 16));
+
+}  // namespace
+}  // namespace rw::sta

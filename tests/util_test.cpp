@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/interp.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace rw::util {
+namespace {
+
+TEST(Axis, RejectsNonIncreasing) {
+  EXPECT_THROW(Axis({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Axis({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Axis(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Axis, BracketClampsToEnds) {
+  const Axis axis({0.0, 1.0, 2.0, 5.0});
+  EXPECT_EQ(axis.bracket(-10.0), 0u);
+  EXPECT_EQ(axis.bracket(0.5), 0u);
+  EXPECT_EQ(axis.bracket(1.5), 1u);
+  EXPECT_EQ(axis.bracket(4.0), 2u);
+  EXPECT_EQ(axis.bracket(100.0), 2u);
+}
+
+TEST(Table1D, InterpolatesLinearly) {
+  const Table1D t(Axis({0.0, 10.0}), {0.0, 100.0});
+  EXPECT_DOUBLE_EQ(t.lookup(2.5), 25.0);
+  EXPECT_DOUBLE_EQ(t.lookup(10.0), 100.0);
+}
+
+TEST(Table1D, ExtrapolatesBeyondEnds) {
+  const Table1D t(Axis({0.0, 10.0}), {0.0, 100.0});
+  EXPECT_DOUBLE_EQ(t.lookup(-5.0), -50.0);
+  EXPECT_DOUBLE_EQ(t.lookup(20.0), 200.0);
+}
+
+TEST(Table2D, BilinearExactAtGridPoints) {
+  const Table2D t(Axis({0.0, 1.0}), Axis({0.0, 1.0, 2.0}), {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 2.0), 6.0);
+}
+
+TEST(Table2D, BilinearMidpoint) {
+  const Table2D t(Axis({0.0, 1.0}), Axis({0.0, 1.0}), {0.0, 0.0, 0.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 0.5), 1.0);
+}
+
+// Property: a bilinear table built from a plane reproduces the plane
+// everywhere, including under extrapolation.
+TEST(Table2D, PlaneReproductionProperty) {
+  const Axis xs({1.0, 2.0, 4.0, 8.0});
+  const Axis ys({0.5, 1.0, 3.0});
+  std::vector<double> values;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = 0; j < ys.size(); ++j) values.push_back(3.0 * xs[i] - 2.0 * ys[j] + 1.0);
+  }
+  const Table2D t(xs, ys, values);
+  Rng rng(7);
+  for (int k = 0; k < 200; ++k) {
+    const double x = rng.uniform(-2.0, 12.0);
+    const double y = rng.uniform(-1.0, 5.0);
+    EXPECT_NEAR(t.lookup(x, y), 3.0 * x - 2.0 * y + 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    const int k = rng.uniform_int(-3, 3);
+    EXPECT_GE(k, -3);
+    EXPECT_LE(k, 3);
+  }
+}
+
+TEST(Stats, BasicAggregates) {
+  const std::vector<double> xs = {1.0, -2.0, 3.0, 0.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 0.5);
+  EXPECT_DOUBLE_EQ(min_of(xs), -2.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(fraction_negative(xs), 0.25);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, HistogramBinsAndOverflow) {
+  const std::vector<double> xs = {-1.0, 0.1, 0.9, 1.5, 10.0};
+  const Histogram h = make_histogram(xs, 0.0, 2.0, 2);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.underflow, 1u);
+  EXPECT_EQ(h.overflow, 1u);
+  EXPECT_EQ(h.total(), xs.size());
+}
+
+TEST(Strings, SplitAndTrim) {
+  const auto parts = split("  a,b ,, c ", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(trim("  x y \n"), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, IndexedCellNameRoundTrip) {
+  const std::string name = indexed_cell_name("AND2_X1", 0.4, 0.6);
+  EXPECT_EQ(name, "AND2_X1_0.40_0.60");
+  std::string base;
+  double lp = 0.0;
+  double ln = 0.0;
+  ASSERT_TRUE(parse_indexed_cell_name(name, base, lp, ln));
+  EXPECT_EQ(base, "AND2_X1");
+  EXPECT_DOUBLE_EQ(lp, 0.4);
+  EXPECT_DOUBLE_EQ(ln, 0.6);
+}
+
+TEST(Strings, ParseIndexedRejectsPlainNames) {
+  std::string base;
+  double lp = 0.0;
+  double ln = 0.0;
+  EXPECT_FALSE(parse_indexed_cell_name("NAND2_X1", base, lp, ln));
+  EXPECT_FALSE(parse_indexed_cell_name("X", base, lp, ln));
+}
+
+}  // namespace
+}  // namespace rw::util
