@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aging_model.dir/ablation_aging_model.cpp.o"
+  "CMakeFiles/ablation_aging_model.dir/ablation_aging_model.cpp.o.d"
+  "ablation_aging_model"
+  "ablation_aging_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aging_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

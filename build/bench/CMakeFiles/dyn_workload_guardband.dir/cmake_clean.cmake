@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn_workload_guardband.dir/dyn_workload_guardband.cpp.o"
+  "CMakeFiles/dyn_workload_guardband.dir/dyn_workload_guardband.cpp.o.d"
+  "dyn_workload_guardband"
+  "dyn_workload_guardband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn_workload_guardband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_gate_surfaces.dir/fig1_gate_surfaces.cpp.o"
+  "CMakeFiles/fig1_gate_surfaces.dir/fig1_gate_surfaces.cpp.o.d"
+  "fig1_gate_surfaces"
+  "fig1_gate_surfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gate_surfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

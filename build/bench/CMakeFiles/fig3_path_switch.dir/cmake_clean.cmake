@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_path_switch.dir/fig3_path_switch.cpp.o"
+  "CMakeFiles/fig3_path_switch.dir/fig3_path_switch.cpp.o.d"
+  "fig3_path_switch"
+  "fig3_path_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_path_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

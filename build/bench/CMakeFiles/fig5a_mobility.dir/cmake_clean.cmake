@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_mobility.dir/fig5a_mobility.cpp.o"
+  "CMakeFiles/fig5a_mobility.dir/fig5a_mobility.cpp.o.d"
+  "fig5a_mobility"
+  "fig5a_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

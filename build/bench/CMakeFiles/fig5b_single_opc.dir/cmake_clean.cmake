@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_single_opc.dir/fig5b_single_opc.cpp.o"
+  "CMakeFiles/fig5b_single_opc.dir/fig5b_single_opc.cpp.o.d"
+  "fig5b_single_opc"
+  "fig5b_single_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_single_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5b_single_opc.
+# This may be replaced when dependencies are built.

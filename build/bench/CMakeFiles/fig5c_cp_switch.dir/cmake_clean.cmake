@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_cp_switch.dir/fig5c_cp_switch.cpp.o"
+  "CMakeFiles/fig5c_cp_switch.dir/fig5c_cp_switch.cpp.o.d"
+  "fig5c_cp_switch"
+  "fig5c_cp_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_cp_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_containment.dir/fig6a_containment.cpp.o"
+  "CMakeFiles/fig6a_containment.dir/fig6a_containment.cpp.o.d"
+  "fig6a_containment"
+  "fig6a_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_area.dir/fig6b_area.cpp.o"
+  "CMakeFiles/fig6b_area.dir/fig6b_area.cpp.o.d"
+  "fig6b_area"
+  "fig6b_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

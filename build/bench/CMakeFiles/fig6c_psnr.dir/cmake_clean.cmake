@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_psnr.dir/fig6c_psnr.cpp.o"
+  "CMakeFiles/fig6c_psnr.dir/fig6c_psnr.cpp.o.d"
+  "fig6c_psnr"
+  "fig6c_psnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_images.dir/fig7_images.cpp.o"
+  "CMakeFiles/fig7_images.dir/fig7_images.cpp.o.d"
+  "fig7_images"
+  "fig7_images.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_aging_aware_flow.dir/aging_aware_flow.cpp.o"
+  "CMakeFiles/example_aging_aware_flow.dir/aging_aware_flow.cpp.o.d"
+  "example_aging_aware_flow"
+  "example_aging_aware_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_aging_aware_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_aging_aware_flow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_aging_aware_flow.
+# This may be replaced when dependencies are built.

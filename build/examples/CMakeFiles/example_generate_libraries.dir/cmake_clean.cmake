@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_generate_libraries.dir/generate_libraries.cpp.o"
+  "CMakeFiles/example_generate_libraries.dir/generate_libraries.cpp.o.d"
+  "example_generate_libraries"
+  "example_generate_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_generate_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_guardband_explorer.dir/guardband_explorer.cpp.o"
+  "CMakeFiles/example_guardband_explorer.dir/guardband_explorer.cpp.o.d"
+  "example_guardband_explorer"
+  "example_guardband_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_guardband_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

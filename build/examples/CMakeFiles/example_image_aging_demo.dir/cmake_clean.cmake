@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_aging_demo.dir/image_aging_demo.cpp.o"
+  "CMakeFiles/example_image_aging_demo.dir/image_aging_demo.cpp.o.d"
+  "example_image_aging_demo"
+  "example_image_aging_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_aging_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aging/bti.cpp" "src/CMakeFiles/reliaware.dir/aging/bti.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/aging/bti.cpp.o.d"
+  "/root/repo/src/aging/scenario.cpp" "src/CMakeFiles/reliaware.dir/aging/scenario.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/aging/scenario.cpp.o.d"
+  "/root/repo/src/cells/catalog.cpp" "src/CMakeFiles/reliaware.dir/cells/catalog.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/cells/catalog.cpp.o.d"
+  "/root/repo/src/cells/function.cpp" "src/CMakeFiles/reliaware.dir/cells/function.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/cells/function.cpp.o.d"
+  "/root/repo/src/cells/topology.cpp" "src/CMakeFiles/reliaware.dir/cells/topology.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/cells/topology.cpp.o.d"
+  "/root/repo/src/charlib/characterizer.cpp" "src/CMakeFiles/reliaware.dir/charlib/characterizer.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/charlib/characterizer.cpp.o.d"
+  "/root/repo/src/charlib/factory.cpp" "src/CMakeFiles/reliaware.dir/charlib/factory.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/charlib/factory.cpp.o.d"
+  "/root/repo/src/charlib/opc.cpp" "src/CMakeFiles/reliaware.dir/charlib/opc.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/charlib/opc.cpp.o.d"
+  "/root/repo/src/circuits/arith.cpp" "src/CMakeFiles/reliaware.dir/circuits/arith.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/circuits/arith.cpp.o.d"
+  "/root/repo/src/circuits/dct.cpp" "src/CMakeFiles/reliaware.dir/circuits/dct.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/circuits/dct.cpp.o.d"
+  "/root/repo/src/circuits/dsp.cpp" "src/CMakeFiles/reliaware.dir/circuits/dsp.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/circuits/dsp.cpp.o.d"
+  "/root/repo/src/circuits/fft.cpp" "src/CMakeFiles/reliaware.dir/circuits/fft.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/circuits/fft.cpp.o.d"
+  "/root/repo/src/circuits/risc.cpp" "src/CMakeFiles/reliaware.dir/circuits/risc.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/circuits/risc.cpp.o.d"
+  "/root/repo/src/circuits/vliw.cpp" "src/CMakeFiles/reliaware.dir/circuits/vliw.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/circuits/vliw.cpp.o.d"
+  "/root/repo/src/device/mosfet.cpp" "src/CMakeFiles/reliaware.dir/device/mosfet.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/device/mosfet.cpp.o.d"
+  "/root/repo/src/device/ptm45.cpp" "src/CMakeFiles/reliaware.dir/device/ptm45.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/device/ptm45.cpp.o.d"
+  "/root/repo/src/flow/aging_aware_synthesis.cpp" "src/CMakeFiles/reliaware.dir/flow/aging_aware_synthesis.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/flow/aging_aware_synthesis.cpp.o.d"
+  "/root/repo/src/flow/guardband_flow.cpp" "src/CMakeFiles/reliaware.dir/flow/guardband_flow.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/flow/guardband_flow.cpp.o.d"
+  "/root/repo/src/flow/libgen.cpp" "src/CMakeFiles/reliaware.dir/flow/libgen.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/flow/libgen.cpp.o.d"
+  "/root/repo/src/image/chain.cpp" "src/CMakeFiles/reliaware.dir/image/chain.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/image/chain.cpp.o.d"
+  "/root/repo/src/image/dct2d.cpp" "src/CMakeFiles/reliaware.dir/image/dct2d.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/image/dct2d.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/CMakeFiles/reliaware.dir/image/image.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/image/image.cpp.o.d"
+  "/root/repo/src/image/psnr.cpp" "src/CMakeFiles/reliaware.dir/image/psnr.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/image/psnr.cpp.o.d"
+  "/root/repo/src/liberty/library.cpp" "src/CMakeFiles/reliaware.dir/liberty/library.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/liberty/library.cpp.o.d"
+  "/root/repo/src/liberty/merge.cpp" "src/CMakeFiles/reliaware.dir/liberty/merge.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/liberty/merge.cpp.o.d"
+  "/root/repo/src/liberty/parser.cpp" "src/CMakeFiles/reliaware.dir/liberty/parser.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/liberty/parser.cpp.o.d"
+  "/root/repo/src/liberty/table.cpp" "src/CMakeFiles/reliaware.dir/liberty/table.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/liberty/table.cpp.o.d"
+  "/root/repo/src/liberty/writer.cpp" "src/CMakeFiles/reliaware.dir/liberty/writer.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/liberty/writer.cpp.o.d"
+  "/root/repo/src/logicsim/activity.cpp" "src/CMakeFiles/reliaware.dir/logicsim/activity.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/logicsim/activity.cpp.o.d"
+  "/root/repo/src/logicsim/simulator.cpp" "src/CMakeFiles/reliaware.dir/logicsim/simulator.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/logicsim/simulator.cpp.o.d"
+  "/root/repo/src/logicsim/timingsim.cpp" "src/CMakeFiles/reliaware.dir/logicsim/timingsim.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/logicsim/timingsim.cpp.o.d"
+  "/root/repo/src/logicsim/value.cpp" "src/CMakeFiles/reliaware.dir/logicsim/value.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/logicsim/value.cpp.o.d"
+  "/root/repo/src/netlist/annotate.cpp" "src/CMakeFiles/reliaware.dir/netlist/annotate.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/netlist/annotate.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/reliaware.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/reliaware.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/sdf.cpp" "src/CMakeFiles/reliaware.dir/netlist/sdf.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/netlist/sdf.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/CMakeFiles/reliaware.dir/netlist/verilog.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/netlist/verilog.cpp.o.d"
+  "/root/repo/src/spice/measure.cpp" "src/CMakeFiles/reliaware.dir/spice/measure.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/spice/measure.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/CMakeFiles/reliaware.dir/spice/netlist.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/solver.cpp" "src/CMakeFiles/reliaware.dir/spice/solver.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/spice/solver.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/CMakeFiles/reliaware.dir/spice/waveform.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/spice/waveform.cpp.o.d"
+  "/root/repo/src/sta/analysis.cpp" "src/CMakeFiles/reliaware.dir/sta/analysis.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/sta/analysis.cpp.o.d"
+  "/root/repo/src/sta/graph.cpp" "src/CMakeFiles/reliaware.dir/sta/graph.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/sta/graph.cpp.o.d"
+  "/root/repo/src/sta/guardband.cpp" "src/CMakeFiles/reliaware.dir/sta/guardband.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/sta/guardband.cpp.o.d"
+  "/root/repo/src/sta/paths.cpp" "src/CMakeFiles/reliaware.dir/sta/paths.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/sta/paths.cpp.o.d"
+  "/root/repo/src/synth/buffering.cpp" "src/CMakeFiles/reliaware.dir/synth/buffering.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/synth/buffering.cpp.o.d"
+  "/root/repo/src/synth/cuts.cpp" "src/CMakeFiles/reliaware.dir/synth/cuts.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/synth/cuts.cpp.o.d"
+  "/root/repo/src/synth/decompose.cpp" "src/CMakeFiles/reliaware.dir/synth/decompose.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/synth/decompose.cpp.o.d"
+  "/root/repo/src/synth/ir.cpp" "src/CMakeFiles/reliaware.dir/synth/ir.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/synth/ir.cpp.o.d"
+  "/root/repo/src/synth/mapper.cpp" "src/CMakeFiles/reliaware.dir/synth/mapper.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/synth/mapper.cpp.o.d"
+  "/root/repo/src/synth/sizing.cpp" "src/CMakeFiles/reliaware.dir/synth/sizing.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/synth/sizing.cpp.o.d"
+  "/root/repo/src/synth/synthesizer.cpp" "src/CMakeFiles/reliaware.dir/synth/synthesizer.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/synth/synthesizer.cpp.o.d"
+  "/root/repo/src/util/interp.cpp" "src/CMakeFiles/reliaware.dir/util/interp.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/util/interp.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/reliaware.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/reliaware.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/reliaware.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/reliaware.dir/util/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/reliaware.dir/device/ptm45.cpp.o: \
+ /root/repo/src/device/ptm45.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/device/ptm45.hpp /root/repo/src/device/mosfet.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlib_test.dir/charlib_test.cpp.o"
+  "CMakeFiles/charlib_test.dir/charlib_test.cpp.o.d"
+  "charlib_test"
+  "charlib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

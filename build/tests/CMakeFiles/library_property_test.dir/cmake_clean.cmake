@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_property_test.dir/library_property_test.cpp.o"
+  "CMakeFiles/library_property_test.dir/library_property_test.cpp.o.d"
+  "library_property_test"
+  "library_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
