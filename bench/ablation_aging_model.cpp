@@ -47,7 +47,8 @@ void run_variant(const char* label, const aging::BtiParams& params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   bench::print_header(
       "Ablation — aging-model knobs vs worst-arc delay increase\n"
       "(10-year worst case, OPC = 60 ps / 4 fF)");

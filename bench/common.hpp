@@ -14,8 +14,14 @@
 #include "flow/libgen.hpp"
 #include "sta/analysis.hpp"
 #include "synth/synthesizer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rw::bench {
+
+/// Call first in every bench main: consumes `--threads N` (characterization
+/// otherwise uses $RW_THREADS, else all hardware threads) and leaves the
+/// remaining positional arguments in place.
+inline void init(int& argc, char** argv) { util::consume_thread_flag(argc, argv); }
 
 inline charlib::LibraryFactory& factory() {
   static charlib::LibraryFactory f{};  // full catalog, 7x7 grid, disk cache

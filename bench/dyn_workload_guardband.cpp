@@ -8,7 +8,8 @@
 #include "flow/guardband_flow.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   using namespace rw;
   bench::print_header(
       "Fig. 4(b) dynamic flow — workload-driven duty cycles vs static\n"

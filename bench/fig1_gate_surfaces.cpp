@@ -31,7 +31,8 @@ void print_surface(const liberty::TimingTable& fresh, const liberty::TimingTable
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   bench::print_header(
       "Fig. 1 — aging impact on NAND/NOR delay across operating conditions\n"
       "(worst-case stress lambda=1, lifetime 10 years)");

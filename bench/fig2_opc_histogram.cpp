@@ -10,7 +10,8 @@
 #include "bench/common.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   using namespace rw;
   bench::print_header("Fig. 2 — aging-induced delay change across the cell library");
 

@@ -110,7 +110,8 @@ void print_path(const char* name, const PathResult& fresh, const PathResult& age
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   bench::print_header(
       "Fig. 3 — criticality switch: the pre-aging critical path becomes\n"
       "uncritical after aging (all delays from transistor-level simulation)");

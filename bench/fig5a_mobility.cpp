@@ -8,7 +8,8 @@
 #include "bench/common.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   using namespace rw;
   bench::print_header(
       "Fig. 5(a) — guardband under-estimation when mobility degradation is\n"

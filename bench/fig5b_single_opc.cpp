@@ -9,7 +9,8 @@
 #include "bench/common.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   using namespace rw;
   bench::print_header(
       "Fig. 5(b) — guardband over-estimation with single-OPC characterization\n"

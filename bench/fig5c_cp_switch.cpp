@@ -10,7 +10,8 @@
 #include "sta/paths.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   using namespace rw;
   bench::print_header(
       "Fig. 5(c) — mis-estimation when only the initial critical path is\n"

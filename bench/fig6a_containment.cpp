@@ -10,7 +10,8 @@
 #include "flow/aging_aware_synthesis.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   using namespace rw;
   bench::print_header(
       "Fig. 6(a) — required vs contained guardbands (aging-aware synthesis\n"

@@ -34,7 +34,8 @@ double run_scenario(const Design& d, const liberty::Library& lib, double period_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   bench::print_header(
       "Fig. 6(c) — image quality (PSNR) of the DCT-IDCT chain under aging,\n"
       "no guardband, all scenarios at the fresh conventional design's period");

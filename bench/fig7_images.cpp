@@ -28,7 +28,8 @@ image::ChainResult run_timed(const synth::SynthesisResult& dct,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
   bench::print_header("Fig. 7 — DCT-IDCT output images (written as fig7_*.pgm)");
 
   auto& factory = bench::factory();

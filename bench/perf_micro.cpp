@@ -2,9 +2,30 @@
 /// the transient circuit solver (cell characterization cost), full-design
 /// STA, the technology mapper, and the gate-level simulators. These back the
 /// design choices called out in DESIGN.md (smooth device model, lazy
-/// characterization, batched sizing).
+/// characterization, batched sizing, parallel characterization).
+///
+/// Besides the google-benchmark suite, the binary runs a characterization
+/// throughput study (single cell × 49 OPCs and a full library, at 1 thread
+/// vs all threads) and writes the machine-readable baseline BENCH_perf.json
+/// so the perf trajectory is tracked across PRs.
+///
+/// Flags (consumed before google-benchmark's own):
+///   --threads N      width of the N-thread measurements (default: all cores)
+///   --json-only      skip the google-benchmark suite, emit BENCH_perf.json
+///   --json-out=PATH  baseline path                    (default: BENCH_perf.json)
+///   --json-cells=K   library study uses the first K catalog cells (0 = all)
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "charlib/characterizer.hpp"
 #include "charlib/factory.hpp"
@@ -18,6 +39,7 @@
 #include "synth/synthesizer.hpp"
 #include "synth/mapper.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -50,15 +72,36 @@ void BM_TransientInverter(benchmark::State& state) {
 }
 BENCHMARK(BM_TransientInverter)->Unit(benchmark::kMillisecond);
 
+// Single cell × 49 OPCs at a given pool width (0 = all hardware threads).
+// The per-OPC transients fan out over the shared pool inside the
+// characterizer; the tables are bitwise identical across widths.
 void BM_CharacterizeNand2FullGrid(benchmark::State& state) {
+  util::set_shared_thread_count(static_cast<std::size_t>(state.range(0)));
   charlib::CharacterizeOptions opts;  // 7x7 paper grid
   const auto& spec = cells::find_cell("NAND2_X1");
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         charlib::characterize_cell(spec, aging::AgingScenario::fresh(), opts));
   }
+  util::set_shared_thread_count(0);
 }
-BENCHMARK(BM_CharacterizeNand2FullGrid)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CharacterizeNand2FullGrid)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// Library characterization throughput (a representative 8-cell subset × 49
+// OPCs) at a given pool width; the factory fans whole cells out in parallel.
+void BM_CharacterizeLibrarySubset(benchmark::State& state) {
+  util::set_shared_thread_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    charlib::LibraryFactory::Options opts;  // 7x7 paper grid, no disk cache
+    opts.cache_dir.clear();
+    opts.cell_subset = {"INV_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1",
+                        "AOI21_X1", "OAI21_X1", "MUX2_X1", "DFF_X1"};
+    charlib::LibraryFactory f(opts);
+    benchmark::DoNotOptimize(f.library(aging::AgingScenario::fresh()));
+  }
+  util::set_shared_thread_count(0);
+}
+BENCHMARK(BM_CharacterizeLibrarySubset)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_StaDsp(benchmark::State& state) {
   const auto& m = dsp_module();
@@ -119,6 +162,117 @@ void BM_NldmLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_NldmLookup);
 
+// ---------------------------------------------------------------------------
+// Characterization throughput study -> BENCH_perf.json
+// ---------------------------------------------------------------------------
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double char_cell_ms(std::size_t threads) {
+  util::set_shared_thread_count(threads);
+  const auto& spec = cells::find_cell("NAND2_X1");
+  const charlib::CharacterizeOptions opts;  // 7x7 paper grid = 49 OPCs
+  double best = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    const double ms = wall_ms([&] {
+      benchmark::DoNotOptimize(
+          charlib::characterize_cell(spec, aging::AgingScenario::fresh(), opts));
+    });
+    best = rep == 0 ? ms : std::min(best, ms);
+  }
+  return best;
+}
+
+double char_library_ms(std::size_t threads, std::size_t max_cells) {
+  util::set_shared_thread_count(threads);
+  charlib::LibraryFactory::Options opts;  // 7x7 paper grid
+  opts.cache_dir.clear();                 // measure characterization, not the disk cache
+  if (max_cells > 0) {
+    for (const auto& spec : cells::catalog()) {
+      if (opts.cell_subset.size() >= max_cells) break;
+      opts.cell_subset.push_back(spec.name);
+    }
+  }
+  charlib::LibraryFactory f(opts);
+  return wall_ms([&] { benchmark::DoNotOptimize(f.library(aging::AgingScenario::fresh())); });
+}
+
+void write_perf_json(const std::string& path, std::size_t n_threads, std::size_t json_cells) {
+  struct Row {
+    const char* name;
+    double ms_1t;
+    double ms_nt;
+  };
+  std::fprintf(stderr, "perf baseline: characterization throughput at 1 vs %zu threads...\n",
+               n_threads);
+  const Row rows[] = {
+      {"char_cell_49opc", char_cell_ms(1), char_cell_ms(n_threads)},
+      {"char_library", char_library_ms(1, json_cells), char_library_ms(n_threads, json_cells)},
+  };
+  util::set_shared_thread_count(0);
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf baseline: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"threads\": %zu,\n", n_threads);
+  const std::size_t library_cells =
+      json_cells > 0 ? std::min(json_cells, cells::catalog().size()) : cells::catalog().size();
+  std::fprintf(out, "  \"library_cells\": %zu,\n", library_cells);
+  std::fprintf(out, "  \"benchmarks\": {\n");
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    \"%s\": {\"wall_ms_1t\": %.3f, \"wall_ms_nt\": %.3f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.name, r.ms_1t, r.ms_nt, r.ms_nt > 0.0 ? r.ms_1t / r.ms_nt : 0.0,
+                 i + 1 < std::size(rows) ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  for (const Row& r : rows) {
+    std::fprintf(stderr, "  %-18s 1t %9.1f ms   %zut %9.1f ms   speedup %.2fx\n", r.name,
+                 r.ms_1t, n_threads, r.ms_nt, r.ms_nt > 0.0 ? r.ms_1t / r.ms_nt : 0.0);
+  }
+  std::fprintf(stderr, "perf baseline written to %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::size_t requested = util::consume_thread_flag(argc, argv);
+  const std::size_t n_threads = requested > 0 ? requested : util::default_thread_count();
+
+  bool json_only = false;
+  std::string json_out = "BENCH_perf.json";
+  std::size_t json_cells = 0;  // 0 = full catalog
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--json-cells=", 13) == 0) {
+      json_cells = static_cast<std::size_t>(std::strtoul(argv[i] + 13, nullptr, 10));
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argv[out_argc] = nullptr;
+  argc = out_argc;
+
+  if (!json_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  write_perf_json(json_out, n_threads, json_cells);
+  return 0;
+}

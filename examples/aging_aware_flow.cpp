@@ -5,7 +5,7 @@
 ///      measure the contained guardband (Fig. 4(c));
 ///   3. write both netlists as Verilog plus an SDF for the aged corner.
 ///
-/// Usage: example_aging_aware_flow [circuit]   (default: DCT)
+/// Usage: example_aging_aware_flow [--threads N] [circuit]   (default: DCT)
 
 #include <cstdio>
 
@@ -15,9 +15,11 @@
 #include "netlist/sdf.hpp"
 #include "netlist/verilog.hpp"
 #include "sta/analysis.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace rw;
+  util::consume_thread_flag(argc, argv);
   const std::string which = argc > 1 ? argv[1] : "DCT";
   const circuits::BenchmarkCircuit* chosen = nullptr;
   for (const auto& bc : circuits::benchmark_suite()) {

@@ -3,14 +3,15 @@
 /// 0.1-step grid (121 for the full grid) plus the merged "complete" library
 /// with λ-indexed cell names (Section 4.1 of the paper).
 ///
-/// Usage: example_generate_libraries [out_dir] [years] [lambda_step]
+/// Usage: example_generate_libraries [--threads N] [out_dir] [years] [lambda_step]
 ///   out_dir      output directory            (default: ./libs)
 ///   years        lifetime                    (default: 10)
 ///   lambda_step  λ grid step; 0.5 -> 9 corners, 0.1 -> 121 (default: 0.5)
 ///
 /// The full 121-corner grid takes on the order of an hour of transient
-/// simulation on one core the first time (cached afterwards); the default
-/// coarse step finishes in a few minutes.
+/// simulation on one core the first time (cached afterwards, and divided by
+/// the thread count — characterization runs on all cores unless --threads/
+/// $RW_THREADS says otherwise); the default coarse step finishes in minutes.
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,9 +21,11 @@
 #include "flow/libgen.hpp"
 #include "liberty/merge.hpp"
 #include "liberty/writer.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace rw;
+  util::consume_thread_flag(argc, argv);
   const std::string out_dir = argc > 1 ? argv[1] : "libs";
   const double years = argc > 2 ? std::atof(argv[2]) : 10.0;
   const double step = argc > 3 ? std::atof(argv[3]) : 0.5;

@@ -3,7 +3,7 @@
 /// needs to pick a margin for a target lifetime. Uses the full 7x7 library
 /// (cached on disk after the first run).
 ///
-/// Usage: example_guardband_explorer [circuit]   (default: DSP)
+/// Usage: example_guardband_explorer [--threads N] [circuit]   (default: DSP)
 
 #include <cstdio>
 #include <cstring>
@@ -12,9 +12,11 @@
 #include "circuits/benchmarks.hpp"
 #include "flow/guardband_flow.hpp"
 #include "synth/synthesizer.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace rw;
+  util::consume_thread_flag(argc, argv);
   const std::string which = argc > 1 ? argv[1] : "DSP";
 
   const circuits::BenchmarkCircuit* chosen = nullptr;

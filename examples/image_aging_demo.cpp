@@ -11,9 +11,11 @@
 #include "netlist/sdf.hpp"
 #include "sta/analysis.hpp"
 #include "synth/synthesizer.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rw;
+  util::consume_thread_flag(argc, argv);  // --threads N (default: all cores)
   charlib::LibraryFactory factory;
   const auto& fresh = factory.library(aging::AgingScenario::fresh());
   const auto& aged = factory.library(aging::AgingScenario::worst_case(1));

@@ -11,9 +11,11 @@
 #include "cells/catalog.hpp"
 #include "netlist/builder.hpp"
 #include "sta/guardband.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rw;
+  util::consume_thread_flag(argc, argv);  // --threads N (default: all cores)
 
   // --- 1. Characterize one cell under fresh and worst-case-aged devices ---
   // (a coarse 3x3 OPC grid keeps this instant; the flows use the 7x7 grid).

@@ -10,6 +10,7 @@
 #include "spice/measure.hpp"
 #include "spice/solver.hpp"
 #include "util/interp.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rw::charlib {
 
@@ -200,29 +201,31 @@ liberty::TimingTable characterize_comb_arc(const CellSpec& spec,
                                            const aging::AgingScenario& scenario,
                                            const CharacterizeOptions& options, const ArcRun& run) {
   const double t_start = 20.0;
-  std::vector<double> delays;
-  std::vector<double> slews;
-  delays.reserve(options.grid.size());
-  slews.reserve(options.grid.size());
-  for (const double slew : options.grid.slews_ps) {
-    for (const double load : options.grid.loads_ff) {
-      // Node ids are deterministic across rebuilds; learn the output id once.
-      NodeId out_node = -1;
-      (void)build_comb_bench(spec, scenario, options, run, slew, load, t_start, out_node);
-      const double ramp_full = slew / 0.8;
-      const double window = t_start + ramp_full + 600.0 + 25.0 * load;
-      const double t50_in = t_start + 0.5 * ramp_full;
-      const auto m = run_and_measure(
-          [&](double) {
-            NodeId dummy = -1;
-            return build_comb_bench(spec, scenario, options, run, slew, load, t_start, dummy);
-          },
-          out_node, t50_in, run.out_rising, options.tech.vdd_v, window,
-          spec.name + "/" + run.pin + (run.out_rising ? " rise" : " fall"));
-      delays.push_back(m.delay_ps);
-      slews.push_back(m.slew_ps);
-    }
-  }
+  const std::size_t n_loads = options.grid.loads_ff.size();
+  // Grid points are independent transients: fan them over the pool, each
+  // writing only its own pre-sized slot so the tables are bitwise identical
+  // for any thread count.
+  std::vector<double> delays(options.grid.size());
+  std::vector<double> slews(options.grid.size());
+  util::ThreadPool::shared().parallel_for(options.grid.size(), [&](std::size_t i) {
+    const double slew = options.grid.slews_ps[i / n_loads];
+    const double load = options.grid.loads_ff[i % n_loads];
+    // Node ids are deterministic across rebuilds; learn the output id once.
+    NodeId out_node = -1;
+    (void)build_comb_bench(spec, scenario, options, run, slew, load, t_start, out_node);
+    const double ramp_full = slew / 0.8;
+    const double window = t_start + ramp_full + 600.0 + 25.0 * load;
+    const double t50_in = t_start + 0.5 * ramp_full;
+    const auto m = run_and_measure(
+        [&](double) {
+          NodeId dummy = -1;
+          return build_comb_bench(spec, scenario, options, run, slew, load, t_start, dummy);
+        },
+        out_node, t50_in, run.out_rising, options.tech.vdd_v, window,
+        spec.name + "/" + run.pin + (run.out_rising ? " rise" : " fall"));
+    delays[i] = m.delay_ps;
+    slews[i] = m.slew_ps;
+  });
   return make_table(options.grid, delays, slews);
 }
 
@@ -261,30 +264,31 @@ Circuit build_flop_bench(const CellSpec& spec, const aging::AgingScenario& scena
 liberty::TimingTable characterize_flop_arc(const CellSpec& spec,
                                            const aging::AgingScenario& scenario,
                                            const CharacterizeOptions& options, bool q_rising) {
-  std::vector<double> delays;
-  std::vector<double> slews;
-  for (const double ck_slew : options.grid.slews_ps) {
-    for (const double load : options.grid.loads_ff) {
-      const double d_edge = 500.0;
-      const double ck_edge = 900.0;
-      NodeId out_node = -1;
-      (void)build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge, ck_edge,
-                             out_node);
-      const double full = ck_slew / 0.8;
-      const double t50_ck = ck_edge + 0.5 * full;
-      const double window = ck_edge + full + 600.0 + 25.0 * load;
-      const auto m = run_and_measure(
-          [&](double) {
-            NodeId dummy = -1;
-            return build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge,
-                                    ck_edge, dummy);
-          },
-          out_node, t50_ck, q_rising, options.tech.vdd_v, window,
-          spec.name + std::string("/CK->Q ") + (q_rising ? "rise" : "fall"));
-      delays.push_back(m.delay_ps);
-      slews.push_back(m.slew_ps);
-    }
-  }
+  const std::size_t n_loads = options.grid.loads_ff.size();
+  std::vector<double> delays(options.grid.size());
+  std::vector<double> slews(options.grid.size());
+  util::ThreadPool::shared().parallel_for(options.grid.size(), [&](std::size_t i) {
+    const double ck_slew = options.grid.slews_ps[i / n_loads];
+    const double load = options.grid.loads_ff[i % n_loads];
+    const double d_edge = 500.0;
+    const double ck_edge = 900.0;
+    NodeId out_node = -1;
+    (void)build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge, ck_edge,
+                           out_node);
+    const double full = ck_slew / 0.8;
+    const double t50_ck = ck_edge + 0.5 * full;
+    const double window = ck_edge + full + 600.0 + 25.0 * load;
+    const auto m = run_and_measure(
+        [&](double) {
+          NodeId dummy = -1;
+          return build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge,
+                                  ck_edge, dummy);
+        },
+        out_node, t50_ck, q_rising, options.tech.vdd_v, window,
+        spec.name + std::string("/CK->Q ") + (q_rising ? "rise" : "fall"));
+    delays[i] = m.delay_ps;
+    slews[i] = m.slew_ps;
+  });
   return make_table(options.grid, delays, slews);
 }
 

@@ -1,12 +1,17 @@
 #include "charlib/factory.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
+#include <exception>
 #include <filesystem>
 
 #include "cells/catalog.hpp"
 #include "liberty/merge.hpp"
 #include "liberty/parser.hpp"
 #include "liberty/writer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rw::charlib {
 
@@ -36,48 +41,151 @@ std::vector<std::string> LibraryFactory::cell_names() const {
   return names;
 }
 
+std::unique_ptr<liberty::Cell> LibraryFactory::load_cached_cell(
+    const std::string& path, const std::string& cell_name) const {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return nullptr;
+  try {
+    liberty::Library single = liberty::parse_library_file(path);
+    if (const liberty::Cell* c = single.find(cell_name)) {
+      return std::make_unique<liberty::Cell>(*c);
+    }
+  } catch (const std::exception&) {
+    // Truncated or corrupt (e.g. a crash mid-write before atomic renames
+    // existed): fall through to removal + re-characterization.
+  }
+  fs::remove(path, ec);
+  return nullptr;
+}
+
+void LibraryFactory::store_cached_cell(const aging::AgingScenario& scenario,
+                                       const std::string& cell_name,
+                                       const liberty::Cell& cell) const {
+  static std::atomic<unsigned> seq{0};
+  const std::string dir = scenario_dir(scenario);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  liberty::Library single("rw_cache_" + scenario.id());
+  single.add_cell(cell);
+  const std::string path = dir + "/" + cell_name + ".lib";
+  // Unique temp name per process and write, then atomic rename: concurrent
+  // factories (threads or processes) never expose a partially written file,
+  // and the last complete write wins.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  try {
+    liberty::write_library_file(single, tmp);
+    fs::rename(tmp, path);
+  } catch (const std::exception&) {
+    fs::remove(tmp, ec);  // cache is an optimization; never fail the run
+  }
+}
+
 const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
                                           const aging::AgingScenario& scenario) {
-  const auto key = std::make_pair(scenario.id(), cell_name);
-  if (const auto it = cell_cache_.find(key); it != cell_cache_.end()) return it->second;
-
-  // Disk cache lookup.
-  if (!options_.cache_dir.empty()) {
-    const std::string path = scenario_dir(scenario) + "/" + cell_name + ".lib";
-    if (fs::exists(path)) {
-      liberty::Library single = liberty::parse_library_file(path);
-      if (const liberty::Cell* c = single.find(cell_name)) {
-        return cell_cache_.emplace(key, *c).first->second;
-      }
+  const CellKey key{scenario.id(), cell_name};
+  std::shared_ptr<CellJob> job;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (const auto it = cell_cache_.find(key); it != cell_cache_.end()) return it->second;
+      const auto in = in_flight_.find(key);
+      if (in == in_flight_.end()) break;
+      // Another thread is characterizing this (scenario, cell): wait for it
+      // instead of duplicating the SPICE work.
+      const std::shared_ptr<CellJob> pending = in->second;
+      cv_.wait(lock, [&] { return pending->done; });
+      if (pending->error) std::rethrow_exception(pending->error);
+      // Re-check the cache (and any newer in-flight entry) from the top.
     }
+    job = std::make_shared<CellJob>();
+    in_flight_.emplace(key, job);
   }
 
-  liberty::Cell characterized =
-      characterize_cell(cells::find_cell(cell_name), scenario, options_.characterize);
-
-  if (!options_.cache_dir.empty()) {
-    const std::string dir = scenario_dir(scenario);
-    fs::create_directories(dir);
-    liberty::Library single("rw_cache_" + scenario.id());
-    single.add_cell(characterized);
-    liberty::write_library_file(single, dir + "/" + cell_name + ".lib");
+  liberty::Cell result;
+  try {
+    std::unique_ptr<liberty::Cell> cached;
+    if (!options_.cache_dir.empty()) {
+      cached = load_cached_cell(scenario_dir(scenario) + "/" + cell_name + ".lib", cell_name);
+    }
+    if (cached != nullptr) {
+      result = std::move(*cached);
+    } else {
+      result = characterize_cell(cells::find_cell(cell_name), scenario, options_.characterize);
+      if (!options_.cache_dir.empty()) store_cached_cell(scenario, cell_name, result);
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->error = std::current_exception();
+      job->done = true;
+      in_flight_.erase(key);
+    }
+    cv_.notify_all();
+    throw;
   }
-  return cell_cache_.emplace(key, std::move(characterized)).first->second;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const liberty::Cell& ref = cell_cache_.emplace(key, std::move(result)).first->second;
+  job->done = true;
+  in_flight_.erase(key);
+  cv_.notify_all();
+  return ref;
 }
 
 const liberty::Library& LibraryFactory::library(const aging::AgingScenario& scenario) {
   const std::string id = scenario.id();
-  if (const auto it = library_cache_.find(id); it != library_cache_.end()) return *it->second;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = library_cache_.find(id); it != library_cache_.end()) return *it->second;
+  }
 
+  // Characterize all cells in parallel; the in-flight table keeps concurrent
+  // library() calls for the same scenario from duplicating any cell.
+  const std::vector<std::string> names = cell_names();
+  util::ThreadPool::shared().parallel_for(
+      names.size(), [&](std::size_t i) { (void)cell(names[i], scenario); });
+
+  // Assemble in catalog order from the (now warm) cache: deterministic for
+  // any thread count.
   auto lib = std::make_unique<liberty::Library>("reliaware_" + id);
-  for (const auto& name : cell_names()) lib->add_cell(cell(name, scenario));
-  return *library_cache_.emplace(id, std::move(lib)).first->second;
+  for (const auto& name : names) lib->add_cell(cell(name, scenario));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // First inserter wins; a losing thread built an identical library from the
+  // same cached cells, so dropping it is safe.
+  return *library_cache_.try_emplace(id, std::move(lib)).first->second;
 }
 
 liberty::Library LibraryFactory::merged(const std::vector<aging::AgingScenario>& scenarios) {
+  const std::vector<std::string> names = cell_names();
+
+  // One flat (scenario × cell) job list through the shared cell cache:
+  // pairs characterized earlier — via cell(), library(), or a previous
+  // merged() — are cache hits and are never rebuilt.
+  util::ThreadPool::shared().parallel_for(
+      scenarios.size() * names.size(),
+      [&](std::size_t i) { (void)cell(names[i % names.size()], scenarios[i / names.size()]); });
+
+  // Reuse memoized full libraries where they exist; otherwise assemble a
+  // local library from cached cells without growing the library memo.
+  std::vector<liberty::Library> local;
+  local.reserve(scenarios.size());
   std::vector<liberty::ScenarioLibrary> parts;
   parts.reserve(scenarios.size());
-  for (const auto& s : scenarios) parts.push_back({s, &library(s)});
+  for (const auto& s : scenarios) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (const auto it = library_cache_.find(s.id()); it != library_cache_.end()) {
+        parts.push_back({s, it->second.get()});
+        continue;
+      }
+    }
+    liberty::Library lib("reliaware_" + s.id());
+    for (const auto& name : names) lib.add_cell(cell(name, s));
+    local.push_back(std::move(lib));
+    parts.push_back({s, &local.back()});
+  }
   return liberty::merge_libraries(parts);
 }
 

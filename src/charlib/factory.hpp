@@ -7,9 +7,22 @@
 /// single-cell library per file), which lets every test/bench binary share
 /// one characterization pass. The disk layout is
 ///   <cache_dir>/<grid-tag>/<scenario-id>/<cell>.lib
+///
+/// The factory is concurrency-safe: every public method may be called from
+/// any thread, the memo maps are mutex-guarded, and an in-flight table
+/// deduplicates work so two threads asking for the same (scenario, cell)
+/// never characterize it twice — the second caller blocks until the first
+/// finishes. `library()` and `merged()` characterize their cells in
+/// parallel on `util::ThreadPool::shared()`; results are assembled in
+/// catalog order, so the produced libraries are identical for any thread
+/// count. Disk-cache writes go through a temp file plus atomic rename, and
+/// truncated/corrupt cache files are discarded and re-characterized rather
+/// than failing the run.
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,25 +48,49 @@ class LibraryFactory {
   explicit LibraryFactory(Options options = default_options());
 
   /// One characterized cell under one scenario (memoized, disk-cached).
+  /// The returned reference stays valid for the factory's lifetime.
   const liberty::Cell& cell(const std::string& cell_name, const aging::AgingScenario& scenario);
 
-  /// A full degradation-aware library for one scenario (Section 4.1).
-  /// The returned reference stays valid for the factory's lifetime.
+  /// A full degradation-aware library for one scenario (Section 4.1); cells
+  /// are characterized in parallel. The returned reference stays valid for
+  /// the factory's lifetime.
   const liberty::Library& library(const aging::AgingScenario& scenario);
 
   /// The merged "complete" library over many (λp, λn) corners; all scenarios
-  /// must share the lifetime/mobility settings.
+  /// must share the lifetime/mobility settings. Built directly from the
+  /// shared (scenario, cell) cache — previously characterized pairs (via
+  /// `cell()`, `library()`, or an earlier `merged()`) are reused, and
+  /// corners not already memoized as full libraries are NOT added to the
+  /// library memo, so merging 121 corners does not pin 121 library copies.
   liberty::Library merged(const std::vector<aging::AgingScenario>& scenarios);
 
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
+  using CellKey = std::pair<std::string, std::string>;  // (scenario id, cell)
+
+  /// Entry in the in-flight table; waiters block on `factory.cv_`.
+  struct CellJob {
+    bool done = false;
+    std::exception_ptr error;
+  };
+
   std::string scenario_dir(const aging::AgingScenario& scenario) const;
   std::vector<std::string> cell_names() const;
+  /// Disk-cache read; returns nothing (and removes the file) when missing,
+  /// truncated, or otherwise unparsable.
+  std::unique_ptr<liberty::Cell> load_cached_cell(const std::string& path,
+                                                  const std::string& cell_name) const;
+  /// Disk-cache write via `<path>.tmp.<pid>.<seq>` + atomic rename.
+  void store_cached_cell(const aging::AgingScenario& scenario, const std::string& cell_name,
+                         const liberty::Cell& cell) const;
 
   Options options_;
-  std::map<std::pair<std::string, std::string>, liberty::Cell> cell_cache_;  // (scenario id, cell)
-  std::map<std::string, std::unique_ptr<liberty::Library>> library_cache_;   // scenario id
+  mutable std::mutex mutex_;            ///< guards the three maps below
+  std::condition_variable cv_;          ///< signaled when an in-flight job finishes
+  std::map<CellKey, liberty::Cell> cell_cache_;
+  std::map<CellKey, std::shared_ptr<CellJob>> in_flight_;
+  std::map<std::string, std::unique_ptr<liberty::Library>> library_cache_;  // scenario id
 };
 
 }  // namespace rw::charlib

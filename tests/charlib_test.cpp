@@ -2,11 +2,15 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
 
 #include "charlib/characterizer.hpp"
 #include "charlib/factory.hpp"
 #include "spice/solver.hpp"
 #include "cells/catalog.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rw::charlib {
 namespace {
@@ -136,6 +140,126 @@ TEST(Factory, MergedLibraryUsesIndexedNames) {
   EXPECT_EQ(merged.size(), 2u);
   EXPECT_NE(merged.find("INV_X1_0.40_0.60"), nullptr);
   EXPECT_NE(merged.find("INV_X1_1.00_1.00"), nullptr);
+}
+
+/// Exact (bitwise) equality of every NLDM table and constraint of two cells.
+void expect_cells_identical(const liberty::Cell& a, const liberty::Cell& b) {
+  ASSERT_EQ(a.name, b.name);
+  ASSERT_EQ(a.arcs.size(), b.arcs.size());
+  for (std::size_t i = 0; i < a.arcs.size(); ++i) {
+    EXPECT_EQ(a.arcs[i].rise.delay_ps.values(), b.arcs[i].rise.delay_ps.values())
+        << a.name << " arc " << i << " rise delay";
+    EXPECT_EQ(a.arcs[i].rise.out_slew_ps.values(), b.arcs[i].rise.out_slew_ps.values())
+        << a.name << " arc " << i << " rise slew";
+    EXPECT_EQ(a.arcs[i].fall.delay_ps.values(), b.arcs[i].fall.delay_ps.values())
+        << a.name << " arc " << i << " fall delay";
+    EXPECT_EQ(a.arcs[i].fall.out_slew_ps.values(), b.arcs[i].fall.out_slew_ps.values())
+        << a.name << " arc " << i << " fall slew";
+  }
+  EXPECT_EQ(a.setup_ps, b.setup_ps);
+  EXPECT_EQ(a.hold_ps, b.hold_ps);
+  EXPECT_EQ(a.area_um2, b.area_um2);
+  for (const auto& pin : a.pins) {
+    EXPECT_EQ(pin.cap_ff, b.find_pin(pin.name)->cap_ff);
+  }
+}
+
+TEST(Factory, CharacterizationIsDeterministicAcrossThreadCounts) {
+  // The hard guarantee behind the parallel engine: 1-thread and N-thread
+  // characterizations produce bitwise-identical NLDM tables.
+  LibraryFactory::Options opts;
+  opts.characterize.grid = OpcGrid::coarse();
+  opts.cache_dir.clear();
+  opts.cell_subset = {"INV_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1", "DFF_X1"};
+
+  util::set_shared_thread_count(1);
+  LibraryFactory serial(opts);
+  const liberty::Library lib_1t = serial.library(aging::AgingScenario::worst_case(10));
+
+  util::set_shared_thread_count(4);
+  LibraryFactory parallel(opts);
+  const liberty::Library lib_4t = parallel.library(aging::AgingScenario::worst_case(10));
+  util::set_shared_thread_count(0);
+
+  ASSERT_EQ(lib_1t.size(), lib_4t.size());
+  for (const auto& cell : lib_1t.cells()) {
+    expect_cells_identical(cell, lib_4t.at(cell.name));
+  }
+}
+
+TEST(Factory, ConcurrentCallersDeduplicateAndAgree) {
+  // Many threads asking the same factory for overlapping cells: no crash
+  // (TSan-clean) and everyone sees the same memoized objects.
+  LibraryFactory::Options opts;
+  opts.characterize.grid = OpcGrid::single(60.0, 4.0);
+  opts.cache_dir.clear();
+  opts.cell_subset = {"INV_X1", "NAND2_X1"};
+  LibraryFactory factory(opts);
+
+  std::vector<const liberty::Cell*> seen(8, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(seen.size());
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    threads.emplace_back([&factory, &seen, t] {
+      const auto& name = t % 2 == 0 ? "INV_X1" : "NAND2_X1";
+      seen[t] = &factory.cell(name, aging::AgingScenario::fresh());
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 2; t < seen.size(); ++t) {
+    EXPECT_EQ(seen[t], seen[t % 2]);  // same memoized object, characterized once
+  }
+}
+
+TEST(Factory, ToleratesCorruptDiskCacheEntries) {
+  const std::string dir = std::filesystem::temp_directory_path() / "rw_test_cache_corrupt";
+  std::filesystem::remove_all(dir);
+  LibraryFactory::Options opts;
+  opts.characterize.grid = OpcGrid::single(60.0, 4.0);
+  opts.cache_dir = dir;
+  opts.cell_subset = {"INV_X1"};
+
+  const std::string path = std::string(dir) + "/1x1/fresh/INV_X1.lib";
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path());
+  {
+    std::ofstream out(path);
+    out << "library (rw_cache_fresh) {\n  cell (INV_X1) {\n";  // truncated mid-write
+  }
+
+  LibraryFactory factory(opts);
+  const auto& cell = factory.cell("INV_X1", aging::AgingScenario::fresh());
+  ASSERT_EQ(cell.arcs.size(), 1u);
+  EXPECT_GT(cell.arcs[0].rise.delay_ps.at(0, 0), 0.0);  // re-characterized, not failed
+  // The rewritten cache entry is complete and parses on the next run (the
+  // Liberty text format carries 4 decimals, hence the tolerance).
+  LibraryFactory again(opts);
+  EXPECT_NEAR(again.cell("INV_X1", aging::AgingScenario::fresh()).arcs[0].rise.delay_ps.at(0, 0),
+              cell.arcs[0].rise.delay_ps.at(0, 0), 1e-3);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Factory, MergedReusesCellCacheWithoutLibraryMemo) {
+  LibraryFactory::Options opts;
+  opts.characterize.grid = OpcGrid::single(60.0, 4.0);
+  opts.cache_dir.clear();
+  opts.cell_subset = {"INV_X1", "NAND2_X1"};
+  LibraryFactory factory(opts);
+
+  // Warm one corner through cell(); merge over two corners reuses it.
+  const aging::AgingScenario a{0.4, 0.6, 10.0, true};
+  const aging::AgingScenario b{1.0, 1.0, 10.0, true};
+  const auto& warm = factory.cell("INV_X1", a);
+  const auto merged = factory.merged({a, b});
+  EXPECT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged.find("INV_X1_0.40_0.60")->arcs[0].rise.delay_ps.values(),
+            warm.arcs[0].rise.delay_ps.values());
+  // A second merge is pure cache assembly and yields the same tables.
+  const auto merged2 = factory.merged({a, b});
+  ASSERT_EQ(merged2.size(), merged.size());
+  for (const auto& cell : merged.cells()) {
+    EXPECT_EQ(merged2.at(cell.name).arcs[0].rise.delay_ps.values(),
+              cell.arcs[0].rise.delay_ps.values());
+  }
 }
 
 TEST(AppendCellInstance, ChainsTwoCells) {
