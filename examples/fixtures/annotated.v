@@ -1,0 +1,7 @@
+// rwlint fixture: a λ-annotated netlist whose corners all exist in
+// merged.lib — must lint clean against it.
+module annotated (input a, input b, output y);
+  wire n1;
+  NAND2_X1_1.00_1.00 u1 (.A(a), .B(b), .Z(n1));
+  INV_X1_1.00_1.00 u2 (.A(n1), .Z(y));
+endmodule

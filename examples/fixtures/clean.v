@@ -1,0 +1,10 @@
+// rwlint fixture: a well-formed netlist against mini.lib — must lint clean.
+module clean (input a, input b, input c, output y);
+  wire n1;
+  wire n2;
+  wire n3;
+  NAND2_X1 u1 (.A(a), .B(b), .Z(n1));
+  INV_X1 u2 (.A(n1), .Z(n2));
+  AND2_X1 u3 (.A(n2), .B(c), .Z(n3));
+  INV_X1 u4 (.A(n3), .Z(y));
+endmodule

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Pre-merge entry point: strict build, full test suite, design-rule lint of
+# the shipped fixtures, and (when installed) clang-tidy over src/.
+#
+# Usage: scripts/check.sh [build-dir]     (default: build-check)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure (-Werror) =="
+cmake -B "$BUILD_DIR" -S . -DRELIAWARE_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== rwlint: example fixtures must be clean =="
+RWLINT="$BUILD_DIR/tools/rwlint"
+"$RWLINT" --lib examples/fixtures/mini.lib examples/fixtures/clean.v
+"$RWLINT" --lib examples/fixtures/merged.lib examples/fixtures/annotated.v
+
+echo "== rwlint: seeded-broken fixture must fail =="
+if "$RWLINT" --format json --lib examples/fixtures/mini.lib tests/fixtures/broken.v; then
+  echo "error: rwlint accepted tests/fixtures/broken.v" >&2
+  exit 1
+else
+  echo "rwlint rejected broken.v as expected (exit $?)"
+fi
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --build "$BUILD_DIR" --target lint_cxx
+else
+  echo "clang-tidy not installed; skipping (install it to enable this gate)"
+fi
+
+echo "== all checks passed =="

@@ -1,5 +1,6 @@
 #include "flow/aging_aware_synthesis.hpp"
 
+#include "lint/linter.hpp"
 #include "sta/analysis.hpp"
 
 namespace rw::flow {
@@ -7,6 +8,17 @@ namespace rw::flow {
 ContainmentResult run_containment(const synth::Ir& ir, const liberty::Library& fresh,
                                   const liberty::Library& aged, const std::string& top_name,
                                   const synth::SynthesisOptions& options) {
+  // Pre-flight the caller-provided libraries: negative/missing NLDM data or
+  // an aged cell faster than fresh silently corrupts both syntheses, so fail
+  // fast with the diagnostics instead.
+  {
+    lint::LintSubject subject;
+    subject.library = &fresh;
+    lint::lint_or_throw(lint::Linter::library_linter(), subject);
+    subject.library = &aged;
+    subject.fresh = &fresh;
+    lint::lint_or_throw(lint::Linter::library_linter(), subject);
+  }
   ContainmentResult r{synth::synthesize(ir, fresh, top_name, options),
                       synth::synthesize(ir, aged, top_name + "_aw", options)};
 

@@ -3,17 +3,34 @@
 #include <map>
 #include <set>
 
+#include "lint/linter.hpp"
 #include "logicsim/activity.hpp"
 #include "netlist/annotate.hpp"
 #include "sta/analysis.hpp"
 
 namespace rw::flow {
 
+namespace {
+
+/// Pre-flight: refuse structurally broken netlists (combinational cycles,
+/// multi-driven nets, bogus λ annotations, ...) with the full diagnostic
+/// list instead of failing deep inside STA or characterization. The library
+/// is factory-generated, so only netlist + annotation rules run.
+void preflight(const netlist::Module& module, const liberty::Library& fresh) {
+  lint::LintSubject subject;
+  subject.module = &module;
+  subject.library = &fresh;
+  lint::lint_or_throw(lint::Linter::netlist_linter(), subject);
+}
+
+}  // namespace
+
 sta::GuardbandReport static_guardband(const netlist::Module& module,
                                       charlib::LibraryFactory& factory,
                                       const aging::AgingScenario& scenario,
                                       const sta::StaOptions& options) {
   const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
+  preflight(module, fresh);
   const liberty::Library& aged = factory.library(scenario);
   return sta::estimate_guardband(module, fresh, aged, options);
 }
@@ -23,6 +40,7 @@ DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
                                               const Stimulus& stimulus, int cycles, double years,
                                               const sta::StaOptions& options) {
   const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
+  preflight(module, fresh);
 
   // 1. Gate-level simulation of the workload (Modelsim's role).
   logicsim::CycleSimulator sim(module, fresh);

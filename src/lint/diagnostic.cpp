@@ -1,0 +1,117 @@
+#include "lint/diagnostic.hpp"
+
+#include <sstream>
+
+namespace rw::lint {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::format() const {
+  std::string out = std::string(to_string(severity)) + "[" + rule_id + "]";
+  if (!location.empty()) out += " " + location + ":";
+  out += " " + message;
+  if (!fix_hint.empty()) out += " (fix: " + fix_hint + ")";
+  return out;
+}
+
+Severity worst_severity(const std::vector<Diagnostic>& diagnostics) {
+  Severity worst = Severity::kInfo;
+  for (const auto& d : diagnostics) {
+    if (d.severity > worst) worst = d.severity;
+  }
+  return worst;
+}
+
+std::size_t count(const std::vector<Diagnostic>& diagnostics, Severity severity) {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string format_report(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const auto& d : diagnostics) {
+    out += d.format();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_field(std::string& out, const char* key, const std::string& value, bool last = false) {
+  append_json_string(out, key);
+  out += ':';
+  append_json_string(out, value);
+  if (!last) out += ',';
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const auto& d = diagnostics[i];
+    if (i != 0) out += ',';
+    out += '{';
+    append_field(out, "rule", d.rule_id);
+    append_field(out, "severity", to_string(d.severity));
+    append_field(out, "location", d.location);
+    append_field(out, "message", d.message);
+    append_field(out, "fix_hint", d.fix_hint, /*last=*/true);
+    out += '}';
+  }
+  out += "],\"counts\":{\"error\":" + std::to_string(count(diagnostics, Severity::kError)) +
+         ",\"warning\":" + std::to_string(count(diagnostics, Severity::kWarning)) +
+         ",\"info\":" + std::to_string(count(diagnostics, Severity::kInfo)) + "},\"worst\":";
+  append_json_string(out, to_string(worst_severity(diagnostics)));
+  out += '}';
+  return out;
+}
+
+}  // namespace rw::lint

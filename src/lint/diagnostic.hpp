@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file diagnostic.hpp
+/// The diagnostic currency of the static-analysis subsystem: every design
+/// rule emits `Diagnostic` records (rule id, severity, location, message,
+/// optional fix hint), and every consumer — the `rwlint` CLI, the flow
+/// pre-flight hooks, `Module::check()` — renders or filters the same type.
+/// This header is dependency-free on purpose so low-level modules (e.g.
+/// `netlist`) can produce diagnostics without pulling in the rule engine.
+
+#include <string>
+#include <vector>
+
+namespace rw::lint {
+
+enum class Severity {
+  kInfo,     ///< advisory; never fails a run
+  kWarning,  ///< suspicious but the flow can proceed
+  kError,    ///< the artifact is unusable; flows must refuse it
+};
+
+const char* to_string(Severity severity);
+
+/// One finding. `location` is free-form but conventionally
+/// "<artifact>:<object>" (e.g. "top:inst u3", "lib:NAND2_X1 arc A").
+struct Diagnostic {
+  std::string rule_id;  ///< stable id, e.g. "NL001"
+  Severity severity = Severity::kError;
+  std::string location;
+  std::string message;
+  std::string fix_hint;  ///< optional "how to repair" guidance
+
+  /// "error[NL001] top:u3: combinational cycle ... (fix: ...)"
+  [[nodiscard]] std::string format() const;
+};
+
+/// Stable rule-id catalog. Netlist structure ids are also emitted by
+/// `netlist::Module::check()`, which cannot depend on the rule engine.
+namespace rules {
+inline constexpr const char* kCombCycle = "NL001";      ///< combinational cycle
+inline constexpr const char* kUndrivenNet = "NL002";    ///< floating/undriven net
+inline constexpr const char* kMultiDrivenNet = "NL003"; ///< >1 driver (or driven primary input)
+inline constexpr const char* kDanglingOutput = "NL004"; ///< instance output feeds nothing
+inline constexpr const char* kUnknownCell = "NL005";    ///< cell not in the library
+inline constexpr const char* kPortArity = "NL006";      ///< pin count / connection mismatch
+inline constexpr const char* kNegativeNldm = "LB001";   ///< negative or non-finite table value
+inline constexpr const char* kNonMonotoneNldm = "LB002"; ///< delay/slew not monotone in load
+inline constexpr const char* kGridMismatch = "LB003";   ///< NLDM axes disagree (or != OPC grid)
+inline constexpr const char* kMissingArc = "LB004";     ///< input pin without a timing arc
+inline constexpr const char* kAgedFasterThanFresh = "LB005"; ///< aged delay < fresh delay
+inline constexpr const char* kDutyOutOfRange = "AN001"; ///< λ index outside [0,1]
+inline constexpr const char* kMissingCorner = "AN002";  ///< (λp,λn) cell absent from library
+inline constexpr const char* kUnannotated = "AN003";    ///< plain cell amid λ-indexed library
+}  // namespace rules
+
+/// Highest severity present (kInfo when empty).
+Severity worst_severity(const std::vector<Diagnostic>& diagnostics);
+
+/// Number of diagnostics at exactly `severity`.
+std::size_t count(const std::vector<Diagnostic>& diagnostics, Severity severity);
+
+/// One line per diagnostic, `format()`ed.
+std::string format_report(const std::vector<Diagnostic>& diagnostics);
+
+/// JSON for tooling: {"diagnostics":[...],"counts":{...},"worst":"..."}.
+/// Stable field order; strings are escaped per RFC 8259.
+std::string to_json(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace rw::lint

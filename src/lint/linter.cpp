@@ -1,0 +1,64 @@
+#include "lint/linter.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace rw::lint {
+
+void Linter::add_rule(std::unique_ptr<Rule> rule) { rules_.push_back(std::move(rule)); }
+
+void Linter::add_rules(std::vector<std::unique_ptr<Rule>> rules) {
+  for (auto& r : rules) rules_.push_back(std::move(r));
+}
+
+Linter Linter::all_rules() {
+  Linter linter;
+  linter.add_rules(netlist_rules());
+  linter.add_rules(library_rules());
+  linter.add_rules(annotation_rules());
+  return linter;
+}
+
+Linter Linter::netlist_linter() {
+  Linter linter;
+  linter.add_rules(netlist_rules());
+  linter.add_rules(annotation_rules());
+  return linter;
+}
+
+Linter Linter::library_linter() {
+  Linter linter;
+  linter.add_rules(library_rules());
+  return linter;
+}
+
+std::vector<Diagnostic> Linter::run(const LintSubject& subject, bool parallel) const {
+  // One slot per rule: workers never share containers, and concatenating the
+  // slots in registration order makes the report thread-count independent.
+  std::vector<std::vector<Diagnostic>> slots(rules_.size());
+  const auto body = [&](std::size_t i) { rules_[i]->run(subject, slots[i]); };
+  if (parallel) {
+    util::ThreadPool::shared().parallel_for(rules_.size(), body);
+  } else {
+    for (std::size_t i = 0; i < rules_.size(); ++i) body(i);
+  }
+  std::vector<Diagnostic> out;
+  for (auto& slot : slots) {
+    for (auto& d : slot) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+LintError::LintError(std::vector<Diagnostic> diagnostics)
+    : std::runtime_error("lint failed:\n" + format_report(diagnostics)),
+      diagnostics_(std::move(diagnostics)) {}
+
+std::vector<Diagnostic> lint_or_throw(const Linter& linter, const LintSubject& subject,
+                                      Severity fail_at) {
+  std::vector<Diagnostic> diagnostics = linter.run(subject);
+  if (!diagnostics.empty() && worst_severity(diagnostics) >= fail_at) {
+    throw LintError(std::move(diagnostics));
+  }
+  return diagnostics;
+}
+
+}  // namespace rw::lint

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file linter.hpp
+/// The rule engine: a `Linter` owns an ordered set of pluggable `Rule`s and
+/// runs them over a `LintSubject` (netlist and/or libraries). Independent
+/// rules execute in parallel on `util::ThreadPool::shared()`; each rule
+/// writes into its own pre-sized slot and results are concatenated in
+/// registration order, so the report is identical for any thread count.
+///
+/// `lint_or_throw` is the flow pre-flight hook: it refuses bad inputs with a
+/// `LintError` carrying the full diagnostic list instead of letting them die
+/// deep inside STA or characterization.
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "charlib/opc.hpp"
+#include "liberty/library.hpp"
+#include "lint/diagnostic.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rw::lint {
+
+/// What a lint run looks at. Any pointer may be null; rules skip the parts
+/// they need that are absent. Pointees must outlive the `run()` call.
+struct LintSubject {
+  const netlist::Module* module = nullptr;     ///< netlist + annotation rules
+  const liberty::Library* library = nullptr;   ///< resolves cells; library rules
+  const liberty::Library* fresh = nullptr;     ///< baseline for aged-vs-fresh checks
+  const charlib::OpcGrid* expected_grid = nullptr;  ///< NLDM axes must match when set
+  double lambda_step = 0.1;  ///< λ quantization grid for annotation checks
+};
+
+/// One design rule. Implementations must be state-free (`run` is const and
+/// may be invoked concurrently with other rules).
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string_view id() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+  virtual void run(const LintSubject& subject, std::vector<Diagnostic>& out) const = 0;
+};
+
+/// Rule-set factories (registration order == report order).
+std::vector<std::unique_ptr<Rule>> netlist_rules();     ///< NL001..NL006
+std::vector<std::unique_ptr<Rule>> library_rules();     ///< LB001..LB005
+std::vector<std::unique_ptr<Rule>> annotation_rules();  ///< AN001..AN003
+
+class Linter {
+ public:
+  Linter() = default;
+
+  void add_rule(std::unique_ptr<Rule> rule);
+  void add_rules(std::vector<std::unique_ptr<Rule>> rules);
+
+  /// Everything: netlist + library + annotation rules.
+  static Linter all_rules();
+  /// Netlist + annotation rules — the pre-flight set for flows whose library
+  /// is generated internally.
+  static Linter netlist_linter();
+  /// Library rules only — the pre-flight set for caller-provided libraries.
+  static Linter library_linter();
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+
+  /// Runs every rule (in parallel when `parallel`); diagnostics are returned
+  /// in rule-registration order, deterministically.
+  [[nodiscard]] std::vector<Diagnostic> run(const LintSubject& subject,
+                                            bool parallel = true) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Thrown by `lint_or_throw`; `what()` is the full formatted report.
+class LintError : public std::runtime_error {
+ public:
+  explicit LintError(std::vector<Diagnostic> diagnostics);
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Runs `linter` over `subject` and throws `LintError` when any diagnostic
+/// reaches `fail_at`. Returns the (possibly non-empty) list otherwise, so
+/// callers can still surface warnings.
+std::vector<Diagnostic> lint_or_throw(const Linter& linter, const LintSubject& subject,
+                                      Severity fail_at = Severity::kError);
+
+}  // namespace rw::lint

@@ -81,11 +81,41 @@ std::size_t Module::add_instance(const std::string& inst_name, const std::string
   return instances_.size() - 1;
 }
 
+std::size_t Module::add_instance_lenient(const std::string& inst_name, const std::string& cell,
+                                         std::vector<NetId> fanin, NetId out) {
+  if (out >= net_count()) {
+    throw std::invalid_argument("Module::add_instance_lenient: bad output net for " + inst_name);
+  }
+  if (out < 0) out = kNoNet;
+  for (NetId f : fanin) {
+    if (f < 0 || f >= net_count()) {
+      throw std::invalid_argument("Module::add_instance_lenient: bad fanin net for " + inst_name);
+    }
+  }
+  const int index = static_cast<int>(instances_.size());
+  if (out != kNoNet) {
+    if (driver_[static_cast<std::size_t>(out)] == -1) {
+      driver_[static_cast<std::size_t>(out)] = index;
+    } else {
+      extra_drivers_.emplace_back(out, index);
+    }
+  }
+  instances_.push_back(Instance{inst_name, cell, std::move(fanin), out});
+  return instances_.size() - 1;
+}
+
 void Module::remove_last_instance(std::size_t index) {
   if (index + 1 != instances_.size()) {
     throw std::invalid_argument("Module::remove_last_instance: not the last instance");
   }
-  driver_[static_cast<std::size_t>(instances_.back().out)] = -1;
+  const NetId out = instances_.back().out;
+  const int self = static_cast<int>(index);
+  if (out != kNoNet && driver_[static_cast<std::size_t>(out)] == self) {
+    driver_[static_cast<std::size_t>(out)] = -1;
+  }
+  while (!extra_drivers_.empty() && extra_drivers_.back().second == self) {
+    extra_drivers_.pop_back();
+  }
   instances_.pop_back();
 }
 
@@ -118,28 +148,57 @@ int Module::fanout_count(NetId net) const {
   return n;
 }
 
-void Module::validate() const {
+std::vector<lint::Diagnostic> Module::check() const {
+  std::vector<lint::Diagnostic> out;
+  const auto emit = [&](const char* rule, const std::string& location, std::string message,
+                        std::string hint) {
+    out.push_back(lint::Diagnostic{rule, lint::Severity::kError, name_ + ":" + location,
+                                   std::move(message), std::move(hint)});
+  };
   for (NetId n = 0; n < net_count(); ++n) {
     const bool driven = driver_[static_cast<std::size_t>(n)] != -1;
     const bool is_pi = is_input(n);
     if (driven && is_pi) {
-      throw std::runtime_error("Module::validate: primary input " + net_name(n) + " is driven");
+      emit(lint::rules::kMultiDrivenNet, "net " + net_name(n),
+           "primary input is also driven by instance " +
+               instances_[static_cast<std::size_t>(driver_[static_cast<std::size_t>(n)])].name,
+           "remove the port marking or the driving instance");
     }
     if (!driven && !is_pi) {
       // Dangling nets (no sinks, not an output) are allowed — they arise
       // when trial optimization moves are backed out.
-      const bool is_po =
-          std::find(outputs_.begin(), outputs_.end(), n) != outputs_.end();
+      const bool is_po = std::find(outputs_.begin(), outputs_.end(), n) != outputs_.end();
       if (is_po || !sinks(n).empty()) {
-        throw std::runtime_error("Module::validate: net " + net_name(n) + " has no driver");
+        emit(lint::rules::kUndrivenNet, "net " + net_name(n),
+             "used net has no driver and is not a primary input",
+             "drive the net or mark it as an input");
       }
     }
   }
+  for (const auto& [net, extra] : extra_drivers_) {
+    const int first = driver_[static_cast<std::size_t>(net)];
+    emit(lint::rules::kMultiDrivenNet, "net " + net_name(net),
+         "driven by multiple instances (" +
+             instances_[static_cast<std::size_t>(first)].name + " and " +
+             instances_[static_cast<std::size_t>(extra)].name + ")",
+         "keep exactly one driver per net");
+  }
   for (const auto& inst : instances_) {
-    if (inst.out < 0 || inst.out >= net_count()) {
-      throw std::runtime_error("Module::validate: instance " + inst.name + " bad output");
+    if (inst.out == kNoNet || inst.out >= net_count()) {
+      emit(lint::rules::kPortArity, "inst " + inst.name, "instance has no output net",
+           "connect the cell's output pin");
     }
   }
+  return out;
+}
+
+void Module::validate() const {
+  const auto diagnostics = check();
+  if (diagnostics.empty()) return;
+  std::string message = "Module::validate: " + std::to_string(diagnostics.size()) +
+                        " violation(s) in module " + name_ + "\n";
+  message += lint::format_report(diagnostics);
+  throw std::runtime_error(message);
 }
 
 }  // namespace rw::netlist

@@ -7,7 +7,10 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "lint/diagnostic.hpp"
 
 namespace rw::netlist {
 
@@ -48,8 +51,20 @@ class Module {
   /// \throws std::invalid_argument if `out` already has a driver.
   std::size_t add_instance(const std::string& inst_name, const std::string& cell,
                            std::vector<NetId> fanin, NetId out);
+  /// Like `add_instance`, but tolerates structurally broken connectivity so
+  /// that lint can analyze it: `out` may be `kNoNet` (missing output
+  /// connection) or already driven (the extra driver is recorded and
+  /// reported by `check()` as a multi-driven net).
+  std::size_t add_instance_lenient(const std::string& inst_name, const std::string& cell,
+                                   std::vector<NetId> fanin, NetId out);
   [[nodiscard]] const std::vector<Instance>& instances() const { return instances_; }
   [[nodiscard]] std::vector<Instance>& instances() { return instances_; }
+
+  /// (net, instance index) pairs recorded by `add_instance_lenient` for nets
+  /// that already had a driver. Empty for well-formed modules.
+  [[nodiscard]] const std::vector<std::pair<NetId, int>>& extra_drivers() const {
+    return extra_drivers_;
+  }
 
   /// Removes the most recently added instance (must be passed its index;
   /// used to back out trial insertions). Its output net stays, undriven —
@@ -63,8 +78,11 @@ class Module {
   [[nodiscard]] int fanout_count(NetId net) const;
 
   /// Structural checks: every non-input net has exactly one driver, every
-  /// instance pin references a valid net. \throws std::runtime_error with a
-  /// description of the first violation.
+  /// instance pin references a valid net. Collects *all* violations (rule ids
+  /// NL002/NL003/NL006 of the lint catalog) instead of stopping at the first.
+  [[nodiscard]] std::vector<lint::Diagnostic> check() const;
+
+  /// \throws std::runtime_error listing every violation found by `check()`.
   void validate() const;
 
  private:
@@ -76,6 +94,7 @@ class Module {
   std::vector<NetId> outputs_;
   NetId clock_ = kNoNet;
   std::vector<Instance> instances_;
+  std::vector<std::pair<NetId, int>> extra_drivers_;  ///< see extra_drivers()
   int gen_counter_ = 0;
 };
 

@@ -104,7 +104,19 @@ class VTokenizer {
 
 }  // namespace
 
-Module parse_verilog(const std::string& text, const liberty::Library& library) {
+namespace {
+
+/// Output-pin guess for cells the library does not know (lenient mode only):
+/// conventional output names first, else the last connection.
+bool looks_like_output_pin(const std::string& pin) {
+  return pin == "Z" || pin == "ZN" || pin == "Q" || pin == "QN" || pin == "Y" || pin == "OUT" ||
+         pin == "O";
+}
+
+}  // namespace
+
+Module parse_verilog(const std::string& text, const liberty::Library& library,
+                     const ParseOptions& options) {
   VTokenizer tz(text);
   auto expect = [&](const std::string& want) {
     const std::string got = tz.next();
@@ -148,7 +160,15 @@ Module parse_verilog(const std::string& text, const liberty::Library& library) {
       // Instance: <cell> <name> ( .PIN(net), ... );
       const std::string cell_name = tok;
       const liberty::Cell* cell = library.find(cell_name);
-      if (cell == nullptr) tz.fail("unknown cell " + cell_name);
+      if (cell == nullptr && options.lenient) {
+        // λ-indexed name whose exact corner is absent: the base cell still
+        // defines the pin layout.
+        std::string base;
+        double lp = 0.0;
+        double ln = 0.0;
+        if (util::parse_indexed_cell_name(cell_name, base, lp, ln)) cell = library.find(base);
+      }
+      if (cell == nullptr && !options.lenient) tz.fail("unknown cell " + cell_name);
       const std::string inst_name = tz.next();
       expect("(");
       std::vector<std::pair<std::string, std::string>> conns;
@@ -174,26 +194,49 @@ Module parse_verilog(const std::string& text, const liberty::Library& library) {
         return id;
       };
       std::vector<NetId> fanin;
-      const auto input_pins = cell->input_pins();
-      for (const auto* pin : input_pins) {
-        bool found = false;
-        for (const auto& [p, n] : conns) {
-          if (p == pin->name) {
-            fanin.push_back(resolve(n));
-            found = true;
-            break;
+      NetId out = kNoNet;
+      if (cell != nullptr) {
+        const auto input_pins = cell->input_pins();
+        for (const auto* pin : input_pins) {
+          bool found = false;
+          for (const auto& [p, n] : conns) {
+            if (p == pin->name) {
+              fanin.push_back(resolve(n));
+              found = true;
+              break;
+            }
+          }
+          if (!found && !options.lenient) {
+            tz.fail("instance " + inst_name + ": missing connection for pin " + pin->name);
           }
         }
-        if (!found) tz.fail("instance " + inst_name + ": missing connection for pin " + pin->name);
+        for (const auto& [p, n] : conns) {
+          if (p == cell->output_pin) out = resolve(n);
+        }
+        if (out == kNoNet && !options.lenient) {
+          tz.fail("instance " + inst_name + ": missing output connection " + cell->output_pin);
+        }
+      } else {
+        // Unknown cell in lenient mode: guess the output connection, treat
+        // everything else as fanin, and let the cell-reference rule report it.
+        std::size_t out_conn = conns.size();
+        for (std::size_t c = 0; c < conns.size(); ++c) {
+          if (looks_like_output_pin(conns[c].first)) out_conn = c;
+        }
+        if (out_conn == conns.size() && !conns.empty()) out_conn = conns.size() - 1;
+        for (std::size_t c = 0; c < conns.size(); ++c) {
+          if (c == out_conn) {
+            out = resolve(conns[c].second);
+          } else {
+            fanin.push_back(resolve(conns[c].second));
+          }
+        }
       }
-      NetId out = kNoNet;
-      for (const auto& [p, n] : conns) {
-        if (p == cell->output_pin) out = resolve(n);
+      if (options.lenient) {
+        module.add_instance_lenient(inst_name, cell_name, std::move(fanin), out);
+      } else {
+        module.add_instance(inst_name, cell_name, std::move(fanin), out);
       }
-      if (out == kNoNet) {
-        tz.fail("instance " + inst_name + ": missing output connection " + cell->output_pin);
-      }
-      module.add_instance(inst_name, cell_name, std::move(fanin), out);
     }
     tok = tz.next();
   }
@@ -201,10 +244,10 @@ Module parse_verilog(const std::string& text, const liberty::Library& library) {
 
   // Recover the clock: the net wired to any flop's clock pin.
   for (const auto& inst : module.instances()) {
-    const liberty::Cell& cell = library.at(inst.cell);
-    if (!cell.is_flop) continue;
-    const auto input_pins = cell.input_pins();
-    for (std::size_t i = 0; i < input_pins.size(); ++i) {
+    const liberty::Cell* cell = library.find(inst.cell);
+    if (cell == nullptr || !cell->is_flop) continue;
+    const auto input_pins = cell->input_pins();
+    for (std::size_t i = 0; i < input_pins.size() && i < inst.fanin.size(); ++i) {
       if (input_pins[i]->is_clock) {
         module.set_clock(inst.fanin[i]);
         break;
@@ -215,12 +258,13 @@ Module parse_verilog(const std::string& text, const liberty::Library& library) {
   return module;
 }
 
-Module parse_verilog_file(const std::string& path, const liberty::Library& library) {
+Module parse_verilog_file(const std::string& path, const liberty::Library& library,
+                          const ParseOptions& options) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("parse_verilog_file: cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_verilog(ss.str(), library);
+  return parse_verilog(ss.str(), library, options);
 }
 
 }  // namespace rw::netlist

@@ -18,9 +18,21 @@ std::string write_verilog(const Module& module, const liberty::Library& library)
 void write_verilog_file(const Module& module, const liberty::Library& library,
                         const std::string& path);
 
-/// \throws std::runtime_error with line info on syntax errors or unknown
-/// cells/pins.
-Module parse_verilog(const std::string& text, const liberty::Library& library);
-Module parse_verilog_file(const std::string& path, const liberty::Library& library);
+struct ParseOptions {
+  /// Lenient mode is for lint: structural violations that the strict parser
+  /// rejects (unknown cells, missing/multi-driven connections) are recorded
+  /// in the module — via `Module::add_instance_lenient` — instead of thrown,
+  /// so `rwlint` can diagnose them all. λ-indexed cell names absent from the
+  /// library are mapped through their base cell's pin layout. Syntax errors
+  /// still throw.
+  bool lenient = false;
+};
+
+/// \throws std::runtime_error with line info on syntax errors or (in strict
+/// mode) unknown cells/pins.
+Module parse_verilog(const std::string& text, const liberty::Library& library,
+                     const ParseOptions& options = {});
+Module parse_verilog_file(const std::string& path, const liberty::Library& library,
+                          const ParseOptions& options = {});
 
 }  // namespace rw::netlist

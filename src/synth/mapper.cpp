@@ -58,8 +58,9 @@ PatternTable build_pattern_table(const liberty::Library& library) {
     if (!depends_on_all_pins(cell->truth, n)) continue;
     if (is_identity(cell->truth, n)) continue;  // buffers handled separately
 
+    // {0,1,2,3} is ascending, i.e. already the first permutation of any
+    // prefix — exactly what std::next_permutation below needs to start from.
     std::array<int, 4> perm{{0, 1, 2, 3}};
-    std::sort(perm.begin(), perm.begin() + n);
     do {
       // Leaf pattern p -> cell pattern q with bit perm[i] = bit i of p.
       std::uint16_t permuted = 0;

@@ -90,9 +90,9 @@ TEST(BtiModel, SubLinearTimeKinetics) {
 
 TEST(BtiModel, RejectsInvalidInputs) {
   const BtiModel m;
-  EXPECT_THROW(m.degrade(device::MosType::kPmos, -0.1, 1.0), std::invalid_argument);
-  EXPECT_THROW(m.degrade(device::MosType::kPmos, 1.1, 1.0), std::invalid_argument);
-  EXPECT_THROW(m.degrade(device::MosType::kPmos, 0.5, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)m.degrade(device::MosType::kPmos, -0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)m.degrade(device::MosType::kPmos, 1.1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)m.degrade(device::MosType::kPmos, 0.5, -1.0), std::invalid_argument);
 }
 
 TEST(AgingScenario, PresetsAndIds) {

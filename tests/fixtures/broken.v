@@ -1,0 +1,15 @@
+// rwlint fixture: deliberately broken — seeded with exactly three defects:
+//   1. combinational cycle u1 <-> u2            -> NL001
+//   2. net m driven by both u3 and u4           -> NL003
+//   3. duty-cycle index 1.20 outside [0,1] (u5) -> AN001
+// Everything else is well-formed, so rwlint must report exactly these three
+// rule ids (see ISSUE 2 acceptance criteria and tests/lint_test.cpp).
+module broken (input a, input b, output m, output z);
+  wire n1;
+  wire n2;
+  NAND2_X1 u1 (.A(n2), .B(a), .Z(n1));
+  INV_X1 u2 (.A(n1), .Z(n2));
+  NAND2_X1 u3 (.A(a), .B(b), .Z(m));
+  INV_X1 u4 (.A(a), .Z(m));
+  INV_X1_1.20_0.50 u5 (.A(b), .Z(z));
+endmodule

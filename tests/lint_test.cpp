@@ -1,0 +1,525 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "charlib/factory.hpp"
+#include "charlib/opc.hpp"
+#include "liberty/library.hpp"
+#include "lint/diagnostic.hpp"
+#include "lint/linter.hpp"
+#include "flow/guardband_flow.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/verilog.hpp"
+#include "util/interp.hpp"
+
+namespace rw::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// In-code fixtures: a tiny well-formed library and ways to break it.
+
+util::Table2D table(std::vector<double> values) {
+  return util::Table2D(util::Axis({5.0, 100.0}), util::Axis({0.5, 4.0}), std::move(values));
+}
+
+liberty::TimingArc arc(const std::string& pin, double base) {
+  liberty::TimingArc a;
+  a.related_pin = pin;
+  a.sense = liberty::TimingSense::kNegativeUnate;
+  a.rise.delay_ps = table({base, base + 10, base + 5, base + 15});
+  a.rise.out_slew_ps = table({base - 2, base + 8, base + 3, base + 13});
+  a.fall.delay_ps = table({base - 1, base + 9, base + 4, base + 14});
+  a.fall.out_slew_ps = table({base - 3, base + 7, base + 2, base + 12});
+  return a;
+}
+
+liberty::Cell comb_cell(const std::string& name, const std::vector<std::string>& inputs,
+                        double base_delay) {
+  liberty::Cell cell;
+  cell.name = name;
+  cell.family = name.substr(0, name.find('_'));
+  for (const auto& in : inputs) cell.pins.push_back(liberty::Pin{in, true, false, 1.5});
+  cell.pins.push_back(liberty::Pin{"Z", false, false, 0.0});
+  cell.output_pin = "Z";
+  cell.truth = 1;  // irrelevant for lint
+  for (const auto& in : inputs) cell.arcs.push_back(arc(in, base_delay));
+  return cell;
+}
+
+liberty::Library small_lib() {
+  liberty::Library lib("testlib");
+  lib.add_cell(comb_cell("INV_X1", {"A"}, 10.0));
+  lib.add_cell(comb_cell("NAND2_X1", {"A", "B"}, 14.0));
+  return lib;
+}
+
+/// Runs `linter` over (module, library) and returns the rule ids seen.
+std::multiset<std::string> rule_ids(const std::vector<Diagnostic>& diags) {
+  std::multiset<std::string> ids;
+  for (const auto& d : diags) ids.insert(d.rule_id);
+  return ids;
+}
+
+std::vector<Diagnostic> lint_netlist(const netlist::Module& m, const liberty::Library& lib) {
+  LintSubject subject;
+  subject.module = &m;
+  subject.library = &lib;
+  return Linter::netlist_linter().run(subject);
+}
+
+std::vector<Diagnostic> lint_library(const liberty::Library& lib,
+                                     const liberty::Library* fresh = nullptr,
+                                     const charlib::OpcGrid* grid = nullptr) {
+  LintSubject subject;
+  subject.library = &lib;
+  subject.fresh = fresh;
+  subject.expected_grid = grid;
+  return Linter::library_linter().run(subject);
+}
+
+bool has_rule(const std::vector<Diagnostic>& diags, const std::string& id, Severity sev) {
+  for (const auto& d : diags) {
+    if (d.rule_id == id && d.severity == sev) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Netlist rules: one deliberately broken fixture per rule.
+
+TEST(NetlistRules, CleanDesignHasNoFindings) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("clean");
+  const auto a = m.add_net("a");
+  const auto b = m.add_net("b");
+  m.mark_input(a);
+  m.mark_input(b);
+  const auto n1 = m.add_net("n1");
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "NAND2_X1", {a, b}, n1);
+  m.add_instance("u2", "INV_X1", {n1}, y);
+  m.mark_output(y);
+  EXPECT_TRUE(lint_netlist(m, lib).empty());
+}
+
+TEST(NetlistRules, CombinationalCycle) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("cyc");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto n1 = m.add_net("n1");
+  const auto n2 = m.add_net("n2");
+  m.add_instance("g1", "NAND2_X1", {n2, a}, n1);
+  m.add_instance("g2", "INV_X1", {n1}, n2);
+  m.mark_output(n2);
+  const auto diags = lint_netlist(m, lib);
+  EXPECT_TRUE(has_rule(diags, rules::kCombCycle, Severity::kError));
+  // The cycle is reported exactly once and names the loop path.
+  EXPECT_EQ(rule_ids(diags).count(rules::kCombCycle), 1u);
+  for (const auto& d : diags) {
+    if (d.rule_id == rules::kCombCycle) {
+      EXPECT_NE(d.message.find("g1"), std::string::npos);
+    }
+  }
+}
+
+TEST(NetlistRules, UndrivenNet) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("undrv");
+  const auto x = m.add_net("x");  // never driven, not an input
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "INV_X1", {x}, y);
+  m.mark_output(y);
+  EXPECT_TRUE(has_rule(lint_netlist(m, lib), rules::kUndrivenNet, Severity::kError));
+}
+
+TEST(NetlistRules, MultiDrivenNet) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("multi");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "INV_X1", {a}, y);
+  m.add_instance_lenient("u2", "INV_X1", {a}, y);  // second driver
+  m.mark_output(y);
+  const auto diags = lint_netlist(m, lib);
+  EXPECT_TRUE(has_rule(diags, rules::kMultiDrivenNet, Severity::kError));
+}
+
+TEST(NetlistRules, DanglingOutputIsWarning) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("dangle");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto y = m.add_net("y");
+  const auto dead = m.add_net("dead");
+  m.add_instance("u1", "INV_X1", {a}, y);
+  m.add_instance("u2", "INV_X1", {a}, dead);  // feeds nothing, not a PO
+  m.mark_output(y);
+  EXPECT_TRUE(has_rule(lint_netlist(m, lib), rules::kDanglingOutput, Severity::kWarning));
+}
+
+TEST(NetlistRules, UnknownCell) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("unk");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "MYSTERY_X9", {a}, y);
+  m.mark_output(y);
+  EXPECT_TRUE(has_rule(lint_netlist(m, lib), rules::kUnknownCell, Severity::kError));
+}
+
+TEST(NetlistRules, PortArityMismatch) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("arity");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "NAND2_X1", {a}, y);  // NAND2 wants 2 inputs
+  m.mark_output(y);
+  EXPECT_TRUE(has_rule(lint_netlist(m, lib), rules::kPortArity, Severity::kError));
+}
+
+// ---------------------------------------------------------------------------
+// Module::check / validate collect every violation.
+
+TEST(ModuleCheck, CollectsAllViolationsAndValidateAggregates) {
+  netlist::Module m("manybad");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto x = m.add_net("x");  // undriven, used
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "INV_X1", {x}, y);
+  m.add_instance_lenient("u2", "INV_X1", {a}, y);      // multi-driver
+  m.add_instance_lenient("u3", "INV_X1", {a}, netlist::kNoNet);  // no output
+  m.mark_output(y);
+  const auto diags = m.check();
+  const auto ids = rule_ids(diags);
+  EXPECT_EQ(ids.count(rules::kUndrivenNet), 1u);
+  EXPECT_EQ(ids.count(rules::kMultiDrivenNet), 1u);
+  EXPECT_EQ(ids.count(rules::kPortArity), 1u);
+  EXPECT_EQ(diags.size(), 3u);
+  try {
+    m.validate();
+    FAIL() << "validate() must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3 violation(s)"), std::string::npos);
+    EXPECT_NE(what.find(rules::kUndrivenNet), std::string::npos);
+    EXPECT_NE(what.find(rules::kMultiDrivenNet), std::string::npos);
+    EXPECT_NE(what.find(rules::kPortArity), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Library rules.
+
+TEST(LibraryRules, CleanLibraryHasNoFindings) {
+  EXPECT_TRUE(lint_library(small_lib()).empty());
+}
+
+TEST(LibraryRules, NegativeNldmValue) {
+  // A negative slew (or NaN anywhere) is corrupt data: error.
+  liberty::Library bad_slew("negslew");
+  liberty::Cell cell = comb_cell("INV_X1", {"A"}, 10.0);
+  cell.arcs[0].rise.out_slew_ps.at(0, 0) = -4.0;
+  bad_slew.add_cell(cell);
+  EXPECT_TRUE(has_rule(lint_library(bad_slew), rules::kNegativeNldm, Severity::kError));
+
+  liberty::Library nan_lib("nandelay");
+  cell = comb_cell("INV_X1", {"A"}, 10.0);
+  cell.arcs[0].fall.delay_ps.at(0, 0) = std::nan("");
+  nan_lib.add_cell(cell);
+  EXPECT_TRUE(has_rule(lint_library(nan_lib), rules::kNegativeNldm, Severity::kError));
+
+  // A negative *delay* is a legitimate artifact of the 50%-to-50% convention
+  // at extreme (slow slew, tiny load) corners: warning only.
+  liberty::Library neg_delay("negdelay");
+  cell = comb_cell("INV_X1", {"A"}, 10.0);
+  cell.arcs[0].rise.delay_ps.at(0, 0) = -4.0;
+  neg_delay.add_cell(cell);
+  const auto diags = lint_library(neg_delay);
+  EXPECT_TRUE(has_rule(diags, rules::kNegativeNldm, Severity::kWarning));
+  EXPECT_FALSE(has_rule(diags, rules::kNegativeNldm, Severity::kError));
+}
+
+TEST(LibraryRules, NonMonotoneTable) {
+  liberty::Library lib("mono");
+  liberty::Cell cell = comb_cell("INV_X1", {"A"}, 10.0);
+  // Delay *drops* from load 0.5 fF to 4 fF at the first slew point.
+  cell.arcs[0].rise.delay_ps.at(0, 0) = 30.0;
+  lib.add_cell(cell);
+  EXPECT_TRUE(has_rule(lint_library(lib), rules::kNonMonotoneNldm, Severity::kWarning));
+}
+
+TEST(LibraryRules, GridMismatchAgainstExpectedGrid) {
+  const liberty::Library lib = small_lib();  // 2x2 tables
+  const charlib::OpcGrid grid = charlib::OpcGrid::coarse();  // expects 3x3
+  EXPECT_TRUE(has_rule(lint_library(lib, nullptr, &grid), rules::kGridMismatch,
+                       Severity::kWarning));
+  // Without an expected grid the (internally consistent) library is clean.
+  EXPECT_TRUE(lint_library(lib).empty());
+}
+
+TEST(LibraryRules, MissingTimingArc) {
+  liberty::Library lib("noarc");
+  liberty::Cell cell = comb_cell("NAND2_X1", {"A", "B"}, 14.0);
+  cell.arcs.pop_back();  // drop the B arc
+  lib.add_cell(cell);
+  EXPECT_TRUE(has_rule(lint_library(lib), rules::kMissingArc, Severity::kError));
+}
+
+TEST(LibraryRules, AgedFasterThanFreshInversion) {
+  const liberty::Library fresh = small_lib();
+  liberty::Library aged("aged");
+  liberty::Cell cell = comb_cell("INV_X1", {"A"}, 10.0);
+  cell.arcs[0].rise.delay_ps.transform([](double v) { return v * 0.5; });  // "faster" when aged
+  aged.add_cell(cell);
+  EXPECT_TRUE(
+      has_rule(lint_library(aged, &fresh), rules::kAgedFasterThanFresh, Severity::kWarning));
+  // Against itself (same pointer) the rule stays quiet.
+  EXPECT_TRUE(lint_library(fresh, &fresh).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Annotation rules.
+
+TEST(AnnotationRules, DutyOutOfRange) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("ann");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "INV_X1_1.20_0.50", {a}, y);
+  m.mark_output(y);
+  const auto diags = lint_netlist(m, lib);
+  EXPECT_TRUE(has_rule(diags, rules::kDutyOutOfRange, Severity::kError));
+  // Out-of-range corners are not additionally reported as missing corners
+  // or unknown cells.
+  EXPECT_EQ(rule_ids(diags).count(rules::kMissingCorner), 0u);
+  EXPECT_EQ(rule_ids(diags).count(rules::kUnknownCell), 0u);
+}
+
+TEST(AnnotationRules, MissingCorner) {
+  liberty::Library lib("merged");
+  lib.add_cell(comb_cell("INV_X1_0.40_0.60", {"A"}, 12.0));
+  netlist::Module m("ann");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "INV_X1_0.50_0.50", {a}, y);  // corner never merged
+  m.mark_output(y);
+  EXPECT_TRUE(has_rule(lint_netlist(m, lib), rules::kMissingCorner, Severity::kError));
+}
+
+TEST(AnnotationRules, UnannotatedInstanceAmidAgedCorners) {
+  liberty::Library lib("mixed");
+  lib.add_cell(comb_cell("INV_X1", {"A"}, 10.0));
+  lib.add_cell(comb_cell("INV_X1_1.00_1.00", {"A"}, 14.0));
+  netlist::Module m("ann");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "INV_X1", {a}, y);  // silently times as fresh
+  m.mark_output(y);
+  EXPECT_TRUE(has_rule(lint_netlist(m, lib), rules::kUnannotated, Severity::kWarning));
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics plumbing: formatting, JSON golden, determinism.
+
+TEST(Diagnostics, JsonGolden) {
+  const std::vector<Diagnostic> diags = {
+      {"NL001", Severity::kError, "top:inst g1", "combinational cycle: g1 -> g2 -> g1",
+       "break the loop"},
+      {"NL004", Severity::kWarning, "top:inst u9", "output net n\"9 feeds nothing", ""},
+  };
+  const std::string expected =
+      "{\"diagnostics\":["
+      "{\"rule\":\"NL001\",\"severity\":\"error\",\"location\":\"top:inst g1\","
+      "\"message\":\"combinational cycle: g1 -> g2 -> g1\",\"fix_hint\":\"break the loop\"},"
+      "{\"rule\":\"NL004\",\"severity\":\"warning\",\"location\":\"top:inst u9\","
+      "\"message\":\"output net n\\\"9 feeds nothing\",\"fix_hint\":\"\"}"
+      "],\"counts\":{\"error\":1,\"warning\":1,\"info\":0},\"worst\":\"error\"}";
+  EXPECT_EQ(to_json(diags), expected);
+  EXPECT_EQ(to_json({}),
+            "{\"diagnostics\":[],\"counts\":{\"error\":0,\"warning\":0,\"info\":0},"
+            "\"worst\":\"info\"}");
+}
+
+TEST(Diagnostics, FormatAndSeverityHelpers) {
+  const Diagnostic d{"LB001", Severity::kError, "lib:INV_X1", "bad value", "re-characterize"};
+  EXPECT_EQ(d.format(), "error[LB001] lib:INV_X1: bad value (fix: re-characterize)");
+  const std::vector<Diagnostic> diags = {d, {"NL004", Severity::kWarning, "", "w", ""}};
+  EXPECT_EQ(worst_severity(diags), Severity::kError);
+  EXPECT_EQ(count(diags, Severity::kWarning), 1u);
+  EXPECT_EQ(worst_severity({}), Severity::kInfo);
+}
+
+TEST(Linter, ParallelAndSerialRunsAgree) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("cyc");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto n1 = m.add_net("n1");
+  const auto n2 = m.add_net("n2");
+  m.add_instance("g1", "NAND2_X1", {n2, a}, n1);
+  m.add_instance_lenient("g2", "INV_X1", {n1}, n2);
+  m.add_instance_lenient("g3", "INV_X1", {n1}, n2);  // multi-driver on top of the cycle
+  m.mark_output(n2);
+  LintSubject subject;
+  subject.module = &m;
+  subject.library = &lib;
+  const Linter linter = Linter::all_rules();
+  const auto par = linter.run(subject, /*parallel=*/true);
+  const auto ser = linter.run(subject, /*parallel=*/false);
+  ASSERT_EQ(par.size(), ser.size());
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    EXPECT_EQ(par[i].rule_id, ser[i].rule_id);
+    EXPECT_EQ(par[i].location, ser[i].location);
+    EXPECT_EQ(par[i].message, ser[i].message);
+  }
+}
+
+TEST(Linter, LintOrThrowCarriesDiagnostics) {
+  const liberty::Library lib = small_lib();
+  netlist::Module m("bad");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "MYSTERY_X9", {a}, y);
+  m.mark_output(y);
+  LintSubject subject;
+  subject.module = &m;
+  subject.library = &lib;
+  try {
+    lint_or_throw(Linter::netlist_linter(), subject);
+    FAIL() << "expected LintError";
+  } catch (const LintError& e) {
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].rule_id, rules::kUnknownCell);
+    EXPECT_NE(std::string(e.what()).find("MYSTERY_X9"), std::string::npos);
+  }
+  // Warnings alone do not throw at the default threshold.
+  netlist::Module w("warn");
+  const auto b = w.add_net("b");
+  w.mark_input(b);
+  const auto dead = w.add_net("dead");
+  w.add_instance("u1", "INV_X1", {b}, dead);
+  subject.module = &w;
+  const auto diags = lint_or_throw(Linter::netlist_linter(), subject);
+  EXPECT_EQ(worst_severity(diags), Severity::kWarning);
+  EXPECT_THROW(lint_or_throw(Linter::netlist_linter(), subject, Severity::kWarning), LintError);
+}
+
+// ---------------------------------------------------------------------------
+// The flows refuse bad inputs with the same diagnostics rwlint reports.
+
+TEST(FlowPreflight, GuardbandFlowRefusesBrokenNetlist) {
+  charlib::LibraryFactory::Options opts;
+  opts.characterize.grid = charlib::OpcGrid::coarse();
+  opts.cell_subset = {"INV_X1", "NAND2_X1"};
+  charlib::LibraryFactory factory(opts);
+
+  // The same three defects as tests/fixtures/broken.v: a combinational
+  // cycle, a 2x-driven net, and an out-of-range duty-cycle index.
+  netlist::Module m("broken");
+  const auto a = m.add_net("a");
+  const auto b = m.add_net("b");
+  m.mark_input(a);
+  m.mark_input(b);
+  const auto n1 = m.add_net("n1");
+  const auto n2 = m.add_net("n2");
+  const auto mm = m.add_net("m");
+  const auto z = m.add_net("z");
+  m.add_instance("u1", "NAND2_X1", {n2, a}, n1);
+  m.add_instance("u2", "INV_X1", {n1}, n2);
+  m.add_instance("u3", "NAND2_X1", {a, b}, mm);
+  m.add_instance_lenient("u4", "INV_X1", {a}, mm);
+  m.add_instance("u5", "INV_X1_1.20_0.50", {b}, z);
+  m.mark_output(mm);
+  m.mark_output(z);
+
+  try {
+    flow::static_guardband(m, factory, aging::AgingScenario::worst_case(10.0));
+    FAIL() << "expected LintError";
+  } catch (const LintError& e) {
+    const auto ids = rule_ids(e.diagnostics());
+    EXPECT_EQ(ids.count(rules::kCombCycle), 1u);
+    EXPECT_EQ(ids.count(rules::kMultiDrivenNet), 1u);
+    EXPECT_EQ(ids.count(rules::kDutyOutOfRange), 1u);
+    EXPECT_EQ(e.diagnostics().size(), 3u) << format_report(e.diagnostics());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end CLI: rwlint over the shipped fixtures (acceptance criteria).
+
+std::string run_cli(const std::string& args, int& exit_code) {
+  const std::string out_path = std::string(::testing::TempDir()) + "rwlint_out.txt";
+  const std::string cmd = std::string(RWLINT_BIN) + " " + args + " > " + out_path + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(out_path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::remove(out_path.c_str());
+  return ss.str();
+}
+
+std::multiset<std::string> json_rule_ids(const std::string& json) {
+  std::multiset<std::string> ids;
+  const std::string key = "\"rule\":\"";
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + 1)) {
+    const std::size_t start = pos + key.size();
+    ids.insert(json.substr(start, json.find('"', start) - start));
+  }
+  return ids;
+}
+
+TEST(RwlintCli, BrokenFixtureReportsExactlyThreeRuleIdsAsJson) {
+  int exit_code = 0;
+  const std::string json =
+      run_cli("--format json --lib " RW_REPO_DIR "/examples/fixtures/mini.lib " RW_REPO_DIR
+              "/tests/fixtures/broken.v",
+              exit_code);
+  EXPECT_EQ(exit_code, 2) << json;
+  const auto ids = json_rule_ids(json);
+  EXPECT_EQ(ids.size(), 3u) << json;
+  EXPECT_EQ(ids.count(rules::kCombCycle), 1u) << json;
+  EXPECT_EQ(ids.count(rules::kMultiDrivenNet), 1u) << json;
+  EXPECT_EQ(ids.count(rules::kDutyOutOfRange), 1u) << json;
+  EXPECT_NE(json.find("\"worst\":\"error\""), std::string::npos);
+}
+
+TEST(RwlintCli, ExampleFixtureSuiteIsClean) {
+  int exit_code = -1;
+  std::string out = run_cli("--lib " RW_REPO_DIR "/examples/fixtures/mini.lib " RW_REPO_DIR
+                            "/examples/fixtures/clean.v",
+                            exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  out = run_cli("--lib " RW_REPO_DIR "/examples/fixtures/merged.lib " RW_REPO_DIR
+                "/examples/fixtures/annotated.v",
+                exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+}
+
+TEST(RwlintCli, UsageErrorsExit64) {
+  int exit_code = -1;
+  run_cli("--format yaml --lib x.lib", exit_code);
+  EXPECT_EQ(exit_code, 64);
+  run_cli("", exit_code);
+  EXPECT_EQ(exit_code, 64);
+}
+
+}  // namespace
+}  // namespace rw::lint
