@@ -53,4 +53,19 @@ inline void print_header(const std::string& title) {
   std::printf("==============================================================\n");
 }
 
+/// Call after the characterization-heavy phase of a bench: reports any
+/// (scenario, cell) pairs the factory quarantined (permanent solver
+/// failures served as errors, skipped by merged()) so a figure built on an
+/// incomplete corner set says so instead of silently looking plausible.
+inline void print_quarantine_report(charlib::LibraryFactory& f) {
+  const auto bad = f.quarantined();
+  if (bad.empty()) return;
+  std::printf("WARNING: %zu (scenario, cell) pair(s) failed characterization permanently:\n",
+              bad.size());
+  for (const auto& q : bad) {
+    std::printf("  %s / %s\n", q.scenario.c_str(), q.cell.c_str());
+  }
+  std::printf("  (error chains are in %s)\n", f.manifest_path().c_str());
+}
+
 }  // namespace rw::bench

@@ -61,5 +61,6 @@ int main(int argc, char** argv) {
       "Shape check: workload-specific guardbands are below the static worst\n"
       "case (Section 4.2: worst-case stress suppresses aging under ANY workload\n"
       "at the price of margin).\n");
+  bench::print_quarantine_report(bench::factory());
   return 0;
 }

@@ -31,6 +31,19 @@ else
   echo "rwlint rejected broken.v as expected (exit $?)"
 fi
 
+echo "== resilience suite under ThreadSanitizer =="
+# The fault-injection paths (injector arming, in-flight dedup failure
+# propagation, manifest writes) are concurrency surfaces; run them in a
+# dedicated TSan tree alongside the plain-build run above.
+if [[ "${RW_SKIP_TSAN:-0}" != "1" ]]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DRW_SANITIZE=thread
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target resilience_test thread_pool_test
+  ctest --test-dir "$TSAN_DIR" -L resilience --output-on-failure -j "$JOBS"
+else
+  echo "RW_SKIP_TSAN=1; skipping"
+fi
+
 echo "== clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --build "$BUILD_DIR" --target lint_cxx

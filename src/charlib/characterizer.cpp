@@ -7,12 +7,18 @@
 #include <stdexcept>
 
 #include "cells/function.hpp"
+#include "spice/fault.hpp"
 #include "spice/measure.hpp"
 #include "spice/solver.hpp"
 #include "util/interp.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rw::charlib {
+
+CharError::CharError(std::string cell, std::string context, const std::string& detail)
+    : std::runtime_error("characterize " + cell + " [" + context + "]: " + detail),
+      cell_(std::move(cell)),
+      context_(std::move(context)) {}
 
 namespace {
 
@@ -75,12 +81,14 @@ struct Measurement {
 /// window on failure.
 Measurement run_and_measure(const std::function<Circuit(double window_ps)>& build,
                             NodeId out_node, double input_t50_ps, bool out_rising, double vdd,
-                            double base_window_ps, const std::string& what) {
+                            double base_window_ps, const std::string& what,
+                            const spice::RetryPolicy& retry) {
   double window = base_window_ps;
   for (int attempt = 0; attempt < 3; ++attempt) {
     const Circuit circuit = build(window);
     spice::TransientOptions topt;
     topt.t_stop_ps = window;
+    topt.retry = retry;
     const auto result = spice::simulate_transient(circuit, topt, {out_node});
     const auto timing =
         spice::measure_edge(result.waveform(out_node), input_t50_ps, out_rising, vdd);
@@ -197,36 +205,184 @@ liberty::TimingTable make_table(const OpcGrid& grid, const std::vector<double>& 
   return t;
 }
 
+/// Per-point outcome of one arc's grid sweep (slot-indexed, thread-safe by
+/// pre-sizing: each grid point writes only its own entries).
+struct GridSweep {
+  std::vector<double> delays;
+  std::vector<double> slews;
+  std::vector<char> failed;          ///< 1 = SolverError after the full ladder
+  std::vector<std::string> errors;   ///< failure message per failed slot
+
+  explicit GridSweep(std::size_t n) : delays(n), slews(n), failed(n, 0), errors(n) {}
+};
+
+/// Fills every failed grid point from converged neighbors, deterministically:
+/// prefer a bracketing pair on the load axis (linear in load), then on the
+/// slew axis, then the nearest converged point in the same row, column, and
+/// finally grid-wide (lowest index breaks ties). Only originally-converged
+/// points are ever used as sources, so the result does not depend on the
+/// order failed points are visited.
+/// \throws CharError when the arc has no converged point at all.
+void interpolate_failed_points(const OpcGrid& grid, GridSweep& sweep, const std::string& cell_name,
+                               const std::string& pin, bool rising,
+                               const std::string& scenario_id,
+                               std::vector<liberty::FallbackPoint>& fallbacks) {
+  const std::size_t n_loads = grid.loads_ff.size();
+  const std::size_t n_slews = grid.slews_ps.size();
+  const auto at = [&](std::size_t s, std::size_t l) { return s * n_loads + l; };
+  const auto converged = [&](std::size_t s, std::size_t l) { return sweep.failed[at(s, l)] == 0; };
+
+  std::size_t n_failed = 0;
+  std::size_t first_failed = 0;
+  for (std::size_t i = 0; i < sweep.failed.size(); ++i) {
+    if (sweep.failed[i] != 0 && n_failed++ == 0) first_failed = i;
+  }
+  if (n_failed == 0) return;
+
+  const std::string context =
+      "arc=" + pin + " dir=" + (rising ? "rise" : "fall") + " scenario=" + scenario_id;
+  if (n_failed == sweep.failed.size()) {
+    throw CharError(cell_name, context,
+                    "all " + std::to_string(n_failed) +
+                        " OPC points failed to converge; first: " + sweep.errors[first_failed]);
+  }
+
+  // Interpolated values are staged and applied after the scan so sources are
+  // always originally-converged measurements, never earlier fallbacks.
+  std::vector<std::pair<std::size_t, Measurement>> staged;
+  for (std::size_t s = 0; s < n_slews; ++s) {
+    for (std::size_t l = 0; l < n_loads; ++l) {
+      if (converged(s, l)) continue;
+
+      // 1) bracket on the load axis (same slew row).
+      std::size_t lo = n_loads;
+      std::size_t hi = n_loads;
+      for (std::size_t k = l; k-- > 0;) {
+        if (converged(s, k)) {
+          lo = k;
+          break;
+        }
+      }
+      for (std::size_t k = l + 1; k < n_loads; ++k) {
+        if (converged(s, k)) {
+          hi = k;
+          break;
+        }
+      }
+      Measurement m{};
+      bool found = false;
+      if (lo < n_loads && hi < n_loads) {
+        const double w =
+            (grid.loads_ff[l] - grid.loads_ff[lo]) / (grid.loads_ff[hi] - grid.loads_ff[lo]);
+        m.delay_ps =
+            sweep.delays[at(s, lo)] + w * (sweep.delays[at(s, hi)] - sweep.delays[at(s, lo)]);
+        m.slew_ps = sweep.slews[at(s, lo)] + w * (sweep.slews[at(s, hi)] - sweep.slews[at(s, lo)]);
+        found = true;
+      }
+      // 2) bracket on the slew axis (same load column).
+      if (!found) {
+        std::size_t slo = n_slews;
+        std::size_t shi = n_slews;
+        for (std::size_t k = s; k-- > 0;) {
+          if (converged(k, l)) {
+            slo = k;
+            break;
+          }
+        }
+        for (std::size_t k = s + 1; k < n_slews; ++k) {
+          if (converged(k, l)) {
+            shi = k;
+            break;
+          }
+        }
+        if (slo < n_slews && shi < n_slews) {
+          const double w = (grid.slews_ps[s] - grid.slews_ps[slo]) /
+                           (grid.slews_ps[shi] - grid.slews_ps[slo]);
+          m.delay_ps = sweep.delays[at(slo, l)] +
+                       w * (sweep.delays[at(shi, l)] - sweep.delays[at(slo, l)]);
+          m.slew_ps =
+              sweep.slews[at(slo, l)] + w * (sweep.slews[at(shi, l)] - sweep.slews[at(slo, l)]);
+          found = true;
+        }
+      }
+      // 3) nearest converged: same row, then same column, then grid-wide
+      //    (|Δs| + |Δl| distance, lowest index wins ties).
+      if (!found) {
+        std::size_t best = sweep.failed.size();
+        std::size_t best_dist = static_cast<std::size_t>(-1);
+        const auto consider = [&](std::size_t cs, std::size_t cl) {
+          if (!converged(cs, cl)) return;
+          const std::size_t dist = (cs > s ? cs - s : s - cs) + (cl > l ? cl - l : l - cl);
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = at(cs, cl);
+          }
+        };
+        for (std::size_t k = 0; k < n_loads; ++k) consider(s, k);
+        if (best == sweep.failed.size()) {
+          for (std::size_t k = 0; k < n_slews; ++k) consider(k, l);
+        }
+        if (best == sweep.failed.size()) {
+          for (std::size_t cs = 0; cs < n_slews; ++cs) {
+            for (std::size_t cl = 0; cl < n_loads; ++cl) consider(cs, cl);
+          }
+        }
+        m.delay_ps = sweep.delays[best];
+        m.slew_ps = sweep.slews[best];
+      }
+
+      staged.emplace_back(at(s, l), m);
+      fallbacks.push_back(liberty::FallbackPoint{pin, rising, static_cast<int>(s),
+                                                 static_cast<int>(l)});
+    }
+  }
+  for (const auto& [idx, m] : staged) {
+    sweep.delays[idx] = m.delay_ps;
+    sweep.slews[idx] = m.slew_ps;
+  }
+}
+
 liberty::TimingTable characterize_comb_arc(const CellSpec& spec,
                                            const aging::AgingScenario& scenario,
-                                           const CharacterizeOptions& options, const ArcRun& run) {
+                                           const CharacterizeOptions& options, const ArcRun& run,
+                                           std::vector<liberty::FallbackPoint>& fallbacks) {
   const double t_start = 20.0;
   const std::size_t n_loads = options.grid.loads_ff.size();
+  const std::string scenario_id = scenario.id();
   // Grid points are independent transients: fan them over the pool, each
   // writing only its own pre-sized slot so the tables are bitwise identical
   // for any thread count.
-  std::vector<double> delays(options.grid.size());
-  std::vector<double> slews(options.grid.size());
+  GridSweep sweep(options.grid.size());
   util::ThreadPool::shared().parallel_for(options.grid.size(), [&](std::size_t i) {
     const double slew = options.grid.slews_ps[i / n_loads];
     const double load = options.grid.loads_ff[i % n_loads];
+    const spice::FaultInjector::ScopedContext fault_ctx(
+        "cell=" + spec.name + " arc=" + run.pin + " dir=" + (run.out_rising ? "rise" : "fall") +
+        " opc=" + std::to_string(i) + " scenario=" + scenario_id);
     // Node ids are deterministic across rebuilds; learn the output id once.
     NodeId out_node = -1;
     (void)build_comb_bench(spec, scenario, options, run, slew, load, t_start, out_node);
     const double ramp_full = slew / 0.8;
     const double window = t_start + ramp_full + 600.0 + 25.0 * load;
     const double t50_in = t_start + 0.5 * ramp_full;
-    const auto m = run_and_measure(
-        [&](double) {
-          NodeId dummy = -1;
-          return build_comb_bench(spec, scenario, options, run, slew, load, t_start, dummy);
-        },
-        out_node, t50_in, run.out_rising, options.tech.vdd_v, window,
-        spec.name + "/" + run.pin + (run.out_rising ? " rise" : " fall"));
-    delays[i] = m.delay_ps;
-    slews[i] = m.slew_ps;
+    try {
+      const auto m = run_and_measure(
+          [&](double) {
+            NodeId dummy = -1;
+            return build_comb_bench(spec, scenario, options, run, slew, load, t_start, dummy);
+          },
+          out_node, t50_in, run.out_rising, options.tech.vdd_v, window,
+          spec.name + "/" + run.pin + (run.out_rising ? " rise" : " fall"), options.retry);
+      sweep.delays[i] = m.delay_ps;
+      sweep.slews[i] = m.slew_ps;
+    } catch (const spice::SolverError& e) {
+      sweep.failed[i] = 1;
+      sweep.errors[i] = e.what();
+    }
   });
-  return make_table(options.grid, delays, slews);
+  interpolate_failed_points(options.grid, sweep, spec.name, run.pin, run.out_rising, scenario_id,
+                            fallbacks);
+  return make_table(options.grid, sweep.delays, sweep.slews);
 }
 
 /// Flop bench: two clock pulses; the second (measured) rising edge captures a
@@ -263,33 +419,44 @@ Circuit build_flop_bench(const CellSpec& spec, const aging::AgingScenario& scena
 
 liberty::TimingTable characterize_flop_arc(const CellSpec& spec,
                                            const aging::AgingScenario& scenario,
-                                           const CharacterizeOptions& options, bool q_rising) {
+                                           const CharacterizeOptions& options, bool q_rising,
+                                           std::vector<liberty::FallbackPoint>& fallbacks) {
   const std::size_t n_loads = options.grid.loads_ff.size();
-  std::vector<double> delays(options.grid.size());
-  std::vector<double> slews(options.grid.size());
+  const std::string scenario_id = scenario.id();
+  GridSweep sweep(options.grid.size());
   util::ThreadPool::shared().parallel_for(options.grid.size(), [&](std::size_t i) {
     const double ck_slew = options.grid.slews_ps[i / n_loads];
     const double load = options.grid.loads_ff[i % n_loads];
     const double d_edge = 500.0;
     const double ck_edge = 900.0;
+    const spice::FaultInjector::ScopedContext fault_ctx(
+        "cell=" + spec.name + " arc=CK dir=" + (q_rising ? "rise" : "fall") +
+        " opc=" + std::to_string(i) + " scenario=" + scenario_id);
     NodeId out_node = -1;
     (void)build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge, ck_edge,
                            out_node);
     const double full = ck_slew / 0.8;
     const double t50_ck = ck_edge + 0.5 * full;
     const double window = ck_edge + full + 600.0 + 25.0 * load;
-    const auto m = run_and_measure(
-        [&](double) {
-          NodeId dummy = -1;
-          return build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge,
-                                  ck_edge, dummy);
-        },
-        out_node, t50_ck, q_rising, options.tech.vdd_v, window,
-        spec.name + std::string("/CK->Q ") + (q_rising ? "rise" : "fall"));
-    delays[i] = m.delay_ps;
-    slews[i] = m.slew_ps;
+    try {
+      const auto m = run_and_measure(
+          [&](double) {
+            NodeId dummy = -1;
+            return build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge,
+                                    ck_edge, dummy);
+          },
+          out_node, t50_ck, q_rising, options.tech.vdd_v, window,
+          spec.name + std::string("/CK->Q ") + (q_rising ? "rise" : "fall"), options.retry);
+      sweep.delays[i] = m.delay_ps;
+      sweep.slews[i] = m.slew_ps;
+    } catch (const spice::SolverError& e) {
+      sweep.failed[i] = 1;
+      sweep.errors[i] = e.what();
+    }
   });
-  return make_table(options.grid, delays, slews);
+  interpolate_failed_points(options.grid, sweep, spec.name, "CK", q_rising, scenario_id,
+                            fallbacks);
+  return make_table(options.grid, sweep.delays, sweep.slews);
 }
 
 /// Setup time by bisection: the smallest D-before-CK interval that still
@@ -298,6 +465,8 @@ double characterize_setup(const CellSpec& spec, const aging::AgingScenario& scen
                           const CharacterizeOptions& options) {
   const double vdd = options.tech.vdd_v;
   const double ck_edge = 900.0;
+  const spice::FaultInjector::ScopedContext fault_ctx("cell=" + spec.name + " setup-search" +
+                                                      " scenario=" + scenario.id());
   const auto captured = [&](double offset_ps) {
     NodeId out_node = -1;
     const Circuit c = build_flop_bench(spec, scenario, options, /*q_rising=*/true,
@@ -305,6 +474,7 @@ double characterize_setup(const CellSpec& spec, const aging::AgingScenario& scen
                                        ck_edge - offset_ps, ck_edge, out_node);
     spice::TransientOptions topt;
     topt.t_stop_ps = ck_edge + 700.0;
+    topt.retry = options.retry;
     const auto result = spice::simulate_transient(c, topt, {out_node});
     return result.waveform(out_node).back_value() > 0.5 * vdd;
   };
@@ -350,10 +520,16 @@ liberty::Cell characterize_cell(const CellSpec& spec, const aging::AgingScenario
     arc.related_pin = "CK";
     arc.sense = liberty::TimingSense::kNonUnate;
     arc.clocked = true;
-    arc.rise = characterize_flop_arc(spec, scenario, options, /*q_rising=*/true);
-    arc.fall = characterize_flop_arc(spec, scenario, options, /*q_rising=*/false);
+    arc.rise = characterize_flop_arc(spec, scenario, options, /*q_rising=*/true, cell.fallbacks);
+    arc.fall = characterize_flop_arc(spec, scenario, options, /*q_rising=*/false, cell.fallbacks);
     cell.arcs.push_back(std::move(arc));
-    cell.setup_ps = characterize_setup(spec, scenario, options);
+    try {
+      cell.setup_ps = characterize_setup(spec, scenario, options);
+    } catch (const spice::SolverError& e) {
+      // The setup bisection has no grid to interpolate from; surface the
+      // solver chain with the (cell, scenario) tag for the quarantine.
+      throw CharError(spec.name, "setup-search scenario=" + scenario.id(), e.what());
+    }
     cell.hold_ps = 0.0;
     return cell;
   }
@@ -367,10 +543,10 @@ liberty::Cell characterize_cell(const CellSpec& spec, const aging::AgingScenario
                 : unate < 0 ? liberty::TimingSense::kNegativeUnate
                             : liberty::TimingSense::kNonUnate;
     if (const auto run = find_sensitization(spec, pin, /*out_rising=*/true)) {
-      arc.rise = characterize_comb_arc(spec, scenario, options, *run);
+      arc.rise = characterize_comb_arc(spec, scenario, options, *run, cell.fallbacks);
     }
     if (const auto run = find_sensitization(spec, pin, /*out_rising=*/false)) {
-      arc.fall = characterize_comb_arc(spec, scenario, options, *run);
+      arc.fall = characterize_comb_arc(spec, scenario, options, *run, cell.fallbacks);
     }
     if (arc.rise.empty() && arc.fall.empty()) {
       throw std::runtime_error("characterize_cell: pin " + pin + " of " + spec.name +

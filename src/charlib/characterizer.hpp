@@ -6,6 +6,16 @@
 /// and a ramp on the switching pin, across the full OPC grid, against
 /// transistor models degraded per the aging scenario. Produces a
 /// liberty::Cell with NLDM delay/slew tables.
+///
+/// Resilience: every arc measurement runs under the solver's convergence
+/// retry ladder (`CharacterizeOptions::retry`). An OPC point whose transient
+/// still fails after the ladder is interpolated from converged grid
+/// neighbors and recorded in `Cell::fallbacks`, so one hard grid point
+/// degrades one table entry instead of aborting the campaign. Only when an
+/// arc has no converged point at all does characterization fail, as a
+/// `CharError` tagged with (cell, arc, OPC, scenario).
+
+#include <stdexcept>
 
 #include "aging/bti.hpp"
 #include "aging/scenario.hpp"
@@ -14,6 +24,7 @@
 #include "device/ptm45.hpp"
 #include "liberty/library.hpp"
 #include "spice/netlist.hpp"
+#include "spice/solver.hpp"
 
 namespace rw::charlib {
 
@@ -24,11 +35,30 @@ struct CharacterizeOptions {
   double wire_cap_per_node_ff = 0.08;  ///< layout parasitic per internal node
   double flop_char_slew_ps = 40.0;     ///< D/CK slews for setup search
   double flop_char_load_ff = 2.0;
+  /// Convergence retry ladder for every SPICE run ($RW_CHAR_MAX_RETRIES).
+  spice::RetryPolicy retry = spice::RetryPolicy::from_env();
+};
+
+/// Characterization failure carrying the (cell, arc, OPC, scenario) that
+/// caused it plus the underlying solver failure chain — what the factory
+/// records in its quarantine and run manifest.
+class CharError : public std::runtime_error {
+ public:
+  CharError(std::string cell, std::string context, const std::string& detail);
+
+  [[nodiscard]] const std::string& cell() const { return cell_; }
+  /// e.g. "arc=A dir=rise scenario=wc10y" or "setup-search scenario=...".
+  [[nodiscard]] const std::string& context() const { return context_; }
+
+ private:
+  std::string cell_;
+  std::string context_;
 };
 
 /// Characterizes one cell under one aging scenario.
-/// \throws std::runtime_error if an arc cannot be measured (non-settling
-/// output), which indicates a broken topology or solver setup.
+/// \throws CharError when an arc has no converged OPC point even through the
+/// retry ladder; std::runtime_error for topology/setup bugs (non-settling
+/// output, unsensitizable pin).
 liberty::Cell characterize_cell(const cells::CellSpec& spec, const aging::AgingScenario& scenario,
                                 const CharacterizeOptions& options);
 

@@ -24,13 +24,43 @@ LibraryFactory::Options LibraryFactory::default_options() {
   } else if (const char* home = std::getenv("HOME"); home != nullptr && *home != '\0') {
     o.cache_dir = std::string(home) + "/.cache/reliaware";
   }
+  if (const char* env = std::getenv("RW_CHAR_RESUME"); env != nullptr && *env != '\0') {
+    o.resume = std::string(env) != "0";
+  }
   return o;
 }
 
-LibraryFactory::LibraryFactory(Options options) : options_(std::move(options)) {}
+LibraryFactory::LibraryFactory(Options options)
+    : options_(std::move(options)), manifest_(manifest_path()) {
+  if (options_.resume) resume();
+}
 
 std::string LibraryFactory::scenario_dir(const aging::AgingScenario& scenario) const {
   return options_.cache_dir + "/" + options_.characterize.grid.tag() + "/" + scenario.id();
+}
+
+std::string LibraryFactory::manifest_path() const {
+  if (options_.cache_dir.empty()) return {};
+  return options_.cache_dir + "/" + options_.characterize.grid.tag() + "/manifest.json";
+}
+
+std::size_t LibraryFactory::resume() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  manifest_ = RunManifest::load(manifest_path());
+  for (const ManifestEntry* e : manifest_.entries()) {
+    if (e->status == "failed") quarantine_[CellKey{e->scenario, e->cell}] = e->error;
+  }
+  return manifest_.size();
+}
+
+std::vector<LibraryFactory::QuarantinedCell> LibraryFactory::quarantined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QuarantinedCell> out;
+  out.reserve(quarantine_.size());
+  for (const auto& [key, error] : quarantine_) {
+    out.push_back(QuarantinedCell{key.first, key.second, error});
+  }
+  return out;
 }
 
 std::vector<std::string> LibraryFactory::cell_names() const {
@@ -89,6 +119,11 @@ const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
       if (const auto it = cell_cache_.find(key); it != cell_cache_.end()) return it->second;
+      if (const auto q = quarantine_.find(key); q != quarantine_.end()) {
+        // Fail fast with the recorded chain; no SPICE is re-run for a pair
+        // that already failed permanently (this run or a resumed one).
+        throw CharError(cell_name, "quarantined scenario=" + key.first, q->second);
+      }
       const auto in = in_flight_.find(key);
       if (in == in_flight_.end()) break;
       // Another thread is characterizing this (scenario, cell): wait for it
@@ -120,6 +155,18 @@ const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
       job->error = std::current_exception();
       job->done = true;
       in_flight_.erase(key);
+      try {
+        std::rethrow_exception(job->error);
+      } catch (const CharError& e) {
+        // A CharError is a permanent failure (the solver already exhausted
+        // its retry ladder): quarantine the pair and checkpoint it so a
+        // resumed run fails fast instead of repeating hours of SPICE.
+        quarantine_[key] = e.what();
+        manifest_.record_failed(key.first, key.second, e.what());
+        manifest_.save();
+      } catch (...) {
+        // Transient failures (I/O, bad_alloc, ...) are not quarantined.
+      }
     }
     cv_.notify_all();
     throw;
@@ -127,6 +174,8 @@ const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
 
   std::lock_guard<std::mutex> lock(mutex_);
   const liberty::Cell& ref = cell_cache_.emplace(key, std::move(result)).first->second;
+  manifest_.record_done(key.first, key.second, static_cast<int>(ref.fallbacks.size()));
+  manifest_.save();
   job->done = true;
   in_flight_.erase(key);
   cv_.notify_all();
@@ -162,10 +211,15 @@ liberty::Library LibraryFactory::merged(const std::vector<aging::AgingScenario>&
 
   // One flat (scenario × cell) job list through the shared cell cache:
   // pairs characterized earlier — via cell(), library(), or a previous
-  // merged() — are cache hits and are never rebuilt.
-  util::ThreadPool::shared().parallel_for(
-      scenarios.size() * names.size(),
-      [&](std::size_t i) { (void)cell(names[i % names.size()], scenarios[i / names.size()]); });
+  // merged() — are cache hits and are never rebuilt. Permanent failures are
+  // tolerated here (they land in the quarantine, which the assembly below
+  // skips); anything else still aborts the merge.
+  util::ThreadPool::shared().parallel_for(scenarios.size() * names.size(), [&](std::size_t i) {
+    try {
+      (void)cell(names[i % names.size()], scenarios[i / names.size()]);
+    } catch (const CharError&) {
+    }
+  });
 
   // Reuse memoized full libraries where they exist; otherwise assemble a
   // local library from cached cells without growing the library memo.
@@ -182,7 +236,14 @@ liberty::Library LibraryFactory::merged(const std::vector<aging::AgingScenario>&
       }
     }
     liberty::Library lib("reliaware_" + s.id());
-    for (const auto& name : names) lib.add_cell(cell(name, s));
+    for (const auto& name : names) {
+      try {
+        lib.add_cell(cell(name, s));
+      } catch (const CharError&) {
+        // Quarantined corner: the merged library simply lacks this
+        // (cell, λp, λn) variant; synthesis falls back to healthy corners.
+      }
+    }
     local.push_back(std::move(lib));
     parts.push_back({s, &local.back()});
   }

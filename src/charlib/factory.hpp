@@ -18,6 +18,13 @@
 /// count. Disk-cache writes go through a temp file plus atomic rename, and
 /// truncated/corrupt cache files are discarded and re-characterized rather
 /// than failing the run.
+///
+/// Resilience: a run manifest (`manifest.json` next to the disk cache)
+/// checkpoints per-(scenario, cell) status so a killed campaign resumes via
+/// `resume()` / $RW_CHAR_RESUME, and pairs that fail permanently (a
+/// `CharError` after the solver's full retry ladder) are quarantined with
+/// their error chain: later requests for the pair fail fast with the same
+/// chain, and `merged()` skips quarantined pairs instead of aborting.
 
 #include <condition_variable>
 #include <map>
@@ -28,6 +35,7 @@
 
 #include "aging/scenario.hpp"
 #include "charlib/characterizer.hpp"
+#include "charlib/manifest.hpp"
 #include "liberty/library.hpp"
 
 namespace rw::charlib {
@@ -41,6 +49,10 @@ class LibraryFactory {
     std::string cache_dir;
     /// Restrict to these cells (empty = the full catalog). Useful in tests.
     std::vector<std::string> cell_subset;
+    /// Honor an existing manifest.json on construction: "done" pairs are
+    /// served from the disk cache, "failed" pairs go straight to quarantine.
+    /// `default_options()` reads $RW_CHAR_RESUME (any value but "0").
+    bool resume = false;
   };
 
   static Options default_options();
@@ -62,7 +74,27 @@ class LibraryFactory {
   /// `cell()`, `library()`, or an earlier `merged()`) are reused, and
   /// corners not already memoized as full libraries are NOT added to the
   /// library memo, so merging 121 corners does not pin 121 library copies.
+  /// Quarantined (permanently failing) pairs are skipped, so one bad corner
+  /// cannot poison the whole merged library; inspect `quarantined()` after.
   liberty::Library merged(const std::vector<aging::AgingScenario>& scenarios);
+
+  /// Reload the run manifest from disk and honor its entries: "failed"
+  /// pairs are quarantined with their recorded error chain, "done" pairs
+  /// will be served from the disk cache. Returns the number of manifest
+  /// entries honored. Called by the constructor when `options.resume`.
+  std::size_t resume();
+
+  /// One entry per permanently failed (scenario, cell) pair.
+  struct QuarantinedCell {
+    std::string scenario;  ///< scenario id
+    std::string cell;
+    std::string error;  ///< full chain: CharError tag + solver attempt history
+  };
+  /// Snapshot of the quarantine in deterministic (scenario, cell) order.
+  [[nodiscard]] std::vector<QuarantinedCell> quarantined() const;
+
+  /// Where this factory checkpoints ("" when the disk cache is disabled).
+  [[nodiscard]] std::string manifest_path() const;
 
   [[nodiscard]] const Options& options() const { return options_; }
 
@@ -86,11 +118,13 @@ class LibraryFactory {
                          const liberty::Cell& cell) const;
 
   Options options_;
-  mutable std::mutex mutex_;            ///< guards the three maps below
+  mutable std::mutex mutex_;            ///< guards the maps and manifest below
   std::condition_variable cv_;          ///< signaled when an in-flight job finishes
   std::map<CellKey, liberty::Cell> cell_cache_;
   std::map<CellKey, std::shared_ptr<CellJob>> in_flight_;
   std::map<std::string, std::unique_ptr<liberty::Library>> library_cache_;  // scenario id
+  std::map<CellKey, std::string> quarantine_;  ///< error chain per failed pair
+  RunManifest manifest_;
 };
 
 }  // namespace rw::charlib

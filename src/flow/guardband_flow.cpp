@@ -1,5 +1,6 @@
 #include "flow/guardband_flow.hpp"
 
+#include <iostream>
 #include <map>
 #include <set>
 
@@ -23,6 +24,20 @@ void preflight(const netlist::Module& module, const liberty::Library& fresh) {
   lint::lint_or_throw(lint::Linter::netlist_linter(), subject);
 }
 
+/// Library pre-flight for generated (aged) libraries: broken tables abort;
+/// warnings — notably LB006 interpolated-fallback points from cells whose
+/// OPC grid did not fully converge — are reported on stderr so it is
+/// visible when the timing below rests on second-class data.
+void preflight_library(const liberty::Library& aged, const liberty::Library& fresh) {
+  lint::LintSubject subject;
+  subject.library = &aged;
+  subject.fresh = &fresh;
+  const auto diagnostics = lint::lint_or_throw(lint::Linter::library_linter(), subject);
+  for (const auto& d : diagnostics) {
+    if (d.severity >= lint::Severity::kWarning) std::cerr << d.format() << '\n';
+  }
+}
+
 }  // namespace
 
 sta::GuardbandReport static_guardband(const netlist::Module& module,
@@ -32,6 +47,7 @@ sta::GuardbandReport static_guardband(const netlist::Module& module,
   const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
   preflight(module, fresh);
   const liberty::Library& aged = factory.library(scenario);
+  preflight_library(aged, fresh);
   return sta::estimate_guardband(module, fresh, aged, options);
 }
 
@@ -76,6 +92,7 @@ DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
     cell.name = indexed;
     merged.add_cell(std::move(cell));
   }
+  preflight_library(merged, fresh);
 
   // 4. Timing against the merged library vs the fresh library.
   result.report.fresh_cp_ps = sta::Sta(module, fresh, options).critical_delay_ps();

@@ -23,6 +23,20 @@ struct Pin {
   double cap_ff = 0.0;  ///< input pin capacitance (0 for outputs)
 };
 
+/// One OPC grid point whose SPICE solve never converged even through the
+/// retry ladder; its table entry was interpolated from converged neighbors.
+/// Carried through Liberty text as the `rw_fallback` complex attribute
+/// ("<related_pin>:<rise|fall>:<slew_index>:<load_index>") so lint (LB006)
+/// and STA consumers can see which entries are second-class data.
+struct FallbackPoint {
+  std::string related_pin;
+  bool rising = true;   ///< rise table (else fall)
+  int slew_index = 0;   ///< index into the table's slew axis
+  int load_index = 0;   ///< index into the table's load axis
+
+  [[nodiscard]] bool operator==(const FallbackPoint&) const = default;
+};
+
 class Cell {
  public:
   std::string name;    ///< library name; merged libraries use "<base>_<λp>_<λn>"
@@ -36,6 +50,8 @@ class Cell {
   std::string output_pin;  ///< single-output cells only
   std::uint64_t truth = 0;  ///< over input pins in pin order; unused for flops
   std::vector<TimingArc> arcs;
+  /// Interpolated (non-converged) grid points; empty for healthy cells.
+  std::vector<FallbackPoint> fallbacks;
 
   [[nodiscard]] std::vector<const Pin*> input_pins() const;
   [[nodiscard]] int n_inputs() const;

@@ -278,6 +278,21 @@ Cell parse_cell(const Group& g) {
   if (const auto* s = g.attr("rw_setup")) cell.setup_ps = std::strtod(s->c_str(), nullptr);
   if (const auto* h = g.attr("rw_hold")) cell.hold_ps = std::strtod(h->c_str(), nullptr);
   if (const auto* t = g.attr("rw_truth")) cell.truth = std::strtoull(t->c_str(), nullptr, 10);
+  if (const auto* fb = g.complex_attr("rw_fallback")) {
+    for (const auto& entry : *fb) {
+      const auto parts = util::split(entry, ":");
+      if (parts.size() != 4) {
+        throw std::runtime_error("liberty parse error: malformed rw_fallback entry '" + entry +
+                                 "' in cell " + cell.name);
+      }
+      FallbackPoint f;
+      f.related_pin = parts[0];
+      f.rising = (parts[1] == "rise");
+      f.slew_index = std::atoi(parts[2].c_str());
+      f.load_index = std::atoi(parts[3].c_str());
+      cell.fallbacks.push_back(std::move(f));
+    }
+  }
   for (const auto& child : g.children) {
     if (child.name != "pin") continue;
     Pin pin;

@@ -76,6 +76,16 @@ std::string write_library(const Library& library) {
     } else {
       os << "    rw_truth : " << cell.truth << ";\n";
     }
+    if (!cell.fallbacks.empty()) {
+      os << "    rw_fallback (";
+      for (std::size_t i = 0; i < cell.fallbacks.size(); ++i) {
+        const auto& f = cell.fallbacks[i];
+        if (i != 0) os << ", ";
+        os << '"' << f.related_pin << ':' << (f.rising ? "rise" : "fall") << ':' << f.slew_index
+           << ':' << f.load_index << '"';
+      }
+      os << ");\n";
+    }
     for (const auto& pin : cell.pins) {
       os << "    pin (" << pin.name << ") {\n";
       os << "      direction : " << (pin.is_input ? "input" : "output") << ";\n";

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/strings.hpp"
+
 namespace rw::lint {
 
 const char* to_string(Severity severity) {
@@ -51,38 +53,7 @@ std::string format_report(const std::vector<Diagnostic>& diagnostics) {
 
 namespace {
 
-void append_json_string(std::string& out, const std::string& text) {
-  out += '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr const char* hex = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(c >> 4) & 0xf];
-          out += hex[c & 0xf];
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
+using util::append_json_string;
 
 void append_field(std::string& out, const char* key, const std::string& value, bool last = false) {
   append_json_string(out, key);

@@ -245,6 +245,39 @@ class AgingInversionRule final : public Rule {
   }
 };
 
+/// LB006: cells carrying `rw_fallback` markers were characterized with OPC
+/// points that never converged (even through the solver's retry ladder) and
+/// were interpolated from grid neighbors. The library is usable, but those
+/// entries are second-class data — STA consumers and sign-off should know.
+class FallbackPointRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "library.fallback"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "cells with interpolated (rw_fallback) OPC points";
+  }
+  void run(const LintSubject& subject, std::vector<Diagnostic>& out) const override {
+    if (subject.library == nullptr) return;
+    for (const auto& cell : subject.library->cells()) {
+      if (cell.fallbacks.empty()) continue;
+      std::string points;
+      const std::size_t shown = std::min<std::size_t>(cell.fallbacks.size(), 4);
+      for (std::size_t i = 0; i < shown; ++i) {
+        const auto& f = cell.fallbacks[i];
+        if (i != 0) points += ", ";
+        points += f.related_pin + ":" + (f.rising ? "rise" : "fall") + ":(" +
+                  std::to_string(f.slew_index) + "," + std::to_string(f.load_index) + ")";
+      }
+      if (cell.fallbacks.size() > shown) points += ", ...";
+      out.push_back(Diagnostic{
+          rules::kFallbackPoint, Severity::kWarning, cell_loc(*subject.library, cell),
+          std::to_string(cell.fallbacks.size()) +
+              " OPC point(s) did not converge and were interpolated from neighbors: " + points,
+          "re-characterize with a deeper retry ladder (RW_CHAR_MAX_RETRIES) or accept "
+          "interpolated timing"});
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> library_rules() {
@@ -254,6 +287,7 @@ std::vector<std::unique_ptr<Rule>> library_rules() {
   rules.push_back(std::make_unique<GridRule>());
   rules.push_back(std::make_unique<ArcCoverageRule>());
   rules.push_back(std::make_unique<AgingInversionRule>());
+  rules.push_back(std::make_unique<FallbackPointRule>());
   return rules;
 }
 

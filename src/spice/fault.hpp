@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection for the transient solver — the test harness
+/// behind the resilience layer (retry ladder, OPC fallback, factory
+/// quarantine). The injector is compiled in always but completely inert
+/// unless armed: the solver pays one relaxed atomic load per transient
+/// attempt, nothing else.
+///
+/// Three trigger modes (exclusive per arming):
+///  * nth    — fail the Nth solve attempt observed while armed (1-based);
+///  * match  — fail every solve whose context tag contains a substring
+///             (the characterizer tags solves with cell/arc/OPC/scenario);
+/// and two failure actions:
+///  * forced convergence failure (a `SolverError` thrown before the solve);
+///  * NaN residual injection (the Newton loop must detect the poisoned
+///    residual, reject the step, and fail naturally at the minimum timestep).
+///
+/// A `times` budget bounds how many solves fail, so a test can make the
+/// first K retry-ladder rungs fail and let rung K+1 succeed. Arming is
+/// programmatic (tests) or via `RW_FAULT_INJECT` (CLI/bench drills), e.g.
+///   RW_FAULT_INJECT="match=NAND2_X1;times=2"
+///   RW_FAULT_INJECT="nth=5"
+///   RW_FAULT_INJECT="mode=nan;match=arc=A dir=rise"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace rw::spice {
+
+class FaultInjector {
+ public:
+  /// What the solver should do for one transient attempt.
+  enum class Action {
+    kNone,             ///< proceed normally
+    kFailConvergence,  ///< throw a SolverError before solving
+    kNanResidual,      ///< poison residual evaluations with NaN
+  };
+
+  /// The process-wide injector. The first call arms from $RW_FAULT_INJECT
+  /// when the variable is set and non-empty.
+  static FaultInjector& instance();
+
+  /// Fail the `nth` solve attempt observed from now on (1-based), and the
+  /// following `times - 1` attempts after it. Resets counters.
+  void arm_fail_nth(std::uint64_t nth, std::uint64_t times = 1,
+                    Action action = Action::kFailConvergence);
+
+  /// Fail every solve attempt whose context contains `needle`, up to
+  /// `times` failures in total (`times == 0` means unlimited). Resets
+  /// counters.
+  void arm_fail_matching(std::string needle, std::uint64_t times = 0,
+                         Action action = Action::kFailConvergence);
+
+  /// Return to the inert state (keeps counters readable).
+  void disarm();
+
+  [[nodiscard]] bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Solve attempts observed while armed (for tests asserting "no SPICE ran").
+  [[nodiscard]] std::uint64_t observed_solves() const;
+  /// Failures actually injected since the last arming.
+  [[nodiscard]] std::uint64_t injected_failures() const;
+
+  /// Called by the solver at the start of every transient attempt. Returns
+  /// the action for this attempt and consumes the failure budget.
+  Action on_solve_attempt(const std::string& context);
+
+  /// RAII thread-local context tag; nested scopes concatenate. The
+  /// characterizer tags each OPC solve with cell/arc/direction/OPC/scenario
+  /// so faults can target one grid point deterministically.
+  class ScopedContext {
+   public:
+    explicit ScopedContext(const std::string& tag);
+    ~ScopedContext();
+    ScopedContext(const ScopedContext&) = delete;
+    ScopedContext& operator=(const ScopedContext&) = delete;
+
+   private:
+    std::size_t previous_size_;
+  };
+
+  /// The calling thread's current context tag ("" outside any scope).
+  static const std::string& current_context();
+
+ private:
+  FaultInjector();
+
+  void arm_from_env(const char* spec);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;  ///< guards the trigger configuration below
+  Action action_ = Action::kFailConvergence;
+  bool use_nth_ = false;
+  std::uint64_t nth_ = 0;
+  std::string needle_;
+  std::uint64_t times_ = 0;  ///< 0 = unlimited (match mode only)
+  std::atomic<std::uint64_t> observed_{0};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace rw::spice

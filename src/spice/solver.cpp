@@ -4,14 +4,70 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "spice/fault.hpp"
+#include "util/strings.hpp"
 
 namespace rw::spice {
 
+RetryPolicy RetryPolicy::from_env() {
+  RetryPolicy p;
+  if (const char* env = std::getenv("RW_CHAR_MAX_RETRIES"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n >= 0) p.max_retries = static_cast<int>(n);
+  }
+  return p;
+}
+
 namespace {
 
+std::string compose_solver_message(const std::string& stage, const std::string& detail,
+                                   const std::string& node, double time_ps, int iterations,
+                                   int n_unknowns, const std::vector<SolveAttempt>& attempts) {
+  std::ostringstream os;
+  os << "spice " << stage << " solve failed: " << detail << " [";
+  if (!node.empty()) os << "node=" << node << ", ";
+  os << "t=" << util::format_fixed(time_ps, 3) << " ps, newton_iters=" << iterations
+     << ", unknowns=" << n_unknowns << "]";
+  for (const auto& a : attempts) {
+    os << "\n  attempt " << a.attempt << " [" << a.settings << "]: " << a.outcome;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+SolverError::SolverError(std::string stage, std::string detail, std::string node, double time_ps,
+                         int iterations, int n_unknowns, std::vector<SolveAttempt> attempts)
+    : std::runtime_error(compose_solver_message(stage, detail, node, time_ps, iterations,
+                                                n_unknowns, attempts)),
+      stage_(std::move(stage)),
+      detail_(std::move(detail)),
+      node_(std::move(node)),
+      time_ps_(time_ps),
+      iterations_(iterations),
+      n_unknowns_(n_unknowns),
+      attempts_(std::move(attempts)) {}
+
+namespace {
+
+/// Set by the fault injector for the duration of one transient attempt:
+/// every residual evaluation is poisoned with NaN, which the Newton loop
+/// must detect and treat as non-convergence (never as success).
+thread_local bool t_poison_residuals = false;
+
+/// Internal signal from the LU factorization: numerically singular pivot.
+/// Caught inside `newton`, which knows the row -> node mapping.
+struct SingularRow {
+  int row;
+};
+
 /// Solves A x = b in place by LU with partial pivoting (A row-major n×n).
-/// \throws std::runtime_error on a numerically singular matrix.
+/// \throws SingularRow{col} on a numerically singular matrix.
 void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
   for (int col = 0; col < n; ++col) {
     int pivot = col;
@@ -23,7 +79,7 @@ void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
         pivot = r;
       }
     }
-    if (best < 1e-30) throw std::runtime_error("solve_dense: singular matrix");
+    if (!(best >= 1e-30)) throw SingularRow{col};  // NaN pivots are singular too
     if (pivot != col) {
       for (int c = 0; c < n; ++c) {
         std::swap(a[static_cast<std::size_t>(pivot) * n + c],
@@ -69,6 +125,21 @@ class NodalSystem {
 
   [[nodiscard]] int n_unknowns() const { return n_unknowns_; }
 
+  /// Name of the circuit node behind unknown row `u` ("?" when unmapped).
+  [[nodiscard]] std::string unknown_node_name(int u) const {
+    for (NodeId n = 0; n < circuit_.node_count(); ++n) {
+      if (unknown_index_[static_cast<std::size_t>(n)] == u) return circuit_.node_name(n);
+    }
+    return "?";
+  }
+
+  /// Detail of the most recent `newton` failure (singular matrix, NaN
+  /// residual, plain iteration exhaustion). Valid after newton returned
+  /// false; NodalSystem is used single-threaded per solve.
+  [[nodiscard]] const std::string& last_failure() const { return last_failure_; }
+  /// Node with the worst residual when the last newton failed ("" if n/a).
+  [[nodiscard]] const std::string& last_failure_node() const { return last_failure_node_; }
+
   /// Full node-voltage vector with sources evaluated at time t and unknowns
   /// taken from x.
   void scatter(const std::vector<double>& x, double t_ps, double source_scale,
@@ -109,6 +180,9 @@ class NodalSystem {
             options_.gmin_ma_per_v * v_full[static_cast<std::size_t>(n)];
       }
     }
+    if (t_poison_residuals && !f.empty()) {
+      f[0] = std::numeric_limits<double>::quiet_NaN();  // armed fault injection
+    }
   }
 
   /// Residual including backward-Euler capacitor currents:
@@ -128,10 +202,13 @@ class NodalSystem {
   }
 
   /// Damped Newton solve; residual_fn(v_full, f) must fill f for the current
-  /// full voltage vector. Returns true on convergence, updating x.
+  /// full voltage vector. Returns true on convergence, updating x. On
+  /// failure, `last_failure()`/`last_failure_node()` describe what went
+  /// wrong (iteration exhaustion, singular Jacobian row, non-finite
+  /// residual).
   template <typename ResidualFn>
   bool newton(std::vector<double>& x, double t_ps, double source_scale, ResidualFn&& residual_fn,
-              int max_iterations) const {
+              int max_iterations) {
     if (n_unknowns_ == 0) return true;
     const auto n = static_cast<std::size_t>(n_unknowns_);
     std::vector<double> v_full;
@@ -142,11 +219,26 @@ class NodalSystem {
     constexpr double kPerturb = 1e-5;  // volts
     constexpr double kMaxStep = 0.3;   // volts, Newton damping limit
 
+    last_failure_.clear();
+    last_failure_node_.clear();
     for (int iter = 0; iter < max_iterations; ++iter) {
       scatter(x, t_ps, source_scale, v_full);
       residual_fn(v_full, f);
       double fmax = 0.0;
-      for (double fi : f) fmax = std::max(fmax, std::fabs(fi));
+      std::size_t worst = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!(std::fabs(f[i]) <= fmax)) {  // also catches NaN
+          fmax = std::fabs(f[i]);
+          worst = i;
+        }
+      }
+      if (!std::isfinite(fmax)) {
+        // A poisoned or overflowed residual must never satisfy the
+        // convergence test below (NaN comparisons are all false, which
+        // would otherwise leave fmax at 0 and "converge" on garbage).
+        record_failure("non-finite residual", static_cast<int>(worst), t_ps);
+        return false;
+      }
 
       // Assemble Jacobian column by column (forward differences).
       for (std::size_t j = 0; j < n; ++j) {
@@ -161,7 +253,13 @@ class NodalSystem {
       }
       for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
       std::vector<double> lu = jac;
-      solve_dense(lu, rhs, n_unknowns_);
+      try {
+        solve_dense(lu, rhs, n_unknowns_);
+      } catch (const SingularRow& s) {
+        record_failure("solve_dense: singular matrix at row " + std::to_string(s.row), s.row,
+                       t_ps);
+        return false;
+      }
 
       // Per-node voltage limiting (as SPICE does): a near-singular direction
       // (e.g. a floating node between off transistors) must not stall the
@@ -174,11 +272,20 @@ class NodalSystem {
         step_max = std::max(step_max, std::fabs(next - x[i]));
         x[i] = next;
       }
+      if (!std::isfinite(step_max)) {
+        record_failure("non-finite Newton update", static_cast<int>(worst), t_ps);
+        return false;
+      }
 
       if (fmax < options_.tol_i_ma && step_max < options_.tol_v) return true;
       if (std::getenv("RW_SPICE_DEBUG") != nullptr && iter > max_iterations - 6) {
         std::fprintf(stderr, "newton iter %d: fmax=%.3e step=%.3e x0=%.4f\n", iter, fmax,
                      step_max, x.empty() ? 0.0 : x[0]);
+      }
+      if (iter + 1 == max_iterations) {
+        record_failure("Newton exhausted " + std::to_string(max_iterations) +
+                           " iterations (|f|max=" + std::to_string(fmax) + " mA)",
+                       static_cast<int>(worst), t_ps);
       }
     }
     return false;
@@ -192,14 +299,29 @@ class NodalSystem {
     if (u >= 0) f[static_cast<std::size_t>(u)] += i_ma;
   }
 
+  void record_failure(const std::string& what, int row, double t_ps) {
+    last_failure_node_ = unknown_node_name(row);
+    last_failure_ = what + " (node " + last_failure_node_ + ", t=" +
+                    util::format_fixed(t_ps, 3) + " ps, " + std::to_string(n_unknowns_) +
+                    " unknowns, " + std::to_string(circuit_.mosfets().size()) + " mosfets)";
+  }
+
   const Circuit& circuit_;
   const TransientOptions& options_;
   std::vector<int> unknown_index_;
   int n_unknowns_ = 0;
   double vmax_ = 1.2;
+  std::string last_failure_;
+  std::string last_failure_node_;
 };
 
-std::vector<double> solve_dc(const Circuit& circuit, double t_ps, const TransientOptions& options) {
+/// DC solve with the escalation chain: direct Newton -> source stepping ->
+/// pseudo-transient homotopy. `ramp_sources_first` (the retry ladder's
+/// source-ramping rung) skips the direct attempt and goes straight to a
+/// finer source ramp, which converges on circuits whose direct solve
+/// wanders.
+std::vector<double> solve_dc(const Circuit& circuit, double t_ps, const TransientOptions& options,
+                             bool ramp_sources_first = false) {
   NodalSystem sys(circuit, options);
   std::vector<double> x(static_cast<std::size_t>(sys.n_unknowns()), 0.0);
   // Initial guess: half of the largest source magnitude (≈ Vdd/2).
@@ -213,13 +335,16 @@ std::vector<double> solve_dc(const Circuit& circuit, double t_ps, const Transien
     sys.static_residual(v_full, f);
   };
 
-  bool converged = sys.newton(x, t_ps, 1.0, residual, 200);
+  bool converged = false;
+  if (!ramp_sources_first) converged = sys.newton(x, t_ps, 1.0, residual, 200);
   if (!converged) {
-    // Source stepping: ramp supplies from 10% to 100%, warm-starting Newton.
+    // Source stepping: ramp supplies to 100%, warm-starting Newton. The
+    // ladder's source-ramping rung uses a finer 5% grid.
+    const int steps = ramp_sources_first ? 20 : 10;
     std::fill(x.begin(), x.end(), 0.0);
     converged = true;
-    for (int step = 1; step <= 10 && converged; ++step) {
-      converged = sys.newton(x, t_ps, 0.1 * step, residual, 200);
+    for (int step = 1; step <= steps && converged; ++step) {
+      converged = sys.newton(x, t_ps, static_cast<double>(step) / steps, residual, 200);
     }
   }
   if (!converged) {
@@ -260,11 +385,134 @@ std::vector<double> solve_dc(const Circuit& circuit, double t_ps, const Transien
     // Final verification with the true static residual.
     if (converged) converged = sys.newton(x, t_ps, 1.0, residual, 100);
   }
-  if (!converged) throw std::runtime_error("dc_operating_point: Newton failed to converge");
+  if (!converged) {
+    std::string detail = "Newton failed to converge even with source stepping and homotopy";
+    if (!sys.last_failure().empty()) detail += "; last: " + sys.last_failure();
+    throw SolverError("dc", detail, sys.last_failure_node(), t_ps, 200, sys.n_unknowns());
+  }
 
   std::vector<double> v_full;
   sys.scatter(x, t_ps, 1.0, v_full);
   return v_full;
+}
+
+/// RAII poison flag for the NaN-residual injection mode.
+struct PoisonGuard {
+  explicit PoisonGuard(bool enable) : armed(enable) {
+    if (armed) t_poison_residuals = true;
+  }
+  ~PoisonGuard() {
+    if (armed) t_poison_residuals = false;
+  }
+  PoisonGuard(const PoisonGuard&) = delete;
+  PoisonGuard& operator=(const PoisonGuard&) = delete;
+  bool armed;
+};
+
+/// One transient attempt at fixed options (one rung of the retry ladder).
+TransientResult simulate_transient_once(const Circuit& circuit, const TransientOptions& options,
+                                        const std::vector<NodeId>& probes,
+                                        bool ramp_sources_first) {
+  NodalSystem sys(circuit, options);
+
+  // Fault injection hook: inert (one relaxed atomic load) unless armed.
+  FaultInjector::Action action = FaultInjector::Action::kNone;
+  if (FaultInjector::instance().armed()) {
+    action = FaultInjector::instance().on_solve_attempt(FaultInjector::current_context());
+  }
+  if (action == FaultInjector::Action::kFailConvergence) {
+    throw SolverError("transient", "fault injection: forced convergence failure", "", 0.0,
+                      options.max_newton, sys.n_unknowns());
+  }
+  const PoisonGuard poison(action == FaultInjector::Action::kNanResidual);
+
+  TransientResult result(probes, circuit.node_count());
+
+  std::vector<double> v_prev_full = solve_dc(circuit, 0.0, options, ramp_sources_first);
+  result.record(0.0, v_prev_full);
+
+  // Unknown vector from the DC solution.
+  const auto n = static_cast<std::size_t>(sys.n_unknowns());
+  std::vector<double> x(n, 0.0);
+  for (NodeId node = 0; node < circuit.node_count(); ++node) {
+    const int u = sys.unknown_index()[static_cast<std::size_t>(node)];
+    if (u >= 0) x[static_cast<std::size_t>(u)] = v_prev_full[static_cast<std::size_t>(node)];
+  }
+
+  double t = 0.0;
+  double dt = options.dt_initial_ps;
+  std::vector<double> v_full;
+  while (t < options.t_stop_ps - 1e-9) {
+    // Never step across a source breakpoint; land on it exactly.
+    double dt_eff = std::min(dt, options.t_stop_ps - t);
+    for (const auto& src : circuit.sources()) {
+      if (const auto bp = src.waveform.next_breakpoint(t)) {
+        if (*bp - t > 1e-9) dt_eff = std::min(dt_eff, *bp - t);
+      }
+    }
+
+    const double t_next = t + dt_eff;
+    std::vector<double> x_try = x;
+    const auto residual = [&](const std::vector<double>& vf, std::vector<double>& f) {
+      sys.transient_residual(vf, v_prev_full, dt_eff, f);
+    };
+    const bool converged = sys.newton(x_try, t_next, 1.0, residual, options.max_newton);
+    if (!converged) {
+      if (dt_eff <= options.dt_min_ps * 1.0001) {
+        std::string detail = "Newton failed at minimum timestep dt=" +
+                             util::format_fixed(dt_eff, 4) + " ps";
+        if (!sys.last_failure().empty()) detail += "; " + sys.last_failure();
+        throw SolverError("transient", detail, sys.last_failure_node(), t_next,
+                          options.max_newton, sys.n_unknowns());
+      }
+      dt = std::max(options.dt_min_ps, dt_eff * 0.25);
+      continue;
+    }
+
+    // Accept the step.
+    double dv_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dv_max = std::max(dv_max, std::fabs(x_try[i] - x[i]));
+    x = x_try;
+    sys.scatter(x, t_next, 1.0, v_full);
+    v_prev_full = v_full;
+    t = t_next;
+    result.record(t, v_full);
+
+    // Timestep control: aim for dv_target per step.
+    double grow = 2.0;
+    if (dv_max > 1e-12) grow = std::clamp(options.dv_target_v / dv_max, 0.4, 2.0);
+    dt = std::clamp(dt_eff * grow, options.dt_min_ps, options.dt_max_ps);
+  }
+  return result;
+}
+
+/// Effective options for one rung of the retry ladder; rung 0 is the
+/// caller's options verbatim (fault-free runs are bitwise identical to a
+/// ladder-free solver).
+struct LadderRung {
+  TransientOptions options;
+  bool ramp_sources = false;
+  std::string settings;
+};
+
+LadderRung ladder_rung(const TransientOptions& base, int rung) {
+  LadderRung r;
+  r.options = base;
+  if (rung >= 1) {
+    const double shrink = std::pow(base.retry.dt_shrink, rung);
+    r.options.dt_initial_ps = base.dt_initial_ps * shrink;
+    r.options.dt_min_ps = base.dt_min_ps * shrink;
+    r.options.max_newton = base.max_newton * 2;
+  }
+  if (rung >= 2) r.options.gmin_ma_per_v = base.gmin_ma_per_v * base.retry.gmin_boost;
+  if (rung >= 3 && base.retry.source_ramp) r.ramp_sources = true;
+  std::ostringstream os;
+  os << "dt_initial=" << util::format_fixed(r.options.dt_initial_ps, 5)
+     << "ps dt_min=" << util::format_fixed(r.options.dt_min_ps, 6)
+     << "ps gmin=" << r.options.gmin_ma_per_v << "mA/V newton=" << r.options.max_newton
+     << (r.ramp_sources ? " source-ramp" : "");
+  r.settings = os.str();
+  return r;
 }
 
 }  // namespace
@@ -299,61 +547,25 @@ std::vector<double> dc_operating_point(const Circuit& circuit, double t_ps,
 
 TransientResult simulate_transient(const Circuit& circuit, const TransientOptions& options,
                                    const std::vector<NodeId>& probes) {
-  NodalSystem sys(circuit, options);
-  TransientResult result(probes, circuit.node_count());
-
-  std::vector<double> v_prev_full = solve_dc(circuit, 0.0, options);
-  result.record(0.0, v_prev_full);
-
-  // Unknown vector from the DC solution.
-  const auto n = static_cast<std::size_t>(sys.n_unknowns());
-  std::vector<double> x(n, 0.0);
-  for (NodeId node = 0; node < circuit.node_count(); ++node) {
-    const int u = sys.unknown_index()[static_cast<std::size_t>(node)];
-    if (u >= 0) x[static_cast<std::size_t>(u)] = v_prev_full[static_cast<std::size_t>(node)];
-  }
-
-  double t = 0.0;
-  double dt = options.dt_initial_ps;
-  std::vector<double> v_full;
-  while (t < options.t_stop_ps - 1e-9) {
-    // Never step across a source breakpoint; land on it exactly.
-    double dt_eff = std::min(dt, options.t_stop_ps - t);
-    for (const auto& src : circuit.sources()) {
-      if (const auto bp = src.waveform.next_breakpoint(t)) {
-        if (*bp - t > 1e-9) dt_eff = std::min(dt_eff, *bp - t);
+  std::vector<SolveAttempt> history;
+  const int rungs = 1 + std::max(0, options.retry.max_retries);
+  for (int k = 0; k < rungs; ++k) {
+    const LadderRung rung = ladder_rung(options, k);
+    try {
+      return simulate_transient_once(circuit, rung.options, probes, rung.ramp_sources);
+    } catch (const SolverError& e) {
+      history.push_back(SolveAttempt{k, rung.settings, e.detail()});
+      if (k + 1 == rungs) {
+        throw SolverError("transient",
+                          "retry ladder exhausted after " + std::to_string(rungs) +
+                              " attempt(s); last failure: " + e.detail(),
+                          e.node(), e.time_ps(), e.iterations(), e.n_unknowns(),
+                          std::move(history));
       }
     }
-
-    const double t_next = t + dt_eff;
-    std::vector<double> x_try = x;
-    const auto residual = [&](const std::vector<double>& vf, std::vector<double>& f) {
-      sys.transient_residual(vf, v_prev_full, dt_eff, f);
-    };
-    const bool converged = sys.newton(x_try, t_next, 1.0, residual, options.max_newton);
-    if (!converged) {
-      if (dt_eff <= options.dt_min_ps * 1.0001) {
-        throw std::runtime_error("simulate_transient: Newton failed at minimum timestep");
-      }
-      dt = std::max(options.dt_min_ps, dt_eff * 0.25);
-      continue;
-    }
-
-    // Accept the step.
-    double dv_max = 0.0;
-    for (std::size_t i = 0; i < n; ++i) dv_max = std::max(dv_max, std::fabs(x_try[i] - x[i]));
-    x = x_try;
-    sys.scatter(x, t_next, 1.0, v_full);
-    v_prev_full = v_full;
-    t = t_next;
-    result.record(t, v_full);
-
-    // Timestep control: aim for dv_target per step.
-    double grow = 2.0;
-    if (dv_max > 1e-12) grow = std::clamp(options.dv_target_v / dv_max, 0.4, 2.0);
-    dt = std::clamp(dt_eff * grow, options.dt_min_ps, options.dt_max_ps);
   }
-  return result;
+  // Unreachable: the loop either returns or throws on its last rung.
+  throw SolverError("transient", "retry ladder logic error", "", 0.0, 0, 0);
 }
 
 }  // namespace rw::spice

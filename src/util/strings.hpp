@@ -31,4 +31,8 @@ std::string indexed_cell_name(std::string_view base, double lambda_p, double lam
 bool parse_indexed_cell_name(std::string_view name, std::string& base, double& lambda_p,
                              double& lambda_n);
 
+/// Append `text` to `out` as a double-quoted JSON string (RFC 8259 escaping).
+/// Shared by the lint JSON report and the characterization run manifest.
+void append_json_string(std::string& out, std::string_view text);
+
 }  // namespace rw::util

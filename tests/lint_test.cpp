@@ -12,6 +12,8 @@
 #include "charlib/factory.hpp"
 #include "charlib/opc.hpp"
 #include "liberty/library.hpp"
+#include "liberty/parser.hpp"
+#include "liberty/writer.hpp"
 #include "lint/diagnostic.hpp"
 #include "lint/linter.hpp"
 #include "flow/guardband_flow.hpp"
@@ -287,6 +289,37 @@ TEST(LibraryRules, AgedFasterThanFreshInversion) {
       has_rule(lint_library(aged, &fresh), rules::kAgedFasterThanFresh, Severity::kWarning));
   // Against itself (same pointer) the rule stays quiet.
   EXPECT_TRUE(lint_library(fresh, &fresh).empty());
+}
+
+TEST(LibraryRules, FallbackMarkersAreWarned) {
+  liberty::Library lib("fallback");
+  liberty::Cell cell = comb_cell("NAND2_X1", {"A", "B"}, 14.0);
+  cell.fallbacks.push_back(liberty::FallbackPoint{"A", true, 1, 0});
+  cell.fallbacks.push_back(liberty::FallbackPoint{"B", false, 0, 1});
+  lib.add_cell(cell);
+  lib.add_cell(comb_cell("INV_X1", {"A"}, 10.0));  // healthy; must stay quiet
+  const auto diags = lint_library(lib);
+  EXPECT_TRUE(has_rule(diags, rules::kFallbackPoint, Severity::kWarning));
+  ASSERT_EQ(rule_ids(diags).count(rules::kFallbackPoint), 1u);  // one finding per cell
+  for (const auto& d : diags) {
+    if (d.rule_id != rules::kFallbackPoint) continue;
+    EXPECT_NE(d.location.find("NAND2_X1"), std::string::npos);
+    EXPECT_NE(d.message.find("A:rise:(1,0)"), std::string::npos);
+    EXPECT_NE(d.message.find("2 OPC point(s)"), std::string::npos);
+  }
+}
+
+TEST(LibraryRules, FallbackMarkersSurviveLibertyRoundTrip) {
+  liberty::Library lib("roundtrip");
+  liberty::Cell cell = comb_cell("NAND2_X1", {"A", "B"}, 14.0);
+  cell.fallbacks.push_back(liberty::FallbackPoint{"A", true, 1, 0});
+  lib.add_cell(cell);
+  const liberty::Library reparsed = liberty::parse_library(liberty::write_library(lib));
+  const liberty::Cell* c = reparsed.find("NAND2_X1");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->fallbacks.size(), 1u);
+  EXPECT_EQ(c->fallbacks[0], (liberty::FallbackPoint{"A", true, 1, 0}));
+  EXPECT_TRUE(has_rule(lint_library(reparsed), rules::kFallbackPoint, Severity::kWarning));
 }
 
 // ---------------------------------------------------------------------------

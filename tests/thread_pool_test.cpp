@@ -84,6 +84,57 @@ TEST(ThreadPool, NestedLoopsRunInline) {
   }
 }
 
+TEST(ThreadPool, NestedLoopsPropagateLowestIndexException) {
+  ThreadPool pool(4);
+  const std::size_t outer = 8;
+  const std::size_t inner = 32;
+  for (int round = 0; round < 3; ++round) {
+    // Inner loops run inline on worker threads; an exception thrown inside a
+    // nested parallel_for must surface from the inner call as its own
+    // lowest-index failure, and the outer loop must then report the lowest
+    // *outer* index whose inner loop failed.
+    try {
+      pool.parallel_for(outer, [&](std::size_t i) {
+        pool.parallel_for(inner, [&](std::size_t j) {
+          if (i >= 3 && (j == 7 || j == 20)) {
+            throw std::runtime_error("inner boom at " + std::to_string(i) + ":" +
+                                     std::to_string(j));
+          }
+        });
+      });
+      FAIL() << "exception not propagated through nested pools";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "inner boom at 3:7");
+    }
+    // Both nesting levels stay usable afterwards.
+    std::vector<std::vector<int>> out(outer, std::vector<int>(inner, 0));
+    pool.parallel_for(outer, [&](std::size_t i) {
+      pool.parallel_for(inner, [&](std::size_t j) { out[i][j] = 1; });
+    });
+    int total = 0;
+    for (const auto& row : out) total += std::accumulate(row.begin(), row.end(), 0);
+    EXPECT_EQ(total, static_cast<int>(outer * inner));
+  }
+}
+
+TEST(ThreadPool, NestedExceptionAcrossDistinctPools) {
+  // An outer loop on one pool, inner loops on another (the shared-pool
+  // pattern the characterizer uses): the inner pool's lowest-index guarantee
+  // must hold even when its caller is a foreign worker thread.
+  ThreadPool outer_pool(4);
+  ThreadPool inner_pool(4);
+  try {
+    outer_pool.parallel_for(4, [&](std::size_t i) {
+      inner_pool.parallel_for(64, [&](std::size_t j) {
+        if (i == 1 && j >= 10) throw std::out_of_range("nested " + std::to_string(j));
+      });
+    });
+    FAIL() << "exception not propagated";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "nested 10");
+  }
+}
+
 TEST(ThreadPool, SingleThreadPoolRunsInline) {
   ThreadPool pool(1);
   EXPECT_EQ(pool.size(), 1u);
