@@ -31,15 +31,24 @@ else
   echo "rwlint rejected broken.v as expected (exit $?)"
 fi
 
-echo "== resilience suite under ThreadSanitizer =="
+echo "== rwstress: clean fixture must be deterministic across thread counts =="
+RWSTRESS="$BUILD_DIR/tools/rwstress"
+"$RWSTRESS" --threads 1 --lib examples/fixtures/mini.lib examples/fixtures/clean.v > "$BUILD_DIR/rwstress.1t.out"
+"$RWSTRESS" --threads "$JOBS" --lib examples/fixtures/mini.lib examples/fixtures/clean.v > "$BUILD_DIR/rwstress.nt.out"
+diff "$BUILD_DIR/rwstress.1t.out" "$BUILD_DIR/rwstress.nt.out"
+echo "rwstress output bitwise identical at 1 vs $JOBS threads"
+
+echo "== resilience + stress suites under ThreadSanitizer =="
 # The fault-injection paths (injector arming, in-flight dedup failure
-# propagation, manifest writes) are concurrency surfaces; run them in a
-# dedicated TSan tree alongside the plain-build run above.
+# propagation, manifest writes) and the stress analyzer's levelized
+# parallel evaluation are concurrency surfaces; run them in a dedicated
+# TSan tree alongside the plain-build run above.
 if [[ "${RW_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DRW_SANITIZE=thread
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target resilience_test thread_pool_test
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target resilience_test thread_pool_test stress_test
   ctest --test-dir "$TSAN_DIR" -L resilience --output-on-failure -j "$JOBS"
+  ctest --test-dir "$TSAN_DIR" -L stress --output-on-failure -j "$JOBS"
 else
   echo "RW_SKIP_TSAN=1; skipping"
 fi
@@ -49,6 +58,13 @@ if command -v clang-tidy >/dev/null 2>&1; then
   cmake --build "$BUILD_DIR" --target lint_cxx
 else
   echo "clang-tidy not installed; skipping (install it to enable this gate)"
+fi
+
+echo "== cppcheck =="
+if command -v cppcheck >/dev/null 2>&1; then
+  cmake --build "$BUILD_DIR" --target cppcheck_cxx
+else
+  echo "cppcheck not installed; skipping (install it to enable this gate)"
 fi
 
 echo "== all checks passed =="

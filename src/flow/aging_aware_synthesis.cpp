@@ -14,10 +14,10 @@ ContainmentResult run_containment(const synth::Ir& ir, const liberty::Library& f
   {
     lint::LintSubject subject;
     subject.library = &fresh;
-    lint::lint_or_throw(lint::Linter::library_linter(), subject);
+    lint::report_diagnostics(lint::lint_or_throw(lint::Linter::library_linter(), subject));
     subject.library = &aged;
     subject.fresh = &fresh;
-    lint::lint_or_throw(lint::Linter::library_linter(), subject);
+    lint::report_diagnostics(lint::lint_or_throw(lint::Linter::library_linter(), subject));
   }
   ContainmentResult r{synth::synthesize(ir, fresh, top_name, options),
                       synth::synthesize(ir, aged, top_name + "_aw", options)};

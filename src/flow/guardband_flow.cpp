@@ -1,13 +1,15 @@
 #include "flow/guardband_flow.hpp"
 
-#include <iostream>
+#include <cmath>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "lint/linter.hpp"
 #include "logicsim/activity.hpp"
 #include "netlist/annotate.hpp"
 #include "sta/analysis.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rw::flow {
 
@@ -16,26 +18,67 @@ namespace {
 /// Pre-flight: refuse structurally broken netlists (combinational cycles,
 /// multi-driven nets, bogus λ annotations, ...) with the full diagnostic
 /// list instead of failing deep inside STA or characterization. The library
-/// is factory-generated, so only netlist + annotation rules run.
-void preflight(const netlist::Module& module, const liberty::Library& fresh) {
+/// is factory-generated, so only netlist + annotation (+ stress) rules run.
+void preflight(const netlist::Module& module, const liberty::Library& fresh,
+               const stress::AnalyzeOptions* stress_options = nullptr) {
   lint::LintSubject subject;
   subject.module = &module;
   subject.library = &fresh;
-  lint::lint_or_throw(lint::Linter::netlist_linter(), subject);
+  subject.stress = stress_options;
+  lint::report_diagnostics(lint::lint_or_throw(lint::Linter::netlist_linter(), subject));
 }
 
 /// Library pre-flight for generated (aged) libraries: broken tables abort;
 /// warnings — notably LB006 interpolated-fallback points from cells whose
-/// OPC grid did not fully converge — are reported on stderr so it is
-/// visible when the timing below rests on second-class data.
+/// OPC grid did not fully converge — go through `report_diagnostics` (and
+/// can be silenced via RW_LINT_MIN_SEVERITY) so it is visible when the
+/// timing below rests on second-class data.
 void preflight_library(const liberty::Library& aged, const liberty::Library& fresh) {
   lint::LintSubject subject;
   subject.library = &aged;
   subject.fresh = &fresh;
-  const auto diagnostics = lint::lint_or_throw(lint::Linter::library_linter(), subject);
-  for (const auto& d : diagnostics) {
-    if (d.severity >= lint::Severity::kWarning) std::cerr << d.format() << '\n';
+  lint::report_diagnostics(lint::lint_or_throw(lint::Linter::library_linter(), subject));
+}
+
+/// Merged "complete" library, characterized lazily: only the (cell, corner)
+/// pairs the annotated netlist actually instantiates, which is what keeps
+/// the 121-corner complete library tractable. Shared by the dynamic and
+/// bounded-static flows.
+liberty::Library build_used_corner_library(const netlist::Module& original,
+                                           const netlist::Module& annotated,
+                                           const std::vector<netlist::InstanceDuty>& duties,
+                                           double years, charlib::LibraryFactory& factory,
+                                           const std::string& name) {
+  std::set<std::pair<std::string, std::string>> needed;  // (indexed name, base)
+  std::map<std::string, aging::AgingScenario> corner_of;
+  for (std::size_t i = 0; i < original.instances().size(); ++i) {
+    const std::string& base = original.instances()[i].cell;
+    const std::string& indexed = annotated.instances()[i].cell;
+    needed.emplace(indexed, base);
+    const double lp = aging::quantize_lambda(duties[i].lambda_p);
+    const double ln = aging::quantize_lambda(duties[i].lambda_n);
+    corner_of.emplace(indexed, aging::AgingScenario{lp, ln, years, true});
   }
+  liberty::Library merged(name);
+  for (const auto& [indexed, base] : needed) {
+    liberty::Cell cell = factory.cell(base, corner_of.at(indexed));
+    cell.name = indexed;
+    merged.add_cell(std::move(cell));
+  }
+  return merged;
+}
+
+/// Scalar "slowness" of a characterized corner: the sum of every NLDM delay
+/// entry across all arcs. Monotone in aging degradation, so the argmax over
+/// a λ range is the corner STA should fear most; a deterministic scalar also
+/// gives a stable tie-break (lower λn wins on equality).
+double corner_slowness(const liberty::Cell& cell) {
+  double sum = 0.0;
+  for (const liberty::TimingArc& arc : cell.arcs) {
+    for (double v : arc.rise.delay_ps.values()) sum += v;
+    for (double v : arc.fall.delay_ps.values()) sum += v;
+  }
+  return sum;
 }
 
 }  // namespace
@@ -73,28 +116,90 @@ DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
   DynamicAgingResult result{netlist::Module(module), {}, {}};
   result.corners = netlist::annotate_with_duty_cycles(result.annotated, duties);
 
-  // 3. Merged complete library — characterized lazily: only the (cell,
-  // corner) pairs the annotated netlist actually instantiates, which is what
-  // keeps the 121-corner complete library tractable.
-  std::set<std::pair<std::string, std::string>> needed;  // (indexed name, base)
-  std::map<std::string, aging::AgingScenario> corner_of;
-  for (std::size_t i = 0; i < module.instances().size(); ++i) {
-    const std::string& base = module.instances()[i].cell;
-    const std::string& indexed = result.annotated.instances()[i].cell;
-    needed.emplace(indexed, base);
-    const double lp = aging::quantize_lambda(duties[i].lambda_p);
-    const double ln = aging::quantize_lambda(duties[i].lambda_n);
-    corner_of.emplace(indexed, aging::AgingScenario{lp, ln, years, true});
-  }
-  liberty::Library merged("reliaware_complete_used");
-  for (const auto& [indexed, base] : needed) {
-    liberty::Cell cell = factory.cell(base, corner_of.at(indexed));
-    cell.name = indexed;
-    merged.add_cell(std::move(cell));
-  }
+  // 3. Merged complete library for exactly the corners in use.
+  const liberty::Library merged = build_used_corner_library(
+      module, result.annotated, duties, years, factory, "reliaware_complete_used");
   preflight_library(merged, fresh);
 
+  // Oracle cross-check: every simulated annotation must sit inside the
+  // statically proven workload-independent λ bounds (SP001). A finding here
+  // is a bug in the simulate/extract/annotate pipeline, not in the design —
+  // fail loudly rather than time against corrupt corners.
+  {
+    lint::LintSubject subject;
+    subject.module = &result.annotated;
+    subject.library = &merged;
+    lint::report_diagnostics(lint::lint_or_throw(lint::Linter::netlist_linter(), subject));
+  }
+
   // 4. Timing against the merged library vs the fresh library.
+  result.report.fresh_cp_ps = sta::Sta(module, fresh, options).critical_delay_ps();
+  result.report.aged_cp_ps = sta::Sta(result.annotated, merged, options).critical_delay_ps();
+  return result;
+}
+
+BoundedStaticResult bounded_static_guardband(const netlist::Module& module,
+                                             charlib::LibraryFactory& factory, double years,
+                                             const stress::AnalyzeOptions& stress_options,
+                                             const sta::StaOptions& options) {
+  const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
+  preflight(module, fresh, &stress_options);
+
+  // 1. Prove per-instance λ bounds — no simulation, no workload.
+  BoundedStaticResult result{netlist::Module(module), {}, {}, {}, 0};
+  result.stress = stress::analyze(module, fresh, stress_options);
+
+  // 2. Candidate corners: for every instance, the λn grid points inside its
+  // proven bound (quantization is monotone, so these are exactly the corners
+  // any honest annotation of an admissible workload could produce).
+  constexpr double kStep = 0.1;  // the annotate/merge λ grid
+  const auto grid_range = [&](const stress::Interval& bound) {
+    const int lo = static_cast<int>(std::round(aging::quantize_lambda(bound.lo, kStep) / kStep));
+    const int hi = static_cast<int>(std::round(aging::quantize_lambda(bound.hi, kStep) / kStep));
+    return std::pair<int, int>{lo, hi};
+  };
+  std::set<std::pair<std::string, int>> distinct;  // (base cell, λn grid index)
+  for (std::size_t i = 0; i < module.instances().size(); ++i) {
+    const auto [lo, hi] = grid_range(result.stress.instances[i].lambda_n);
+    for (int k = lo; k <= hi; ++k) distinct.emplace(module.instances()[i].cell, k);
+  }
+  result.candidate_corners = distinct.size();
+
+  // 3. Characterize every candidate in parallel (the factory is concurrency-
+  // safe and caches) and rank by table slowness.
+  const std::vector<std::pair<std::string, int>> candidates(distinct.begin(), distinct.end());
+  std::vector<double> slowness(candidates.size(), 0.0);
+  util::ThreadPool::shared().parallel_for(candidates.size(), [&](std::size_t c) {
+    const double ln = static_cast<double>(candidates[c].second) * kStep;
+    const aging::AgingScenario corner{1.0 - ln, ln, years, true};
+    slowness[c] = corner_slowness(factory.cell(candidates[c].first, corner));
+  });
+  std::map<std::pair<std::string, int>, double> slowness_of;
+  for (std::size_t c = 0; c < candidates.size(); ++c) slowness_of[candidates[c]] = slowness[c];
+
+  // 4. Per instance: the worst (slowest) in-bounds corner, lower λn on ties
+  // (ascending scan with strict improvement keeps the choice deterministic).
+  std::vector<netlist::InstanceDuty> duties(module.instances().size());
+  for (std::size_t i = 0; i < module.instances().size(); ++i) {
+    const auto [lo, hi] = grid_range(result.stress.instances[i].lambda_n);
+    int best = lo;
+    double best_slowness = slowness_of.at({module.instances()[i].cell, lo});
+    for (int k = lo + 1; k <= hi; ++k) {
+      const double s = slowness_of.at({module.instances()[i].cell, k});
+      if (s > best_slowness) {
+        best = k;
+        best_slowness = s;
+      }
+    }
+    const double ln = static_cast<double>(best) * kStep;
+    duties[i] = netlist::InstanceDuty{1.0 - ln, ln};
+  }
+
+  // 5. Annotate, build the used-corner merged library, and time it.
+  result.corners = netlist::annotate_with_duty_cycles(result.annotated, duties, kStep);
+  const liberty::Library merged = build_used_corner_library(
+      module, result.annotated, duties, years, factory, "reliaware_bounded_static");
+  preflight_library(merged, fresh);
   result.report.fresh_cp_ps = sta::Sta(module, fresh, options).critical_delay_ps();
   result.report.aged_cp_ps = sta::Sta(result.annotated, merged, options).critical_delay_ps();
   return result;

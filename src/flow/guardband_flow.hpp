@@ -11,6 +11,7 @@
 #include "logicsim/simulator.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/guardband.hpp"
+#include "stress/analyzer.hpp"
 
 namespace rw::flow {
 
@@ -19,6 +20,27 @@ sta::GuardbandReport static_guardband(const netlist::Module& module,
                                       charlib::LibraryFactory& factory,
                                       const aging::AgingScenario& scenario,
                                       const sta::StaOptions& options = {});
+
+struct BoundedStaticResult {
+  netlist::Module annotated;                       ///< per-instance worst in-bounds corner
+  std::vector<std::pair<double, double>> corners;  ///< distinct (λp, λn) used
+  sta::GuardbandReport report;
+  stress::StressReport stress;        ///< the proven bounds the corners came from
+  std::size_t candidate_corners = 0;  ///< distinct (cell, λ) pairs characterized
+};
+
+/// Bounded-static guardband — between the paper's one-corner static stress
+/// and full dynamic stress: the interval analysis proves per-instance
+/// (λp, λn) bounds without simulating anything, and each instance is then
+/// timed at its own *worst in-bounds* merged-library corner (the λn grid
+/// point inside the proven bound whose characterized tables are slowest).
+/// No workload can age any instance past its bound, so the resulting
+/// guardband is ≤ the one-corner worst-case guardband while still covering
+/// every admissible workload.
+BoundedStaticResult bounded_static_guardband(const netlist::Module& module,
+                                             charlib::LibraryFactory& factory, double years,
+                                             const stress::AnalyzeOptions& stress_options = {},
+                                             const sta::StaOptions& options = {});
 
 /// Per-cycle stimulus callback: set primary inputs for cycle `k`.
 using Stimulus = std::function<void(logicsim::CycleSimulator&, int cycle)>;

@@ -26,6 +26,61 @@ std::string Diagnostic::format() const {
   return out;
 }
 
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {rules::kCombCycle, Severity::kError, "combinational cycle through the listed instances",
+       "break the loop with a flop or restructure the logic"},
+      {rules::kUndrivenNet, Severity::kError, "net has no driver and is not a primary input",
+       "connect a driver or mark the net as an input"},
+      {rules::kMultiDrivenNet, Severity::kError, "net has more than one driver (or a driven input)",
+       "remove the extra driver; every net has exactly one source"},
+      {rules::kDanglingOutput, Severity::kWarning, "instance output feeds no sink and no output port",
+       "remove the dead instance or connect its output"},
+      {rules::kUnknownCell, Severity::kError, "instance references a cell the library does not hold",
+       "fix the cell name or extend the library"},
+      {rules::kPortArity, Severity::kError, "instance pin count or connection mismatches the cell",
+       "match the fanin list to the cell's input pins, in pin order"},
+      {rules::kNegativeNldm, Severity::kError, "NLDM table holds a negative or non-finite value",
+       "re-characterize the cell; timing tables must be finite and positive"},
+      {rules::kNonMonotoneNldm, Severity::kWarning, "delay/slew not monotone along the load axis",
+       "inspect the characterization run for non-converged grid points"},
+      {rules::kGridMismatch, Severity::kError, "NLDM axes disagree across arcs or with the OPC grid",
+       "characterize every cell on one shared slew/load grid"},
+      {rules::kMissingArc, Severity::kError, "input pin has no timing arc to the output",
+       "add the missing arc or drop the unused pin"},
+      {rules::kAgedFasterThanFresh, Severity::kWarning, "aged delay is below the fresh baseline",
+       "check the aging scenario; BTI degradation cannot speed a cell up"},
+      {rules::kFallbackPoint, Severity::kWarning, "table entry was interpolated (rw_fallback point)",
+       "re-run characterization with a deeper retry ladder to converge the point"},
+      {rules::kDutyOutOfRange, Severity::kError, "λ index outside [0,1]; a duty cycle is a probability",
+       "fix the duty-cycle extraction (or the annotation step's quantization)"},
+      {rules::kMissingCorner, Severity::kError, "(λp, λn) corner absent from the merged library",
+       "characterize and merge the missing (λp, λn) corner"},
+      {rules::kUnannotated, Severity::kWarning, "plain cell amid λ-indexed variants times as fresh",
+       "annotate the instance's duty cycles or drop the fresh cell"},
+      {rules::kLambdaOutsideBounds, Severity::kError,
+       "annotated λ falls outside the statically proven duty-cycle bounds",
+       "the simulation/annotation pipeline disagrees with a workload-independent bound; "
+       "check duty-cycle extraction, warm-up, and quantization"},
+      {rules::kProvenConstant, Severity::kWarning,
+       "net is proven stuck at a constant under the declared input model",
+       "remove the stuck logic, or widen the primary-input interval if it should toggle"},
+      {rules::kVacuousBound, Severity::kInfo,
+       "instance λ bound is the full [0,1] despite declared input intervals",
+       "reconvergent-fanout widening discarded the information; tighten or decorrelate inputs"},
+      {"IO001", Severity::kError, "input file could not be read or parsed",
+       "check the path and the file format"},
+  };
+  return catalog;
+}
+
+const RuleInfo* find_rule_info(std::string_view id) {
+  for (const RuleInfo& info : rule_catalog()) {
+    if (id == info.id) return &info;
+  }
+  return nullptr;
+}
+
 Severity worst_severity(const std::vector<Diagnostic>& diagnostics) {
   Severity worst = Severity::kInfo;
   for (const auto& d : diagnostics) {

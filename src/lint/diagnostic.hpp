@@ -9,6 +9,7 @@
 /// `netlist`) can produce diagnostics without pulling in the rule engine.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rw::lint {
@@ -52,7 +53,25 @@ inline constexpr const char* kFallbackPoint = "LB006";  ///< interpolated (rw_fa
 inline constexpr const char* kDutyOutOfRange = "AN001"; ///< λ index outside [0,1]
 inline constexpr const char* kMissingCorner = "AN002";  ///< (λp,λn) cell absent from library
 inline constexpr const char* kUnannotated = "AN003";    ///< plain cell amid λ-indexed library
+inline constexpr const char* kLambdaOutsideBounds = "SP001"; ///< annotated λ outside proven bounds
+inline constexpr const char* kProvenConstant = "SP002"; ///< net proven stuck at 0/1
+inline constexpr const char* kVacuousBound = "SP003";   ///< declared inputs, yet bound is [0,1]
 }  // namespace rules
+
+/// One entry of the stable rule catalog (`rwlint --explain`, README table).
+struct RuleInfo {
+  const char* id;
+  Severity severity;   ///< the severity the rule emits at (its worst, if mixed)
+  const char* summary;
+  const char* fix_hint;
+};
+
+/// Every rule id the toolchain can emit, in catalog order (NL, LB, AN, SP,
+/// then CLI-level IO001). Descriptions and hints are the canonical wording.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Catalog entry for `id`, or nullptr for unknown ids.
+const RuleInfo* find_rule_info(std::string_view id);
 
 /// Highest severity present (kInfo when empty).
 Severity worst_severity(const std::vector<Diagnostic>& diagnostics);

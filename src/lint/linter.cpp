@@ -1,5 +1,9 @@
 #include "lint/linter.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "util/thread_pool.hpp"
 
 namespace rw::lint {
@@ -15,6 +19,7 @@ Linter Linter::all_rules() {
   linter.add_rules(netlist_rules());
   linter.add_rules(library_rules());
   linter.add_rules(annotation_rules());
+  linter.add_rules(stress_rules());
   return linter;
 }
 
@@ -22,6 +27,7 @@ Linter Linter::netlist_linter() {
   Linter linter;
   linter.add_rules(netlist_rules());
   linter.add_rules(annotation_rules());
+  linter.add_rules(stress_rules());
   return linter;
 }
 
@@ -59,6 +65,25 @@ std::vector<Diagnostic> lint_or_throw(const Linter& linter, const LintSubject& s
     throw LintError(std::move(diagnostics));
   }
   return diagnostics;
+}
+
+Severity min_report_severity() {
+  const char* env = std::getenv("RW_LINT_MIN_SEVERITY");
+  if (env == nullptr) return Severity::kWarning;
+  if (std::strcmp(env, "info") == 0) return Severity::kInfo;
+  if (std::strcmp(env, "error") == 0) return Severity::kError;
+  return Severity::kWarning;
+}
+
+std::size_t report_diagnostics(const std::vector<Diagnostic>& diagnostics) {
+  const Severity floor = min_report_severity();
+  std::size_t printed = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity < floor) continue;
+    std::fprintf(stderr, "%s\n", d.format().c_str());
+    ++printed;
+  }
+  return printed;
 }
 
 }  // namespace rw::lint

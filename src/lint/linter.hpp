@@ -21,6 +21,7 @@
 #include "liberty/library.hpp"
 #include "lint/diagnostic.hpp"
 #include "netlist/netlist.hpp"
+#include "stress/analyzer.hpp"
 
 namespace rw::lint {
 
@@ -32,6 +33,9 @@ struct LintSubject {
   const liberty::Library* fresh = nullptr;     ///< baseline for aged-vs-fresh checks
   const charlib::OpcGrid* expected_grid = nullptr;  ///< NLDM axes must match when set
   double lambda_step = 0.1;  ///< λ quantization grid for annotation checks
+  /// Input model for the SP (static-stress) rules; null runs them with the
+  /// default all-[0,1] model (SP003 then stays silent by construction).
+  const stress::AnalyzeOptions* stress = nullptr;
 };
 
 /// One design rule. Implementations must be state-free (`run` is const and
@@ -48,6 +52,7 @@ class Rule {
 std::vector<std::unique_ptr<Rule>> netlist_rules();     ///< NL001..NL006
 std::vector<std::unique_ptr<Rule>> library_rules();     ///< LB001..LB006
 std::vector<std::unique_ptr<Rule>> annotation_rules();  ///< AN001..AN003
+std::vector<std::unique_ptr<Rule>> stress_rules();      ///< SP001..SP003
 
 class Linter {
  public:
@@ -90,5 +95,15 @@ class LintError : public std::runtime_error {
 /// callers can still surface warnings.
 std::vector<Diagnostic> lint_or_throw(const Linter& linter, const LintSubject& subject,
                                       Severity fail_at = Severity::kError);
+
+/// Minimum severity flow pre-flights *print* (they still fail on errors):
+/// parsed from the `RW_LINT_MIN_SEVERITY` environment variable
+/// ("info" | "warning" | "error"); defaults to kWarning. Benches set
+/// `RW_LINT_MIN_SEVERITY=error` to keep expected warnings off stderr.
+Severity min_report_severity();
+
+/// Prints `format()`ed diagnostics at/above `min_report_severity()` to
+/// stderr. Returns the number of lines printed.
+std::size_t report_diagnostics(const std::vector<Diagnostic>& diagnostics);
 
 }  // namespace rw::lint

@@ -1,0 +1,23 @@
+#include "stress/interval.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace rw::stress {
+
+Interval Interval::hull(const Interval& other) const {
+  return Interval{std::min(lo, other.lo), std::max(hi, other.hi)};
+}
+
+Interval Interval::clamped() const {
+  Interval r{std::clamp(lo, 0.0, 1.0), std::clamp(hi, 0.0, 1.0)};
+  if (r.lo > r.hi) r.lo = r.hi;
+  return r;
+}
+
+std::string Interval::str() const {
+  return "[" + util::format_fixed(lo, 4) + ", " + util::format_fixed(hi, 4) + "]";
+}
+
+}  // namespace rw::stress

@@ -1,0 +1,111 @@
+#include "stress/stacks.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "stress/analyzer.hpp"
+
+namespace rw::stress {
+
+namespace {
+
+constexpr int kMaxSignals = 6;
+
+/// Probability interval + pin-support mask for one named node of the cell.
+struct NodeState {
+  Interval value = Interval::full();
+  std::uint64_t pin_support = 0;  ///< bit per spec input the node depends on
+  bool known = false;
+};
+
+}  // namespace
+
+std::vector<TransistorStress> transistor_stress_bounds(
+    const cells::CellSpec& spec, const std::vector<Interval>& pin_intervals) {
+  if (spec.is_flop || spec.stages.empty()) {
+    throw std::invalid_argument("stress: transistor bounds need a staged combinational cell");
+  }
+  if (pin_intervals.size() != spec.inputs.size()) {
+    throw std::invalid_argument("stress: pin interval count does not match '" + spec.name + "'");
+  }
+  const std::uint64_t all_pins =
+      spec.inputs.size() >= 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << spec.inputs.size()) - 1;
+  std::unordered_map<std::string, NodeState> node;
+  for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+    node[spec.inputs[i]] =
+        NodeState{pin_intervals[i].clamped(), std::uint64_t{1} << i, true};
+  }
+  // Anything not yet defined (feedback, exotic specs) reads as ⊤ correlated
+  // with every pin — sound, just loose.
+  auto state_of = [&](const std::string& name) {
+    const auto it = node.find(name);
+    return it != node.end() ? it->second : NodeState{Interval::full(), all_pins, false};
+  };
+
+  for (const cells::Stage& stage : spec.stages) {
+    const std::vector<std::string> signals = stage.pulldown.signals();
+    const int k = static_cast<int>(signals.size());
+    NodeState out;
+    out.known = true;
+    for (const std::string& s : signals) out.pin_support |= state_of(s).pin_support;
+    if (k > kMaxSignals) {
+      out.value = Interval::full();
+    } else {
+      Interval in[kMaxSignals];
+      bool correlated = false;
+      std::uint64_t seen = 0;
+      for (int i = 0; i < k; ++i) {
+        const NodeState s = state_of(signals[static_cast<std::size_t>(i)]);
+        in[i] = s.value;
+        if (!s.value.is_constant()) {
+          if ((seen & s.pin_support) != 0) correlated = true;
+          seen |= s.pin_support;
+        }
+      }
+      std::uint64_t truth = 0;
+      for (std::uint64_t pat = 0; pat < (std::uint64_t{1} << k); ++pat) {
+        const bool on = stage.pulldown.conducts([&](const std::string& sig) {
+          for (int i = 0; i < k; ++i) {
+            if (signals[static_cast<std::size_t>(i)] == sig) return ((pat >> i) & 1u) != 0;
+          }
+          return false;
+        });
+        if (on) truth |= std::uint64_t{1} << pat;
+      }
+      const Interval conducting = correlated ? transfer_correlated(truth, k, in)
+                                             : transfer_independent(truth, k, in);
+      out.value = conducting.complement();  // static CMOS stage inverts
+    }
+    node[stage.out] = out;
+  }
+
+  std::vector<TransistorStress> result;
+  for (const cells::PlacedTransistor& t : cells::materialize(spec, device::ptm45())) {
+    const Interval gate_high = state_of(t.gate).value;
+    TransistorStress ts;
+    ts.type = t.type;
+    ts.gate = t.gate;
+    ts.width_um = t.width_um;
+    // nMOS stressed while the gate is high (PBTI); pMOS while low (NBTI).
+    ts.lambda = t.type == device::MosType::kNmos ? gate_high : gate_high.complement();
+    result.push_back(ts);
+  }
+  return result;
+}
+
+double max_stack_spread(const std::vector<TransistorStress>& stresses,
+                        const Interval& lambda_p, const Interval& lambda_n) {
+  double spread = 0.0;
+  for (const TransistorStress& t : stresses) {
+    const Interval& agg = t.type == device::MosType::kPmos ? lambda_p : lambda_n;
+    const double dev_mid = 0.5 * (t.lambda.lo + t.lambda.hi);
+    const double agg_mid = 0.5 * (agg.lo + agg.hi);
+    spread = std::max(spread, std::abs(dev_mid - agg_mid));
+  }
+  return spread;
+}
+
+}  // namespace rw::stress

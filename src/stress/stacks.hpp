@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file stacks.hpp
+/// Transistor-level refinement of the per-instance duty-cycle bounds: given
+/// interval bounds on a cell's pin probabilities, derive a provable stress
+/// duty-cycle interval for every transistor in the cell's stacks. A pMOS
+/// device ages (NBTI) while its gate is low — λ bound = complement of the
+/// gate-node probability; an nMOS device ages (PBTI) while its gate is high.
+/// Internal stage outputs are propagated through each stage's pull-down
+/// conduction function with the same independent/correlated transfer split
+/// as the netlist analysis: within a cell every stage output is a function
+/// of the pins, so any shared pin dependence forces the correlation-safe
+/// bound. This quantifies how much the paper's footnote-2 *pin average*
+/// smears per-device stress — the spread is reported by bench/stress_bounds.
+
+#include <string>
+#include <vector>
+
+#include "cells/topology.hpp"
+#include "stress/interval.hpp"
+
+namespace rw::stress {
+
+struct TransistorStress {
+  device::MosType type = device::MosType::kNmos;
+  std::string gate;    ///< gate node: a pin or an internal stage output
+  double width_um = 0.0;
+  /// Bound on the fraction of time the device is under BTI stress
+  /// (pMOS: gate low → NBTI λp; nMOS: gate high → PBTI λn).
+  Interval lambda;
+};
+
+/// Per-transistor stress bounds for a combinational cell spec.
+/// `pin_intervals` is aligned with `spec.inputs`. \throws std::invalid_argument
+/// for flops (no stage structure) or on size mismatch.
+std::vector<TransistorStress> transistor_stress_bounds(
+    const cells::CellSpec& spec, const std::vector<Interval>& pin_intervals);
+
+/// Widest per-device deviation from the cell-level footnote-2 average:
+/// max over devices of the distance between the device's λ interval midpoint
+/// and the aggregate λ midpoint for its polarity. Used by the bench to
+/// report how coarse the paper's per-cell averaging is.
+double max_stack_spread(const std::vector<TransistorStress>& stresses,
+                        const Interval& lambda_p, const Interval& lambda_n);
+
+}  // namespace rw::stress

@@ -18,6 +18,8 @@
 #include "charlib/manifest.hpp"
 #include "device/ptm45.hpp"
 #include "liberty/library.hpp"
+#include "liberty/parser.hpp"
+#include "liberty/writer.hpp"
 #include "lint/linter.hpp"
 #include "spice/fault.hpp"
 #include "spice/solver.hpp"
@@ -336,6 +338,63 @@ TEST_F(ResilienceTest, ConcurrentFactoryCallersAllReceiveTheFailure) {
     EXPECT_NE(messages[t].find("NAND2_X1"), std::string::npos) << t;
     EXPECT_NE(messages[t].find("retry ladder exhausted"), std::string::npos) << t;
   }
+}
+
+TEST_F(ResilienceTest, FallbackMarkersSurviveMergedAndResumeBitIdentically) {
+  // A cell whose characterization needed OPC fallback interpolation keeps its
+  // rw_fallback markers through every downstream representation: the merged
+  // λ-indexed library (renamed variant), a Liberty text round-trip of that
+  // library, and a factory resume that re-parses the disk cache — all with
+  // the exact same marker list. A sibling cell is quarantined in the same
+  // campaign to prove the two failure paths stay independent.
+  const std::string dir = std::filesystem::temp_directory_path() / "rw_resilience_fallback";
+  std::filesystem::remove_all(dir);
+  charlib::LibraryFactory::Options opts;
+  opts.characterize.grid = charlib::OpcGrid::coarse();
+  opts.cache_dir = dir;
+  opts.cell_subset = {"INV_X1", "NAND2_X1"};
+  const aging::AgingScenario corner{0.4, 0.6, 10.0, true};
+
+  std::vector<liberty::FallbackPoint> expected;
+  {
+    charlib::LibraryFactory factory(opts);
+    injector().arm_fail_matching("cell=INV_X1 arc=A dir=rise opc=1");
+    expected = factory.cell("INV_X1", corner).fallbacks;
+    ASSERT_EQ(expected.size(), 1u);
+    EXPECT_EQ(expected[0], (liberty::FallbackPoint{"A", true, 0, 1}));
+
+    injector().arm_fail_matching("cell=NAND2_X1");
+    EXPECT_THROW((void)factory.cell("NAND2_X1", corner), charlib::CharError);
+
+    // merged(): the INV variant is renamed but keeps the markers verbatim;
+    // the quarantined NAND2 variant is absent, not poisonous.
+    const liberty::Library merged = factory.merged({corner});
+    const auto* variant = merged.find("INV_X1_0.40_0.60");
+    ASSERT_NE(variant, nullptr);
+    EXPECT_EQ(variant->fallbacks, expected);
+    EXPECT_EQ(merged.find("NAND2_X1_0.40_0.60"), nullptr);
+
+    // Liberty text round-trip of the merged library: writer emits the
+    // rw_fallback complex attribute, parser restores it bit-identically.
+    const liberty::Library reparsed = liberty::parse_library(liberty::write_library(merged));
+    EXPECT_EQ(reparsed.at("INV_X1_0.40_0.60").fallbacks, expected);
+  }
+
+  // Resume from the manifest: the cached INV Liberty file is re-parsed (no
+  // SPICE runs — any solve would be failed by the catch-all injection) and
+  // the markers survive into both cell() and a fresh merged().
+  opts.resume = true;
+  charlib::LibraryFactory resumed(opts);
+  EXPECT_EQ(resumed.resume(), 2u);  // done INV + failed NAND2
+  injector().arm_fail_matching("cell=");
+  EXPECT_EQ(resumed.cell("INV_X1", corner).fallbacks, expected);
+  const liberty::Library merged_again = resumed.merged({corner});
+  const auto* variant = merged_again.find("INV_X1_0.40_0.60");
+  ASSERT_NE(variant, nullptr);
+  EXPECT_EQ(variant->fallbacks, expected);
+  EXPECT_EQ(merged_again.find("NAND2_X1_0.40_0.60"), nullptr);
+  EXPECT_EQ(injector().injected_failures(), 0u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(ResilienceTest, DisarmedInjectorIsBitwiseNeutralAcrossThreadCounts) {

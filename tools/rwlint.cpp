@@ -40,6 +40,7 @@ void print_usage(std::ostream& os) {
         "  --format FMT     output format: text (default) or json\n"
         "  --threads N      worker threads for parallel rule execution\n"
         "  --list-rules     print the rule catalog and exit\n"
+        "  --explain ID     print one rule's description and fix hint, then exit\n"
         "  -h, --help       this message\n"
         "exit codes: 0 clean/info, 1 warnings, 2 errors, 64 usage error\n";
 }
@@ -51,11 +52,25 @@ void list_rules() {
   }
 }
 
+/// `--explain SP001` prints the catalog entry: what the rule flags, at which
+/// severity, and how to fix it. Unknown ids exit with the usage code.
+int explain_rule(const std::string& id) {
+  const rw::lint::RuleInfo* info = rw::lint::find_rule_info(id);
+  if (info == nullptr) {
+    std::cerr << "rwlint: unknown rule id '" << id << "' (see --list-rules)\n";
+    return kExitUsage;
+  }
+  std::cout << info->id << " (" << rw::lint::to_string(info->severity) << "): " << info->summary
+            << "\n  fix: " << info->fix_hint << "\n";
+  return 0;
+}
+
 struct Args {
   std::vector<std::string> lib_paths;
   std::string fresh_path;
   std::string grid;
   std::string format = "text";
+  std::string explain;
   std::vector<std::string> netlists;
   bool list = false;
   bool help = false;
@@ -89,6 +104,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.format = v;
     } else if (a == "--list-rules") {
       args.list = true;
+    } else if (a == "--explain") {
+      const char* v = need_value(i, "--explain");
+      if (v == nullptr) return false;
+      args.explain = v;
     } else if (a == "-h" || a == "--help") {
       args.help = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -110,7 +129,8 @@ bool parse_args(int argc, char** argv, Args& args) {
     std::cerr << "rwlint: netlists need at least one --lib to resolve cells\n";
     return false;
   }
-  if (args.netlists.empty() && args.lib_paths.empty() && !args.list && !args.help) {
+  if (args.netlists.empty() && args.lib_paths.empty() && !args.list && !args.help &&
+      args.explain.empty()) {
     print_usage(std::cerr);
     return false;
   }
@@ -138,6 +158,7 @@ int main(int argc, char** argv) {
     list_rules();
     return 0;
   }
+  if (!args.explain.empty()) return explain_rule(args.explain);
 
   rw::charlib::OpcGrid grid;
   const rw::charlib::OpcGrid* expected_grid = nullptr;
