@@ -11,6 +11,7 @@
 
 #include "charlib/factory.hpp"
 #include "circuits/benchmarks.hpp"
+#include "flow/cancel.hpp"
 #include "flow/libgen.hpp"
 #include "sta/analysis.hpp"
 #include "synth/synthesizer.hpp"
@@ -18,10 +19,15 @@
 
 namespace rw::bench {
 
-/// Call first in every bench main: consumes `--threads N` (characterization
-/// otherwise uses $RW_THREADS, else all hardware threads) and leaves the
-/// remaining positional arguments in place.
-inline void init(int& argc, char** argv) { util::consume_thread_flag(argc, argv); }
+/// Call first in every bench main: converts SIGINT/SIGTERM into cooperative
+/// cancellation, arms $RW_DEADLINE_MS, and consumes `--threads N`
+/// (characterization otherwise uses $RW_THREADS, else all hardware threads),
+/// leaving the remaining positional arguments in place.
+inline void init(int& argc, char** argv) {
+  flow::install_signal_handlers();
+  flow::install_deadline_from_env();
+  util::consume_thread_flag(argc, argv);
+}
 
 inline charlib::LibraryFactory& factory() {
   static charlib::LibraryFactory f{};  // full catalog, 7x7 grid, disk cache

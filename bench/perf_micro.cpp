@@ -38,6 +38,7 @@
 #include "synth/decompose.hpp"
 #include "synth/synthesizer.hpp"
 #include "synth/mapper.hpp"
+#include "util/atomic_file.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -216,26 +217,30 @@ void write_perf_json(const std::string& path, std::size_t n_threads, std::size_t
   };
   util::set_shared_thread_count(0);
 
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
+  const auto appendf = [](std::string& s, const char* fmt, auto... args) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    s += buf;
+  };
+  std::string json;
+  appendf(json, "{\n  \"threads\": %zu,\n", n_threads);
+  const std::size_t library_cells =
+      json_cells > 0 ? std::min(json_cells, cells::catalog().size()) : cells::catalog().size();
+  appendf(json, "  \"library_cells\": %zu,\n", library_cells);
+  appendf(json, "  \"benchmarks\": {\n");
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Row& r = rows[i];
+    appendf(json,
+            "    \"%s\": {\"wall_ms_1t\": %.3f, \"wall_ms_nt\": %.3f, "
+            "\"speedup\": %.3f}%s\n",
+            r.name, r.ms_1t, r.ms_nt, r.ms_nt > 0.0 ? r.ms_1t / r.ms_nt : 0.0,
+            i + 1 < std::size(rows) ? "," : "");
+  }
+  appendf(json, "  }\n}\n");
+  if (!util::write_file_atomic_nothrow(path, json)) {
     std::fprintf(stderr, "perf baseline: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(out, "{\n  \"threads\": %zu,\n", n_threads);
-  const std::size_t library_cells =
-      json_cells > 0 ? std::min(json_cells, cells::catalog().size()) : cells::catalog().size();
-  std::fprintf(out, "  \"library_cells\": %zu,\n", library_cells);
-  std::fprintf(out, "  \"benchmarks\": {\n");
-  for (std::size_t i = 0; i < std::size(rows); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(out,
-                 "    \"%s\": {\"wall_ms_1t\": %.3f, \"wall_ms_nt\": %.3f, "
-                 "\"speedup\": %.3f}%s\n",
-                 r.name, r.ms_1t, r.ms_nt, r.ms_nt > 0.0 ? r.ms_1t / r.ms_nt : 0.0,
-                 i + 1 < std::size(rows) ? "," : "");
-  }
-  std::fprintf(out, "  }\n}\n");
-  std::fclose(out);
   for (const Row& r : rows) {
     std::fprintf(stderr, "  %-18s 1t %9.1f ms   %zut %9.1f ms   speedup %.2fx\n", r.name,
                  r.ms_1t, n_threads, r.ms_nt, r.ms_nt > 0.0 ? r.ms_1t / r.ms_nt : 0.0);

@@ -15,6 +15,7 @@
 /// in-bounds corner is dominated by the λp = λn = 1 worst case.
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "util/atomic_file.hpp"
 #include "flow/guardband_flow.hpp"
 #include "logicsim/activity.hpp"
 #include "logicsim/simulator.hpp"
@@ -49,35 +51,41 @@ struct Row {
   double simulate_ms = 0.0;
 };
 
+template <typename... Args>
+void appendf(std::string& s, const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  s += buf;
+}
+
 void write_json(const std::string& path, double years, const std::vector<Row>& rows) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
+  std::string out;
+  appendf(out, "{\n  \"years\": %.1f,\n  \"lambda_step\": 0.1,\n", years);
+  appendf(out, "  \"circuits\": {\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    appendf(out, "    \"%s\": {\n", r.name.c_str());
+    appendf(out, "      \"instances\": %zu,\n", r.instances);
+    appendf(out, "      \"candidate_corners\": %zu,\n", r.candidate_corners);
+    appendf(out, "      \"widened_nets\": %zu,\n", r.widened_nets);
+    appendf(out,
+            "      \"guardband_ps\": {\"one_corner_static\": %.3f, "
+            "\"bounded_static\": %.3f, \"dynamic\": %.3f},\n",
+            r.static_gb_ps, r.bounded_gb_ps, r.dynamic_gb_ps);
+    appendf(out, "      \"bounded_vs_static_delta_ps\": %.3f,\n",
+            r.static_gb_ps - r.bounded_gb_ps);
+    appendf(out,
+            "      \"analysis\": {\"static_ms\": %.3f, \"dynamic_sim_ms\": %.3f, "
+            "\"speedup\": %.3f}\n",
+            r.analyze_ms, r.simulate_ms,
+            r.analyze_ms > 0.0 ? r.simulate_ms / r.analyze_ms : 0.0);
+    appendf(out, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  appendf(out, "  }\n}\n");
+  if (!rw::util::write_file_atomic_nothrow(path, out)) {
     std::fprintf(stderr, "stress baseline: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(out, "{\n  \"years\": %.1f,\n  \"lambda_step\": 0.1,\n", years);
-  std::fprintf(out, "  \"circuits\": {\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(out, "    \"%s\": {\n", r.name.c_str());
-    std::fprintf(out, "      \"instances\": %zu,\n", r.instances);
-    std::fprintf(out, "      \"candidate_corners\": %zu,\n", r.candidate_corners);
-    std::fprintf(out, "      \"widened_nets\": %zu,\n", r.widened_nets);
-    std::fprintf(out,
-                 "      \"guardband_ps\": {\"one_corner_static\": %.3f, "
-                 "\"bounded_static\": %.3f, \"dynamic\": %.3f},\n",
-                 r.static_gb_ps, r.bounded_gb_ps, r.dynamic_gb_ps);
-    std::fprintf(out, "      \"bounded_vs_static_delta_ps\": %.3f,\n",
-                 r.static_gb_ps - r.bounded_gb_ps);
-    std::fprintf(out,
-                 "      \"analysis\": {\"static_ms\": %.3f, \"dynamic_sim_ms\": %.3f, "
-                 "\"speedup\": %.3f}\n",
-                 r.analyze_ms, r.simulate_ms,
-                 r.analyze_ms > 0.0 ? r.simulate_ms / r.analyze_ms : 0.0);
-    std::fprintf(out, "    }%s\n", i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  }\n}\n");
-  std::fclose(out);
   std::fprintf(stderr, "stress baseline written to %s\n", path.c_str());
 }
 

@@ -38,17 +38,29 @@ RWSTRESS="$BUILD_DIR/tools/rwstress"
 diff "$BUILD_DIR/rwstress.1t.out" "$BUILD_DIR/rwstress.nt.out"
 echo "rwstress output bitwise identical at 1 vs $JOBS threads"
 
-echo "== resilience + stress suites under ThreadSanitizer =="
+echo "== chaos: fixed-seed campaign in the plain tree =="
+# Crash-only contract drill: every seeded trial (solver faults, deadlines,
+# SIGKILL at stage boundaries) must either complete correctly or fail with
+# a structured report and then resume bitwise-identically. The ctest run
+# above already executed the chaos label once; this re-runs it explicitly
+# so a filtered ctest invocation cannot silently drop the gate.
+ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure
+
+echo "== resilience + stress + chaos suites under ThreadSanitizer =="
 # The fault-injection paths (injector arming, in-flight dedup failure
-# propagation, manifest writes) and the stress analyzer's levelized
-# parallel evaluation are concurrency surfaces; run them in a dedicated
-# TSan tree alongside the plain-build run above.
+# propagation, manifest writes), the stress analyzer's levelized parallel
+# evaluation, and the cancellation polls (token + watchdog + cv waiters)
+# are concurrency surfaces; run them in a dedicated TSan tree alongside
+# the plain-build run above.
 if [[ "${RW_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DRW_SANITIZE=thread
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target resilience_test thread_pool_test stress_test
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target \
+    resilience_test thread_pool_test stress_test \
+    cancel_test orchestrator_test flow_resume_test rwchaos
   ctest --test-dir "$TSAN_DIR" -L resilience --output-on-failure -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" -L stress --output-on-failure -j "$JOBS"
+  ctest --test-dir "$TSAN_DIR" -L chaos --output-on-failure
 else
   echo "RW_SKIP_TSAN=1; skipping"
 fi

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "cells/function.hpp"
+#include "flow/cancel.hpp"
 #include "spice/fault.hpp"
 #include "spice/measure.hpp"
 #include "spice/solver.hpp"
@@ -468,6 +469,7 @@ double characterize_setup(const CellSpec& spec, const aging::AgingScenario& scen
   const spice::FaultInjector::ScopedContext fault_ctx("cell=" + spec.name + " setup-search" +
                                                       " scenario=" + scenario.id());
   const auto captured = [&](double offset_ps) {
+    flow::throw_if_cancelled();
     NodeId out_node = -1;
     const Circuit c = build_flop_bench(spec, scenario, options, /*q_rising=*/true,
                                        options.flop_char_slew_ps, options.flop_char_load_ff,

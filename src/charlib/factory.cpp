@@ -1,16 +1,16 @@
 #include "charlib/factory.hpp"
 
-#include <unistd.h>
-
-#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
 
 #include "cells/catalog.hpp"
+#include "flow/cancel.hpp"
 #include "liberty/merge.hpp"
 #include "liberty/parser.hpp"
 #include "liberty/writer.hpp"
+#include "util/atomic_file.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rw::charlib {
@@ -91,24 +91,13 @@ std::unique_ptr<liberty::Cell> LibraryFactory::load_cached_cell(
 void LibraryFactory::store_cached_cell(const aging::AgingScenario& scenario,
                                        const std::string& cell_name,
                                        const liberty::Cell& cell) const {
-  static std::atomic<unsigned> seq{0};
-  const std::string dir = scenario_dir(scenario);
-  std::error_code ec;
-  fs::create_directories(dir, ec);
   liberty::Library single("rw_cache_" + scenario.id());
   single.add_cell(cell);
-  const std::string path = dir + "/" + cell_name + ".lib";
-  // Unique temp name per process and write, then atomic rename: concurrent
-  // factories (threads or processes) never expose a partially written file,
-  // and the last complete write wins.
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
-                          std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
-  try {
-    liberty::write_library_file(single, tmp);
-    fs::rename(tmp, path);
-  } catch (const std::exception&) {
-    fs::remove(tmp, ec);  // cache is an optimization; never fail the run
-  }
+  // Shared atomic temp+rename writer: concurrent factories (threads or
+  // processes) never expose a partially written file, and the last complete
+  // write wins. The cache is an optimization; failures never fail the run.
+  (void)util::write_file_atomic_nothrow(scenario_dir(scenario) + "/" + cell_name + ".lib",
+                                        liberty::write_library(single));
 }
 
 const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
@@ -127,9 +116,17 @@ const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
       const auto in = in_flight_.find(key);
       if (in == in_flight_.end()) break;
       // Another thread is characterizing this (scenario, cell): wait for it
-      // instead of duplicating the SPICE work.
+      // instead of duplicating the SPICE work. The wait polls cancellation so
+      // a tripped token (deadline, signal, chaos drill) wakes waiters with a
+      // structured error even while the leader is stuck in a long solve.
       const std::shared_ptr<CellJob> pending = in->second;
-      cv_.wait(lock, [&] { return pending->done; });
+      while (!cv_.wait_for(lock, std::chrono::milliseconds(50),
+                           [&] { return pending->done; })) {
+        if (flow::poll_cancellation()) {
+          throw flow::CancelledError("factory: cancelled while waiting for in-flight " +
+                                     cell_name + " (" + key.first + ")");
+        }
+      }
       if (pending->error) std::rethrow_exception(pending->error);
       // Re-check the cache (and any newer in-flight entry) from the top.
     }

@@ -1,8 +1,5 @@
 #include "charlib/manifest.hpp"
 
-#include <unistd.h>
-
-#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <filesystem>
@@ -10,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/strings.hpp"
 
 namespace rw::charlib {
@@ -183,22 +181,8 @@ void RunManifest::save() const {
   }
   out += "]}\n";
 
-  static std::atomic<unsigned> seq{0};
-  std::error_code ec;
-  fs::create_directories(fs::path(path_).parent_path(), ec);
-  const std::string tmp = path_ + ".tmp." + std::to_string(::getpid()) + "." +
-                          std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream f(tmp, std::ios::trunc);
-    if (!f) return;  // the checkpoint is an optimization; never fail the run
-    f << out;
-    if (!f) {
-      fs::remove(tmp, ec);
-      return;
-    }
-  }
-  fs::rename(tmp, path_, ec);
-  if (ec) fs::remove(tmp, ec);
+  // The checkpoint is an optimization; never fail the run over a bad disk.
+  (void)util::write_file_atomic_nothrow(path_, out);
 }
 
 const ManifestEntry* RunManifest::find(const std::string& scenario,

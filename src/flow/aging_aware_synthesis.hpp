@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "flow/orchestrator.hpp"
 #include "liberty/library.hpp"
 #include "synth/synthesizer.hpp"
 
@@ -46,9 +47,11 @@ struct ContainmentResult {
   }
 };
 
-/// Runs both syntheses and all four STA corners.
+/// Runs both syntheses and all four STA corners under the crash-only
+/// orchestrator (`orch == nullptr` reads RW_FLOW_DIR / RW_FLOW_RESUME).
 ContainmentResult run_containment(const synth::Ir& ir, const liberty::Library& fresh,
                                   const liberty::Library& aged, const std::string& top_name,
-                                  const synth::SynthesisOptions& options = {});
+                                  const synth::SynthesisOptions& options = {},
+                                  const OrchestratorOptions* orch = nullptr);
 
 }  // namespace rw::flow

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file cancel.hpp
+/// Cooperative cancellation for long-running flows: one process-wide
+/// `CancelToken` that a deadline ($RW_DEADLINE_MS), a SIGINT/SIGTERM
+/// handler, a test, or a chaos drill can trip, and that every expensive
+/// loop in the toolchain polls — `ThreadPool::parallel_for` bodies, the
+/// characterizer's per-OPC grid points, the logic simulator's per-cycle
+/// loop, STA propagation, synthesis iterations, and the factory's
+/// in-flight-dedup waiters. Poll sites throw `CancelledError`, which
+/// unwinds like any other failure (the flow orchestrator records it in the
+/// run report with the cancellation cause).
+///
+/// Cost when idle: `cancelled()` is two relaxed atomic loads; the
+/// steady-clock read happens only once a deadline has actually been set.
+/// This header is intentionally dependency-free so low-level modules
+/// (util, spice, charlib, sta, synth) can poll without layering knots.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rw::flow {
+
+/// Thrown by poll sites when the token is tripped. `reason()` carries the
+/// cancellation cause ("deadline", "signal SIGINT", a test's message, ...).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(std::string reason);
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
+class CancelToken {
+ public:
+  /// Trips the token. The first reason wins; later requests are no-ops.
+  void request(const std::string& reason);
+
+  /// Arms a wall-clock deadline `ms` milliseconds from now (<= 0 disarms).
+  void set_deadline_after_ms(double ms);
+
+  /// Resets flag, deadline, and reason — tests and multi-trial harnesses
+  /// (the chaos campaign) reuse the process-wide token between runs.
+  void clear();
+
+  /// True once cancelled by request, signal, or an expired deadline.
+  [[nodiscard]] bool cancelled() const;
+
+  /// \throws CancelledError when `cancelled()`.
+  void throw_if_cancelled() const;
+
+  /// The cancellation cause ("" while not cancelled).
+  [[nodiscard]] std::string reason() const;
+
+ private:
+  std::atomic<bool> flag_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock ns since epoch; 0 = none
+  mutable std::atomic<int> reason_state_{0};  ///< 0 free, 1 writing, 2 set
+  std::string reason_;                        ///< written once under reason_state_
+};
+
+/// The process-wide token all poll sites observe.
+CancelToken& cancel_token();
+
+/// Arms the process-wide token's deadline from $RW_DEADLINE_MS when set to a
+/// positive number. Returns the parsed value (0 when absent/invalid).
+double install_deadline_from_env();
+
+/// Installs SIGINT/SIGTERM handlers that trip the process-wide token (CLIs
+/// call this once at startup; safe to call repeatedly).
+void install_signal_handlers();
+
+/// Cheap poll of the process-wide token for hot loops.
+inline bool poll_cancellation() { return cancel_token().cancelled(); }
+
+/// \throws CancelledError when the process-wide token is tripped.
+void throw_if_cancelled();
+
+}  // namespace rw::flow

@@ -1,0 +1,332 @@
+#include "flow/chaos.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "flow/artifact.hpp"
+#include "flow/cancel.hpp"
+#include "spice/fault.hpp"
+#include "spice/solver.hpp"
+#include "util/atomic_file.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rw::flow {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kCycles = 64;
+constexpr double kYears = 10.0;
+
+double now_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Undo every process-wide knob a trial may have touched, even on the
+/// exceptional path: injector, solve watchdog, cancellation token.
+struct TrialHygiene {
+  TrialHygiene() = default;
+  TrialHygiene(const TrialHygiene&) = delete;
+  TrialHygiene& operator=(const TrialHygiene&) = delete;
+  ~TrialHygiene() {
+    spice::FaultInjector::instance().disarm();
+    spice::set_solve_watchdog_ms(0.0);
+    cancel_token().clear();
+  }
+};
+
+/// True when the run report at `path` exists and looks like a sealed
+/// RunReport (the crash-only contract for in-process failures).
+bool structured_report_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string text = os.str();
+  return text.find("\"flow\"") != std::string::npos &&
+         text.find("\"status\"") != std::string::npos;
+}
+
+/// Structural sanity for fault-injected completions (a different retry
+/// ladder rung may legitimately shift the tables, so no bitwise claim).
+bool plausible(const DynamicAgingResult& r) {
+  return std::isfinite(r.report.fresh_cp_ps) && std::isfinite(r.report.aged_cp_ps) &&
+         r.report.fresh_cp_ps > 0.0 && r.report.aged_cp_ps > 0.0 && !r.corners.empty();
+}
+
+ChaosTrialResult classify(const ChaosPlan& plan, std::string outcome, std::string detail,
+                          double wall_ms) {
+  ChaosTrialResult t;
+  t.seed = plan.seed;
+  t.kind = plan.kind;
+  t.outcome = std::move(outcome);
+  t.detail = std::move(detail);
+  t.wall_ms = wall_ms;
+  return t;
+}
+
+}  // namespace
+
+ChaosPlan plan_for_seed(std::uint64_t seed) {
+  util::Rng rng(seed);
+  ChaosPlan plan;
+  plan.seed = seed;
+  static const char* kKinds[] = {"clean", "fail", "nan", "stall", "deadline", "crash"};
+  plan.kind = kKinds[rng.uniform_int(0, 5)];
+  plan.nth = static_cast<std::uint64_t>(rng.uniform_int(1, 8));
+  plan.times = static_cast<std::uint64_t>(rng.uniform_int(1, 3));
+  plan.stall_ms = rng.uniform(80.0, 200.0);
+  plan.watchdog_ms = rng.uniform(15.0, 40.0);
+  plan.deadline_ms = rng.uniform_int(2, 40);
+  plan.kill_after_stage = rng.uniform_int(0, 3);  // the dynamic flow's 4 stages
+  return plan;
+}
+
+netlist::Module chaos_test_module() {
+  netlist::Module m("chaos_dut");
+  const netlist::NetId a = m.add_net("a");
+  const netlist::NetId b = m.add_net("b");
+  const netlist::NetId ck = m.add_net("ck");
+  m.mark_input(a);
+  m.mark_input(b);
+  m.set_clock(ck);
+  const netlist::NetId n1 = m.add_net("n1");
+  const netlist::NetId n2 = m.add_net("n2");
+  const netlist::NetId q = m.add_net("q");
+  m.mark_output(q);
+  m.add_instance("u1", "NAND2_X1", {a, b}, n1);
+  m.add_instance("u2", "INV_X1", {n1}, n2);
+  m.add_instance("r1", "DFF_X1", {n2, ck}, q);  // DFF pin order is {D, CK}
+  return m;
+}
+
+charlib::LibraryFactory::Options chaos_factory_options() {
+  charlib::LibraryFactory::Options o;
+  o.characterize.grid = charlib::OpcGrid::coarse();
+  o.cell_subset = {"INV_X1", "NAND2_X1", "DFF_X1"};
+  o.cache_dir.clear();  // no Liberty disk cache: its 4-decimal rounding would
+                        // make cache-hitting runs diverge from cache misses
+  return o;
+}
+
+DynamicAgingResult run_orchestrated_guardband(charlib::LibraryFactory& factory,
+                                              const OrchestratorOptions& orch) {
+  const netlist::Module module = chaos_test_module();
+  const std::vector<netlist::NetId> inputs = module.inputs();
+  const auto rng = std::make_shared<util::Rng>(0x5eedULL);
+  const Stimulus stimulus = [inputs, rng](logicsim::CycleSimulator& sim, int) {
+    for (const netlist::NetId net : inputs) sim.set_input(net, rng->chance(0.5));
+  };
+  return dynamic_workload_guardband(module, factory, stimulus, kCycles, kYears, {}, &orch);
+}
+
+std::string result_signature(const DynamicAgingResult& result) {
+  std::vector<double> values{result.report.fresh_cp_ps, result.report.aged_cp_ps};
+  for (const auto& [lp, ln] : result.corners) {
+    values.push_back(lp);
+    values.push_back(ln);
+  }
+  std::string sig = artifact::encode_doubles(values);
+  for (const netlist::Instance& inst : result.annotated.instances()) {
+    sig += inst.cell;
+    sig += '\n';
+  }
+  return sig;
+}
+
+ChaosTrialResult run_chaos_trial(const ChaosPlan& plan, const std::string& work_dir,
+                                 const std::string& reference_signature) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TrialHygiene hygiene;
+  std::error_code ec;
+  fs::remove_all(work_dir, ec);
+  fs::create_directories(work_dir, ec);
+  OrchestratorOptions orch;
+  orch.dir = work_dir + "/flow";
+
+  const bool injects_fault = plan.kind == "fail" || plan.kind == "nan" || plan.kind == "stall";
+
+  if (plan.kind == "crash") {
+    // First run in a forked child that SIGKILLs itself at a stage boundary;
+    // the parent then resumes over the same flow directory.
+    OrchestratorOptions child_orch = orch;
+    child_orch.kill_after_stage = plan.kill_after_stage;
+    const pid_t pid = fork();
+    if (pid < 0) {
+      return classify(plan, "resume_failed", "fork failed", now_ms(t0));
+    }
+    if (pid == 0) {
+      try {
+        charlib::LibraryFactory child_factory(chaos_factory_options());
+        (void)run_orchestrated_guardband(child_factory, child_orch);
+      } catch (...) {
+      }
+      _exit(0);  // unreachable when the kill hook fires; _exit avoids
+                 // flushing the parent's duplicated stdio buffers
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      return classify(plan, "no_report", "child was not SIGKILLed as planned", now_ms(t0));
+    }
+    try {
+      OrchestratorOptions resume_orch = orch;
+      resume_orch.resume = true;
+      charlib::LibraryFactory factory(chaos_factory_options());
+      const DynamicAgingResult resumed = run_orchestrated_guardband(factory, resume_orch);
+      if (result_signature(resumed) != reference_signature) {
+        return classify(plan, "wrong_result", "resumed result differs from reference",
+                        now_ms(t0));
+      }
+      return classify(plan, "failed_then_resumed",
+                      "SIGKILL after stage " + std::to_string(plan.kill_after_stage),
+                      now_ms(t0));
+    } catch (const std::exception& e) {
+      return classify(plan, "resume_failed", e.what(), now_ms(t0));
+    }
+  }
+
+  // In-process trials: arm the planned fault, run once, and on failure
+  // demand a structured report plus a clean resume.
+  if (plan.kind == "fail") {
+    spice::FaultInjector::instance().arm_fail_nth(plan.nth, plan.times,
+                                                 spice::FaultInjector::Action::kFailConvergence);
+  } else if (plan.kind == "nan") {
+    spice::FaultInjector::instance().arm_fail_nth(plan.nth, plan.times,
+                                                  spice::FaultInjector::Action::kNanResidual);
+  } else if (plan.kind == "stall") {
+    spice::FaultInjector::instance().set_stall_ms(plan.stall_ms);
+    spice::FaultInjector::instance().arm_fail_nth(plan.nth, plan.times,
+                                                  spice::FaultInjector::Action::kStall);
+    spice::set_solve_watchdog_ms(plan.watchdog_ms);
+  } else if (plan.kind == "deadline") {
+    cancel_token().set_deadline_after_ms(plan.deadline_ms);
+  }
+
+  std::string first_error;
+  try {
+    charlib::LibraryFactory factory(chaos_factory_options());
+    const DynamicAgingResult result = run_orchestrated_guardband(factory, orch);
+    if (injects_fault) {
+      // A retry-ladder rung may have absorbed the fault with different
+      // solver options; hold the result to invariants, not bitwise equality.
+      if (!plausible(result)) {
+        return classify(plan, "wrong_result", "completed with implausible report", now_ms(t0));
+      }
+    } else if (result_signature(result) != reference_signature) {
+      return classify(plan, "wrong_result", "result differs from reference", now_ms(t0));
+    }
+    return classify(plan, "ok", "completed on the first run", now_ms(t0));
+  } catch (const std::exception& e) {
+    first_error = e.what();
+  }
+
+  if (!structured_report_exists(orch.dir + "/run_report.json")) {
+    return classify(plan, "no_report", "failed without a run report: " + first_error,
+                    now_ms(t0));
+  }
+  // Disarm everything and resume over the surviving checkpoints.
+  spice::FaultInjector::instance().disarm();
+  spice::set_solve_watchdog_ms(0.0);
+  cancel_token().clear();
+  try {
+    OrchestratorOptions resume_orch = orch;
+    resume_orch.resume = true;
+    charlib::LibraryFactory factory(chaos_factory_options());
+    const DynamicAgingResult resumed = run_orchestrated_guardband(factory, resume_orch);
+    const bool good = injects_fault ? plausible(resumed)
+                                    : result_signature(resumed) == reference_signature;
+    if (!good) {
+      return classify(plan, "wrong_result", "resumed result rejected (" + first_error + ")",
+                      now_ms(t0));
+    }
+    return classify(plan, "failed_then_resumed", first_error, now_ms(t0));
+  } catch (const std::exception& e) {
+    return classify(plan, "resume_failed", std::string(e.what()) + " (after " + first_error + ")",
+                    now_ms(t0));
+  }
+}
+
+ChaosCampaignResult run_chaos_campaign(std::uint64_t base_seed, int n_trials,
+                                       const std::string& work_root) {
+  util::set_shared_thread_count(1);  // fork() in crash trials must not race
+                                     // live pool threads
+  ChaosCampaignResult campaign;
+  std::error_code ec;
+  fs::create_directories(work_root, ec);
+
+  // Disarmed reference: the uninterrupted orchestrated run every no-fault
+  // trial must reproduce bitwise.
+  std::string reference_signature;
+  {
+    TrialHygiene hygiene;
+    fs::remove_all(work_root + "/reference", ec);
+    OrchestratorOptions orch;
+    orch.dir = work_root + "/reference/flow";
+    charlib::LibraryFactory factory(chaos_factory_options());
+    reference_signature = result_signature(run_orchestrated_guardband(factory, orch));
+  }
+
+  for (int i = 0; i < n_trials; ++i) {
+    const ChaosPlan plan = plan_for_seed(base_seed + static_cast<std::uint64_t>(i));
+    ChaosTrialResult trial =
+        run_chaos_trial(plan, work_root + "/trial_" + std::to_string(plan.seed),
+                        reference_signature);
+    campaign.histogram[trial.outcome] += 1;
+    campaign.trials.push_back(std::move(trial));
+  }
+  campaign.all_good = true;
+  for (const auto& [outcome, count] : campaign.histogram) {
+    (void)count;
+    if (outcome != "ok" && outcome != "failed_then_resumed") campaign.all_good = false;
+  }
+  util::set_shared_thread_count(0);  // restore the default pool size
+  return campaign;
+}
+
+std::string campaign_json(const ChaosCampaignResult& campaign, std::uint64_t base_seed) {
+  std::string out = "{\"bench\":\"chaos_campaign\",\"base_seed\":" + std::to_string(base_seed) +
+                    ",\"trials\":" + std::to_string(campaign.trials.size()) +
+                    ",\"all_good\":" + (campaign.all_good ? "true" : "false") +
+                    ",\"histogram\":{";
+  bool first = true;
+  for (const auto& [outcome, count] : campaign.histogram) {
+    if (!first) out += ',';
+    first = false;
+    util::append_json_string(out, outcome);
+    out += ':' + std::to_string(count);
+  }
+  out += "},\"runs\":[";
+  for (std::size_t i = 0; i < campaign.trials.size(); ++i) {
+    const ChaosTrialResult& t = campaign.trials[i];
+    if (i != 0) out += ',';
+    out += "{\"seed\":" + std::to_string(t.seed) + ",\"kind\":";
+    util::append_json_string(out, t.kind);
+    out += ",\"outcome\":";
+    util::append_json_string(out, t.outcome);
+    out += ",\"detail\":";
+    util::append_json_string(out, t.detail);
+    char wall[64];
+    std::snprintf(wall, sizeof wall, "%.3f", t.wall_ms);
+    out += ",\"wall_ms\":";
+    out += wall;
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace rw::flow

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "flow/artifact.hpp"
 #include "lint/linter.hpp"
 #include "logicsim/activity.hpp"
 #include "netlist/annotate.hpp"
@@ -81,44 +82,112 @@ double corner_slowness(const liberty::Cell& cell) {
   return sum;
 }
 
+/// LB006 interpolated-fallback points carried by a library's cells; the
+/// RunReport surfaces them as the `fallbacks` degradation counter.
+int count_fallback_points(const liberty::Library& library) {
+  int n = 0;
+  for (const liberty::Cell& cell : library.cells()) n += static_cast<int>(cell.fallbacks.size());
+  return n;
+}
+
+OrchestratorOptions resolve(const OrchestratorOptions* orch) {
+  return orch != nullptr ? *orch : OrchestratorOptions::from_env();
+}
+
+/// Library stage codecs shared by every flow.
+std::string encode_lib(const liberty::Library& library) {
+  return artifact::encode_library(library);
+}
+liberty::Library decode_lib(const std::string& text) { return artifact::decode_library(text); }
+
+/// GuardbandReport <-> two hexfloat doubles.
+std::string encode_report(const sta::GuardbandReport& report) {
+  return artifact::encode_doubles({report.fresh_cp_ps, report.aged_cp_ps});
+}
+sta::GuardbandReport decode_report(const std::string& text) {
+  const std::vector<double> v = artifact::decode_doubles(text);
+  if (v.size() != 2) throw std::runtime_error("guardband artifact: expected 2 values");
+  sta::GuardbandReport report;
+  report.fresh_cp_ps = v[0];
+  report.aged_cp_ps = v[1];
+  return report;
+}
+
 }  // namespace
 
 sta::GuardbandReport static_guardband(const netlist::Module& module,
                                       charlib::LibraryFactory& factory,
                                       const aging::AgingScenario& scenario,
-                                      const sta::StaOptions& options) {
-  const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
+                                      const sta::StaOptions& options,
+                                      const OrchestratorOptions* orch) {
+  FlowOrchestrator run("static_guardband", resolve(orch));
+  const std::size_t quarantined_before = factory.quarantined().size();
+
+  const liberty::Library fresh = run.stage(
+      "fresh_library", [&] { return factory.library(aging::AgingScenario::fresh()); },
+      encode_lib, decode_lib);
   preflight(module, fresh);
-  const liberty::Library& aged = factory.library(scenario);
+
+  const liberty::Library aged = run.stage(
+      "aged_library", [&] { return factory.library(scenario); }, encode_lib, decode_lib);
   preflight_library(aged, fresh);
-  return sta::estimate_guardband(module, fresh, aged, options);
+
+  const sta::GuardbandReport report = run.stage(
+      "sta", [&] { return sta::estimate_guardband(module, fresh, aged, options); },
+      encode_report, decode_report);
+
+  run.report().fallbacks += count_fallback_points(fresh) + count_fallback_points(aged);
+  run.report().quarantined += static_cast<int>(factory.quarantined().size() - quarantined_before);
+  run.finish();
+  return report;
 }
 
 DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
                                               charlib::LibraryFactory& factory,
                                               const Stimulus& stimulus, int cycles, double years,
-                                              const sta::StaOptions& options) {
-  const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
+                                              const sta::StaOptions& options,
+                                              const OrchestratorOptions* orch) {
+  FlowOrchestrator run("dynamic_workload_guardband", resolve(orch));
+  const std::size_t quarantined_before = factory.quarantined().size();
+
+  const liberty::Library fresh = run.stage(
+      "fresh_library", [&] { return factory.library(aging::AgingScenario::fresh()); },
+      encode_lib, decode_lib);
   preflight(module, fresh);
 
-  // 1. Gate-level simulation of the workload (Modelsim's role).
-  logicsim::CycleSimulator sim(module, fresh);
-  logicsim::ActivityCollector activity(module.net_count());
-  for (int k = 0; k < cycles; ++k) {
-    stimulus(sim, k);
-    sim.evaluate();
-    activity.observe(sim);
-    sim.clock_edge();
-  }
+  // 1+2. Gate-level simulation of the workload (Modelsim's role) and
+  // duty-cycle extraction. One stage: the activity counters are meaningless
+  // without the extraction that interprets them.
+  const std::vector<netlist::InstanceDuty> duties = run.stage(
+      "simulate",
+      [&] {
+        logicsim::CycleSimulator sim(module, fresh);
+        logicsim::ActivityCollector activity(module.net_count());
+        for (int k = 0; k < cycles; ++k) {
+          throw_if_cancelled();
+          stimulus(sim, k);
+          sim.evaluate();
+          activity.observe(sim);
+          sim.clock_edge();
+        }
+        return logicsim::extract_duty_cycles(module, fresh, activity);
+      },
+      [](const std::vector<netlist::InstanceDuty>& d) { return artifact::encode_duties(d); },
+      [](const std::string& text) { return artifact::decode_duties(text); });
 
-  // 2. Duty-cycle extraction and netlist annotation.
-  const auto duties = logicsim::extract_duty_cycles(module, fresh, activity);
+  // Annotation is pure arithmetic over the duty cycles — recomputed inline
+  // on every run (including resumed ones) rather than checkpointed.
   DynamicAgingResult result{netlist::Module(module), {}, {}};
   result.corners = netlist::annotate_with_duty_cycles(result.annotated, duties);
 
   // 3. Merged complete library for exactly the corners in use.
-  const liberty::Library merged = build_used_corner_library(
-      module, result.annotated, duties, years, factory, "reliaware_complete_used");
+  const liberty::Library merged = run.stage(
+      "characterize",
+      [&] {
+        return build_used_corner_library(module, result.annotated, duties, years, factory,
+                                         "reliaware_complete_used");
+      },
+      encode_lib, decode_lib);
   preflight_library(merged, fresh);
 
   // Oracle cross-check: every simulated annotation must sit inside the
@@ -133,75 +202,138 @@ DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
   }
 
   // 4. Timing against the merged library vs the fresh library.
-  result.report.fresh_cp_ps = sta::Sta(module, fresh, options).critical_delay_ps();
-  result.report.aged_cp_ps = sta::Sta(result.annotated, merged, options).critical_delay_ps();
+  result.report = run.stage(
+      "sta",
+      [&] {
+        sta::GuardbandReport report;
+        report.fresh_cp_ps = sta::Sta(module, fresh, options).critical_delay_ps();
+        report.aged_cp_ps = sta::Sta(result.annotated, merged, options).critical_delay_ps();
+        return report;
+      },
+      encode_report, decode_report);
+
+  run.report().fallbacks += count_fallback_points(merged);
+  run.report().quarantined += static_cast<int>(factory.quarantined().size() - quarantined_before);
+  run.finish();
   return result;
 }
 
 BoundedStaticResult bounded_static_guardband(const netlist::Module& module,
                                              charlib::LibraryFactory& factory, double years,
                                              const stress::AnalyzeOptions& stress_options,
-                                             const sta::StaOptions& options) {
-  const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
+                                             const sta::StaOptions& options,
+                                             const OrchestratorOptions* orch) {
+  FlowOrchestrator run("bounded_static_guardband", resolve(orch));
+  const std::size_t quarantined_before = factory.quarantined().size();
+
+  const liberty::Library fresh = run.stage(
+      "fresh_library", [&] { return factory.library(aging::AgingScenario::fresh()); },
+      encode_lib, decode_lib);
   preflight(module, fresh, &stress_options);
 
-  // 1. Prove per-instance λ bounds — no simulation, no workload.
+  // 1. Prove per-instance λ bounds — no simulation, no workload. Pure
+  // interval arithmetic, so it is recomputed inline even on resumed runs.
   BoundedStaticResult result{netlist::Module(module), {}, {}, {}, 0};
   result.stress = stress::analyze(module, fresh, stress_options);
 
-  // 2. Candidate corners: for every instance, the λn grid points inside its
-  // proven bound (quantization is monotone, so these are exactly the corners
-  // any honest annotation of an admissible workload could produce).
   constexpr double kStep = 0.1;  // the annotate/merge λ grid
   const auto grid_range = [&](const stress::Interval& bound) {
     const int lo = static_cast<int>(std::round(aging::quantize_lambda(bound.lo, kStep) / kStep));
     const int hi = static_cast<int>(std::round(aging::quantize_lambda(bound.hi, kStep) / kStep));
     return std::pair<int, int>{lo, hi};
   };
-  std::set<std::pair<std::string, int>> distinct;  // (base cell, λn grid index)
-  for (std::size_t i = 0; i < module.instances().size(); ++i) {
-    const auto [lo, hi] = grid_range(result.stress.instances[i].lambda_n);
-    for (int k = lo; k <= hi; ++k) distinct.emplace(module.instances()[i].cell, k);
-  }
-  result.candidate_corners = distinct.size();
 
-  // 3. Characterize every candidate in parallel (the factory is concurrency-
-  // safe and caches) and rank by table slowness.
-  const std::vector<std::pair<std::string, int>> candidates(distinct.begin(), distinct.end());
-  std::vector<double> slowness(candidates.size(), 0.0);
-  util::ThreadPool::shared().parallel_for(candidates.size(), [&](std::size_t c) {
-    const double ln = static_cast<double>(candidates[c].second) * kStep;
-    const aging::AgingScenario corner{1.0 - ln, ln, years, true};
-    slowness[c] = corner_slowness(factory.cell(candidates[c].first, corner));
-  });
-  std::map<std::pair<std::string, int>, double> slowness_of;
-  for (std::size_t c = 0; c < candidates.size(); ++c) slowness_of[candidates[c]] = slowness[c];
-
-  // 4. Per instance: the worst (slowest) in-bounds corner, lower λn on ties
-  // (ascending scan with strict improvement keeps the choice deterministic).
-  std::vector<netlist::InstanceDuty> duties(module.instances().size());
-  for (std::size_t i = 0; i < module.instances().size(); ++i) {
-    const auto [lo, hi] = grid_range(result.stress.instances[i].lambda_n);
-    int best = lo;
-    double best_slowness = slowness_of.at({module.instances()[i].cell, lo});
-    for (int k = lo + 1; k <= hi; ++k) {
-      const double s = slowness_of.at({module.instances()[i].cell, k});
-      if (s > best_slowness) {
-        best = k;
-        best_slowness = s;
-      }
-    }
-    const double ln = static_cast<double>(best) * kStep;
-    duties[i] = netlist::InstanceDuty{1.0 - ln, ln};
-  }
+  // 2–4. Candidate corners inside every proven bound, characterized in
+  // parallel and ranked by table slowness; per instance the worst (slowest)
+  // in-bounds corner wins, lower λn on ties. One stage: the slowness ranking
+  // only matters through the duty assignment it produces.
+  using Selection = std::pair<std::size_t, std::vector<netlist::InstanceDuty>>;
+  const Selection selection = run.stage(
+      "select_corners",
+      [&] {
+        std::set<std::pair<std::string, int>> distinct;  // (base cell, λn grid index)
+        for (std::size_t i = 0; i < module.instances().size(); ++i) {
+          const auto [lo, hi] = grid_range(result.stress.instances[i].lambda_n);
+          for (int k = lo; k <= hi; ++k) distinct.emplace(module.instances()[i].cell, k);
+        }
+        const std::vector<std::pair<std::string, int>> candidates(distinct.begin(),
+                                                                  distinct.end());
+        std::vector<double> slowness(candidates.size(), 0.0);
+        util::ThreadPool::shared().parallel_for(candidates.size(), [&](std::size_t c) {
+          const double ln = static_cast<double>(candidates[c].second) * kStep;
+          const aging::AgingScenario corner{1.0 - ln, ln, years, true};
+          slowness[c] = corner_slowness(factory.cell(candidates[c].first, corner));
+        });
+        std::map<std::pair<std::string, int>, double> slowness_of;
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+          slowness_of[candidates[c]] = slowness[c];
+        }
+        std::vector<netlist::InstanceDuty> duties(module.instances().size());
+        for (std::size_t i = 0; i < module.instances().size(); ++i) {
+          const auto [lo, hi] = grid_range(result.stress.instances[i].lambda_n);
+          int best = lo;
+          double best_slowness = slowness_of.at({module.instances()[i].cell, lo});
+          for (int k = lo + 1; k <= hi; ++k) {
+            const double s = slowness_of.at({module.instances()[i].cell, k});
+            if (s > best_slowness) {
+              best = k;
+              best_slowness = s;
+            }
+          }
+          const double ln = static_cast<double>(best) * kStep;
+          duties[i] = netlist::InstanceDuty{1.0 - ln, ln};
+        }
+        return Selection{distinct.size(), std::move(duties)};
+      },
+      [](const Selection& s) {
+        std::vector<double> v;
+        v.reserve(1 + 2 * s.second.size());
+        v.push_back(static_cast<double>(s.first));
+        for (const netlist::InstanceDuty& d : s.second) {
+          v.push_back(d.lambda_p);
+          v.push_back(d.lambda_n);
+        }
+        return artifact::encode_doubles(v);
+      },
+      [](const std::string& text) {
+        const std::vector<double> v = artifact::decode_doubles(text);
+        if (v.size() % 2 == 0) {
+          throw std::runtime_error("select_corners artifact: bad length");
+        }
+        Selection s;
+        s.first = static_cast<std::size_t>(v[0]);
+        for (std::size_t i = 1; i + 1 < v.size(); i += 2) {
+          s.second.push_back(netlist::InstanceDuty{v[i], v[i + 1]});
+        }
+        return s;
+      });
+  result.candidate_corners = selection.first;
+  const std::vector<netlist::InstanceDuty>& duties = selection.second;
 
   // 5. Annotate, build the used-corner merged library, and time it.
   result.corners = netlist::annotate_with_duty_cycles(result.annotated, duties, kStep);
-  const liberty::Library merged = build_used_corner_library(
-      module, result.annotated, duties, years, factory, "reliaware_bounded_static");
+  const liberty::Library merged = run.stage(
+      "characterize",
+      [&] {
+        return build_used_corner_library(module, result.annotated, duties, years, factory,
+                                         "reliaware_bounded_static");
+      },
+      encode_lib, decode_lib);
   preflight_library(merged, fresh);
-  result.report.fresh_cp_ps = sta::Sta(module, fresh, options).critical_delay_ps();
-  result.report.aged_cp_ps = sta::Sta(result.annotated, merged, options).critical_delay_ps();
+
+  result.report = run.stage(
+      "sta",
+      [&] {
+        sta::GuardbandReport report;
+        report.fresh_cp_ps = sta::Sta(module, fresh, options).critical_delay_ps();
+        report.aged_cp_ps = sta::Sta(result.annotated, merged, options).critical_delay_ps();
+        return report;
+      },
+      encode_report, decode_report);
+
+  run.report().fallbacks += count_fallback_points(merged);
+  run.report().quarantined += static_cast<int>(factory.quarantined().size() - quarantined_before);
+  run.finish();
   return result;
 }
 

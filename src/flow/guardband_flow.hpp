@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "charlib/factory.hpp"
+#include "flow/orchestrator.hpp"
 #include "logicsim/simulator.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/guardband.hpp"
@@ -15,11 +16,19 @@
 
 namespace rw::flow {
 
+/// Every flow below runs under the crash-only orchestrator (see
+/// orchestrator.hpp): pass explicit `OrchestratorOptions` to control the
+/// checkpoint directory / resume, or leave `orch == nullptr` to read
+/// RW_FLOW_DIR / RW_FLOW_RESUME from the environment (absent = orchestration
+/// disabled, behavior and results bitwise identical to the unorchestrated
+/// flows).
+
 /// Static-stress guardband: STA against fresh and `scenario` libraries.
 sta::GuardbandReport static_guardband(const netlist::Module& module,
                                       charlib::LibraryFactory& factory,
                                       const aging::AgingScenario& scenario,
-                                      const sta::StaOptions& options = {});
+                                      const sta::StaOptions& options = {},
+                                      const OrchestratorOptions* orch = nullptr);
 
 struct BoundedStaticResult {
   netlist::Module annotated;                       ///< per-instance worst in-bounds corner
@@ -40,7 +49,8 @@ struct BoundedStaticResult {
 BoundedStaticResult bounded_static_guardband(const netlist::Module& module,
                                              charlib::LibraryFactory& factory, double years,
                                              const stress::AnalyzeOptions& stress_options = {},
-                                             const sta::StaOptions& options = {});
+                                             const sta::StaOptions& options = {},
+                                             const OrchestratorOptions* orch = nullptr);
 
 /// Per-cycle stimulus callback: set primary inputs for cycle `k`.
 using Stimulus = std::function<void(logicsim::CycleSimulator&, int cycle)>;
@@ -57,6 +67,7 @@ struct DynamicAgingResult {
 DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
                                               charlib::LibraryFactory& factory,
                                               const Stimulus& stimulus, int cycles, double years,
-                                              const sta::StaOptions& options = {});
+                                              const sta::StaOptions& options = {},
+                                              const OrchestratorOptions* orch = nullptr);
 
 }  // namespace rw::flow

@@ -1,0 +1,348 @@
+#include "flow/orchestrator.hpp"
+
+#include <cctype>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/atomic_file.hpp"
+#include "util/strings.hpp"
+
+namespace rw::flow {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestFile = "flow_manifest.json";
+
+/// Minimal parser for the JSON subset the manifest writer emits (objects,
+/// arrays, strings, numbers). Malformed input throws; callers turn that into
+/// "start fresh" (resume) or an FL001 diagnostic (lint).
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw std::runtime_error(std::string("flow manifest: expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("flow manifest: bad \\u");
+            c = static_cast<char>(std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc; break;
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) throw std::runtime_error("flow manifest: expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct ParsedManifest {
+  std::string flow;
+  std::vector<std::tuple<int, std::string, std::string, std::string, std::size_t, double>> stages;
+};
+
+/// \throws std::runtime_error on any malformed content.
+ParsedManifest parse_manifest_text(const std::string& text) {
+  ParsedManifest m;
+  JsonScanner s(text);
+  s.expect('{');
+  do {
+    const std::string key = s.parse_string();
+    s.expect(':');
+    if (key == "flow") {
+      m.flow = s.parse_string();
+    } else if (key == "stages") {
+      s.expect('[');
+      if (s.peek() != ']') {
+        do {
+          s.expect('{');
+          int index = -1;
+          std::string name;
+          std::string status;
+          std::string artifact;
+          std::size_t bytes = 0;
+          double wall_ms = 0.0;
+          do {
+            const std::string field = s.parse_string();
+            s.expect(':');
+            if (field == "index") {
+              index = static_cast<int>(s.parse_number());
+            } else if (field == "name") {
+              name = s.parse_string();
+            } else if (field == "status") {
+              status = s.parse_string();
+            } else if (field == "artifact") {
+              artifact = s.parse_string();
+            } else if (field == "bytes") {
+              bytes = static_cast<std::size_t>(s.parse_number());
+            } else if (field == "wall_ms") {
+              wall_ms = s.parse_number();
+            } else {
+              throw std::runtime_error("flow manifest: unknown stage field " + field);
+            }
+          } while (s.consume(','));
+          s.expect('}');
+          m.stages.emplace_back(index, name, status, artifact, bytes, wall_ms);
+        } while (s.consume(','));
+      }
+      s.expect(']');
+    } else {
+      throw std::runtime_error("flow manifest: unknown field " + key);
+    }
+  } while (s.consume(','));
+  s.expect('}');
+  return m;
+}
+
+}  // namespace
+
+OrchestratorOptions OrchestratorOptions::from_env() {
+  OrchestratorOptions o;
+  if (const char* env = std::getenv("RW_FLOW_DIR"); env != nullptr && *env != '\0') o.dir = env;
+  if (const char* env = std::getenv("RW_FLOW_RESUME"); env != nullptr && *env != '\0') {
+    o.resume = std::string(env) != "0";
+  }
+  return o;
+}
+
+FlowOrchestrator::FlowOrchestrator(std::string flow_name, OrchestratorOptions options)
+    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
+  report_.flow = std::move(flow_name);
+  if (enabled() && options_.report_path.empty()) {
+    options_.report_path = options_.dir + "/run_report.json";
+  }
+  if (enabled() && options_.resume) {
+    try {
+      const ParsedManifest m = parse_manifest_text(read_file(options_.dir + "/" + kManifestFile));
+      if (m.flow == report_.flow) {
+        for (const auto& [index, name, status, artifact, bytes, wall_ms] : m.stages) {
+          manifest_.push_back(ManifestStage{index, name, status, artifact, bytes, wall_ms});
+        }
+      }
+    } catch (const std::exception&) {
+      // Missing or corrupt manifest: a fresh run, never a refusal to run.
+    }
+  }
+}
+
+FlowOrchestrator::~FlowOrchestrator() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor (possibly during unwinding): reporting is best-effort.
+  }
+}
+
+double FlowOrchestrator::elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string FlowOrchestrator::artifact_name(int index, const std::string& name) const {
+  char prefix[8];
+  std::snprintf(prefix, sizeof prefix, "%02d_", index);
+  return prefix + name + ".art";
+}
+
+bool FlowOrchestrator::load_stage(int index, const std::string& name,
+                                  const std::string& artifact, std::string& encoded) const {
+  for (const ManifestStage& s : manifest_) {
+    if (s.index != index || s.name != name || s.status != "done" || s.artifact != artifact) {
+      continue;
+    }
+    const std::string path = options_.dir + "/" + artifact;
+    std::error_code ec;
+    if (!fs::exists(path, ec) || fs::file_size(path, ec) != s.bytes) return false;
+    try {
+      encoded = read_file(path);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return encoded.size() == s.bytes;
+  }
+  return false;
+}
+
+void FlowOrchestrator::persist_stage(int index, const std::string& name,
+                                     const std::string& artifact, const std::string& encoded,
+                                     double wall_ms) {
+  if (util::write_file_atomic_nothrow(options_.dir + "/" + artifact, encoded)) {
+    // Drop any stale record for this index (a previous run that diverged),
+    // then append and atomically republish the manifest.
+    std::erase_if(manifest_, [&](const ManifestStage& s) { return s.index >= index; });
+    manifest_.push_back(ManifestStage{index, name, "done", artifact, encoded.size(), wall_ms});
+    save_manifest();
+  }
+  if (options_.kill_after_stage == index) {
+    std::raise(SIGKILL);  // test hook: crash exactly at this stage boundary
+  }
+}
+
+void FlowOrchestrator::save_manifest() const {
+  std::string out = "{\"flow\":";
+  util::append_json_string(out, report_.flow);
+  out += ",\"stages\":[";
+  for (std::size_t i = 0; i < manifest_.size(); ++i) {
+    const ManifestStage& s = manifest_[i];
+    if (i != 0) out += ',';
+    out += "{\"index\":" + std::to_string(s.index) + ",\"name\":";
+    util::append_json_string(out, s.name);
+    out += ",\"status\":";
+    util::append_json_string(out, s.status);
+    out += ",\"artifact\":";
+    util::append_json_string(out, s.artifact);
+    char wall[64];
+    std::snprintf(wall, sizeof wall, "%.3f", s.wall_ms);
+    out += ",\"bytes\":" + std::to_string(s.bytes) + ",\"wall_ms\":" + wall + "}";
+  }
+  out += "]}\n";
+  (void)util::write_file_atomic_nothrow(options_.dir + "/" + kManifestFile, out);
+}
+
+void FlowOrchestrator::record_stage(const std::string& name, const std::string& status,
+                                    double wall_ms, const std::string& artifact,
+                                    std::size_t bytes, const std::string& error) {
+  StageReport s;
+  s.name = name;
+  s.status = status;
+  s.wall_ms = wall_ms;
+  s.artifact = artifact;
+  s.artifact_bytes = bytes;
+  s.error = error;
+  report_.stages.push_back(std::move(s));
+}
+
+void FlowOrchestrator::record_exception(const std::string& name, double wall_ms) {
+  try {
+    throw;  // re-inspect the in-flight exception
+  } catch (const CancelledError& e) {
+    record_stage(name, "cancelled", wall_ms, "", 0, e.what());
+    report_.status = "cancelled";
+    report_.cancel_reason = e.reason();
+  } catch (const std::exception& e) {
+    record_stage(name, "failed", wall_ms, "", 0, e.what());
+    report_.status = "failed";
+  } catch (...) {
+    record_stage(name, "failed", wall_ms, "", 0, "unknown exception");
+    report_.status = "failed";
+  }
+}
+
+int FlowOrchestrator::finish() {
+  if (!finished_) {
+    finished_ = true;
+    if (report_.status == "ok" && (report_.fallbacks > 0 || report_.quarantined > 0)) {
+      report_.status = "degraded";
+    }
+    report_.wall_ms = elapsed_ms(start_);
+    if (!options_.report_path.empty()) (void)report_.save(options_.report_path);
+  }
+  return report_.exit_code();
+}
+
+std::vector<lint::Diagnostic> lint_flow_manifest(const std::string& manifest_path) {
+  std::vector<lint::Diagnostic> out;
+  const auto warn = [&](const std::string& location, const std::string& message) {
+    lint::Diagnostic d;
+    d.rule_id = lint::rules::kFlowStaleArtifact;
+    d.severity = lint::Severity::kWarning;
+    d.location = location;
+    d.message = message;
+    d.fix_hint = "delete the flow directory (or the stage file) so the stage recomputes";
+    out.push_back(std::move(d));
+  };
+
+  ParsedManifest m;
+  try {
+    m = parse_manifest_text(read_file(manifest_path));
+  } catch (const std::exception& e) {
+    warn(manifest_path, std::string("flow manifest is unreadable or malformed: ") + e.what());
+    return out;
+  }
+  const std::string dir = fs::path(manifest_path).parent_path().string();
+  for (const auto& [index, name, status, artifact, bytes, wall_ms] : m.stages) {
+    (void)wall_ms;
+    if (status != "done") continue;
+    const std::string path = dir.empty() ? artifact : dir + "/" + artifact;
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+      warn(m.flow + ":" + name,
+           "stage " + std::to_string(index) + " artifact " + artifact + " is missing");
+    } else if (fs::file_size(path, ec) != bytes) {
+      warn(m.flow + ":" + name, "stage " + std::to_string(index) + " artifact " + artifact +
+                                    " is stale (size " + std::to_string(fs::file_size(path, ec)) +
+                                    ", manifest says " + std::to_string(bytes) + ")");
+    }
+  }
+  return out;
+}
+
+}  // namespace rw::flow

@@ -1,0 +1,64 @@
+#include "flow/run_report.hpp"
+
+#include <cstdio>
+
+#include "util/atomic_file.hpp"
+#include "util/strings.hpp"
+
+namespace rw::flow {
+
+namespace {
+
+/// Fixed-precision wall time: reports are for machines and humans, not for
+/// bitwise comparison (artifacts handle that), so 3 decimals suffice.
+std::string ms_string(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+int RunReport::exit_code() const {
+  if (status == "ok") return 0;
+  if (status == "degraded") return 1;
+  return 2;  // "failed" or "cancelled"
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\n  \"flow\": ";
+  util::append_json_string(out, flow);
+  out += ",\n  \"status\": ";
+  util::append_json_string(out, status);
+  out += ",\n  \"cancel_reason\": ";
+  util::append_json_string(out, cancel_reason);
+  out += ",\n  \"exit_code\": " + std::to_string(exit_code());
+  out += ",\n  \"wall_ms\": " + ms_string(wall_ms);
+  out += ",\n  \"fallbacks\": " + std::to_string(fallbacks);
+  out += ",\n  \"quarantined\": " + std::to_string(quarantined);
+  out += ",\n  \"stages\": [";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageReport& s = stages[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    util::append_json_string(out, s.name);
+    out += ", \"status\": ";
+    util::append_json_string(out, s.status);
+    out += ", \"wall_ms\": " + ms_string(s.wall_ms);
+    out += ", \"artifact\": ";
+    util::append_json_string(out, s.artifact);
+    out += ", \"artifact_bytes\": " + std::to_string(s.artifact_bytes);
+    out += ", \"error\": ";
+    util::append_json_string(out, s.error);
+    out += "}";
+  }
+  out += stages.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool RunReport::save(const std::string& path) const {
+  if (path.empty()) return false;
+  return util::write_file_atomic_nothrow(path, to_json());
+}
+
+}  // namespace rw::flow

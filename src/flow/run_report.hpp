@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file run_report.hpp
+/// Machine-readable outcome of one orchestrated flow run: per-stage status
+/// and wall time, degradation counters (interpolated fallbacks, quarantined
+/// corners), the cancellation cause when a deadline/signal tripped the run,
+/// and an exit-code contract shared with rwlint:
+///   0 — clean completion;
+///   1 — degraded completion (fallbacks or quarantined corners, result valid);
+///   2 — failure or cancellation (structured report still written);
+///   64 — usage error (CLIs only; never produced by RunReport itself).
+
+#include <string>
+#include <vector>
+
+namespace rw::flow {
+
+struct StageReport {
+  std::string name;
+  /// "done" (computed this run), "cached" (served from the flow manifest),
+  /// "failed", or "cancelled".
+  std::string status;
+  double wall_ms = 0.0;
+  std::string artifact;       ///< manifest-relative artifact filename ("" when none)
+  std::size_t artifact_bytes = 0;
+  std::string error;          ///< failure/cancellation detail ("" otherwise)
+};
+
+struct RunReport {
+  std::string flow;           ///< flow name ("dynamic_workload_guardband", ...)
+  std::string status = "ok";  ///< "ok", "degraded", "failed", or "cancelled"
+  std::string cancel_reason;  ///< cancellation cause ("" when not cancelled)
+  double wall_ms = 0.0;
+  int fallbacks = 0;          ///< interpolated OPC fallback points used
+  int quarantined = 0;        ///< (scenario, cell) pairs served degraded
+  std::vector<StageReport> stages;
+
+  /// Exit-code contract (see file comment). Never returns 64.
+  [[nodiscard]] int exit_code() const;
+
+  /// Stable-field-order JSON document (trailing newline included).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Atomic best-effort write of `to_json()`; returns false on I/O failure.
+  bool save(const std::string& path) const;
+};
+
+}  // namespace rw::flow

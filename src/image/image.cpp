@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/rng.hpp"
 
 namespace rw::image {
@@ -55,12 +56,10 @@ Image make_synthetic_image(int width, int height, std::uint64_t seed) {
 }
 
 void write_pgm(const Image& image, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
-  out << "P5\n" << image.width() << " " << image.height() << "\n255\n";
-  out.write(reinterpret_cast<const char*>(image.pixels().data()),
-            static_cast<std::streamsize>(image.pixels().size()));
-  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+  std::string data = "P5\n" + std::to_string(image.width()) + " " +
+                     std::to_string(image.height()) + "\n255\n";
+  data.append(reinterpret_cast<const char*>(image.pixels().data()), image.pixels().size());
+  util::write_file_atomic(path, data);
 }
 
 Image read_pgm(const std::string& path) {

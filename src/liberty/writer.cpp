@@ -1,8 +1,8 @@
 #include "liberty/writer.hpp"
 
-#include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/strings.hpp"
 
 namespace rw::liberty {
@@ -105,10 +105,7 @@ std::string write_library(const Library& library) {
 }
 
 void write_library_file(const Library& library, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_library_file: cannot open " + path);
-  out << write_library(library);
-  if (!out) throw std::runtime_error("write_library_file: write failed for " + path);
+  util::write_file_atomic(path, write_library(library));
 }
 
 }  // namespace rw::liberty

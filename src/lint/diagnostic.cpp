@@ -68,6 +68,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {rules::kVacuousBound, Severity::kInfo,
        "instance λ bound is the full [0,1] despite declared input intervals",
        "reconvergent-fanout widening discarded the information; tighten or decorrelate inputs"},
+      {rules::kFlowStaleArtifact, Severity::kWarning,
+       "flow manifest references a missing or stale stage artifact",
+       "delete the flow directory (or the offending stage file) so the stage recomputes"},
       {"IO001", Severity::kError, "input file could not be read or parsed",
        "check the path and the file format"},
   };

@@ -56,6 +56,7 @@ inline constexpr const char* kUnannotated = "AN003";    ///< plain cell amid λ-
 inline constexpr const char* kLambdaOutsideBounds = "SP001"; ///< annotated λ outside proven bounds
 inline constexpr const char* kProvenConstant = "SP002"; ///< net proven stuck at 0/1
 inline constexpr const char* kVacuousBound = "SP003";   ///< declared inputs, yet bound is [0,1]
+inline constexpr const char* kFlowStaleArtifact = "FL001"; ///< flow manifest references missing/stale artifact
 }  // namespace rules
 
 /// One entry of the stable rule catalog (`rwlint --explain`, README table).
@@ -67,7 +68,8 @@ struct RuleInfo {
 };
 
 /// Every rule id the toolchain can emit, in catalog order (NL, LB, AN, SP,
-/// then CLI-level IO001). Descriptions and hints are the canonical wording.
+/// FL, then CLI-level IO001). Descriptions and hints are the canonical
+/// wording.
 const std::vector<RuleInfo>& rule_catalog();
 
 /// Catalog entry for `id`, or nullptr for unknown ids.

@@ -86,9 +86,9 @@ FaultInjector::ScopedContext::~ScopedContext() { t_context.resize(previous_size_
 const std::string& FaultInjector::current_context() { return t_context; }
 
 void FaultInjector::arm_from_env(const char* spec) {
-  // "key=value;key=value" with keys: mode=fail|nan, nth=N, match=SUBSTR,
-  // times=K. Malformed pieces are ignored — the drill knob must never be
-  // able to crash a production run.
+  // "key=value;key=value" with keys: mode=fail|nan|stall, nth=N,
+  // match=SUBSTR, times=K, stall_ms=M. Malformed pieces are ignored — the
+  // drill knob must never be able to crash a production run.
   Action action = Action::kFailConvergence;
   std::uint64_t nth = 0;
   std::uint64_t times = 0;
@@ -100,6 +100,10 @@ void FaultInjector::arm_from_env(const char* spec) {
     const std::string value{util::trim(part.substr(eq + 1))};
     if (key == "mode") {
       if (value == "nan") action = Action::kNanResidual;
+      if (value == "stall") action = Action::kStall;
+    } else if (key == "stall_ms") {
+      const double ms = std::strtod(value.c_str(), nullptr);
+      if (ms > 0.0) set_stall_ms(ms);
     } else if (key == "nth") {
       nth = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "times") {

@@ -11,10 +11,12 @@
 ///  * nth    — fail the Nth solve attempt observed while armed (1-based);
 ///  * match  — fail every solve whose context tag contains a substring
 ///             (the characterizer tags solves with cell/arc/OPC/scenario);
-/// and two failure actions:
+/// and three failure actions:
 ///  * forced convergence failure (a `SolverError` thrown before the solve);
 ///  * NaN residual injection (the Newton loop must detect the poisoned
-///    residual, reject the step, and fail naturally at the minimum timestep).
+///    residual, reject the step, and fail naturally at the minimum timestep);
+///  * a stall (the solver sleeps `stall_ms` before the timestep loop), which
+///    exercises the per-solve wall-clock watchdog and cancellation polls.
 ///
 /// A `times` budget bounds how many solves fail, so a test can make the
 /// first K retry-ladder rungs fail and let rung K+1 succeed. Arming is
@@ -22,6 +24,7 @@
 ///   RW_FAULT_INJECT="match=NAND2_X1;times=2"
 ///   RW_FAULT_INJECT="nth=5"
 ///   RW_FAULT_INJECT="mode=nan;match=arc=A dir=rise"
+///   RW_FAULT_INJECT="mode=stall;nth=3;stall_ms=200"
 
 #include <atomic>
 #include <cstdint>
@@ -37,6 +40,7 @@ class FaultInjector {
     kNone,             ///< proceed normally
     kFailConvergence,  ///< throw a SolverError before solving
     kNanResidual,      ///< poison residual evaluations with NaN
+    kStall,            ///< sleep `stall_ms()` before solving (watchdog drill)
   };
 
   /// The process-wide injector. The first call arms from $RW_FAULT_INJECT
@@ -68,6 +72,11 @@ class FaultInjector {
   /// the action for this attempt and consumes the failure budget.
   Action on_solve_attempt(const std::string& context);
 
+  /// How long a kStall action sleeps (default 50 ms; `stall_ms=` in the env
+  /// spec or the programmatic setter override it).
+  [[nodiscard]] double stall_ms() const { return stall_ms_.load(std::memory_order_relaxed); }
+  void set_stall_ms(double ms) { stall_ms_.store(ms, std::memory_order_relaxed); }
+
   /// RAII thread-local context tag; nested scopes concatenate. The
   /// characterizer tags each OPC solve with cell/arc/direction/OPC/scenario
   /// so faults can target one grid point deterministically.
@@ -97,6 +106,7 @@ class FaultInjector {
   std::uint64_t nth_ = 0;
   std::string needle_;
   std::uint64_t times_ = 0;  ///< 0 = unlimited (match mode only)
+  std::atomic<double> stall_ms_{50.0};
   std::atomic<std::uint64_t> observed_{0};
   std::atomic<std::uint64_t> injected_{0};
 };

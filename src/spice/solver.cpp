@@ -1,17 +1,41 @@
 #include "spice/solver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "flow/cancel.hpp"
 #include "spice/fault.hpp"
 #include "util/strings.hpp"
 
 namespace rw::spice {
+
+namespace {
+
+std::atomic<double>& watchdog_slot() {
+  static std::atomic<double> ms{[] {
+    if (const char* env = std::getenv("RW_SOLVE_WATCHDOG_MS"); env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const double v = std::strtod(env, &end);
+      if (end != env && v > 0.0) return v;
+    }
+    return 0.0;
+  }()};
+  return ms;
+}
+
+}  // namespace
+
+double solve_watchdog_ms() { return watchdog_slot().load(std::memory_order_relaxed); }
+
+void set_solve_watchdog_ms(double ms) { watchdog_slot().store(ms, std::memory_order_relaxed); }
 
 RetryPolicy RetryPolicy::from_env() {
   RetryPolicy p;
@@ -426,6 +450,32 @@ TransientResult simulate_transient_once(const Circuit& circuit, const TransientO
   }
   const PoisonGuard poison(action == FaultInjector::Action::kNanResidual);
 
+  // Per-attempt wall-clock watchdog: a hung attempt becomes a rung failure.
+  const auto attempt_start = std::chrono::steady_clock::now();
+  const double watchdog =
+      options.watchdog_ms != 0.0 ? std::max(options.watchdog_ms, 0.0) : solve_watchdog_ms();
+  const auto elapsed_ms = [&attempt_start] {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     attempt_start)
+        .count();
+  };
+
+  if (action == FaultInjector::Action::kStall) {
+    // Injected hang: sleep in small slices so the watchdog and cancellation
+    // polls stay responsive, exactly as a real stuck solve would be handled.
+    const double stall = FaultInjector::instance().stall_ms();
+    while (elapsed_ms() < stall) {
+      flow::throw_if_cancelled();
+      if (watchdog > 0.0 && elapsed_ms() > watchdog) {
+        throw SolverError("transient",
+                          "watchdog: attempt exceeded " + util::format_fixed(watchdog, 1) +
+                              " ms wall-clock (injected stall)",
+                          "", 0.0, 0, sys.n_unknowns());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
   TransientResult result(probes, circuit.node_count());
 
   std::vector<double> v_prev_full = solve_dc(circuit, 0.0, options, ramp_sources_first);
@@ -443,6 +493,12 @@ TransientResult simulate_transient_once(const Circuit& circuit, const TransientO
   double dt = options.dt_initial_ps;
   std::vector<double> v_full;
   while (t < options.t_stop_ps - 1e-9) {
+    if (watchdog > 0.0 && elapsed_ms() > watchdog) {
+      throw SolverError("transient",
+                        "watchdog: attempt exceeded " + util::format_fixed(watchdog, 1) +
+                            " ms wall-clock",
+                        sys.last_failure_node(), t, 0, sys.n_unknowns());
+    }
     // Never step across a source breakpoint; land on it exactly.
     double dt_eff = std::min(dt, options.t_stop_ps - t);
     for (const auto& src : circuit.sources()) {

@@ -54,7 +54,19 @@ struct TransientOptions {
   double tol_i_ma = 1e-8;    ///< residual convergence tolerance [mA]
   double gmin_ma_per_v = 1e-6;  ///< leak conductance to ground for conditioning
   RetryPolicy retry{};       ///< convergence retry ladder (see above)
+  /// Per-attempt wall-clock watchdog [ms]. A transient attempt that runs
+  /// longer throws a SolverError, turning a hung solve into a retry-ladder
+  /// rung failure instead of an infinite stall. 0 defers to the process-wide
+  /// default (`solve_watchdog_ms()`, seeded from $RW_SOLVE_WATCHDOG_MS);
+  /// negative disables the watchdog outright.
+  double watchdog_ms = 0.0;
 };
+
+/// Process-wide default for `TransientOptions::watchdog_ms == 0`, lazily
+/// initialized from $RW_SOLVE_WATCHDOG_MS (0 = no watchdog). Tests and the
+/// chaos harness override it programmatically.
+double solve_watchdog_ms();
+void set_solve_watchdog_ms(double ms);
 
 /// One rung of the retry ladder, for post-mortem reporting.
 struct SolveAttempt {

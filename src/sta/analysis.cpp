@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "flow/cancel.hpp"
+
 namespace rw::sta {
 
 namespace {
@@ -137,7 +139,11 @@ void Sta::propagate() {
   }
 
   // Propagate through combinational instances in topological order.
+  std::size_t visited = 0;
   for (const int idx : adj_.comb_topo) {
+    // Cancellation poll, amortized: large designs make propagate() the
+    // longest serial section between parallel regions.
+    if ((++visited & 0xFFU) == 0U) flow::throw_if_cancelled();
     const auto& inst = instances[static_cast<std::size_t>(idx)];
     const liberty::Cell& cell = library_.at(inst.cell);
     const double load = load_ff_[static_cast<std::size_t>(inst.out)];

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "flow/cancel.hpp"
 #include "sta/analysis.hpp"
 #include "synth/decompose.hpp"
 
@@ -52,6 +53,7 @@ SynthesisResult synthesize(const Ir& ir, const liberty::Library& library,
 
   std::optional<SynthesisResult> best;
   for (const auto& m : starts) {
+    flow::throw_if_cancelled();
     SynthesisResult candidate = synthesize_one(graph, library, top_name, options, m);
     if (!best || candidate.cp_ps < best->cp_ps) best = std::move(candidate);
   }

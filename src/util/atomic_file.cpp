@@ -1,0 +1,59 @@
+#include "util/atomic_file.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace rw::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Unique temp sibling of `path`: pid distinguishes processes, the sequence
+/// counter distinguishes threads/writes within one process.
+std::string temp_sibling(const std::string& path) {
+  static std::atomic<unsigned> seq{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  std::error_code ec;
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  const std::string tmp = temp_sibling(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("write_file_atomic: cannot open " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      throw std::runtime_error("write_file_atomic: write failed for " + tmp);
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    throw std::runtime_error("write_file_atomic: rename to " + path + " failed: " + ec.message());
+  }
+}
+
+bool write_file_atomic_nothrow(const std::string& path, std::string_view content) noexcept {
+  try {
+    write_file_atomic(path, content);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace rw::util

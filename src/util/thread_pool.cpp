@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include "flow/cancel.hpp"
+
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -84,6 +86,7 @@ void ThreadPool::run_indices(Batch& batch) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.n) break;
     try {
+      flow::throw_if_cancelled();
       (*batch.body)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(batch.mutex);
@@ -110,6 +113,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     std::exception_ptr error;
     for (std::size_t i = 0; i < n; ++i) {
       try {
+        flow::throw_if_cancelled();
         body(i);
       } catch (...) {
         if (i < error_index) {

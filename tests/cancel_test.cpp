@@ -1,0 +1,227 @@
+/// Cooperative-cancellation layer: the process-wide CancelToken (requests,
+/// deadlines, env arming), the poll sites in ThreadPool::parallel_for, the
+/// per-solve wall-clock watchdog that turns injected stalls into retry-rung
+/// failures, and the factory's in-flight-dedup waiter, which must wake with
+/// a structured CancelledError instead of hanging when the leader is
+/// cancelled mid-characterization.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aging/scenario.hpp"
+#include "charlib/factory.hpp"
+#include "device/mosfet.hpp"
+#include "device/ptm45.hpp"
+#include "flow/cancel.hpp"
+#include "spice/fault.hpp"
+#include "spice/solver.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rw {
+namespace {
+
+spice::FaultInjector& injector() { return spice::FaultInjector::instance(); }
+
+/// Every test may trip the process-wide token / injector / watchdog; start
+/// and finish inert so a failing test cannot poison its neighbors.
+class CancelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flow::cancel_token().clear();
+    injector().disarm();
+    spice::set_solve_watchdog_ms(0.0);
+  }
+  void TearDown() override {
+    flow::cancel_token().clear();
+    injector().disarm();
+    spice::set_solve_watchdog_ms(0.0);
+    util::set_shared_thread_count(0);
+  }
+};
+
+/// The spice_test inverter bench: VDD-sourced CMOS inverter with a rising
+/// ramp on the input, 4 fF load on the output.
+spice::Circuit inverter_bench(spice::NodeId& in, spice::NodeId& out) {
+  const device::Technology& tech = device::ptm45();
+  spice::Circuit c;
+  const spice::NodeId vdd = c.add_node("vdd");
+  in = c.add_node("in");
+  out = c.add_node("out");
+  c.add_source(vdd, spice::Pwl::dc(tech.vdd_v));
+  c.add_source(in, spice::Pwl::ramp(50.0, 40.0, 0.0, tech.vdd_v));
+  c.add_mosfet(device::Mosfet(tech.pmos, 0.8), in, out, vdd);
+  c.add_mosfet(device::Mosfet(tech.nmos, 0.4), in, out, spice::kGround);
+  c.add_capacitor(out, spice::kGround, 4.0);
+  return c;
+}
+
+TEST_F(CancelTest, TokenFirstReasonWinsAndClearResets) {
+  flow::CancelToken& token = flow::cancel_token();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), "");
+  token.request("first");
+  EXPECT_TRUE(token.cancelled());
+  token.request("second");
+  EXPECT_EQ(token.reason(), "first");
+  try {
+    token.throw_if_cancelled();
+    FAIL() << "tripped token did not throw";
+  } catch (const flow::CancelledError& e) {
+    EXPECT_EQ(e.reason(), "first");
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos);
+  }
+  token.clear();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), "");
+  EXPECT_NO_THROW(token.throw_if_cancelled());
+}
+
+TEST_F(CancelTest, DeadlineTripsAndDisarms) {
+  flow::CancelToken& token = flow::cancel_token();
+  token.set_deadline_after_ms(1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_NE(token.reason().find("deadline"), std::string::npos);
+
+  token.clear();
+  token.set_deadline_after_ms(60000.0);
+  EXPECT_FALSE(token.cancelled());
+  token.set_deadline_after_ms(0.0);  // disarm
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST_F(CancelTest, InstallDeadlineFromEnv) {
+  ASSERT_EQ(setenv("RW_DEADLINE_MS", "1", 1), 0);
+  EXPECT_DOUBLE_EQ(flow::install_deadline_from_env(), 1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(flow::cancel_token().cancelled());
+  flow::cancel_token().clear();
+  ASSERT_EQ(unsetenv("RW_DEADLINE_MS"), 0);
+  EXPECT_DOUBLE_EQ(flow::install_deadline_from_env(), 0.0);
+  EXPECT_FALSE(flow::cancel_token().cancelled());
+}
+
+TEST_F(CancelTest, ParallelForPollsTheTokenOnEveryBody) {
+  // Both the worker path and the serial (one-thread) path must poll.
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{1}}) {
+    util::set_shared_thread_count(threads);
+    flow::cancel_token().clear();
+    flow::cancel_token().request("parallel_for test");
+    std::atomic<int> ran{0};
+    EXPECT_THROW(util::ThreadPool::shared().parallel_for(
+                     1000, [&](std::size_t) { ran.fetch_add(1); }),
+                 flow::CancelledError)
+        << threads << " thread(s)";
+    EXPECT_EQ(ran.load(), 0) << threads << " thread(s)";
+  }
+}
+
+TEST_F(CancelTest, StallActionIsConfigurable) {
+  injector().set_stall_ms(123.0);
+  EXPECT_DOUBLE_EQ(injector().stall_ms(), 123.0);
+  injector().arm_fail_nth(1, 1, spice::FaultInjector::Action::kStall);
+  EXPECT_EQ(injector().on_solve_attempt("anything"), spice::FaultInjector::Action::kStall);
+  EXPECT_EQ(injector().on_solve_attempt("anything"), spice::FaultInjector::Action::kNone);
+  injector().set_stall_ms(50.0);
+}
+
+TEST_F(CancelTest, WatchdogTurnsStallIntoRungFailureThenLadderRecovers) {
+  spice::NodeId in = -1;
+  spice::NodeId out = -1;
+  const spice::Circuit c = inverter_bench(in, out);
+  spice::TransientOptions opt;
+  opt.t_stop_ps = 500.0;
+  opt.watchdog_ms = 25.0;
+
+  // Rung 0 hangs (injected 300 ms stall) and is shot by the 25 ms watchdog;
+  // rung 1 runs clean SPICE and must still produce the switching waveform.
+  injector().set_stall_ms(300.0);
+  injector().arm_fail_nth(1, 1, spice::FaultInjector::Action::kStall);
+  const auto result = spice::simulate_transient(c, opt, {out});
+  EXPECT_NEAR(result.waveform(out).back_value(), 0.0, 0.05);
+  EXPECT_EQ(injector().injected_failures(), 1u);
+}
+
+TEST_F(CancelTest, WatchdogExhaustedLadderThrowsStructuredSolverError) {
+  spice::NodeId in = -1;
+  spice::NodeId out = -1;
+  const spice::Circuit c = inverter_bench(in, out);
+  spice::TransientOptions opt;
+  opt.t_stop_ps = 500.0;
+  opt.retry.max_retries = 1;
+  // Every rung stalls; arm via the process-wide default instead of the
+  // per-call option to cover the $RW_SOLVE_WATCHDOG_MS plumbing.
+  spice::set_solve_watchdog_ms(25.0);
+  injector().set_stall_ms(300.0);
+  injector().arm_fail_nth(1, 100, spice::FaultInjector::Action::kStall);
+  try {
+    (void)spice::simulate_transient(c, opt, {out});
+    FAIL() << "stalled ladder did not throw";
+  } catch (const spice::SolverError& e) {
+    EXPECT_EQ(e.stage(), "transient");
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+    EXPECT_EQ(e.attempts().size(), 2u);
+  }
+}
+
+TEST_F(CancelTest, StalledSolveHonorsCancellation) {
+  spice::NodeId in = -1;
+  spice::NodeId out = -1;
+  const spice::Circuit c = inverter_bench(in, out);
+  spice::TransientOptions opt;
+  opt.t_stop_ps = 500.0;
+  injector().set_stall_ms(10000.0);  // would hang for 10 s without the poll
+  injector().arm_fail_nth(1, 100, spice::FaultInjector::Action::kStall);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread canceller([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    flow::cancel_token().request("test cancel");
+  });
+  EXPECT_THROW((void)spice::simulate_transient(c, opt, {out}), flow::CancelledError);
+  canceller.join();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(elapsed_ms, 5000.0);  // cancelled long before the stall expires
+}
+
+TEST_F(CancelTest, FactoryWaiterWakesWithCancelledErrorWhenLeaderIsCancelled) {
+  // Satellite of the in-flight dedup table: a waiter blocked on a leader
+  // that never finishes (cancelled mid-solve) must not hang on the condition
+  // variable forever — it polls the token and throws CancelledError.
+  charlib::LibraryFactory::Options opts;
+  opts.characterize.grid = charlib::OpcGrid::single(60.0, 4.0);
+  opts.cache_dir.clear();
+  opts.cell_subset = {"INV_X1"};
+  charlib::LibraryFactory factory(opts);
+
+  injector().set_stall_ms(20000.0);  // leader parks in the stall loop
+  injector().arm_fail_nth(1, 100, spice::FaultInjector::Action::kStall);
+
+  std::atomic<int> cancelled_count{0};
+  const auto request_cell = [&] {
+    try {
+      (void)factory.cell("INV_X1", aging::AgingScenario::fresh());
+    } catch (const flow::CancelledError&) {
+      cancelled_count.fetch_add(1);
+    }
+  };
+  std::thread leader(request_cell);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // leader is in-flight
+  std::thread waiter(request_cell);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // waiter is blocked
+  flow::cancel_token().request("test cancel");
+  leader.join();
+  waiter.join();
+  EXPECT_EQ(cancelled_count.load(), 2);
+}
+
+}  // namespace
+}  // namespace rw

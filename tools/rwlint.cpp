@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "charlib/opc.hpp"
+#include "flow/orchestrator.hpp"
 #include "liberty/library.hpp"
 #include "liberty/parser.hpp"
 #include "lint/linter.hpp"
@@ -37,6 +38,8 @@ void print_usage(std::ostream& os) {
         "  --lib FILE       Liberty library to lint and resolve cells against (repeatable)\n"
         "  --fresh FILE     fresh baseline library (enables aged-vs-fresh checks)\n"
         "  --grid SPEC      expected OPC grid: 7x7 (paper), 3x3 (coarse), or none\n"
+        "  --flow-manifest FILE  check a flow checkpoint manifest against its\n"
+        "                   artifacts (FL001; repeatable)\n"
         "  --format FMT     output format: text (default) or json\n"
         "  --threads N      worker threads for parallel rule execution\n"
         "  --list-rules     print the rule catalog and exit\n"
@@ -71,6 +74,7 @@ struct Args {
   std::string grid;
   std::string format = "text";
   std::string explain;
+  std::vector<std::string> flow_manifests;
   std::vector<std::string> netlists;
   bool list = false;
   bool help = false;
@@ -98,6 +102,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = need_value(i, "--grid");
       if (v == nullptr) return false;
       args.grid = v;
+    } else if (a == "--flow-manifest") {
+      const char* v = need_value(i, "--flow-manifest");
+      if (v == nullptr) return false;
+      args.flow_manifests.emplace_back(v);
     } else if (a == "--format") {
       const char* v = need_value(i, "--format");
       if (v == nullptr) return false;
@@ -129,8 +137,8 @@ bool parse_args(int argc, char** argv, Args& args) {
     std::cerr << "rwlint: netlists need at least one --lib to resolve cells\n";
     return false;
   }
-  if (args.netlists.empty() && args.lib_paths.empty() && !args.list && !args.help &&
-      args.explain.empty()) {
+  if (args.netlists.empty() && args.lib_paths.empty() && args.flow_manifests.empty() &&
+      !args.list && !args.help && args.explain.empty()) {
     print_usage(std::cerr);
     return false;
   }
@@ -147,6 +155,8 @@ rw::lint::Diagnostic io_error(const std::string& path, const std::string& what) 
 }  // namespace
 
 int main(int argc, char** argv) {
+  rw::flow::install_signal_handlers();
+  rw::flow::install_deadline_from_env();
   rw::util::consume_thread_flag(argc, argv);
   Args args;
   if (!parse_args(argc, argv, args)) return kExitUsage;
@@ -228,6 +238,11 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       report.push_back(io_error(path, e.what()));
     }
+  }
+
+  // FL001: flow checkpoint manifests vs the artifacts they reference.
+  for (const auto& path : args.flow_manifests) {
+    append(rw::flow::lint_flow_manifest(path));
   }
 
   if (args.format == "json") {

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "flow/cancel.hpp"
 #include "liberty/library.hpp"
 #include "liberty/parser.hpp"
 #include "lint/linter.hpp"
@@ -234,6 +235,8 @@ int exit_code(const std::vector<rw::lint::Diagnostic>& diagnostics) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  rw::flow::install_signal_handlers();
+  rw::flow::install_deadline_from_env();
   rw::util::consume_thread_flag(argc, argv);
   Args args;
   if (!parse_args(argc, argv, args)) return kExitUsage;
