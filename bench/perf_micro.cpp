@@ -27,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "charlib/adaptive.hpp"
 #include "charlib/characterizer.hpp"
 #include "charlib/factory.hpp"
+#include "spice/stats.hpp"
 #include "cells/catalog.hpp"
 #include "circuits/benchmarks.hpp"
 #include "logicsim/simulator.hpp"
@@ -211,10 +213,17 @@ void write_perf_json(const std::string& path, std::size_t n_threads, std::size_t
   };
   std::fprintf(stderr, "perf baseline: characterization throughput at 1 vs %zu threads...\n",
                n_threads);
+  // Solver/adaptive counters are scoped to the measured studies, making the
+  // perf numbers attributable (how many Newton iterations ran, how often the
+  // warm start hit, how many solves interpolation avoided entirely).
+  spice::reset_solver_counters();
+  charlib::reset_adaptive_counters();
   const Row rows[] = {
       {"char_cell_49opc", char_cell_ms(1), char_cell_ms(n_threads)},
       {"char_library", char_library_ms(1, json_cells), char_library_ms(n_threads, json_cells)},
   };
+  const spice::SolverCounters sc = spice::solver_counters();
+  const charlib::AdaptiveCounters ac = charlib::adaptive_counters();
   util::set_shared_thread_count(0);
 
   const auto appendf = [](std::string& s, const char* fmt, auto... args) {
@@ -236,6 +245,43 @@ void write_perf_json(const std::string& path, std::size_t n_threads, std::size_t
             r.name, r.ms_1t, r.ms_nt, r.ms_nt > 0.0 ? r.ms_1t / r.ms_nt : 0.0,
             i + 1 < std::size(rows) ? "," : "");
   }
+  appendf(json, "  },\n");
+  // Pre-optimization reference (dense per-iteration FD-Jacobian solves,
+  // nested per-cell parallel_for), measured on the same 59-cell catalog:
+  // the denominator for this PR's >=5x char_library acceptance gate.
+  appendf(json,
+          "  \"before_sparse_workspace\": {\n"
+          "    \"char_cell_49opc_wall_ms_1t\": 105.0,\n"
+          "    \"char_library_wall_ms_1t\": 33300.0,\n"
+          "    \"char_library_speedup_nt\": 0.994\n"
+          "  },\n");
+  const std::uint64_t warm_total = sc.warm_start_hits + sc.warm_start_misses;
+  appendf(json, "  \"solver_counters\": {\n");
+  appendf(json, "    \"newton_iterations\": %llu,\n",
+          static_cast<unsigned long long>(sc.newton_iterations));
+  appendf(json, "    \"factorizations\": %llu,\n",
+          static_cast<unsigned long long>(sc.factorizations));
+  appendf(json, "    \"dense_fallbacks\": %llu,\n",
+          static_cast<unsigned long long>(sc.dense_fallbacks));
+  appendf(json, "    \"dc_solves\": %llu,\n", static_cast<unsigned long long>(sc.dc_solves));
+  appendf(json, "    \"transient_attempts\": %llu,\n",
+          static_cast<unsigned long long>(sc.transient_attempts));
+  appendf(json, "    \"warm_start_hits\": %llu,\n",
+          static_cast<unsigned long long>(sc.warm_start_hits));
+  appendf(json, "    \"warm_start_misses\": %llu,\n",
+          static_cast<unsigned long long>(sc.warm_start_misses));
+  appendf(json, "    \"warm_start_hit_rate\": %.4f,\n",
+          warm_total > 0 ? static_cast<double>(sc.warm_start_hits) / warm_total : 0.0);
+  appendf(json, "    \"workspace_builds\": %llu,\n",
+          static_cast<unsigned long long>(sc.workspace_builds));
+  appendf(json, "    \"workspace_reuses\": %llu,\n",
+          static_cast<unsigned long long>(sc.workspace_reuses));
+  appendf(json, "    \"cells_interpolated\": %llu,\n",
+          static_cast<unsigned long long>(ac.cells_interpolated));
+  appendf(json, "    \"corners_refined\": %llu,\n",
+          static_cast<unsigned long long>(ac.corners_refined));
+  appendf(json, "    \"solves_avoided_by_interp\": %llu\n",
+          static_cast<unsigned long long>(ac.solves_avoided_by_interp));
   appendf(json, "  }\n}\n");
   if (!util::write_file_atomic_nothrow(path, json)) {
     std::fprintf(stderr, "perf baseline: cannot write %s\n", path.c_str());

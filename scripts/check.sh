@@ -38,6 +38,26 @@ RWSTRESS="$BUILD_DIR/tools/rwstress"
 diff "$BUILD_DIR/rwstress.1t.out" "$BUILD_DIR/rwstress.nt.out"
 echo "rwstress output bitwise identical at 1 vs $JOBS threads"
 
+echo "== perf smoke: flattened characterization must scale across threads =="
+# The flattened (scenario × cell × arc × OPC) scheduler plus the
+# structure-reusing solver: an N-thread library characterization must beat
+# 1 thread by >1.5x. Only demonstrable with >=2 cores; single-core runners
+# still exercise the path (and the counters) but skip the ratio gate.
+PERF_MICRO="$BUILD_DIR/bench/perf_micro"
+"$PERF_MICRO" --json-only --threads "$JOBS" --json-cells=8 \
+  --json-out="$BUILD_DIR/perf_smoke.json"
+SPEEDUP="$(sed -n 's/.*"char_library".*"speedup": \([0-9.]*\).*/\1/p' \
+  "$BUILD_DIR/perf_smoke.json")"
+echo "char_library speedup at $JOBS thread(s): ${SPEEDUP}x"
+if [[ "$JOBS" -ge 2 ]]; then
+  if ! awk -v s="$SPEEDUP" 'BEGIN{exit !(s > 1.5)}'; then
+    echo "error: char_library $JOBS-thread speedup ${SPEEDUP}x <= 1.5x" >&2
+    exit 1
+  fi
+else
+  echo "single core: thread-speedup ratio gate skipped (needs >= 2 cores)"
+fi
+
 echo "== chaos: fixed-seed campaign in the plain tree =="
 # Crash-only contract drill: every seeded trial (solver faults, deadlines,
 # SIGKILL at stage boundaries) must either complete correctly or fail with
@@ -57,10 +77,15 @@ if [[ "${RW_SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "$TSAN_DIR" -S . -DRW_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$JOBS" --target \
     resilience_test thread_pool_test stress_test \
-    cancel_test orchestrator_test flow_resume_test rwchaos
+    cancel_test orchestrator_test flow_resume_test rwchaos \
+    perf_smoke_test adaptive_grid_test
   ctest --test-dir "$TSAN_DIR" -L resilience --output-on-failure -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" -L stress --output-on-failure -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" -L chaos --output-on-failure
+  # The workspace-reuse solve path and the flattened batch scheduler are
+  # the new concurrency surfaces: thread-local workspace caches, the shared
+  # once-per-arc DC seed, and the batch's per-item error slots.
+  ctest --test-dir "$TSAN_DIR" -L perf --output-on-failure -j "$JOBS"
 else
   echo "RW_SKIP_TSAN=1; skipping"
 fi

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file adaptive.hpp
+/// Error-bounded adaptive λ-corner grid.
+///
+/// The paper's full sweep characterizes every (λp, λn) corner on an 11×11
+/// 0.1-step grid — 121 SPICE campaigns. Aging response along each λ axis is
+/// monotone (more stress never makes a BTI-degraded cell faster, and the
+/// Fig. 1(b) anomaly is monotone in the opposite direction), so intermediate
+/// corners can be served by bilinear interpolation between a *sparse*
+/// characterized lattice with a certified error bound: the true value lies
+/// within the bracketing corners' value range, hence
+///   |error| <= max(v_interp - min_corner, max_corner - v_interp)
+/// per table entry. A corner whose bound exceeds the flow tolerance is
+/// refined — characterized directly — so accuracy is never silently traded.
+///
+/// `LibraryFactory` owns the policy (which corners to characterize, when to
+/// refine, how to key the cache); this module provides the deterministic
+/// lattice geometry and the certified interpolation itself.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aging/scenario.hpp"
+#include "liberty/library.hpp"
+
+namespace rw::charlib {
+
+/// Process-wide adaptive-grid counters (relaxed atomics, diagnostics only;
+/// `bench/perf_micro` emits them into BENCH_perf.json next to the solver
+/// counters).
+struct AdaptiveCounters {
+  std::uint64_t cells_interpolated = 0;        ///< cells served without SPICE
+  std::uint64_t corners_refined = 0;           ///< bound > tol -> direct characterization
+  std::uint64_t solves_avoided_by_interp = 0;  ///< grid tasks interpolation replaced
+};
+AdaptiveCounters adaptive_counters();
+void reset_adaptive_counters();
+namespace stats {
+void add_cell_interpolated(std::uint64_t solves_avoided);
+void add_corner_refined();
+}  // namespace stats
+
+/// Knobs for the adaptive λ lattice, env-seeded so flows opt in without
+/// code changes ($RW_CHAR_ADAPTIVE, $RW_CHAR_INTERP_TOL_PS,
+/// $RW_CHAR_LATTICE_STEP).
+struct AdaptiveGridOptions {
+  bool enabled = false;        ///< serve off-lattice corners by interpolation
+  double interp_tol_ps = 2.0;  ///< refine when the certified bound exceeds this
+  double lattice_step = 0.2;   ///< characterized-lattice pitch on the λ axes
+
+  static AdaptiveGridOptions from_env();
+
+  /// Cache-key component: interpolated results are only valid for one
+  /// (step, tolerance) policy, so the disk cache is keyed on it. Empty when
+  /// disabled (bit-compatible with pre-adaptive cache layouts).
+  [[nodiscard]] std::string cache_tag() const;
+
+  [[nodiscard]] bool operator==(const AdaptiveGridOptions&) const = default;
+};
+
+/// True when the scenario's (λp, λn) lies on the sparse characterized
+/// lattice (multiples of `step`, within quantization tolerance). Fresh
+/// scenarios are always lattice points (they are characterized directly).
+[[nodiscard]] bool on_lattice(const aging::AgingScenario& scenario, double step);
+
+/// The distinct lattice scenarios bracketing a target corner, with bilinear
+/// weights (deterministic order: λn varies fastest, low before high; weights
+/// sum to 1). A target on the lattice brackets to itself with weight 1.
+/// Corner scenarios inherit years/include_mobility from the target, so they
+/// are themselves characterizable scenarios.
+struct LatticeBracket {
+  std::vector<aging::AgingScenario> corners;  ///< 1, 2, or 4 entries
+  std::vector<double> weights;
+  double lambda_p_lo = 0.0;
+  double lambda_p_hi = 0.0;
+  double lambda_n_lo = 0.0;
+  double lambda_n_hi = 0.0;
+};
+[[nodiscard]] LatticeBracket lattice_bracket(const aging::AgingScenario& target, double step);
+
+/// A λ-interpolated cell plus its certified worst-case error bound.
+struct InterpolatedCell {
+  liberty::Cell cell;
+  double bound_ps = 0.0;
+};
+
+/// Bilinearly interpolates every numeric timing quantity (NLDM delay/slew
+/// entries, setup/hold) of structurally identical corner cells and computes
+/// the certified bound (max over entries). `corners[i]` corresponds to
+/// `bracket.corners[i]`. The result carries an `InterpMarker` and the union
+/// of the corners' fallback points (interpolation from second-class data
+/// stays visibly second-class).
+/// \throws std::invalid_argument when corner cells disagree structurally.
+[[nodiscard]] InterpolatedCell interpolate_cell(const LatticeBracket& bracket,
+                                                const std::vector<const liberty::Cell*>& corners);
+
+}  // namespace rw::charlib

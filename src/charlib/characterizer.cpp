@@ -1,8 +1,9 @@
 #include "charlib/characterizer.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -11,6 +12,7 @@
 #include "spice/fault.hpp"
 #include "spice/measure.hpp"
 #include "spice/solver.hpp"
+#include "spice/stats.hpp"
 #include "util/interp.hpp"
 #include "util/thread_pool.hpp"
 
@@ -78,18 +80,16 @@ struct Measurement {
   double slew_ps;
 };
 
-/// Runs one transient and measures the output edge, growing the settle
-/// window on failure.
-Measurement run_and_measure(const std::function<Circuit(double window_ps)>& build,
-                            NodeId out_node, double input_t50_ps, bool out_rising, double vdd,
-                            double base_window_ps, const std::string& what,
-                            const spice::RetryPolicy& retry) {
+/// Runs one transient on a pre-built circuit and measures the output edge,
+/// growing the settle window (t_stop only — the circuit itself is
+/// window-independent, so it is never rebuilt) on failure.
+Measurement run_and_measure(const Circuit& circuit, NodeId out_node, double input_t50_ps,
+                            bool out_rising, double vdd, double base_window_ps,
+                            const std::string& what, const spice::TransientOptions& topt_base) {
   double window = base_window_ps;
   for (int attempt = 0; attempt < 3; ++attempt) {
-    const Circuit circuit = build(window);
-    spice::TransientOptions topt;
+    spice::TransientOptions topt = topt_base;
     topt.t_stop_ps = window;
-    topt.retry = retry;
     const auto result = spice::simulate_transient(circuit, topt, {out_node});
     const auto timing =
         spice::measure_edge(result.waveform(out_node), input_t50_ps, out_rising, vdd);
@@ -194,6 +194,38 @@ Circuit build_comb_bench(const CellSpec& spec, const aging::AgingScenario& scena
     }
   }
   out_node = append_cell_instance(c, spec, scenario, options, "u:", vdd_node, bindings);
+  if (load_ff > 0.0) c.add_capacitor(out_node, spice::kGround, load_ff);
+  return c;
+}
+
+/// Flop bench: two clock pulses; the second (measured) rising edge captures a
+/// D value opposite to the initial state so Q transitions.
+Circuit build_flop_bench(const CellSpec& spec, const aging::AgingScenario& scenario,
+                         const CharacterizeOptions& options, bool q_rising, double ck_slew_ps,
+                         double load_ff, double d_edge_ps, double ck_edge_ps, NodeId& out_node) {
+  const double vdd = options.tech.vdd_v;
+  const double v_target = q_rising ? vdd : 0.0;
+  const double v_init = q_rising ? 0.0 : vdd;
+  Circuit c;
+  const NodeId vdd_node = c.add_node("VDD");
+  c.add_source(vdd_node, Pwl::dc(vdd));
+  const NodeId d_node = c.add_node("D");
+  const NodeId ck_node = c.add_node("CK");
+
+  // D: holds the initial value through the first clock pulse, then flips.
+  c.add_source(d_node, Pwl{{{0.0, v_init}, {d_edge_ps, v_init}, {d_edge_ps + 25.0, v_target}}});
+  // CK: first fast pulse loads Q=init; measured slewed rise at ck_edge_ps.
+  const double full = ck_slew_ps / 0.8;
+  c.add_source(ck_node, Pwl{{{0.0, 0.0},
+                             {50.0, 0.0},
+                             {75.0, vdd},
+                             {350.0, vdd},
+                             {375.0, 0.0},
+                             {ck_edge_ps, 0.0},
+                             {ck_edge_ps + full, vdd}}});
+
+  out_node = append_cell_instance(c, spec, scenario, options, "u:", vdd_node,
+                                  {{"D", d_node}, {"CK", ck_node}});
   if (load_ff > 0.0) c.add_capacitor(out_node, spice::kGround, load_ff);
   return c;
 }
@@ -343,127 +375,35 @@ void interpolate_failed_points(const OpcGrid& grid, GridSweep& sweep, const std:
   }
 }
 
-liberty::TimingTable characterize_comb_arc(const CellSpec& spec,
-                                           const aging::AgingScenario& scenario,
-                                           const CharacterizeOptions& options, const ArcRun& run,
-                                           std::vector<liberty::FallbackPoint>& fallbacks) {
-  const double t_start = 20.0;
-  const std::size_t n_loads = options.grid.loads_ff.size();
-  const std::string scenario_id = scenario.id();
-  // Grid points are independent transients: fan them over the pool, each
-  // writing only its own pre-sized slot so the tables are bitwise identical
-  // for any thread count.
-  GridSweep sweep(options.grid.size());
-  util::ThreadPool::shared().parallel_for(options.grid.size(), [&](std::size_t i) {
-    const double slew = options.grid.slews_ps[i / n_loads];
-    const double load = options.grid.loads_ff[i % n_loads];
-    const spice::FaultInjector::ScopedContext fault_ctx(
-        "cell=" + spec.name + " arc=" + run.pin + " dir=" + (run.out_rising ? "rise" : "fall") +
-        " opc=" + std::to_string(i) + " scenario=" + scenario_id);
-    // Node ids are deterministic across rebuilds; learn the output id once.
-    NodeId out_node = -1;
-    (void)build_comb_bench(spec, scenario, options, run, slew, load, t_start, out_node);
-    const double ramp_full = slew / 0.8;
-    const double window = t_start + ramp_full + 600.0 + 25.0 * load;
-    const double t50_in = t_start + 0.5 * ramp_full;
-    try {
-      const auto m = run_and_measure(
-          [&](double) {
-            NodeId dummy = -1;
-            return build_comb_bench(spec, scenario, options, run, slew, load, t_start, dummy);
-          },
-          out_node, t50_in, run.out_rising, options.tech.vdd_v, window,
-          spec.name + "/" + run.pin + (run.out_rising ? " rise" : " fall"), options.retry);
-      sweep.delays[i] = m.delay_ps;
-      sweep.slews[i] = m.slew_ps;
-    } catch (const spice::SolverError& e) {
-      sweep.failed[i] = 1;
-      sweep.errors[i] = e.what();
-    }
-  });
-  interpolate_failed_points(options.grid, sweep, spec.name, run.pin, run.out_rising, scenario_id,
-                            fallbacks);
-  return make_table(options.grid, sweep.delays, sweep.slews);
-}
+/// One characterized arc direction: its grid sweep plus the shared t=0
+/// operating point every grid task warm-starts from. The DC solution is
+/// slew- and load-independent (sources hold their t=0 value and capacitors
+/// are open at DC), so one cold solve per arc seeds all grid points; because
+/// its value does not depend on which task computes it, results stay bitwise
+/// identical across thread counts and task orders.
+struct ArcGroup {
+  std::string related_pin;     ///< fallback/table attribution ("CK" for flops)
+  bool rising = true;          ///< output transition direction
+  std::optional<ArcRun> run;   ///< combinational sensitization (nullopt = flop arc)
+  std::size_t pin_index = 0;   ///< index into spec.inputs (combinational only)
+  GridSweep sweep;
+  std::once_flag dc_once;
+  std::vector<double> dc_seed;  ///< full node voltages at t=0; empty = cold
 
-/// Flop bench: two clock pulses; the second (measured) rising edge captures a
-/// D value opposite to the initial state so Q transitions.
-Circuit build_flop_bench(const CellSpec& spec, const aging::AgingScenario& scenario,
-                         const CharacterizeOptions& options, bool q_rising, double ck_slew_ps,
-                         double load_ff, double d_edge_ps, double ck_edge_ps, NodeId& out_node) {
-  const double vdd = options.tech.vdd_v;
-  const double v_target = q_rising ? vdd : 0.0;
-  const double v_init = q_rising ? 0.0 : vdd;
-  Circuit c;
-  const NodeId vdd_node = c.add_node("VDD");
-  c.add_source(vdd_node, Pwl::dc(vdd));
-  const NodeId d_node = c.add_node("D");
-  const NodeId ck_node = c.add_node("CK");
-
-  // D: holds the initial value through the first clock pulse, then flips.
-  c.add_source(d_node, Pwl{{{0.0, v_init}, {d_edge_ps, v_init}, {d_edge_ps + 25.0, v_target}}});
-  // CK: first fast pulse loads Q=init; measured slewed rise at ck_edge_ps.
-  const double full = ck_slew_ps / 0.8;
-  c.add_source(ck_node, Pwl{{{0.0, 0.0},
-                             {50.0, 0.0},
-                             {75.0, vdd},
-                             {350.0, vdd},
-                             {375.0, 0.0},
-                             {ck_edge_ps, 0.0},
-                             {ck_edge_ps + full, vdd}}});
-
-  out_node = append_cell_instance(c, spec, scenario, options, "u:", vdd_node,
-                                  {{"D", d_node}, {"CK", ck_node}});
-  if (load_ff > 0.0) c.add_capacitor(out_node, spice::kGround, load_ff);
-  return c;
-}
-
-liberty::TimingTable characterize_flop_arc(const CellSpec& spec,
-                                           const aging::AgingScenario& scenario,
-                                           const CharacterizeOptions& options, bool q_rising,
-                                           std::vector<liberty::FallbackPoint>& fallbacks) {
-  const std::size_t n_loads = options.grid.loads_ff.size();
-  const std::string scenario_id = scenario.id();
-  GridSweep sweep(options.grid.size());
-  util::ThreadPool::shared().parallel_for(options.grid.size(), [&](std::size_t i) {
-    const double ck_slew = options.grid.slews_ps[i / n_loads];
-    const double load = options.grid.loads_ff[i % n_loads];
-    const double d_edge = 500.0;
-    const double ck_edge = 900.0;
-    const spice::FaultInjector::ScopedContext fault_ctx(
-        "cell=" + spec.name + " arc=CK dir=" + (q_rising ? "rise" : "fall") +
-        " opc=" + std::to_string(i) + " scenario=" + scenario_id);
-    NodeId out_node = -1;
-    (void)build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge, ck_edge,
-                           out_node);
-    const double full = ck_slew / 0.8;
-    const double t50_ck = ck_edge + 0.5 * full;
-    const double window = ck_edge + full + 600.0 + 25.0 * load;
-    try {
-      const auto m = run_and_measure(
-          [&](double) {
-            NodeId dummy = -1;
-            return build_flop_bench(spec, scenario, options, q_rising, ck_slew, load, d_edge,
-                                    ck_edge, dummy);
-          },
-          out_node, t50_ck, q_rising, options.tech.vdd_v, window,
-          spec.name + std::string("/CK->Q ") + (q_rising ? "rise" : "fall"), options.retry);
-      sweep.delays[i] = m.delay_ps;
-      sweep.slews[i] = m.slew_ps;
-    } catch (const spice::SolverError& e) {
-      sweep.failed[i] = 1;
-      sweep.errors[i] = e.what();
-    }
-  });
-  interpolate_failed_points(options.grid, sweep, spec.name, "CK", q_rising, scenario_id,
-                            fallbacks);
-  return make_table(options.grid, sweep.delays, sweep.slews);
-}
+  ArcGroup(std::string pin, bool out_rising, std::optional<ArcRun> arc_run, std::size_t pin_idx,
+           std::size_t grid_size)
+      : related_pin(std::move(pin)),
+        rising(out_rising),
+        run(std::move(arc_run)),
+        pin_index(pin_idx),
+        sweep(grid_size) {}
+};
 
 /// Setup time by bisection: the smallest D-before-CK interval that still
-/// captures the new value.
+/// captures the new value. Warm-started from the shared rise-arc DC seed
+/// (the flop bench's t=0 state is d_edge-independent).
 double characterize_setup(const CellSpec& spec, const aging::AgingScenario& scenario,
-                          const CharacterizeOptions& options) {
+                          const CharacterizeOptions& options, const std::vector<double>* seed) {
   const double vdd = options.tech.vdd_v;
   const double ck_edge = 900.0;
   const spice::FaultInjector::ScopedContext fault_ctx("cell=" + spec.name + " setup-search" +
@@ -477,6 +417,7 @@ double characterize_setup(const CellSpec& spec, const aging::AgingScenario& scen
     spice::TransientOptions topt;
     topt.t_stop_ps = ck_edge + 700.0;
     topt.retry = options.retry;
+    topt.initial_state = (seed != nullptr && !seed->empty()) ? seed : nullptr;
     const auto result = spice::simulate_transient(c, topt, {out_node});
     return result.waveform(out_node).back_value() > 0.5 * vdd;
   };
@@ -494,69 +435,197 @@ double characterize_setup(const CellSpec& spec, const aging::AgingScenario& scen
 
 }  // namespace
 
-liberty::Cell characterize_cell(const CellSpec& spec, const aging::AgingScenario& scenario,
-                                const CharacterizeOptions& options) {
-  liberty::Cell cell;
-  cell.name = spec.name;
-  cell.family = spec.family;
-  cell.drive_x = spec.drive_x;
-  cell.area_um2 = cells::cell_area_um2(spec, options.tech);
-  cell.is_flop = spec.is_flop;
-  cell.output_pin = spec.output;
+struct CellCharJob::Impl {
+  CellSpec spec;
+  aging::AgingScenario scenario;
+  CharacterizeOptions options;
+  std::string scenario_id;
+  std::size_t n_loads = 0;
+  std::size_t grid_size = 0;
+  /// deque: ArcGroup holds a once_flag and must never relocate.
+  std::deque<ArcGroup> groups;
 
-  for (const auto& pin : spec.inputs) {
-    liberty::Pin p;
-    p.name = pin;
-    p.is_input = true;
-    p.is_clock = spec.is_flop && pin == "CK";
-    p.cap_ff = cells::pin_input_cap_ff(spec, options.tech, pin);
-    cell.pins.push_back(std::move(p));
-  }
-  liberty::Pin out;
-  out.name = spec.output;
-  out.is_input = false;
-  cell.pins.push_back(std::move(out));
-
-  if (spec.is_flop) {
-    liberty::TimingArc arc;
-    arc.related_pin = "CK";
-    arc.sense = liberty::TimingSense::kNonUnate;
-    arc.clocked = true;
-    arc.rise = characterize_flop_arc(spec, scenario, options, /*q_rising=*/true, cell.fallbacks);
-    arc.fall = characterize_flop_arc(spec, scenario, options, /*q_rising=*/false, cell.fallbacks);
-    cell.arcs.push_back(std::move(arc));
-    try {
-      cell.setup_ps = characterize_setup(spec, scenario, options);
-    } catch (const spice::SolverError& e) {
-      // The setup bisection has no grid to interpolate from; surface the
-      // solver chain with the (cell, scenario) tag for the quarantine.
-      throw CharError(spec.name, "setup-search scenario=" + scenario.id(), e.what());
+  Impl(const CellSpec& s, const aging::AgingScenario& sc, const CharacterizeOptions& opt)
+      : spec(s), scenario(sc), options(opt), scenario_id(sc.id()) {
+    n_loads = options.grid.loads_ff.size();
+    grid_size = options.grid.size();
+    if (spec.is_flop) {
+      groups.emplace_back("CK", true, std::nullopt, 0, grid_size);
+      groups.emplace_back("CK", false, std::nullopt, 0, grid_size);
+      return;
     }
-    cell.hold_ps = 0.0;
+    // Group order mirrors assembly order (per pin: rise then fall), keeping
+    // Cell::fallbacks ordering identical to the sequential characterizer.
+    for (std::size_t p = 0; p < spec.inputs.size(); ++p) {
+      for (const bool out_rising : {true, false}) {
+        if (auto run = find_sensitization(spec, spec.inputs[p], out_rising)) {
+          groups.emplace_back(spec.inputs[p], out_rising, std::move(run), p, grid_size);
+        }
+      }
+    }
+  }
+
+  /// Shared per-arc DC operating point; `circuit` is any grid point's bench
+  /// for this arc (their t=0 states are identical). Failures leave the seed
+  /// empty — every task then falls back to the cold in-transient DC chain.
+  const std::vector<double>* arc_dc_seed(ArcGroup& grp, const Circuit& circuit) {
+    if (!options.warm_start_dc) return nullptr;
+    std::call_once(grp.dc_once, [&] {
+      try {
+        spice::TransientOptions topt;
+        topt.retry = options.retry;
+        grp.dc_seed = spice::dc_operating_point(circuit, 0.0, topt);
+      } catch (...) {
+        grp.dc_seed.clear();
+      }
+    });
+    return grp.dc_seed.empty() ? nullptr : &grp.dc_seed;
+  }
+
+  void run_grid_point(ArcGroup& grp, std::size_t i) {
+    const double slew = options.grid.slews_ps[i / n_loads];
+    const double load = options.grid.loads_ff[i % n_loads];
+    const spice::FaultInjector::ScopedContext fault_ctx(
+        "cell=" + spec.name + " arc=" + grp.related_pin +
+        " dir=" + (grp.rising ? "rise" : "fall") + " opc=" + std::to_string(i) +
+        " scenario=" + scenario_id);
+
+    NodeId out_node = -1;
+    Circuit circuit;
+    double t50_in = 0.0;
+    double window = 0.0;
+    std::string what;
+    if (grp.run.has_value()) {
+      const double t_start = 20.0;
+      circuit = build_comb_bench(spec, scenario, options, *grp.run, slew, load, t_start,
+                                 out_node);
+      const double ramp_full = slew / 0.8;
+      window = t_start + ramp_full + 600.0 + 25.0 * load;
+      t50_in = t_start + 0.5 * ramp_full;
+      what = spec.name + "/" + grp.related_pin + (grp.rising ? " rise" : " fall");
+    } else {
+      const double d_edge = 500.0;
+      const double ck_edge = 900.0;
+      circuit = build_flop_bench(spec, scenario, options, grp.rising, slew, load, d_edge,
+                                 ck_edge, out_node);
+      const double full = slew / 0.8;
+      t50_in = ck_edge + 0.5 * full;
+      window = ck_edge + full + 600.0 + 25.0 * load;
+      what = spec.name + std::string("/CK->Q ") + (grp.rising ? "rise" : "fall");
+    }
+
+    spice::TransientOptions topt;
+    topt.retry = options.retry;
+    topt.initial_state = arc_dc_seed(grp, circuit);
+    try {
+      const auto m = run_and_measure(circuit, out_node, t50_in, grp.rising, options.tech.vdd_v,
+                                     window, what, topt);
+      grp.sweep.delays[i] = m.delay_ps;
+      grp.sweep.slews[i] = m.slew_ps;
+    } catch (const spice::SolverError& e) {
+      grp.sweep.failed[i] = 1;
+      grp.sweep.errors[i] = e.what();
+    }
+  }
+
+  liberty::Cell assemble() {
+    liberty::Cell cell;
+    cell.name = spec.name;
+    cell.family = spec.family;
+    cell.drive_x = spec.drive_x;
+    cell.area_um2 = cells::cell_area_um2(spec, options.tech);
+    cell.is_flop = spec.is_flop;
+    cell.output_pin = spec.output;
+
+    for (const auto& pin : spec.inputs) {
+      liberty::Pin p;
+      p.name = pin;
+      p.is_input = true;
+      p.is_clock = spec.is_flop && pin == "CK";
+      p.cap_ff = cells::pin_input_cap_ff(spec, options.tech, pin);
+      cell.pins.push_back(std::move(p));
+    }
+    liberty::Pin out;
+    out.name = spec.output;
+    out.is_input = false;
+    cell.pins.push_back(std::move(out));
+
+    const auto finish_group = [&](ArcGroup& grp) {
+      interpolate_failed_points(options.grid, grp.sweep, spec.name, grp.related_pin, grp.rising,
+                                scenario_id, cell.fallbacks);
+      return make_table(options.grid, grp.sweep.delays, grp.sweep.slews);
+    };
+
+    if (spec.is_flop) {
+      liberty::TimingArc arc;
+      arc.related_pin = "CK";
+      arc.sense = liberty::TimingSense::kNonUnate;
+      arc.clocked = true;
+      arc.rise = finish_group(groups[0]);
+      arc.fall = finish_group(groups[1]);
+      cell.arcs.push_back(std::move(arc));
+      try {
+        // The rise arc's shared DC equals the setup bench's t=0 state
+        // (q_rising=true, and the DC point is d_edge/slew/load independent).
+        const std::vector<double>* seed =
+            groups[0].dc_seed.empty() ? nullptr : &groups[0].dc_seed;
+        cell.setup_ps = characterize_setup(spec, scenario, options, seed);
+      } catch (const spice::SolverError& e) {
+        // The setup bisection has no grid to interpolate from; surface the
+        // solver chain with the (cell, scenario) tag for the quarantine.
+        throw CharError(spec.name, "setup-search scenario=" + scenario_id, e.what());
+      }
+      cell.hold_ps = 0.0;
+      return cell;
+    }
+
+    cell.truth = cells::truth_table(spec);
+    auto group_it = groups.begin();
+    for (std::size_t p = 0; p < spec.inputs.size(); ++p) {
+      liberty::TimingArc arc;
+      arc.related_pin = spec.inputs[p];
+      const int unate = cells::arc_unateness(spec, spec.inputs[p]);
+      arc.sense = unate > 0   ? liberty::TimingSense::kPositiveUnate
+                  : unate < 0 ? liberty::TimingSense::kNegativeUnate
+                              : liberty::TimingSense::kNonUnate;
+      bool any = false;
+      while (group_it != groups.end() && group_it->pin_index == p) {
+        (group_it->rising ? arc.rise : arc.fall) = finish_group(*group_it);
+        any = true;
+        ++group_it;
+      }
+      if (!any) {
+        throw std::runtime_error("characterize_cell: pin " + spec.inputs[p] + " of " + spec.name +
+                                 " cannot be sensitized");
+      }
+      cell.arcs.push_back(std::move(arc));
+    }
     return cell;
   }
+};
 
-  cell.truth = cells::truth_table(spec);
-  for (const auto& pin : spec.inputs) {
-    liberty::TimingArc arc;
-    arc.related_pin = pin;
-    const int unate = cells::arc_unateness(spec, pin);
-    arc.sense = unate > 0   ? liberty::TimingSense::kPositiveUnate
-                : unate < 0 ? liberty::TimingSense::kNegativeUnate
-                            : liberty::TimingSense::kNonUnate;
-    if (const auto run = find_sensitization(spec, pin, /*out_rising=*/true)) {
-      arc.rise = characterize_comb_arc(spec, scenario, options, *run, cell.fallbacks);
-    }
-    if (const auto run = find_sensitization(spec, pin, /*out_rising=*/false)) {
-      arc.fall = characterize_comb_arc(spec, scenario, options, *run, cell.fallbacks);
-    }
-    if (arc.rise.empty() && arc.fall.empty()) {
-      throw std::runtime_error("characterize_cell: pin " + pin + " of " + spec.name +
-                               " cannot be sensitized");
-    }
-    cell.arcs.push_back(std::move(arc));
-  }
-  return cell;
+CellCharJob::CellCharJob(const CellSpec& spec, const aging::AgingScenario& scenario,
+                         const CharacterizeOptions& options)
+    : impl_(std::make_unique<Impl>(spec, scenario, options)) {}
+
+CellCharJob::~CellCharJob() = default;
+
+std::size_t CellCharJob::task_count() const { return impl_->groups.size() * impl_->grid_size; }
+
+void CellCharJob::run_task(std::size_t task) {
+  const std::size_t g = task / impl_->grid_size;
+  const std::size_t i = task % impl_->grid_size;
+  impl_->run_grid_point(impl_->groups[g], i);
+}
+
+liberty::Cell CellCharJob::finish() { return impl_->assemble(); }
+
+liberty::Cell characterize_cell(const CellSpec& spec, const aging::AgingScenario& scenario,
+                                const CharacterizeOptions& options) {
+  CellCharJob job(spec, scenario, options);
+  util::ThreadPool::shared().parallel_for(job.task_count(),
+                                          [&](std::size_t i) { job.run_task(i); });
+  return job.finish();
 }
 
 }  // namespace rw::charlib

@@ -14,12 +14,25 @@
 /// degrades one table entry instead of aborting the campaign. Only when an
 /// arc has no converged point at all does characterization fail, as a
 /// `CharError` tagged with (cell, arc, OPC, scenario).
+///
+/// Performance: a cell's work is exposed as a `CellCharJob` — a flat,
+/// deterministic queue of (arc × direction × OPC grid point) tasks, each
+/// independent and slot-indexed. `characterize_cell` fans the queue over the
+/// shared ThreadPool; `LibraryFactory` flattens the queues of *all* (scenario
+/// × cell) pairs into one top-level work list so nested `parallel_for` calls
+/// never serialize. Each arc's tasks share one deterministic DC operating
+/// point (the t=0 solution is slew- and load-independent), used to warm-start
+/// every transient on that arc; because the seed's value does not depend on
+/// which thread computes it, tables stay bitwise identical across thread
+/// counts.
 
+#include <memory>
 #include <stdexcept>
 
 #include "aging/bti.hpp"
 #include "aging/scenario.hpp"
 #include "cells/topology.hpp"
+#include "charlib/adaptive.hpp"
 #include "charlib/opc.hpp"
 #include "device/ptm45.hpp"
 #include "liberty/library.hpp"
@@ -37,6 +50,13 @@ struct CharacterizeOptions {
   double flop_char_load_ff = 2.0;
   /// Convergence retry ladder for every SPICE run ($RW_CHAR_MAX_RETRIES).
   spice::RetryPolicy retry = spice::RetryPolicy::from_env();
+  /// Seed every transient on an arc from the arc's shared DC operating
+  /// point (computed once per arc; deterministic). Off = every grid point
+  /// runs its own cold DC chain — slower, same results within solver
+  /// tolerance; kept as an escape hatch and for A/B validation.
+  bool warm_start_dc = true;
+  /// Adaptive λ-corner lattice ($RW_CHAR_ADAPTIVE, $RW_CHAR_INTERP_TOL_PS).
+  AdaptiveGridOptions adaptive = AdaptiveGridOptions::from_env();
 };
 
 /// Characterization failure carrying the (cell, arc, OPC, scenario) that
@@ -55,7 +75,42 @@ class CharError : public std::runtime_error {
   std::string context_;
 };
 
-/// Characterizes one cell under one aging scenario.
+/// One cell's characterization as a flat task queue, so callers can merge
+/// the queues of many cells into a single top-level `parallel_for` (the
+/// factory's flattened scheduler) instead of nesting pools.
+///
+/// Usage: construct, run every task in [0, task_count()) exactly once (any
+/// order, any threads; distinct tasks are safe concurrently), then call
+/// `finish()` once from one thread. Results are bitwise independent of task
+/// order and thread count. A flop's setup-time bisection is inherently
+/// sequential and runs inside `finish()`.
+class CellCharJob {
+ public:
+  CellCharJob(const cells::CellSpec& spec, const aging::AgingScenario& scenario,
+              const CharacterizeOptions& options);
+  ~CellCharJob();
+  CellCharJob(const CellCharJob&) = delete;
+  CellCharJob& operator=(const CellCharJob&) = delete;
+
+  [[nodiscard]] std::size_t task_count() const;
+
+  /// Runs one (arc, direction, OPC grid point) transient + measurement.
+  /// SolverError is captured into the task's result slot (fallback
+  /// interpolation happens in `finish()`); any other exception propagates.
+  void run_task(std::size_t task);
+
+  /// Interpolates failed points, runs the flop setup search, and assembles
+  /// the liberty::Cell. \throws CharError when an arc has no converged OPC
+  /// point; std::runtime_error for topology/setup bugs.
+  [[nodiscard]] liberty::Cell finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Characterizes one cell under one aging scenario (builds a CellCharJob and
+/// fans it over the shared ThreadPool).
 /// \throws CharError when an arc has no converged OPC point even through the
 /// retry ladder; std::runtime_error for topology/setup bugs (non-settling
 /// output, unsensitizable pin).

@@ -1,11 +1,15 @@
 #include "charlib/factory.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <set>
+#include <utility>
 
 #include "cells/catalog.hpp"
+#include "charlib/adaptive.hpp"
 #include "flow/cancel.hpp"
 #include "liberty/merge.hpp"
 #include "liberty/parser.hpp"
@@ -35,13 +39,23 @@ LibraryFactory::LibraryFactory(Options options)
   if (options_.resume) resume();
 }
 
+std::string LibraryFactory::grid_dir() const {
+  // The adaptive policy changes what a cached cell *means* (exact vs
+  // certified-interpolated at some tolerance), so it is part of the key.
+  std::string dir = options_.cache_dir + "/" + options_.characterize.grid.tag();
+  if (const std::string tag = options_.characterize.adaptive.cache_tag(); !tag.empty()) {
+    dir += "-" + tag;
+  }
+  return dir;
+}
+
 std::string LibraryFactory::scenario_dir(const aging::AgingScenario& scenario) const {
-  return options_.cache_dir + "/" + options_.characterize.grid.tag() + "/" + scenario.id();
+  return grid_dir() + "/" + scenario.id();
 }
 
 std::string LibraryFactory::manifest_path() const {
   if (options_.cache_dir.empty()) return {};
-  return options_.cache_dir + "/" + options_.characterize.grid.tag() + "/manifest.json";
+  return grid_dir() + "/manifest.json";
 }
 
 std::size_t LibraryFactory::resume() {
@@ -136,36 +150,9 @@ const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
 
   liberty::Cell result;
   try {
-    std::unique_ptr<liberty::Cell> cached;
-    if (!options_.cache_dir.empty()) {
-      cached = load_cached_cell(scenario_dir(scenario) + "/" + cell_name + ".lib", cell_name);
-    }
-    if (cached != nullptr) {
-      result = std::move(*cached);
-    } else {
-      result = characterize_cell(cells::find_cell(cell_name), scenario, options_.characterize);
-      if (!options_.cache_dir.empty()) store_cached_cell(scenario, cell_name, result);
-    }
+    result = build_cell(cell_name, scenario);
   } catch (...) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      job->error = std::current_exception();
-      job->done = true;
-      in_flight_.erase(key);
-      try {
-        std::rethrow_exception(job->error);
-      } catch (const CharError& e) {
-        // A CharError is a permanent failure (the solver already exhausted
-        // its retry ladder): quarantine the pair and checkpoint it so a
-        // resumed run fails fast instead of repeating hours of SPICE.
-        quarantine_[key] = e.what();
-        manifest_.record_failed(key.first, key.second, e.what());
-        manifest_.save();
-      } catch (...) {
-        // Transient failures (I/O, bad_alloc, ...) are not quarantined.
-      }
-    }
-    cv_.notify_all();
+    finalize_failure(key, job, std::current_exception());
     throw;
   }
 
@@ -179,6 +166,209 @@ const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
   return ref;
 }
 
+void LibraryFactory::finalize_success(const CellKey& key, const std::shared_ptr<CellJob>& job,
+                                      liberty::Cell cell) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const liberty::Cell& ref = cell_cache_.emplace(key, std::move(cell)).first->second;
+    manifest_.record_done(key.first, key.second, static_cast<int>(ref.fallbacks.size()));
+    manifest_.save();
+    job->done = true;
+    in_flight_.erase(key);
+  }
+  cv_.notify_all();
+}
+
+void LibraryFactory::finalize_failure(const CellKey& key, const std::shared_ptr<CellJob>& job,
+                                      std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->error = error;
+    job->done = true;
+    in_flight_.erase(key);
+    try {
+      std::rethrow_exception(error);
+    } catch (const CharError& e) {
+      // A CharError is a permanent failure (the solver already exhausted
+      // its retry ladder): quarantine the pair and checkpoint it so a
+      // resumed run fails fast instead of repeating hours of SPICE.
+      quarantine_[key] = e.what();
+      manifest_.record_failed(key.first, key.second, e.what());
+      manifest_.save();
+    } catch (...) {
+      // Transient failures (I/O, bad_alloc, ...) are not quarantined.
+    }
+  }
+  cv_.notify_all();
+}
+
+std::vector<aging::AgingScenario> LibraryFactory::direct_scenarios(
+    const aging::AgingScenario& scenario) const {
+  const AdaptiveGridOptions& adaptive = options_.characterize.adaptive;
+  if (!adaptive.enabled || on_lattice(scenario, adaptive.lattice_step)) return {scenario};
+  return lattice_bracket(scenario, adaptive.lattice_step).corners;
+}
+
+liberty::Cell LibraryFactory::build_cell(const std::string& cell_name,
+                                         const aging::AgingScenario& scenario) {
+  if (!options_.cache_dir.empty()) {
+    if (auto cached = load_cached_cell(scenario_dir(scenario) + "/" + cell_name + ".lib",
+                                       cell_name)) {
+      return std::move(*cached);
+    }
+  }
+
+  const AdaptiveGridOptions& adaptive = options_.characterize.adaptive;
+  if (adaptive.enabled && !on_lattice(scenario, adaptive.lattice_step)) {
+    // Off-lattice corner: interpolate between the bracketing lattice corners
+    // (recursing via cell() — lattice corners characterize directly, so the
+    // recursion terminates and never self-waits). Corner references stay
+    // valid for the factory's lifetime.
+    const LatticeBracket bracket = lattice_bracket(scenario, adaptive.lattice_step);
+    std::vector<const liberty::Cell*> corners;
+    corners.reserve(bracket.corners.size());
+    for (const auto& corner : bracket.corners) corners.push_back(&cell(cell_name, corner));
+    InterpolatedCell interp = interpolate_cell(bracket, corners);
+    if (interp.bound_ps <= adaptive.interp_tol_ps) {
+      std::uint64_t tables = 0;
+      for (const auto& arc : interp.cell.arcs) {
+        tables += static_cast<std::uint64_t>(!arc.rise.empty()) +
+                  static_cast<std::uint64_t>(!arc.fall.empty());
+      }
+      stats::add_cell_interpolated(tables * options_.characterize.grid.size());
+      if (!options_.cache_dir.empty()) store_cached_cell(scenario, cell_name, interp.cell);
+      return std::move(interp.cell);
+    }
+    // Certified bound too loose for the flow tolerance: refine — fall
+    // through to a direct characterization of this exact corner.
+    stats::add_corner_refined();
+  }
+
+  liberty::Cell result = characterize_cell(cells::find_cell(cell_name), scenario,
+                                           options_.characterize);
+  if (!options_.cache_dir.empty()) store_cached_cell(scenario, cell_name, result);
+  return result;
+}
+
+void LibraryFactory::characterize_batch(
+    const std::vector<std::pair<aging::AgingScenario, std::string>>& pairs) {
+  /// One claimed pair with live SPICE work in the flat queue.
+  struct BatchItem {
+    CellKey key;
+    aging::AgingScenario scenario;
+    std::shared_ptr<CellJob> job;
+    std::unique_ptr<CellCharJob> work;
+    std::size_t first_task = 0;   ///< offset of this item's tasks in the queue
+    std::size_t error_task = 0;   ///< lowest failing task index (determinism)
+    std::exception_ptr task_error;
+  };
+
+  // Claim phase (serial): register an in-flight job per pair not already
+  // cached/quarantined/claimed, serve disk-cache hits immediately, and build
+  // the per-cell task queues. Construction failures (unknown cell, topology
+  // bug) finalize here so waiters are never left hanging.
+  std::exception_ptr first_error;  // first non-CharError, in pair order
+  std::vector<std::unique_ptr<BatchItem>> items;
+  for (const auto& [scenario, name] : pairs) {
+    const CellKey key{scenario.id(), name};
+    std::shared_ptr<CellJob> job;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (cell_cache_.count(key) != 0 || quarantine_.count(key) != 0 ||
+          in_flight_.count(key) != 0) {
+        continue;  // done, failed-fast, or another thread/batch owns it
+      }
+      job = std::make_shared<CellJob>();
+      in_flight_.emplace(key, job);
+    }
+    if (!options_.cache_dir.empty()) {
+      if (auto cached = load_cached_cell(scenario_dir(scenario) + "/" + name + ".lib", name)) {
+        finalize_success(key, job, std::move(*cached));
+        continue;
+      }
+    }
+    auto item = std::make_unique<BatchItem>();
+    item->key = key;
+    item->scenario = scenario;
+    item->job = std::move(job);
+    try {
+      item->work = std::make_unique<CellCharJob>(cells::find_cell(name), scenario,
+                                                 options_.characterize);
+    } catch (...) {
+      finalize_failure(item->key, item->job, std::current_exception());
+      if (!first_error) {
+        try {
+          throw;
+        } catch (const CharError&) {
+        } catch (...) {
+          first_error = std::current_exception();
+        }
+      }
+      continue;
+    }
+    items.push_back(std::move(item));
+  }
+
+  // Fan-out phase: ONE top-level parallel_for over the concatenation of
+  // every item's task queue — the scheduler sees (scenario × cell × arc ×
+  // OPC) granularity, so a 61-cell library keeps every worker busy instead
+  // of serializing nested per-cell loops. Task exceptions are captured per
+  // item (lowest task index wins, for determinism) so one failing cell
+  // cannot abandon the others mid-queue.
+  std::size_t total_tasks = 0;
+  std::vector<std::size_t> task_end;  // cumulative, for task -> item lookup
+  task_end.reserve(items.size());
+  for (auto& item : items) {
+    item->first_task = total_tasks;
+    total_tasks += item->work->task_count();
+    task_end.push_back(total_tasks);
+  }
+  std::mutex error_mutex;
+  util::ThreadPool::shared().parallel_for(total_tasks, [&](std::size_t task) {
+    const std::size_t idx = static_cast<std::size_t>(
+        std::upper_bound(task_end.begin(), task_end.end(), task) - task_end.begin());
+    BatchItem& item = *items[idx];
+    try {
+      item.work->run_task(task - item.first_task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!item.task_error || task < item.error_task) {
+        item.task_error = std::current_exception();
+        item.error_task = task;
+      }
+    }
+  });
+
+  // Finish phase (serial, deterministic item order): assemble each cell —
+  // fallback interpolation and the flop setup search happen here — publish
+  // it, and release waiters. Every item is finalized even when another
+  // failed; only then is the first non-CharError failure rethrown.
+  for (auto& item : items) {
+    std::exception_ptr failure = item->task_error;
+    if (!failure) {
+      try {
+        liberty::Cell cell = item->work->finish();
+        if (!options_.cache_dir.empty()) store_cached_cell(item->scenario, item->key.second, cell);
+        finalize_success(item->key, item->job, std::move(cell));
+        continue;
+      } catch (...) {
+        failure = std::current_exception();
+      }
+    }
+    finalize_failure(item->key, item->job, failure);
+    if (!first_error) {
+      try {
+        std::rethrow_exception(failure);
+      } catch (const CharError&) {
+        // Quarantined; callers see it when they request the pair.
+      } catch (...) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 const liberty::Library& LibraryFactory::library(const aging::AgingScenario& scenario) {
   const std::string id = scenario.id();
   {
@@ -186,14 +376,19 @@ const liberty::Library& LibraryFactory::library(const aging::AgingScenario& scen
     if (const auto it = library_cache_.find(id); it != library_cache_.end()) return *it->second;
   }
 
-  // Characterize all cells in parallel; the in-flight table keeps concurrent
-  // library() calls for the same scenario from duplicating any cell.
+  // Characterize every needed (lattice) corner through one flat task queue;
+  // the in-flight table keeps concurrent library() calls for the same
+  // scenario from duplicating any cell.
   const std::vector<std::string> names = cell_names();
-  util::ThreadPool::shared().parallel_for(
-      names.size(), [&](std::size_t i) { (void)cell(names[i], scenario); });
+  std::vector<std::pair<aging::AgingScenario, std::string>> pairs;
+  for (const auto& direct : direct_scenarios(scenario)) {
+    for (const auto& name : names) pairs.emplace_back(direct, name);
+  }
+  characterize_batch(pairs);
 
   // Assemble in catalog order from the (now warm) cache: deterministic for
-  // any thread count.
+  // any thread count. Off-lattice adaptive scenarios interpolate (or refine)
+  // here, against the corners the batch just characterized.
   auto lib = std::make_unique<liberty::Library>("reliaware_" + id);
   for (const auto& name : names) lib->add_cell(cell(name, scenario));
 
@@ -206,17 +401,22 @@ const liberty::Library& LibraryFactory::library(const aging::AgingScenario& scen
 liberty::Library LibraryFactory::merged(const std::vector<aging::AgingScenario>& scenarios) {
   const std::vector<std::string> names = cell_names();
 
-  // One flat (scenario × cell) job list through the shared cell cache:
-  // pairs characterized earlier — via cell(), library(), or a previous
-  // merged() — are cache hits and are never rebuilt. Permanent failures are
-  // tolerated here (they land in the quarantine, which the assembly below
-  // skips); anything else still aborts the merge.
-  util::ThreadPool::shared().parallel_for(scenarios.size() * names.size(), [&](std::size_t i) {
-    try {
-      (void)cell(names[i % names.size()], scenarios[i / names.size()]);
-    } catch (const CharError&) {
+  // One flat (scenario × cell × arc × OPC) task queue through the shared
+  // cell cache: pairs characterized earlier — via cell(), library(), or a
+  // previous merged() — are cache hits and are never rebuilt. Permanent
+  // failures are tolerated here (the batch quarantines them and the assembly
+  // below skips them); anything else still aborts the merge. Under the
+  // adaptive grid, only the distinct lattice corners enter the queue.
+  std::vector<std::pair<aging::AgingScenario, std::string>> pairs;
+  std::set<CellKey> seen;
+  for (const auto& s : scenarios) {
+    for (const auto& direct : direct_scenarios(s)) {
+      for (const auto& name : names) {
+        if (seen.insert(CellKey{direct.id(), name}).second) pairs.emplace_back(direct, name);
+      }
     }
-  });
+  }
+  characterize_batch(pairs);
 
   // Reuse memoized full libraries where they exist; otherwise assemble a
   // local library from cached cells without growing the library memo.

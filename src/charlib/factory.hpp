@@ -12,12 +12,25 @@
 /// any thread, the memo maps are mutex-guarded, and an in-flight table
 /// deduplicates work so two threads asking for the same (scenario, cell)
 /// never characterize it twice — the second caller blocks until the first
-/// finishes. `library()` and `merged()` characterize their cells in
-/// parallel on `util::ThreadPool::shared()`; results are assembled in
-/// catalog order, so the produced libraries are identical for any thread
-/// count. Disk-cache writes go through a temp file plus atomic rename, and
-/// truncated/corrupt cache files are discarded and re-characterized rather
-/// than failing the run.
+/// finishes. `library()` and `merged()` flatten the (scenario × cell × arc ×
+/// OPC grid) task queues of every requested pair into ONE top-level
+/// `util::ThreadPool::shared().parallel_for`, so per-cell work never nests
+/// (and therefore never serializes) inside an outer parallel loop; results
+/// are assembled in catalog order, so the produced libraries are bitwise
+/// identical for any thread count. Disk-cache writes go through a temp file
+/// plus atomic rename, and truncated/corrupt cache files are discarded and
+/// re-characterized rather than failing the run.
+///
+/// Adaptive λ-corner grid (`CharacterizeOptions::adaptive`, opt-in via
+/// $RW_CHAR_ADAPTIVE): only scenarios on a sparse λ lattice are
+/// SPICE-characterized; any other corner is served by certified bilinear
+/// interpolation between its bracketing lattice corners (see
+/// charlib/adaptive.hpp). When the certified bound exceeds
+/// `adaptive.interp_tol_ps` the corner is refined — characterized directly —
+/// so accuracy is never silently traded. Interpolated cells carry an
+/// `rw_interp` marker (lint rule LB007 audits the bound), and the disk cache
+/// directory is keyed with the adaptive policy tag so interpolated and exact
+/// caches never mix.
 ///
 /// Resilience: a run manifest (`manifest.json` next to the disk cache)
 /// checkpoints per-(scenario, cell) status so a killed campaign resumes via
@@ -107,8 +120,30 @@ class LibraryFactory {
     std::exception_ptr error;
   };
 
+  std::string grid_dir() const;
   std::string scenario_dir(const aging::AgingScenario& scenario) const;
   std::vector<std::string> cell_names() const;
+  /// The scenarios that must be SPICE-characterized to serve `scenario`:
+  /// the scenario itself, or — adaptive grid, off-lattice — its bracketing
+  /// lattice corners.
+  std::vector<aging::AgingScenario> direct_scenarios(const aging::AgingScenario& scenario) const;
+  /// Produces one cell result (disk cache -> λ interpolation -> direct
+  /// characterization). Runs outside the factory mutex, inside the caller's
+  /// in-flight claim on (scenario, cell).
+  liberty::Cell build_cell(const std::string& cell_name, const aging::AgingScenario& scenario);
+  /// Characterizes every not-yet-cached pair through one flat top-level task
+  /// list (every pair's arc×OPC tasks merged; no nested parallel_for).
+  /// `pairs` must be direct (lattice) scenarios. CharErrors are quarantined
+  /// per pair and NOT rethrown here — callers see them when they ask for the
+  /// pair; the first other failure (I/O, cancellation, logic bug) is
+  /// rethrown after every pair has been finalized and its waiters released.
+  void characterize_batch(const std::vector<std::pair<aging::AgingScenario, std::string>>& pairs);
+  /// Publishes a finished cell under `key` and releases its waiters.
+  void finalize_success(const CellKey& key, const std::shared_ptr<CellJob>& job,
+                        liberty::Cell cell);
+  /// Records a failed pair (quarantining CharErrors) and releases waiters.
+  void finalize_failure(const CellKey& key, const std::shared_ptr<CellJob>& job,
+                        std::exception_ptr error);
   /// Disk-cache read; returns nothing (and removes the file) when missing,
   /// truncated, or otherwise unparsable.
   std::unique_ptr<liberty::Cell> load_cached_cell(const std::string& path,

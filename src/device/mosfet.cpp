@@ -36,6 +36,78 @@ double Mosfet::ids_forward_ma(double vgs, double vds) const {
   return idsat * std::tanh(vds / vdsat) * (1.0 + params_.lambda_clm_per_v * vds);
 }
 
+void Mosfet::ids_forward_derivs_ma(double vgs, double vds, double& ids, double& dvgs,
+                                   double& dvds) const {
+  const double vth = effective_vth_v();
+  const double nvt = params_.subthreshold_n * units::kThermalVoltage300K;
+  const double x = (vgs - vth) / nvt;
+  double vov;
+  double dvov_dvgs;  // the logistic sigmoid of x
+  if (x > 40.0) {
+    vov = vgs - vth;
+    dvov_dvgs = 1.0;
+  } else {
+    const double ex = std::exp(x);
+    vov = nvt * std::log1p(ex);
+    dvov_dvgs = ex / (1.0 + ex);
+  }
+  if (vov <= 0.0) {
+    ids = dvgs = dvds = 0.0;
+    return;
+  }
+  const double idsat =
+      0.5 * params_.k_ma_per_um * width_um_ * degradation_.mu_factor * std::pow(vov, params_.alpha);
+  const double didsat_dvov = params_.alpha * idsat / vov;
+  const double vdsat = params_.vdsat_coeff * vov + params_.vdsat_floor_v;
+  const double th = std::tanh(vds / vdsat);
+  const double sech2 = 1.0 - th * th;
+  const double dth_dvds = sech2 / vdsat;
+  const double dth_dvov = sech2 * (-vds / (vdsat * vdsat)) * params_.vdsat_coeff;
+  const double clm = 1.0 + params_.lambda_clm_per_v * vds;
+  ids = idsat * th * clm;
+  dvgs = (didsat_dvov * th + idsat * dth_dvov) * clm * dvov_dvgs;
+  dvds = idsat * (dth_dvds * clm + th * params_.lambda_clm_per_v);
+}
+
+CurrentDerivs Mosfet::drain_current_derivs_ma(double vg, double vd, double vs) const {
+  // Same branch structure as drain_current_ma; the chain rule through each
+  // source/drain swap maps (d/dvgs, d/dvds) onto the physical terminals.
+  double f = 0.0;
+  double f_vgs = 0.0;
+  double f_vds = 0.0;
+  CurrentDerivs out;
+  if (params_.type == MosType::kNmos) {
+    if (vd >= vs) {
+      ids_forward_derivs_ma(vg - vs, vd - vs, f, f_vgs, f_vds);
+      out.id_ma = f;
+      out.did_dvg = f_vgs;
+      out.did_dvd = f_vds;
+      out.did_dvs = -f_vgs - f_vds;
+    } else {
+      ids_forward_derivs_ma(vg - vd, vs - vd, f, f_vgs, f_vds);
+      out.id_ma = -f;
+      out.did_dvg = -f_vgs;
+      out.did_dvs = -f_vds;
+      out.did_dvd = f_vgs + f_vds;
+    }
+    return out;
+  }
+  if (vd <= vs) {
+    ids_forward_derivs_ma(vs - vg, vs - vd, f, f_vgs, f_vds);
+    out.id_ma = -f;
+    out.did_dvg = f_vgs;
+    out.did_dvd = f_vds;
+    out.did_dvs = -f_vgs - f_vds;
+  } else {
+    ids_forward_derivs_ma(vd - vg, vd - vs, f, f_vgs, f_vds);
+    out.id_ma = f;
+    out.did_dvg = -f_vgs;
+    out.did_dvs = -f_vds;
+    out.did_dvd = f_vgs + f_vds;
+  }
+  return out;
+}
+
 double Mosfet::drain_current_ma(double vg, double vd, double vs) const {
   if (params_.type == MosType::kNmos) {
     if (vd >= vs) return ids_forward_ma(vg - vs, vd - vs);

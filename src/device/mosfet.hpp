@@ -41,6 +41,18 @@ struct Degradation {
   double mu_factor = 1.0;    ///< multiplicative mobility factor in (0, 1]
 };
 
+/// Drain current plus its partial derivatives w.r.t. the terminal voltages
+/// — the per-device Jacobian stamp (gm, gds, gms) consumed by the sparse
+/// solver workspace. By construction did_dvs == -(did_dvg + did_dvd) (the
+/// model depends only on voltage differences), but all three are returned so
+/// stamping code never re-derives the identity.
+struct CurrentDerivs {
+  double id_ma = 0.0;
+  double did_dvg = 0.0;  ///< gm  [mA/V]
+  double did_dvd = 0.0;  ///< gds [mA/V]
+  double did_dvs = 0.0;  ///< gms [mA/V]
+};
+
 /// One transistor instance: polarity parameters, width, and its degradation.
 class Mosfet {
  public:
@@ -50,6 +62,11 @@ class Mosfet {
   /// For nMOS: positive current flows drain->source when vds>0.
   /// For pMOS the model mirrors signs internally; pass physical node voltages.
   [[nodiscard]] double drain_current_ma(double vg, double vd, double vs) const;
+
+  /// Drain current and its analytic terminal derivatives in one evaluation
+  /// (shares every subexpression with the current itself, so it costs far
+  /// less than three finite-difference re-evaluations).
+  [[nodiscard]] CurrentDerivs drain_current_derivs_ma(double vg, double vd, double vs) const;
 
   /// Gate capacitance (fF), lumped, voltage-independent.
   [[nodiscard]] double gate_cap_ff() const;
@@ -65,6 +82,9 @@ class Mosfet {
  private:
   /// Core symmetric current for vds >= 0 given vgs, vds (nMOS convention).
   [[nodiscard]] double ids_forward_ma(double vgs, double vds) const;
+  /// Forward current plus d/dvgs and d/dvds (same branch structure).
+  void ids_forward_derivs_ma(double vgs, double vds, double& ids, double& dvgs,
+                             double& dvds) const;
 
   MosParams params_;
   double width_um_;

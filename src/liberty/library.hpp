@@ -37,6 +37,25 @@ struct FallbackPoint {
   [[nodiscard]] bool operator==(const FallbackPoint&) const = default;
 };
 
+/// Marks a cell whose tables were served by certified interpolation between
+/// characterized λ-lattice corners instead of direct SPICE characterization
+/// (the adaptive corner grid). Carried through Liberty text as the
+/// `rw_interp` complex attribute
+/// ("<λp_lo>:<λp_hi>:<λn_lo>:<λn_hi>:<bound_ps>") so lint (LB007) and flow
+/// consumers can audit the certified error bound against their tolerance.
+struct InterpMarker {
+  double lambda_p_lo = 0.0;  ///< bracketing lattice corner, λp low side
+  double lambda_p_hi = 0.0;
+  double lambda_n_lo = 0.0;
+  double lambda_n_hi = 0.0;
+  /// Certified worst-case error over every interpolated entry [ps]: the true
+  /// value lies within the bracketing corners' range for per-axis monotone
+  /// aging response, so |error| <= max(v - min_corner, max_corner - v).
+  double bound_ps = 0.0;
+
+  [[nodiscard]] bool operator==(const InterpMarker&) const = default;
+};
+
 class Cell {
  public:
   std::string name;    ///< library name; merged libraries use "<base>_<λp>_<λn>"
@@ -52,6 +71,8 @@ class Cell {
   std::vector<TimingArc> arcs;
   /// Interpolated (non-converged) grid points; empty for healthy cells.
   std::vector<FallbackPoint> fallbacks;
+  /// Set when the whole cell was λ-interpolated (adaptive corner grid).
+  std::optional<InterpMarker> interp;
 
   [[nodiscard]] std::vector<const Pin*> input_pins() const;
   [[nodiscard]] int n_inputs() const;

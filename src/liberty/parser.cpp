@@ -293,6 +293,24 @@ Cell parse_cell(const Group& g) {
       cell.fallbacks.push_back(std::move(f));
     }
   }
+  if (const auto* ip = g.complex_attr("rw_interp")) {
+    if (ip->size() != 1) {
+      throw std::runtime_error("liberty parse error: rw_interp takes one entry in cell " +
+                               cell.name);
+    }
+    const auto parts = util::split(ip->front(), ":");
+    if (parts.size() != 5) {
+      throw std::runtime_error("liberty parse error: malformed rw_interp entry '" + ip->front() +
+                               "' in cell " + cell.name);
+    }
+    InterpMarker m;
+    m.lambda_p_lo = std::strtod(parts[0].c_str(), nullptr);
+    m.lambda_p_hi = std::strtod(parts[1].c_str(), nullptr);
+    m.lambda_n_lo = std::strtod(parts[2].c_str(), nullptr);
+    m.lambda_n_hi = std::strtod(parts[3].c_str(), nullptr);
+    m.bound_ps = std::strtod(parts[4].c_str(), nullptr);
+    cell.interp = m;
+  }
   for (const auto& child : g.children) {
     if (child.name != "pin") continue;
     Pin pin;

@@ -86,6 +86,13 @@ std::string write_library(const Library& library) {
       }
       os << ");\n";
     }
+    if (cell.interp.has_value()) {
+      const InterpMarker& m = *cell.interp;
+      os << "    rw_interp (\"" << util::format_fixed(m.lambda_p_lo, 4) << ':'
+         << util::format_fixed(m.lambda_p_hi, 4) << ':' << util::format_fixed(m.lambda_n_lo, 4)
+         << ':' << util::format_fixed(m.lambda_n_hi, 4) << ':'
+         << util::format_fixed(m.bound_ps, 6) << "\");\n";
+    }
     for (const auto& pin : cell.pins) {
       os << "    pin (" << pin.name << ") {\n";
       os << "      direction : " << (pin.is_input ? "input" : "output") << ";\n";

@@ -52,6 +52,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "check the aging scenario; BTI degradation cannot speed a cell up"},
       {rules::kFallbackPoint, Severity::kWarning, "table entry was interpolated (rw_fallback point)",
        "re-run characterization with a deeper retry ladder to converge the point"},
+      {rules::kInterpBound, Severity::kWarning,
+       "λ-interpolated cell's certified error bound exceeds the flow tolerance",
+       "refine the corner (characterize it directly) or raise RW_CHAR_INTERP_TOL_PS"},
       {rules::kDutyOutOfRange, Severity::kError, "λ index outside [0,1]; a duty cycle is a probability",
        "fix the duty-cycle extraction (or the annotation step's quantization)"},
       {rules::kMissingCorner, Severity::kError, "(λp, λn) corner absent from the merged library",

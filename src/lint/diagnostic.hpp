@@ -50,6 +50,7 @@ inline constexpr const char* kGridMismatch = "LB003";   ///< NLDM axes disagree 
 inline constexpr const char* kMissingArc = "LB004";     ///< input pin without a timing arc
 inline constexpr const char* kAgedFasterThanFresh = "LB005"; ///< aged delay < fresh delay
 inline constexpr const char* kFallbackPoint = "LB006";  ///< interpolated (rw_fallback) OPC point
+inline constexpr const char* kInterpBound = "LB007";    ///< rw_interp bound exceeds flow tolerance
 inline constexpr const char* kDutyOutOfRange = "AN001"; ///< λ index outside [0,1]
 inline constexpr const char* kMissingCorner = "AN002";  ///< (λp,λn) cell absent from library
 inline constexpr const char* kUnannotated = "AN003";    ///< plain cell amid λ-indexed library

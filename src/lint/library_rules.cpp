@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "charlib/adaptive.hpp"
 #include "lint/rules.hpp"
 #include "util/strings.hpp"
 
@@ -278,6 +279,38 @@ class FallbackPointRule final : public Rule {
   }
 };
 
+/// LB007: cells carrying an `rw_interp` marker were served by certified
+/// λ-lattice interpolation instead of direct SPICE characterization. That is
+/// by design — but a marker whose certified error bound exceeds the flow's
+/// interpolation tolerance ($RW_CHAR_INTERP_TOL_PS) means the library was
+/// produced under a looser policy than the one now in force, or predates a
+/// tolerance tightening; the corner should be refined.
+class InterpBoundRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "library.interp_bound"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "λ-interpolated cells (rw_interp) whose certified bound exceeds the flow tolerance";
+  }
+  void run(const LintSubject& subject, std::vector<Diagnostic>& out) const override {
+    if (subject.library == nullptr) return;
+    const double tol_ps = charlib::AdaptiveGridOptions::from_env().interp_tol_ps;
+    for (const auto& cell : subject.library->cells()) {
+      if (!cell.interp.has_value()) continue;
+      const liberty::InterpMarker& m = *cell.interp;
+      if (m.bound_ps <= tol_ps) continue;
+      out.push_back(Diagnostic{
+          rules::kInterpBound, Severity::kWarning, cell_loc(*subject.library, cell),
+          "interpolated from λp [" + util::format_fixed(m.lambda_p_lo, 2) + ", " +
+              util::format_fixed(m.lambda_p_hi, 2) + "] × λn [" +
+              util::format_fixed(m.lambda_n_lo, 2) + ", " + util::format_fixed(m.lambda_n_hi, 2) +
+              "] with certified bound " + util::format_fixed(m.bound_ps, 3) + " ps > tolerance " +
+              util::format_fixed(tol_ps, 3) + " ps",
+          "characterize this (λp, λn) corner directly, or raise RW_CHAR_INTERP_TOL_PS if the "
+          "looser bound is acceptable"});
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> library_rules() {
@@ -288,6 +321,7 @@ std::vector<std::unique_ptr<Rule>> library_rules() {
   rules.push_back(std::make_unique<ArcCoverageRule>());
   rules.push_back(std::make_unique<AgingInversionRule>());
   rules.push_back(std::make_unique<FallbackPointRule>());
+  rules.push_back(std::make_unique<InterpBoundRule>());
   return rules;
 }
 

@@ -50,7 +50,7 @@ class Rule {
 
 /// Rule-set factories (registration order == report order).
 std::vector<std::unique_ptr<Rule>> netlist_rules();     ///< NL001..NL006
-std::vector<std::unique_ptr<Rule>> library_rules();     ///< LB001..LB006
+std::vector<std::unique_ptr<Rule>> library_rules();     ///< LB001..LB007
 std::vector<std::unique_ptr<Rule>> annotation_rules();  ///< AN001..AN003
 std::vector<std::unique_ptr<Rule>> stress_rules();      ///< SP001..SP003
 

@@ -60,6 +60,14 @@ struct TransientOptions {
   /// default (`solve_watchdog_ms()`, seeded from $RW_SOLVE_WATCHDOG_MS);
   /// negative disables the watchdog outright.
   double watchdog_ms = 0.0;
+  /// Optional warm-start seed: full node-voltage vector (indexed by NodeId)
+  /// for the t=0 operating point, typically the DC solution of a
+  /// neighboring sweep point on the same topology. The solver polishes the
+  /// seed with a full-tolerance Newton solve and falls back to the cold DC
+  /// escalation chain if the polish does not converge, so a stale or wrong
+  /// seed can cost time but never accuracy. The pointed-to vector must
+  /// outlive the solve; the solver never mutates it. Non-owning.
+  const std::vector<double>* initial_state = nullptr;
 };
 
 /// Process-wide default for `TransientOptions::watchdog_ms == 0`, lazily

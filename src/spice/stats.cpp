@@ -1,0 +1,72 @@
+#include "spice/stats.hpp"
+
+#include <atomic>
+
+namespace rw::spice {
+
+namespace {
+
+struct AtomicCounters {
+  std::atomic<std::uint64_t> newton_iterations{0};
+  std::atomic<std::uint64_t> factorizations{0};
+  std::atomic<std::uint64_t> dense_fallbacks{0};
+  std::atomic<std::uint64_t> dc_solves{0};
+  std::atomic<std::uint64_t> transient_attempts{0};
+  std::atomic<std::uint64_t> warm_start_hits{0};
+  std::atomic<std::uint64_t> warm_start_misses{0};
+  std::atomic<std::uint64_t> workspace_builds{0};
+  std::atomic<std::uint64_t> workspace_reuses{0};
+};
+
+AtomicCounters& counters() {
+  static AtomicCounters c;
+  return c;
+}
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+SolverCounters solver_counters() {
+  const AtomicCounters& c = counters();
+  SolverCounters s;
+  s.newton_iterations = c.newton_iterations.load(kRelaxed);
+  s.factorizations = c.factorizations.load(kRelaxed);
+  s.dense_fallbacks = c.dense_fallbacks.load(kRelaxed);
+  s.dc_solves = c.dc_solves.load(kRelaxed);
+  s.transient_attempts = c.transient_attempts.load(kRelaxed);
+  s.warm_start_hits = c.warm_start_hits.load(kRelaxed);
+  s.warm_start_misses = c.warm_start_misses.load(kRelaxed);
+  s.workspace_builds = c.workspace_builds.load(kRelaxed);
+  s.workspace_reuses = c.workspace_reuses.load(kRelaxed);
+  return s;
+}
+
+void reset_solver_counters() {
+  AtomicCounters& c = counters();
+  c.newton_iterations.store(0, kRelaxed);
+  c.factorizations.store(0, kRelaxed);
+  c.dense_fallbacks.store(0, kRelaxed);
+  c.dc_solves.store(0, kRelaxed);
+  c.transient_attempts.store(0, kRelaxed);
+  c.warm_start_hits.store(0, kRelaxed);
+  c.warm_start_misses.store(0, kRelaxed);
+  c.workspace_builds.store(0, kRelaxed);
+  c.workspace_reuses.store(0, kRelaxed);
+}
+
+namespace stats {
+
+void add_newton_iterations(std::uint64_t n) { counters().newton_iterations.fetch_add(n, kRelaxed); }
+void add_factorization() { counters().factorizations.fetch_add(1, kRelaxed); }
+void add_dense_fallback() { counters().dense_fallbacks.fetch_add(1, kRelaxed); }
+void add_dc_solve() { counters().dc_solves.fetch_add(1, kRelaxed); }
+void add_transient_attempt() { counters().transient_attempts.fetch_add(1, kRelaxed); }
+void add_warm_start_hit() { counters().warm_start_hits.fetch_add(1, kRelaxed); }
+void add_warm_start_miss() { counters().warm_start_misses.fetch_add(1, kRelaxed); }
+void add_workspace_build() { counters().workspace_builds.fetch_add(1, kRelaxed); }
+void add_workspace_reuse() { counters().workspace_reuses.fetch_add(1, kRelaxed); }
+
+}  // namespace stats
+
+}  // namespace rw::spice

@@ -1,0 +1,397 @@
+#include "spice/workspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "spice/stats.hpp"
+
+namespace rw::spice {
+
+namespace {
+
+constexpr double kPivotMin = 1e-30;
+
+void hash_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+/// Exact connectivity record: everything that determines the unknown
+/// mapping and the sparsity pattern (element values excluded).
+std::vector<std::int32_t> topology_record(const Circuit& circuit) {
+  std::vector<std::int32_t> t;
+  t.reserve(2 + circuit.sources().size() + 3 * circuit.mosfets().size() +
+            2 * (circuit.resistors().size() + circuit.capacitors().size()));
+  t.push_back(circuit.node_count());
+  for (const auto& s : circuit.sources()) t.push_back(s.node);
+  t.push_back(-1);
+  for (const auto& m : circuit.mosfets()) {
+    t.push_back(m.gate);
+    t.push_back(m.drain);
+    t.push_back(m.source);
+  }
+  t.push_back(-2);
+  for (const auto& r : circuit.resistors()) {
+    t.push_back(r.a);
+    t.push_back(r.b);
+  }
+  t.push_back(-3);
+  for (const auto& c : circuit.capacitors()) {
+    t.push_back(c.a);
+    t.push_back(c.b);
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint64_t SolverWorkspace::topology_signature(const Circuit& circuit) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::int32_t v : topology_record(circuit)) {
+    hash_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  return h;
+}
+
+bool SolverWorkspace::matches(const Circuit& circuit) const {
+  return topo_ == topology_record(circuit);
+}
+
+SolverWorkspace::SolverWorkspace(const Circuit& circuit)
+    : signature_(topology_signature(circuit)), topo_(topology_record(circuit)) {
+  unknown_index_.assign(static_cast<std::size_t>(circuit.node_count()), -1);
+  for (NodeId n = 0; n < circuit.node_count(); ++n) {
+    if (!circuit.is_sourced(n)) unknown_index_[static_cast<std::size_t>(n)] = n_unknowns_++;
+  }
+  const auto n = static_cast<std::size_t>(n_unknowns_);
+
+  // Structural pattern in *original* unknown coordinates. The gmin leak puts
+  // every diagonal in the pattern, which also keeps static pivoting sane.
+  std::vector<char> structural(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) structural[i * n + i] = 1;
+  const auto u_of = [&](NodeId node) { return unknown_index_[static_cast<std::size_t>(node)]; };
+  const auto mark = [&](int r, int c) {
+    if (r >= 0 && c >= 0) structural[static_cast<std::size_t>(r) * n + static_cast<std::size_t>(c)] = 1;
+  };
+  for (const auto& m : circuit.mosfets()) {
+    const int ug = u_of(m.gate);
+    const int ud = u_of(m.drain);
+    const int us = u_of(m.source);
+    for (const int row : {ud, us}) {
+      mark(row, ug);
+      mark(row, ud);
+      mark(row, us);
+    }
+  }
+  const auto mark_pair = [&](NodeId a, NodeId b) {
+    const int ua = u_of(a);
+    const int ub = u_of(b);
+    mark(ua, ua);
+    mark(ua, ub);
+    mark(ub, ua);
+    mark(ub, ub);
+  };
+  for (const auto& r : circuit.resistors()) mark_pair(r.a, r.b);
+  for (const auto& c : circuit.capacitors()) mark_pair(c.a, c.b);
+
+  // Greedy minimum-degree ordering on the symmetrized pattern: eliminate the
+  // lowest-degree unknown, clique-connect its remaining neighbors, repeat.
+  // Ties break on the lowest index so the ordering is deterministic.
+  std::vector<char> sym(n * n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (structural[r * n + c] != 0) sym[r * n + c] = sym[c * n + r] = 1;
+    }
+  }
+  order_.resize(n);
+  perm_pos_.resize(n);
+  std::vector<char> alive(n, 1);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::size_t best_deg = n + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alive[i] == 0) continue;
+      std::size_t deg = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i && alive[j] != 0 && sym[i * n + j] != 0) ++deg;
+      }
+      if (deg < best_deg) {
+        best_deg = deg;
+        best = i;
+      }
+    }
+    order_[step] = static_cast<int>(best);
+    perm_pos_[best] = static_cast<int>(step);
+    alive[best] = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (alive[a] == 0 || sym[best * n + a] == 0) continue;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (b != a && alive[b] != 0 && sym[best * n + b] != 0) sym[a * n + b] = 1;
+      }
+    }
+  }
+
+  // Permuted pattern + symbolic Gaussian elimination (fill-in), recorded as
+  // per-pivot row/column lists for the in-place numeric kernel.
+  std::vector<char> fill(n * n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (structural[r * n + c] != 0) {
+        fill[static_cast<std::size_t>(perm_pos_[r]) * n +
+             static_cast<std::size_t>(perm_pos_[c])] = 1;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (fill[r * n + k] == 0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        if (fill[k * n + c] != 0) fill[r * n + c] = 1;
+      }
+    }
+  }
+  rows_below_.assign(n, {});
+  cols_right_.assign(n, {});
+  filled_positions_.clear();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (fill[r * n + c] == 0) continue;
+      filled_positions_.push_back(r * n + c);
+      if (r > c) rows_below_[c].push_back(static_cast<int>(r));
+      if (c > r) cols_right_[r].push_back(static_cast<int>(c));
+    }
+  }
+
+  vals_.assign(n * n, 0.0);
+  dense_.assign(n * n, 0.0);
+  f_.assign(n, 0.0);
+  rhs_.assign(n, 0.0);
+}
+
+void SolverWorkspace::scatter(const Circuit& circuit, const std::vector<double>& x, double t_ps,
+                              double source_scale, std::vector<double>& v_full) const {
+  v_full.assign(static_cast<std::size_t>(circuit.node_count()), 0.0);
+  for (const auto& src : circuit.sources()) {
+    v_full[static_cast<std::size_t>(src.node)] = source_scale * src.waveform.value(t_ps);
+  }
+  for (NodeId node = 0; node < circuit.node_count(); ++node) {
+    const int u = unknown_index_[static_cast<std::size_t>(node)];
+    if (u >= 0) v_full[static_cast<std::size_t>(node)] = x[static_cast<std::size_t>(u)];
+  }
+}
+
+void SolverWorkspace::begin_stamp() {
+  std::fill(f_.begin(), f_.end(), 0.0);
+  for (const std::size_t p : filled_positions_) vals_[p] = 0.0;
+}
+
+void SolverWorkspace::stamp_static(const Circuit& circuit, const std::vector<double>& v_full,
+                                   double gmin_ma_per_v) {
+  for (const auto& m : circuit.mosfets()) {
+    const auto d = m.model.drain_current_derivs_ma(v_full[static_cast<std::size_t>(m.gate)],
+                                                   v_full[static_cast<std::size_t>(m.drain)],
+                                                   v_full[static_cast<std::size_t>(m.source)]);
+    const int ug = unknown_index_[static_cast<std::size_t>(m.gate)];
+    const int ud = unknown_index_[static_cast<std::size_t>(m.drain)];
+    const int us = unknown_index_[static_cast<std::size_t>(m.source)];
+    if (ud >= 0) {
+      f_[static_cast<std::size_t>(ud)] -= d.id_ma;
+      if (ug >= 0) add_jac(ud, ug, -d.did_dvg);
+      if (ud >= 0) add_jac(ud, ud, -d.did_dvd);
+      if (us >= 0) add_jac(ud, us, -d.did_dvs);
+    }
+    if (us >= 0) {
+      f_[static_cast<std::size_t>(us)] += d.id_ma;
+      if (ug >= 0) add_jac(us, ug, d.did_dvg);
+      if (ud >= 0) add_jac(us, ud, d.did_dvd);
+      add_jac(us, us, d.did_dvs);
+    }
+  }
+  for (const auto& r : circuit.resistors()) {
+    const double g = 1.0 / r.kohm;
+    const double i_ab =
+        (v_full[static_cast<std::size_t>(r.a)] - v_full[static_cast<std::size_t>(r.b)]) * g;
+    const int ua = unknown_index_[static_cast<std::size_t>(r.a)];
+    const int ub = unknown_index_[static_cast<std::size_t>(r.b)];
+    if (ua >= 0) {
+      f_[static_cast<std::size_t>(ua)] -= i_ab;
+      add_jac(ua, ua, -g);
+      if (ub >= 0) add_jac(ua, ub, g);
+    }
+    if (ub >= 0) {
+      f_[static_cast<std::size_t>(ub)] += i_ab;
+      add_jac(ub, ub, -g);
+      if (ua >= 0) add_jac(ub, ua, g);
+    }
+  }
+  for (NodeId node = 0; node < static_cast<NodeId>(unknown_index_.size()); ++node) {
+    const int u = unknown_index_[static_cast<std::size_t>(node)];
+    if (u < 0) continue;
+    f_[static_cast<std::size_t>(u)] -= gmin_ma_per_v * v_full[static_cast<std::size_t>(node)];
+    add_jac(u, u, -gmin_ma_per_v);
+  }
+}
+
+void SolverWorkspace::stamp_capacitors(const Circuit& circuit, const std::vector<double>& v_full,
+                                       const std::vector<double>& v_prev_full, double dt_ps) {
+  for (const auto& c : circuit.capacitors()) {
+    const double g = c.cap_ff / dt_ps;  // fF/ps = mA/V
+    const double dv_now =
+        v_full[static_cast<std::size_t>(c.a)] - v_full[static_cast<std::size_t>(c.b)];
+    const double dv_prev =
+        v_prev_full[static_cast<std::size_t>(c.a)] - v_prev_full[static_cast<std::size_t>(c.b)];
+    const double i_ab = g * (dv_now - dv_prev);
+    const int ua = unknown_index_[static_cast<std::size_t>(c.a)];
+    const int ub = unknown_index_[static_cast<std::size_t>(c.b)];
+    if (ua >= 0) {
+      f_[static_cast<std::size_t>(ua)] -= i_ab;
+      add_jac(ua, ua, -g);
+      if (ub >= 0) add_jac(ua, ub, g);
+    }
+    if (ub >= 0) {
+      f_[static_cast<std::size_t>(ub)] += i_ab;
+      add_jac(ub, ub, -g);
+      if (ua >= 0) add_jac(ub, ua, g);
+    }
+  }
+}
+
+void SolverWorkspace::stamp_virtual_caps(const std::vector<double>& x,
+                                         const std::vector<double>& x_prev, double cap_ff,
+                                         double dt_ps) {
+  const double g = cap_ff / dt_ps;
+  for (std::size_t i = 0; i < f_.size(); ++i) {
+    f_[i] -= g * (x[i] - x_prev[i]);
+    add_jac(static_cast<int>(i), static_cast<int>(i), -g);
+  }
+}
+
+void SolverWorkspace::poison_residual() {
+  if (!f_.empty()) f_[0] = std::numeric_limits<double>::quiet_NaN();
+}
+
+double SolverWorkspace::residual_max(int& worst_row) const {
+  double fmax = 0.0;
+  worst_row = 0;
+  for (std::size_t i = 0; i < f_.size(); ++i) {
+    if (!(std::fabs(f_[i]) <= fmax)) {  // also catches NaN
+      fmax = std::fabs(f_[i]);
+      worst_row = static_cast<int>(i);
+    }
+  }
+  return fmax;
+}
+
+void SolverWorkspace::solve_newton_step(std::vector<double>& dx) {
+  const auto n = static_cast<std::size_t>(n_unknowns_);
+  dx.assign(n, 0.0);
+  if (n == 0) return;
+  for (std::size_t u = 0; u < n; ++u) rhs_[static_cast<std::size_t>(perm_pos_[u])] = -f_[u];
+  sparse_factor_and_solve(dx);
+}
+
+void SolverWorkspace::sparse_factor_and_solve(std::vector<double>& dx) {
+  const auto n = static_cast<std::size_t>(n_unknowns_);
+  // Snapshot the stamped matrix first: the in-place factorization destroys
+  // it, and a collapsed pivot then re-solves densely from the snapshot.
+  std::copy(vals_.begin(), vals_.end(), dense_.begin());
+  stats::add_factorization();
+  bool ok = true;
+  for (std::size_t k = 0; k < n && ok; ++k) {
+    const double piv = vals_[k * n + k];
+    if (!(std::fabs(piv) >= kPivotMin)) {  // NaN pivots fail too
+      ok = false;
+      break;
+    }
+    for (const int ri : rows_below_[k]) {
+      const auto r = static_cast<std::size_t>(ri);
+      const double factor = vals_[r * n + k] / piv;
+      vals_[r * n + k] = factor;
+      if (factor == 0.0) continue;
+      for (const int ci : cols_right_[k]) {
+        const auto c = static_cast<std::size_t>(ci);
+        vals_[r * n + c] -= factor * vals_[k * n + c];
+      }
+    }
+  }
+  if (!ok) {
+    stats::add_dense_fallback();
+    dense_factor_and_solve(dx);
+    return;
+  }
+  // Forward substitution over the recorded L structure...
+  for (std::size_t k = 0; k < n; ++k) {
+    const double bk = rhs_[k];
+    if (bk == 0.0) continue;
+    for (const int ri : rows_below_[k]) {
+      rhs_[static_cast<std::size_t>(ri)] -= vals_[static_cast<std::size_t>(ri) * n + k] * bk;
+    }
+  }
+  // ...and back substitution over the U structure.
+  for (std::size_t r = n; r-- > 0;) {
+    double sum = rhs_[r];
+    for (const int ci : cols_right_[r]) {
+      sum -= vals_[r * n + static_cast<std::size_t>(ci)] * rhs_[static_cast<std::size_t>(ci)];
+    }
+    rhs_[r] = sum / vals_[r * n + r];
+  }
+  for (std::size_t u = 0; u < n; ++u) dx[u] = rhs_[static_cast<std::size_t>(perm_pos_[u])];
+}
+
+void SolverWorkspace::dense_factor_and_solve(std::vector<double>& dx) {
+  const auto n = static_cast<std::size_t>(n_unknowns_);
+  for (std::size_t u = 0; u < n; ++u) rhs_[static_cast<std::size_t>(perm_pos_[u])] = -f_[u];
+  // Classic LU with partial pivoting on the snapshot copy.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::fabs(dense_[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double cand = std::fabs(dense_[r * n + col]);
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (!(best >= kPivotMin)) throw SingularRow{order_[col]};
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(dense_[pivot * n + c], dense_[col * n + c]);
+      std::swap(rhs_[pivot], rhs_[col]);
+    }
+    const double diag = dense_[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = dense_[r * n + col] / diag;
+      if (factor == 0.0) continue;
+      dense_[r * n + col] = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) dense_[r * n + c] -= factor * dense_[col * n + c];
+      rhs_[r] -= factor * rhs_[col];
+    }
+  }
+  for (std::size_t r = n; r-- > 0;) {
+    double sum = rhs_[r];
+    for (std::size_t c = r + 1; c < n; ++c) sum -= dense_[r * n + c] * rhs_[c];
+    rhs_[r] = sum / dense_[r * n + r];
+  }
+  for (std::size_t u = 0; u < n; ++u) dx[u] = rhs_[static_cast<std::size_t>(perm_pos_[u])];
+}
+
+SolverWorkspace& workspace_for(const Circuit& circuit) {
+  // Per-thread cache: characterization threads each sweep many solves over a
+  // handful of bench topologies, so a small LRU-free list suffices. Clearing
+  // on overflow (rare: only pathological topology churn) just costs a
+  // rebuild.
+  thread_local std::vector<std::unique_ptr<SolverWorkspace>> cache;
+  const std::uint64_t sig = SolverWorkspace::topology_signature(circuit);
+  for (const auto& w : cache) {
+    if (w->signature() == sig && w->matches(circuit)) {
+      stats::add_workspace_reuse();
+      return *w;
+    }
+  }
+  if (cache.size() >= 64) cache.clear();
+  stats::add_workspace_build();
+  cache.push_back(std::make_unique<SolverWorkspace>(circuit));
+  return *cache.back();
+}
+
+}  // namespace rw::spice

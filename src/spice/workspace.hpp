@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file workspace.hpp
+/// Structure-reusing sparse solve engine for the transient solver.
+///
+/// A standard-cell bench is a tiny circuit, but characterization runs
+/// millions of Newton solves over the *same topology* (every OPC grid point,
+/// Newton iteration, and timestep shares one connectivity). Rebuilding the
+/// nodal system and assembling a dense finite-difference Jacobian from
+/// scratch for each solve is where the seed characterizer spent its time.
+///
+/// `SolverWorkspace` is built once per circuit topology and reused for every
+/// subsequent solve on that topology:
+///  * the unknown-node mapping and MNA sparsity pattern are precomputed;
+///  * a greedy minimum-degree ordering permutes the unknowns, and the LU
+///    fill-in is computed symbolically once, so numeric refactorization is
+///    an in-place sweep over precomputed row/column lists;
+///  * the Jacobian is *stamped* analytically from `device::Mosfet`
+///    derivatives (one model evaluation per device per iteration, instead of
+///    n_unknowns+1 full residual sweeps of finite differencing);
+///  * all stamp/RHS/solution buffers are owned by the workspace — a solve
+///    performs no heap allocation.
+///
+/// Numeric robustness: the sparse path uses static (diagonal) pivoting,
+/// which the gmin conductance keeps well-posed; if a pivot still collapses
+/// the workspace transparently falls back to dense partial-pivot LU for that
+/// iteration (counted in `SolverCounters::dense_fallbacks`) so convergence
+/// behavior is never worse than the seed solver.
+///
+/// `workspace_for()` maintains a per-thread topology-keyed cache, which
+/// makes reuse automatic across Newton iterations, timesteps, retry-ladder
+/// rungs, OPC grid points, and λ corners without any API change for callers
+/// — and keeps the workspace free of cross-thread sharing (TSan-clean by
+/// construction).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace rw::spice {
+
+/// Thrown internally on a numerically singular pivot; `row` is the unknown
+/// index (original, pre-ordering) of the offending pivot. Callers translate
+/// it into a structured Newton failure with the node name attached.
+struct SingularRow {
+  int row;
+};
+
+class SolverWorkspace {
+ public:
+  explicit SolverWorkspace(const Circuit& circuit);
+
+  /// Connectivity hash (nodes, sources, element terminals). Two circuits
+  /// with equal signatures almost surely share a topology; `matches()`
+  /// verifies exactly.
+  static std::uint64_t topology_signature(const Circuit& circuit);
+
+  [[nodiscard]] std::uint64_t signature() const { return signature_; }
+  /// Exact connectivity equality with `circuit` (element values ignored).
+  [[nodiscard]] bool matches(const Circuit& circuit) const;
+
+  [[nodiscard]] int n_unknowns() const { return n_unknowns_; }
+  [[nodiscard]] const std::vector<int>& unknown_index() const { return unknown_index_; }
+
+  /// Full node-voltage vector with sources evaluated at `t_ps` (scaled by
+  /// `source_scale`) and unknowns taken from `x`. Reuses no internal state;
+  /// `v_full` is caller-owned so nested residual closures stay independent.
+  void scatter(const Circuit& circuit, const std::vector<double>& x, double t_ps,
+               double source_scale, std::vector<double>& v_full) const;
+
+  // --- One Newton linear system: zero, stamp, (optionally poison), solve ---
+
+  /// Zeroes the residual and every structurally reachable matrix position.
+  void begin_stamp();
+
+  /// Stamps device currents (+ analytic conductances), resistors, and the
+  /// gmin leak for the static (DC) part of the residual/Jacobian.
+  void stamp_static(const Circuit& circuit, const std::vector<double>& v_full,
+                    double gmin_ma_per_v);
+
+  /// Adds backward-Euler capacitor currents and conductances.
+  void stamp_capacitors(const Circuit& circuit, const std::vector<double>& v_full,
+                        const std::vector<double>& v_prev_full, double dt_ps);
+
+  /// Adds the pseudo-transient homotopy's virtual capacitors: a `cap_ff`
+  /// capacitor to ground on every unknown, integrated from `x_prev`.
+  void stamp_virtual_caps(const std::vector<double>& x, const std::vector<double>& x_prev,
+                          double cap_ff, double dt_ps);
+
+  /// Poisons the residual with NaN (fault-injection hook).
+  void poison_residual();
+
+  /// Max |f| over the stamped residual; `worst_row` receives the original
+  /// unknown index (NaN counts as worst). Returns 0 for empty systems.
+  [[nodiscard]] double residual_max(int& worst_row) const;
+
+  /// Solves J dx = -f for the stamped system, writing `dx` indexed by the
+  /// original unknown order. Sparse refactorization first; dense
+  /// partial-pivot fallback on pivot collapse. \throws SingularRow if even
+  /// the dense path hits a singular column.
+  void solve_newton_step(std::vector<double>& dx);
+
+ private:
+  void sparse_factor_and_solve(std::vector<double>& dx);
+  void dense_factor_and_solve(std::vector<double>& dx);
+
+  [[nodiscard]] std::size_t pos(int row, int col) const {
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(n_unknowns_) +
+           static_cast<std::size_t>(col);
+  }
+  /// Accumulates into the permuted matrix at original (row, col) unknowns.
+  void add_jac(int row_u, int col_u, double v) {
+    vals_[pos(perm_pos_[static_cast<std::size_t>(row_u)],
+              perm_pos_[static_cast<std::size_t>(col_u)])] += v;
+  }
+
+  std::uint64_t signature_ = 0;
+  std::vector<std::int32_t> topo_;  ///< exact connectivity record for matches()
+
+  int n_unknowns_ = 0;
+  std::vector<int> unknown_index_;  ///< node id -> unknown index (-1 = sourced)
+
+  // Fill-reducing ordering: order_[k] = original unknown eliminated at step
+  // k; perm_pos_ is its inverse (original -> permuted position).
+  std::vector<int> order_;
+  std::vector<int> perm_pos_;
+
+  // Symbolic structure on the permuted matrix, including fill-in.
+  std::vector<std::size_t> filled_positions_;  ///< every position touched by LU
+  std::vector<std::vector<int>> rows_below_;   ///< per pivot k: rows r>k with (r,k)
+  std::vector<std::vector<int>> cols_right_;   ///< per pivot k: cols c>k with (k,c)
+
+  // Reusable numeric buffers (sized n x n; only pattern positions are used).
+  std::vector<double> vals_;   ///< stamped Jacobian (permuted), factored in place
+  std::vector<double> dense_;  ///< dense-fallback scratch copy
+  std::vector<double> f_;      ///< residual, original unknown indexing
+  std::vector<double> rhs_;    ///< permuted right-hand side / solution scratch
+};
+
+/// Per-thread topology-keyed workspace cache. The returned reference stays
+/// valid for the lifetime of the calling thread; callers must not hold it
+/// across a different circuit topology's solve on the same thread.
+SolverWorkspace& workspace_for(const Circuit& circuit);
+
+}  // namespace rw::spice

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "charlib/adaptive.hpp"
+#include "charlib/factory.hpp"
+#include "liberty/parser.hpp"
+#include "liberty/writer.hpp"
+#include "spice/stats.hpp"
+
+namespace rw::charlib {
+namespace {
+
+/// Factory options for a fast single-OPC campaign on one inverter.
+LibraryFactory::Options tiny_options(bool adaptive) {
+  LibraryFactory::Options o;
+  o.characterize.grid = OpcGrid::single(60.0, 4.0);
+  o.cache_dir.clear();
+  o.cell_subset = {"INV_X1"};
+  o.characterize.adaptive.enabled = adaptive;
+  o.characterize.adaptive.lattice_step = 0.2;
+  o.characterize.adaptive.interp_tol_ps = 2.0;
+  return o;
+}
+
+TEST(AdaptiveGeometry, OnLatticeAndBrackets) {
+  EXPECT_TRUE(on_lattice(aging::AgingScenario{0.2, 0.4, 10.0, true}, 0.2));
+  EXPECT_TRUE(on_lattice(aging::AgingScenario{0.0, 1.0, 10.0, true}, 0.2));
+  EXPECT_FALSE(on_lattice(aging::AgingScenario{0.1, 0.4, 10.0, true}, 0.2));
+  EXPECT_TRUE(on_lattice(aging::AgingScenario::fresh(), 0.2));
+
+  // Interior target: 4 corners, bilinear weights summing to 1, λn fastest.
+  const LatticeBracket b = lattice_bracket(aging::AgingScenario{0.1, 0.3, 10.0, true}, 0.2);
+  ASSERT_EQ(b.corners.size(), 4u);
+  EXPECT_DOUBLE_EQ(b.lambda_p_lo, 0.0);
+  EXPECT_DOUBLE_EQ(b.lambda_p_hi, 0.2);
+  EXPECT_DOUBLE_EQ(b.lambda_n_lo, 0.2);
+  EXPECT_DOUBLE_EQ(b.lambda_n_hi, 0.4);
+  double sum = 0.0;
+  for (const double w : b.weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Corner scenarios inherit the target's lifetime settings.
+  for (const auto& c : b.corners) {
+    EXPECT_DOUBLE_EQ(c.years, 10.0);
+    EXPECT_TRUE(c.include_mobility);
+  }
+
+  // On-axis target collapses to 2 corners; on-lattice to 1 with weight 1.
+  EXPECT_EQ(lattice_bracket(aging::AgingScenario{0.2, 0.3, 10.0, true}, 0.2).corners.size(), 2u);
+  const LatticeBracket exact = lattice_bracket(aging::AgingScenario{0.2, 0.4, 10.0, true}, 0.2);
+  ASSERT_EQ(exact.corners.size(), 1u);
+  EXPECT_DOUBLE_EQ(exact.weights[0], 1.0);
+}
+
+TEST(AdaptiveGrid, CertifiedBoundCoversDenseReference) {
+  // The contract of the certified bound: the directly characterized (dense
+  // reference) value never differs from the interpolated value by more than
+  // bound_ps, per entry. λ response is monotone per axis, so the true value
+  // lies inside the corners' range.
+  const aging::AgingScenario target{0.1, 0.3, 10.0, true};
+
+  LibraryFactory adaptive(tiny_options(true));
+  const liberty::Cell& interp = adaptive.cell("INV_X1", target);
+  ASSERT_TRUE(interp.interp.has_value());
+  const double bound = interp.interp->bound_ps;
+  EXPECT_GE(bound, 0.0);
+  EXPECT_DOUBLE_EQ(interp.interp->lambda_p_lo, 0.0);
+  EXPECT_DOUBLE_EQ(interp.interp->lambda_n_hi, 0.4);
+
+  LibraryFactory dense(tiny_options(false));
+  const liberty::Cell& reference = dense.cell("INV_X1", target);
+  ASSERT_FALSE(reference.interp.has_value());
+
+  ASSERT_EQ(interp.arcs.size(), reference.arcs.size());
+  for (std::size_t a = 0; a < interp.arcs.size(); ++a) {
+    for (const bool rise : {true, false}) {
+      const auto& it = rise ? interp.arcs[a].rise : interp.arcs[a].fall;
+      const auto& rt = rise ? reference.arcs[a].rise : reference.arcs[a].fall;
+      ASSERT_EQ(it.delay_ps.values().size(), rt.delay_ps.values().size());
+      for (std::size_t e = 0; e < it.delay_ps.values().size(); ++e) {
+        EXPECT_LE(std::fabs(it.delay_ps.values()[e] - rt.delay_ps.values()[e]), bound + 1e-6)
+            << "arc " << a << (rise ? " rise" : " fall") << " delay entry " << e;
+        EXPECT_LE(std::fabs(it.out_slew_ps.values()[e] - rt.out_slew_ps.values()[e]),
+                  bound + 1e-6)
+            << "arc " << a << (rise ? " rise" : " fall") << " slew entry " << e;
+      }
+    }
+  }
+}
+
+TEST(AdaptiveGrid, InterpolationServesOffLatticeAndCounts) {
+  reset_adaptive_counters();
+  LibraryFactory factory(tiny_options(true));
+  const aging::AgingScenario target{0.1, 0.1, 10.0, true};
+  const liberty::Cell& cell = factory.cell("INV_X1", target);
+  ASSERT_TRUE(cell.interp.has_value());
+  EXPECT_LE(cell.interp->bound_ps, factory.options().characterize.adaptive.interp_tol_ps);
+
+  const AdaptiveCounters c = adaptive_counters();
+  EXPECT_EQ(c.cells_interpolated, 1u);
+  EXPECT_EQ(c.corners_refined, 0u);
+  // INV has one arc with rise+fall on a 1-point grid: 2 solved tasks avoided.
+  EXPECT_EQ(c.solves_avoided_by_interp, 2u);
+
+  // Lattice corners themselves were characterized directly (no marker).
+  EXPECT_FALSE(
+      factory.cell("INV_X1", aging::AgingScenario{0.0, 0.0, 10.0, true}).interp.has_value());
+  EXPECT_FALSE(
+      factory.cell("INV_X1", aging::AgingScenario{0.2, 0.2, 10.0, true}).interp.has_value());
+}
+
+TEST(AdaptiveGrid, ExceededBoundTriggersRefinement) {
+  // With an impossibly tight tolerance, every off-lattice corner must be
+  // refined: characterized directly, no rw_interp marker, counter bumped.
+  reset_adaptive_counters();
+  LibraryFactory::Options opts = tiny_options(true);
+  opts.characterize.adaptive.interp_tol_ps = 1e-9;
+  LibraryFactory factory(opts);
+  const liberty::Cell& cell = factory.cell("INV_X1", aging::AgingScenario{0.1, 0.3, 10.0, true});
+  EXPECT_FALSE(cell.interp.has_value());
+  const AdaptiveCounters c = adaptive_counters();
+  EXPECT_EQ(c.corners_refined, 1u);
+  EXPECT_EQ(c.cells_interpolated, 0u);
+}
+
+TEST(AdaptiveGrid, DiskCacheKeyedByPolicyAndResumes) {
+  const std::string dir = std::filesystem::temp_directory_path() / "rw_test_cache_adaptive";
+  std::filesystem::remove_all(dir);
+  LibraryFactory::Options opts = tiny_options(true);
+  opts.cache_dir = dir;
+  const aging::AgingScenario target{0.1, 0.1, 10.0, true};
+
+  double bound_first = 0.0;
+  {
+    LibraryFactory factory(opts);
+    const liberty::Cell& cell = factory.cell("INV_X1", target);
+    ASSERT_TRUE(cell.interp.has_value());
+    bound_first = cell.interp->bound_ps;
+    // The cache directory is keyed with the adaptive policy tag, so exact
+    // and interpolated caches can never be confused for each other.
+    EXPECT_NE(factory.manifest_path().find("adaptive-s0.20-t2.00"), std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(
+        std::string(dir) + "/1x1-adaptive-s0.20-t2.00/" + target.id() + "/INV_X1.lib"));
+  }
+  {
+    // A resumed factory serves the pair from disk — marker intact, zero
+    // SPICE (the solver counters stay flat).
+    LibraryFactory::Options resumed = opts;
+    resumed.resume = true;
+    LibraryFactory factory(resumed);
+    spice::reset_solver_counters();
+    const liberty::Cell& cell = factory.cell("INV_X1", target);
+    ASSERT_TRUE(cell.interp.has_value());
+    EXPECT_NEAR(cell.interp->bound_ps, bound_first, 1e-5);  // Liberty text precision
+    EXPECT_EQ(spice::solver_counters().transient_attempts, 0u);
+    EXPECT_EQ(spice::solver_counters().dc_solves, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rw::charlib

@@ -165,7 +165,8 @@ void expect_cells_identical(const liberty::Cell& a, const liberty::Cell& b) {
 }
 
 TEST(Factory, CharacterizationIsDeterministicAcrossThreadCounts) {
-  // The hard guarantee behind the parallel engine: 1-thread and N-thread
+  // The hard guarantee behind the parallel engine (the flattened task queue
+  // plus the once-per-arc warm-start seed): 1-, 2-, and 8-thread
   // characterizations produce bitwise-identical NLDM tables.
   LibraryFactory::Options opts;
   opts.characterize.grid = OpcGrid::coarse();
@@ -176,14 +177,53 @@ TEST(Factory, CharacterizationIsDeterministicAcrossThreadCounts) {
   LibraryFactory serial(opts);
   const liberty::Library lib_1t = serial.library(aging::AgingScenario::worst_case(10));
 
-  util::set_shared_thread_count(4);
-  LibraryFactory parallel(opts);
-  const liberty::Library lib_4t = parallel.library(aging::AgingScenario::worst_case(10));
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    util::set_shared_thread_count(threads);
+    LibraryFactory parallel(opts);
+    const liberty::Library lib_nt = parallel.library(aging::AgingScenario::worst_case(10));
+    ASSERT_EQ(lib_1t.size(), lib_nt.size()) << threads << " threads";
+    for (const auto& cell : lib_1t.cells()) {
+      expect_cells_identical(cell, lib_nt.at(cell.name));
+    }
+  }
   util::set_shared_thread_count(0);
+}
 
-  ASSERT_EQ(lib_1t.size(), lib_4t.size());
-  for (const auto& cell : lib_1t.cells()) {
-    expect_cells_identical(cell, lib_4t.at(cell.name));
+TEST(Factory, WarmAndColdStartsAgreeWithinSolverTolerance) {
+  // The per-arc DC warm start is an accelerator, not an approximation: both
+  // paths converge the same Newton system to the same tolerances, so the
+  // NLDM tables must agree to well under a picosecond.
+  LibraryFactory::Options warm_opts;
+  warm_opts.characterize.grid = OpcGrid::coarse();
+  warm_opts.cache_dir.clear();
+  warm_opts.cell_subset = {"INV_X1", "NAND2_X1", "DFF_X1"};
+  LibraryFactory::Options cold_opts = warm_opts;
+  cold_opts.characterize.warm_start_dc = false;
+
+  LibraryFactory warm(warm_opts);
+  LibraryFactory cold(cold_opts);
+  const auto scenario = aging::AgingScenario::worst_case(10);
+  const liberty::Library& warm_lib = warm.library(scenario);
+  const liberty::Library& cold_lib = cold.library(scenario);
+
+  ASSERT_EQ(warm_lib.size(), cold_lib.size());
+  for (const auto& wc : warm_lib.cells()) {
+    const liberty::Cell& cc = cold_lib.at(wc.name);
+    ASSERT_EQ(wc.arcs.size(), cc.arcs.size());
+    for (std::size_t i = 0; i < wc.arcs.size(); ++i) {
+      for (const bool rise : {true, false}) {
+        const auto& wt = rise ? wc.arcs[i].rise : wc.arcs[i].fall;
+        const auto& ct = rise ? cc.arcs[i].rise : cc.arcs[i].fall;
+        ASSERT_EQ(wt.delay_ps.values().size(), ct.delay_ps.values().size());
+        for (std::size_t e = 0; e < wt.delay_ps.values().size(); ++e) {
+          EXPECT_NEAR(wt.delay_ps.values()[e], ct.delay_ps.values()[e], 0.5)
+              << wc.name << " arc " << i << (rise ? " rise" : " fall") << " entry " << e;
+          EXPECT_NEAR(wt.out_slew_ps.values()[e], ct.out_slew_ps.values()[e], 0.5)
+              << wc.name << " arc " << i << (rise ? " rise" : " fall") << " entry " << e;
+        }
+      }
+    }
+    EXPECT_NEAR(wc.setup_ps, cc.setup_ps, 1.0) << wc.name;
   }
 }
 

@@ -116,6 +116,30 @@ TEST(WriterParser, RoundTripPreservesEverything) {
   EXPECT_TRUE(dff.pins[1].is_clock);
 }
 
+TEST(WriterParser, InterpMarkerRoundTrips) {
+  // The adaptive λ-grid provenance marker survives write -> parse, so
+  // disk-cached interpolated cells keep their certified bound (LB007 audits
+  // it) across factory restarts and manifest resumes.
+  Library lib("interp");
+  Cell c = make_nand2();
+  c.interp = InterpMarker{0.2, 0.4, 0.0, 0.2, 1.234567};
+  lib.add_cell(c);
+
+  const Library parsed = parse_library(write_library(lib));
+  const Cell& rt = parsed.at("NAND2_X1");
+  ASSERT_TRUE(rt.interp.has_value());
+  EXPECT_DOUBLE_EQ(rt.interp->lambda_p_lo, 0.2);
+  EXPECT_DOUBLE_EQ(rt.interp->lambda_p_hi, 0.4);
+  EXPECT_DOUBLE_EQ(rt.interp->lambda_n_lo, 0.0);
+  EXPECT_DOUBLE_EQ(rt.interp->lambda_n_hi, 0.2);
+  EXPECT_NEAR(rt.interp->bound_ps, 1.234567, 1e-6);  // writer carries 6 decimals
+
+  // Cells without the marker stay marker-free through the round trip.
+  Library plain("plain");
+  plain.add_cell(make_nand2());
+  EXPECT_FALSE(parse_library(write_library(plain)).at("NAND2_X1").interp.has_value());
+}
+
 TEST(WriterParser, DoubleRoundTripIsStable) {
   Library lib("rt");
   lib.add_cell(make_nand2());

@@ -322,6 +322,41 @@ TEST(LibraryRules, FallbackMarkersSurviveLibertyRoundTrip) {
   EXPECT_TRUE(has_rule(lint_library(reparsed), rules::kFallbackPoint, Severity::kWarning));
 }
 
+TEST(LibraryRules, InterpBoundOverToleranceIsWarned) {
+  // LB007 fires only when the certified rw_interp bound exceeds the flow
+  // tolerance ($RW_CHAR_INTERP_TOL_PS, default 2.0 ps).
+  liberty::Library lib("interp");
+  liberty::Cell loose = comb_cell("NAND2_X1", {"A", "B"}, 14.0);
+  loose.interp = liberty::InterpMarker{0.2, 0.4, 0.0, 0.2, 5.5};  // > 2.0 ps
+  lib.add_cell(loose);
+  liberty::Cell tight = comb_cell("INV_X1", {"A"}, 10.0);
+  tight.interp = liberty::InterpMarker{0.0, 0.2, 0.0, 0.2, 0.3};  // within tolerance
+  lib.add_cell(tight);
+
+  const auto diags = lint_library(lib);
+  EXPECT_TRUE(has_rule(diags, rules::kInterpBound, Severity::kWarning));
+  ASSERT_EQ(rule_ids(diags).count(rules::kInterpBound), 1u);  // only the loose cell
+  for (const auto& d : diags) {
+    if (d.rule_id != rules::kInterpBound) continue;
+    EXPECT_NE(d.location.find("NAND2_X1"), std::string::npos);
+    EXPECT_NE(d.message.find("5.500 ps"), std::string::npos);
+    EXPECT_NE(d.fix_hint.find("RW_CHAR_INTERP_TOL_PS"), std::string::npos);
+  }
+}
+
+TEST(LibraryRules, InterpMarkerSurvivesLibertyRoundTripIntoLint) {
+  liberty::Library lib("roundtrip");
+  liberty::Cell cell = comb_cell("NAND2_X1", {"A", "B"}, 14.0);
+  cell.interp = liberty::InterpMarker{0.2, 0.4, 0.2, 0.4, 7.25};
+  lib.add_cell(cell);
+  const liberty::Library reparsed = liberty::parse_library(liberty::write_library(lib));
+  const liberty::Cell* c = reparsed.find("NAND2_X1");
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->interp.has_value());
+  EXPECT_NEAR(c->interp->bound_ps, 7.25, 1e-6);
+  EXPECT_TRUE(has_rule(lint_library(reparsed), rules::kInterpBound, Severity::kWarning));
+}
+
 // ---------------------------------------------------------------------------
 // Annotation rules.
 
