@@ -1,0 +1,122 @@
+#include "charlib/interval_query.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rw::charlib {
+
+namespace {
+
+double max_interp_bound(const std::vector<const liberty::Cell*>& corners) {
+  double bound = 0.0;
+  for (const liberty::Cell* c : corners) {
+    if (c->interp.has_value() && c->interp->bound_ps > bound) bound = c->interp->bound_ps;
+  }
+  return bound;
+}
+
+}  // namespace
+
+std::vector<aging::AgingScenario> bracket_scenarios(const stress::InstanceBounds& bounds,
+                                                    double years, double lambda_step) {
+  const double p_lo = aging::quantize_lambda(bounds.lambda_p.lo, lambda_step);
+  const double p_hi = aging::quantize_lambda(bounds.lambda_p.hi, lambda_step);
+  const double n_lo = aging::quantize_lambda(bounds.lambda_n.lo, lambda_step);
+  const double n_hi = aging::quantize_lambda(bounds.lambda_n.hi, lambda_step);
+  std::vector<aging::AgingScenario> corners;
+  for (const double lp : {p_lo, p_hi}) {
+    for (const double ln : {n_lo, n_hi}) {
+      const aging::AgingScenario s{lp, ln, years, true};
+      bool seen = false;
+      for (const auto& c : corners) seen = seen || c == s;
+      if (!seen) corners.push_back(s);
+    }
+  }
+  return corners;
+}
+
+std::string bracket_cell_name(const std::string& base, const aging::AgingScenario& corner) {
+  return util::indexed_cell_name(base, corner.lambda_p, corner.lambda_n);
+}
+
+std::vector<InstanceCorners> corners_from_factory(const netlist::Module& module,
+                                                  const stress::StressReport& report,
+                                                  LibraryFactory& factory, double years,
+                                                  double lambda_step) {
+  const auto& instances = module.instances();
+  // Distinct (base cell, corner) pairs over the whole module, characterized
+  // through one parallel pass; the shared factory dedups in-flight work.
+  std::set<std::pair<std::string, aging::AgingScenario>> distinct;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    for (const auto& corner : bracket_scenarios(report.instances[i], years, lambda_step)) {
+      distinct.emplace(instances[i].cell, corner);
+    }
+  }
+  const std::vector<std::pair<std::string, aging::AgingScenario>> pairs(distinct.begin(),
+                                                                        distinct.end());
+  std::vector<const liberty::Cell*> resolved(pairs.size(), nullptr);
+  util::ThreadPool::shared().parallel_for(pairs.size(), [&](std::size_t c) {
+    try {
+      resolved[c] = &factory.cell(pairs[c].first, pairs[c].second);
+    } catch (const std::exception&) {
+      resolved[c] = nullptr;  // quarantined pair: counted as missing below
+    }
+  });
+  std::map<std::pair<std::string, aging::AgingScenario>, const liberty::Cell*> cell_of;
+  for (std::size_t c = 0; c < pairs.size(); ++c) cell_of[pairs[c]] = resolved[c];
+
+  const liberty::Library& fresh = factory.library(aging::AgingScenario::fresh());
+  std::vector<InstanceCorners> out(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    InstanceCorners& ic = out[i];
+    ic.fresh = fresh.find(instances[i].cell);
+    if (ic.fresh == nullptr) {
+      throw std::runtime_error("corners_from_factory: unknown cell " + instances[i].cell);
+    }
+    for (const auto& corner : bracket_scenarios(report.instances[i], years, lambda_step)) {
+      const liberty::Cell* cell = cell_of.at({instances[i].cell, corner});
+      if (cell == nullptr) {
+        ++ic.missing;
+      } else {
+        ic.corners.push_back(cell);
+      }
+    }
+    ic.interp_bound_ps = max_interp_bound(ic.corners);
+  }
+  return out;
+}
+
+std::vector<InstanceCorners> corners_from_library(const netlist::Module& module,
+                                                  const stress::StressReport& report,
+                                                  const liberty::Library& merged,
+                                                  const liberty::Library& fresh,
+                                                  double lambda_step) {
+  const auto& instances = module.instances();
+  std::vector<InstanceCorners> out(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    InstanceCorners& ic = out[i];
+    ic.fresh = fresh.find(instances[i].cell);
+    if (ic.fresh == nullptr) {
+      throw std::runtime_error("corners_from_library: unknown cell " + instances[i].cell);
+    }
+    // Lifetime is irrelevant for name resolution; the merged library's cells
+    // are identified by their λ index alone.
+    for (const auto& corner : bracket_scenarios(report.instances[i], 0.0, lambda_step)) {
+      const liberty::Cell* cell = merged.find(bracket_cell_name(instances[i].cell, corner));
+      if (cell == nullptr) {
+        ++ic.missing;
+      } else {
+        ic.corners.push_back(cell);
+      }
+    }
+    ic.interp_bound_ps = max_interp_bound(ic.corners);
+  }
+  return out;
+}
+
+}  // namespace rw::charlib

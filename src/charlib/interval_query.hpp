@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file interval_query.hpp
+/// The interval library query layer of `rwprove`: turns each instance's
+/// statically proven (λp, λn) interval (stress/analyzer.hpp) into the set of
+/// λ-lattice corner cells that *bracket* it, so the interval STA
+/// (sta/interval_sta.hpp) can bound any admissible aged table lookup by the
+/// min/max over those corners.
+///
+/// ## Why corner bracketing is sound
+///
+/// The dynamic flow quantizes each measured duty cycle onto the λ lattice
+/// (`aging::quantize_lambda`, step 0.1) before characterizing the corner it
+/// times against. Quantization is monotone, so any annotation derived from a
+/// workload admitted by the input model lands on a lattice point inside
+///   [quantize(λ.lo), quantize(λ.hi)]     (per axis, λp and λn independently,
+/// which also covers the round-half-away ties where q(1 − λ) ≠ 1 − q(λ)).
+/// Aging response is monotone along each λ axis per table entry — the same
+/// assumption the adaptive corner grid's certified interpolation rests on
+/// (charlib/adaptive.hpp) — so every in-range lattice corner's table entries
+/// lie within the entry ranges of the 2×2 *extreme* corners
+///   {q(λp.lo), q(λp.hi)} × {q(λn.lo), q(λn.hi)},
+/// and bracketing with those ≤ 4 cells bounds them all.
+///
+/// ## Certified interpolation bounds
+///
+/// A corner served by the adaptive λ grid carries an `rw_interp` marker
+/// (LB007 machinery) whose `bound_ps` certifies the worst-case per-entry
+/// error against direct characterization. The interval STA folds that bound
+/// (scaled by the NLDM extrapolation amplification, util::TableRange::amp)
+/// into every lookup over the corner, so interpolated corners stay sound.
+
+#include <vector>
+
+#include "aging/scenario.hpp"
+#include "charlib/factory.hpp"
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "stress/analyzer.hpp"
+
+namespace rw::charlib {
+
+/// The bracketing corner cells proving one instance's aged timing interval.
+struct InstanceCorners {
+  /// Base (fresh) cell — pin layout / structural reference. Never null for
+  /// results returned by the functions below.
+  const liberty::Cell* fresh = nullptr;
+  /// Distinct bracketing λ-lattice corner cells (1, 2, or 4).
+  std::vector<const liberty::Cell*> corners;
+  /// Bracketing corners that could not be resolved (absent from the merged
+  /// library, or quarantined by the factory). Any missing corner — not just
+  /// all of them — makes the instance's timing interval *vacuous* (PV003):
+  /// a partial bracket does not bound the λ interval.
+  int missing = 0;
+  /// Max certified `rw_interp` bound across the resolved corners [ps];
+  /// 0 for directly characterized corners.
+  double interp_bound_ps = 0.0;
+};
+
+/// The ≤ 4 extreme lattice scenarios bracketing one instance's proven
+/// (λp, λn) interval at lifetime `years` (deterministic order: λp low→high,
+/// λn varying fastest; duplicates collapsed).
+std::vector<aging::AgingScenario> bracket_scenarios(const stress::InstanceBounds& bounds,
+                                                    double years, double lambda_step = 0.1);
+
+/// Resolve bracketing corners from a `LibraryFactory`: distinct (cell,
+/// corner) pairs are characterized in parallel; quarantined pairs count as
+/// `missing`. References stay valid for the factory's lifetime.
+/// \throws std::runtime_error when an instance's base cell is unknown.
+std::vector<InstanceCorners> corners_from_factory(const netlist::Module& module,
+                                                  const stress::StressReport& report,
+                                                  LibraryFactory& factory, double years,
+                                                  double lambda_step = 0.1);
+
+/// Resolve bracketing corners from a pre-characterized merged library whose
+/// cells use λ-indexed names (`<base>_<λp>_<λn>`). Corners absent from
+/// `merged` count as `missing`. `fresh` resolves the base cells.
+/// \throws std::runtime_error when an instance's base cell is unknown.
+std::vector<InstanceCorners> corners_from_library(const netlist::Module& module,
+                                                  const stress::StressReport& report,
+                                                  const liberty::Library& merged,
+                                                  const liberty::Library& fresh,
+                                                  double lambda_step = 0.1);
+
+/// The merged-library name of one bracketing corner: `<base>_<λp>_<λn>`.
+std::string bracket_cell_name(const std::string& base, const aging::AgingScenario& corner);
+
+}  // namespace rw::charlib

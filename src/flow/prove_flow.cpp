@@ -1,0 +1,137 @@
+#include "flow/prove_flow.hpp"
+
+#include <set>
+#include <utility>
+
+#include "charlib/interval_query.hpp"
+#include "flow/artifact.hpp"
+#include "lint/linter.hpp"
+#include "sta/analysis.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rw::flow {
+
+namespace {
+
+void preflight(const netlist::Module& module, const liberty::Library& fresh,
+               const stress::AnalyzeOptions* stress_options) {
+  lint::LintSubject subject;
+  subject.module = &module;
+  subject.library = &fresh;
+  subject.stress = stress_options;
+  lint::report_diagnostics(lint::lint_or_throw(lint::Linter::netlist_linter(), subject));
+}
+
+void preflight_library(const liberty::Library& aged, const liberty::Library& fresh) {
+  lint::LintSubject subject;
+  subject.library = &aged;
+  subject.fresh = &fresh;
+  lint::report_diagnostics(lint::lint_or_throw(lint::Linter::library_linter(), subject));
+}
+
+int count_fallback_points(const liberty::Library& library) {
+  int n = 0;
+  for (const liberty::Cell& cell : library.cells()) n += static_cast<int>(cell.fallbacks.size());
+  return n;
+}
+
+OrchestratorOptions resolve(const OrchestratorOptions* orch) {
+  return orch != nullptr ? *orch : OrchestratorOptions::from_env();
+}
+
+std::string encode_lib(const liberty::Library& library) {
+  return artifact::encode_library(library);
+}
+liberty::Library decode_lib(const std::string& text) { return artifact::decode_library(text); }
+
+/// The merged bracket library: every distinct (base cell, bracket corner)
+/// pair some instance's proven bound needs, characterized in parallel and
+/// stored under the λ-indexed name. Quarantined pairs are skipped — they
+/// surface as `missing` corners (and PV003 vacuity) downstream.
+liberty::Library build_bracket_library(
+    charlib::LibraryFactory& factory,
+    const std::set<std::pair<std::string, aging::AgingScenario>>& distinct) {
+  const std::vector<std::pair<std::string, aging::AgingScenario>> pairs(distinct.begin(),
+                                                                        distinct.end());
+  std::vector<liberty::Cell> cells(pairs.size());
+  std::vector<char> ok(pairs.size(), 0);
+  util::ThreadPool::shared().parallel_for(pairs.size(), [&](std::size_t c) {
+    try {
+      cells[c] = factory.cell(pairs[c].first, pairs[c].second);
+      cells[c].name = charlib::bracket_cell_name(pairs[c].first, pairs[c].second);
+      ok[c] = 1;
+    } catch (const std::exception&) {
+      ok[c] = 0;
+    }
+  });
+  liberty::Library merged("reliaware_prove_brackets");
+  for (std::size_t c = 0; c < pairs.size(); ++c) {
+    if (ok[c] != 0) merged.add_cell(std::move(cells[c]));
+  }
+  return merged;
+}
+
+}  // namespace
+
+ProvenGuardbandResult proven_guardband(const netlist::Module& module,
+                                       charlib::LibraryFactory& factory, double years,
+                                       double guardband_ps,
+                                       const stress::AnalyzeOptions& stress_options,
+                                       const sta::StaOptions& sta_options,
+                                       double width_budget_ps, const OrchestratorOptions* orch) {
+  FlowOrchestrator run("proven_guardband", resolve(orch));
+  const std::size_t quarantined_before = factory.quarantined().size();
+
+  const liberty::Library fresh = run.stage(
+      "fresh_library", [&] { return factory.library(aging::AgingScenario::fresh()); },
+      encode_lib, decode_lib);
+  preflight(module, fresh, &stress_options);
+
+  // 1. Prove per-instance λ bounds — pure interval arithmetic, recomputed
+  // inline even on resumed runs.
+  ProvenGuardbandResult result;
+  result.stress = stress::analyze(module, fresh, stress_options);
+
+  // 2. Bracket every proven bound with its extreme λ-lattice corners and
+  // characterize them once, checkpointed as one merged library.
+  std::set<std::pair<std::string, aging::AgingScenario>> distinct;
+  for (std::size_t i = 0; i < module.instances().size(); ++i) {
+    for (const auto& corner :
+         charlib::bracket_scenarios(result.stress.instances[i], years)) {
+      distinct.emplace(module.instances()[i].cell, corner);
+    }
+  }
+  result.candidate_corners = distinct.size();
+  const liberty::Library merged = run.stage(
+      "prove_corners",
+      [&] { return build_bracket_library(factory, distinct); },
+      encode_lib, decode_lib);
+  preflight_library(merged, fresh);
+
+  // 3. Interval STA over the bracket corners; the scalar fresh STA anchors
+  // the guardband. Serial + deterministic, recomputed inline.
+  const std::vector<charlib::InstanceCorners> corners =
+      charlib::corners_from_library(module, result.stress, merged, fresh);
+  const sta::IntervalSta ista(module, fresh, corners, sta_options);
+  const double fresh_cp = sta::Sta(module, fresh, sta_options).critical_delay_ps();
+  result.summary = ista.summarize(fresh_cp);
+  result.summary.guardband_ps = guardband_ps;
+  result.summary.width_budget_ps = width_budget_ps;
+
+  // 4. Verdict: the PV rules certify or refute the proof.
+  lint::Linter prove_linter;
+  prove_linter.add_rules(lint::prove_rules());
+  lint::LintSubject subject;
+  subject.module = &module;
+  subject.prove = &result.summary;
+  result.findings = prove_linter.run(subject);
+  lint::report_diagnostics(result.findings);
+  result.certified = lint::worst_severity(result.findings) < lint::Severity::kError;
+
+  run.report().fallbacks += count_fallback_points(merged);
+  run.report().quarantined += static_cast<int>(factory.quarantined().size() - quarantined_before);
+  run.finish();
+  return result;
+}
+
+}  // namespace rw::flow

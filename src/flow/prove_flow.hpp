@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file prove_flow.hpp
+/// The certified-guardband flow (`rwprove`): prove per-instance λ bounds
+/// (no simulation), bracket each instance with its extreme λ-lattice
+/// corners, run the interval STA, and certify or refute a candidate
+/// guardband against the *proven* aged-delay upper bound. Unlike the
+/// guardband estimates in guardband_flow.hpp, the result here covers every
+/// workload admitted by the input model.
+
+#include "charlib/factory.hpp"
+#include "flow/orchestrator.hpp"
+#include "lint/diagnostic.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/interval_sta.hpp"
+#include "stress/analyzer.hpp"
+
+namespace rw::flow {
+
+struct ProvenGuardbandResult {
+  stress::StressReport stress;      ///< the proven per-instance λ bounds
+  sta::ProveSummary summary;        ///< fresh CP, proven interval, blame, vacuity
+  std::vector<lint::Diagnostic> findings;  ///< PV001..PV003 verdicts
+  /// True when nothing refutes the proof: the interval is non-vacuous and
+  /// the candidate guardband (when one was given) covers the proven upper
+  /// bound — i.e. no error-severity PV finding.
+  bool certified = false;
+  std::size_t candidate_corners = 0;  ///< distinct (cell, corner) bracket pairs
+};
+
+/// `guardband_ps < 0` skips certification (prove-only); `width_budget_ps < 0`
+/// disables the PV002 width check. See guardband_flow.hpp for `orch`.
+ProvenGuardbandResult proven_guardband(const netlist::Module& module,
+                                       charlib::LibraryFactory& factory, double years,
+                                       double guardband_ps = -1.0,
+                                       const stress::AnalyzeOptions& stress_options = {},
+                                       const sta::StaOptions& sta_options = {},
+                                       double width_budget_ps = -1.0,
+                                       const OrchestratorOptions* orch = nullptr);
+
+}  // namespace rw::flow

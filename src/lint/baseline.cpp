@@ -1,0 +1,69 @@
+#include "lint/baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace rw::lint {
+
+namespace {
+
+/// Keys are one per line; fold any embedded newline so a hostile message
+/// cannot smuggle extra baseline entries.
+void append_flat(std::string& out, const std::string& text) {
+  for (const char c : text) out += (c == '\n' || c == '\r') ? ' ' : c;
+}
+
+}  // namespace
+
+std::string baseline_key(const Diagnostic& diagnostic) {
+  std::string key;
+  append_flat(key, diagnostic.rule_id);
+  key += '|';
+  append_flat(key, diagnostic.location);
+  key += '|';
+  append_flat(key, diagnostic.message);
+  return key;
+}
+
+std::string encode_baseline(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> keys;
+  keys.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) keys.push_back(baseline_key(d));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::string out =
+      "# rwlint baseline: one `rule|location|message` key per accepted finding.\n"
+      "# Exact matches are suppressed; regenerate with `rwlint --update-baseline`.\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+bool read_baseline(const std::string& path, std::set<std::string>& keys) {
+  keys.clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    keys.insert(line);
+  }
+  return true;
+}
+
+std::size_t suppress_baselined(std::vector<Diagnostic>& diagnostics,
+                               const std::set<std::string>& keys) {
+  if (keys.empty()) return 0;
+  const std::size_t before = diagnostics.size();
+  diagnostics.erase(std::remove_if(diagnostics.begin(), diagnostics.end(),
+                                   [&](const Diagnostic& d) {
+                                     return keys.count(baseline_key(d)) != 0;
+                                   }),
+                    diagnostics.end());
+  return before - diagnostics.size();
+}
+
+}  // namespace rw::lint

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file baseline.hpp
+/// Diagnostic baselines: record the current lint findings once, then
+/// suppress exact matches on later runs so a legacy design can adopt the
+/// linter incrementally — only *new* findings fail the gate.
+///
+/// A baseline file is line-oriented text: `#` comment lines, then one
+/// `<rule>|<location>|<message>` key per finding, sorted and deduplicated.
+/// The fix hint is deliberately excluded from the key so hint rewording
+/// never invalidates a baseline.
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+
+namespace rw::lint {
+
+/// Stable one-line identity of a diagnostic for baseline matching.
+std::string baseline_key(const Diagnostic& diagnostic);
+
+/// Serializes diagnostics as baseline-file text (header + sorted unique keys).
+std::string encode_baseline(const std::vector<Diagnostic>& diagnostics);
+
+/// Loads the keys of a baseline file into `keys`. Returns false (leaving
+/// `keys` empty) when the file cannot be read.
+bool read_baseline(const std::string& path, std::set<std::string>& keys);
+
+/// Removes diagnostics whose key appears in `keys`; returns how many were
+/// suppressed. Order of the survivors is preserved.
+std::size_t suppress_baselined(std::vector<Diagnostic>& diagnostics,
+                               const std::set<std::string>& keys);
+
+}  // namespace rw::lint

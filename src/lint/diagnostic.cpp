@@ -74,6 +74,15 @@ const std::vector<RuleInfo>& rule_catalog() {
       {rules::kFlowStaleArtifact, Severity::kWarning,
        "flow manifest references a missing or stale stage artifact",
        "delete the flow directory (or the offending stage file) so the stage recomputes"},
+      {rules::kGuardbandUnsound, Severity::kError,
+       "guardband lies below the proven aged-delay upper bound",
+       "raise the guardband above the proven bound, or tighten the input model / λ lattice"},
+      {rules::kWideProofInterval, Severity::kWarning,
+       "proven delay interval is wider than the slack budget",
+       "refine the λ corners feeding the blamed arcs (listed widest first) or raise the budget"},
+      {rules::kVacuousProof, Severity::kError,
+       "proof is vacuous: an instance is missing in-bounds bracketing lattice corners",
+       "characterize (or merge) the missing bracketing corners before trusting the bound"},
       {"IO001", Severity::kError, "input file could not be read or parsed",
        "check the path and the file format"},
   };

@@ -58,6 +58,9 @@ inline constexpr const char* kLambdaOutsideBounds = "SP001"; ///< annotated λ o
 inline constexpr const char* kProvenConstant = "SP002"; ///< net proven stuck at 0/1
 inline constexpr const char* kVacuousBound = "SP003";   ///< declared inputs, yet bound is [0,1]
 inline constexpr const char* kFlowStaleArtifact = "FL001"; ///< flow manifest references missing/stale artifact
+inline constexpr const char* kGuardbandUnsound = "PV001"; ///< guardband below the proven upper bound
+inline constexpr const char* kWideProofInterval = "PV002"; ///< proven interval wider than the slack budget
+inline constexpr const char* kVacuousProof = "PV003";   ///< missing in-bounds bracketing corners
 }  // namespace rules
 
 /// One entry of the stable rule catalog (`rwlint --explain`, README table).
@@ -69,7 +72,7 @@ struct RuleInfo {
 };
 
 /// Every rule id the toolchain can emit, in catalog order (NL, LB, AN, SP,
-/// FL, then CLI-level IO001). Descriptions and hints are the canonical
+/// FL, PV, then CLI-level IO001). Descriptions and hints are the canonical
 /// wording.
 const std::vector<RuleInfo>& rule_catalog();
 

@@ -20,6 +20,7 @@ Linter Linter::all_rules() {
   linter.add_rules(library_rules());
   linter.add_rules(annotation_rules());
   linter.add_rules(stress_rules());
+  linter.add_rules(prove_rules());
   return linter;
 }
 

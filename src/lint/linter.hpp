@@ -23,6 +23,10 @@
 #include "netlist/netlist.hpp"
 #include "stress/analyzer.hpp"
 
+namespace rw::sta {
+struct ProveSummary;  // sta/interval_sta.hpp; kept opaque to the rule engine
+}  // namespace rw::sta
+
 namespace rw::lint {
 
 /// What a lint run looks at. Any pointer may be null; rules skip the parts
@@ -36,6 +40,9 @@ struct LintSubject {
   /// Input model for the SP (static-stress) rules; null runs them with the
   /// default all-[0,1] model (SP003 then stays silent by construction).
   const stress::AnalyzeOptions* stress = nullptr;
+  /// Completed interval-STA run for the PV (certified-proof) rules; null
+  /// keeps them silent.
+  const sta::ProveSummary* prove = nullptr;
 };
 
 /// One design rule. Implementations must be state-free (`run` is const and
@@ -53,6 +60,7 @@ std::vector<std::unique_ptr<Rule>> netlist_rules();     ///< NL001..NL006
 std::vector<std::unique_ptr<Rule>> library_rules();     ///< LB001..LB007
 std::vector<std::unique_ptr<Rule>> annotation_rules();  ///< AN001..AN003
 std::vector<std::unique_ptr<Rule>> stress_rules();      ///< SP001..SP003
+std::vector<std::unique_ptr<Rule>> prove_rules();       ///< PV001..PV003
 
 class Linter {
  public:

@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+#include "sta/interval_sta.hpp"
+#include "util/strings.hpp"
+
+namespace rw::lint {
+
+namespace {
+
+/// PV001 / PV002 / PV003 over a completed interval-STA run (rwprove).
+///
+/// The subject's `prove` summary is the verdict of a *sound* analysis: the
+/// aged critical-path delay of every workload admitted by the input model
+/// lies inside `aged_cp_ps` — unless the proof is vacuous. The rules turn
+/// that verdict into actionable diagnostics:
+///
+///  - PV001 (error): a candidate guardband sits below the proven upper
+///    bound, i.e. some admissible workload can age the circuit past it.
+///  - PV002 (warning): the proven interval is wider than the configured
+///    slack budget; the message ranks the worst-path arcs by their
+///    delay-interval width so refinement effort lands where it pays.
+///  - PV003 (error): at least one instance had zero resolvable bracketing
+///    corners, so the numeric interval is a fresh-cell proxy, not a proof.
+class ProveRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "prove.certified"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "guardbands and slack budgets hold against the proven aged-delay interval";
+  }
+  void run(const LintSubject& subject, std::vector<Diagnostic>& out) const override {
+    if (subject.prove == nullptr) return;
+    const sta::ProveSummary& s = *subject.prove;
+    const std::string where =
+        subject.module != nullptr ? subject.module->name() + ":critical path" : "critical path";
+
+    // PV003 — vacuous proof. Emitted first: it invalidates the other two.
+    if (s.vacuous) {
+      std::string names;
+      const std::size_t shown = std::min<std::size_t>(s.vacuous_instances.size(), 5);
+      for (std::size_t i = 0; i < shown; ++i) {
+        if (i != 0) names += ", ";
+        names += s.vacuous_instances[i];
+      }
+      if (s.vacuous_instances.size() > shown) {
+        names += ", +" + std::to_string(s.vacuous_instances.size() - shown) + " more";
+      }
+      if (names.empty()) names = "(an upstream arc)";
+      out.push_back(Diagnostic{
+          rules::kVacuousProof, Severity::kError, where,
+          "interval " + s.aged_cp_ps.str() +
+              " ps proves nothing: zero in-bounds lattice corners for " + names,
+          "characterize (or merge) the missing bracketing corners before trusting the bound"});
+      return;
+    }
+
+    // PV001 — the guardband must cover the proven upper bound. A grid-free
+    // epsilon absorbs formatting round-trips of the candidate value.
+    if (s.guardband_ps >= 0.0) {
+      const double need = s.aged_cp_ps.hi - s.fresh_cp_ps;
+      const double eps = 1e-9 * (1.0 + s.aged_cp_ps.hi);
+      if (s.guardband_ps < need - eps) {
+        out.push_back(Diagnostic{
+            rules::kGuardbandUnsound, Severity::kError, where,
+            "guardband " + util::format_fixed(s.guardband_ps, 4) +
+                " ps is below the proven requirement " + util::format_fixed(need, 4) +
+                " ps (aged bound " + s.aged_cp_ps.str() + " ps over fresh " +
+                util::format_fixed(s.fresh_cp_ps, 4) + " ps)",
+            "raise the guardband above the proven bound, or tighten the input model / λ "
+            "lattice"});
+      }
+    }
+
+    // PV002 — interval width against the slack budget, with per-edge blame.
+    if (s.width_budget_ps >= 0.0 && s.aged_cp_ps.width() > s.width_budget_ps) {
+      std::string blame;
+      const std::size_t shown = std::min<std::size_t>(s.blame.size(), 3);
+      for (std::size_t i = 0; i < shown; ++i) {
+        const sta::PathBlame& b = s.blame[i];
+        if (i != 0) blame += ", ";
+        blame += b.instance + "/" + b.pin + " (" + util::format_fixed(b.width_ps, 2) + " ps";
+        if (b.interp_ps > 0.0) {
+          blame += ", interp " + util::format_fixed(b.interp_ps, 2) + " ps";
+        }
+        blame += ")";
+      }
+      if (blame.empty()) blame = "no combinational arcs on the worst path";
+      out.push_back(Diagnostic{
+          rules::kWideProofInterval, Severity::kWarning, where,
+          "proven interval " + s.aged_cp_ps.str() + " ps is " +
+              util::format_fixed(s.aged_cp_ps.width(), 4) + " ps wide (budget " +
+              util::format_fixed(s.width_budget_ps, 4) + " ps); widest arcs: " + blame,
+          "refine the λ corners feeding the blamed arcs or raise the budget"});
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> prove_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<ProveRule>());
+  return rules;
+}
+
+}  // namespace rw::lint

@@ -20,4 +20,12 @@ std::string Interval::str() const {
   return "[" + util::format_fixed(lo, 4) + ", " + util::format_fixed(hi, 4) + "]";
 }
 
+RealInterval RealInterval::hull(const RealInterval& other) const {
+  return RealInterval{std::min(lo, other.lo), std::max(hi, other.hi)};
+}
+
+std::string RealInterval::str() const {
+  return "[" + util::format_fixed(lo, 4) + ", " + util::format_fixed(hi, 4) + "]";
+}
+
 }  // namespace rw::stress

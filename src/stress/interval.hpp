@@ -46,6 +46,41 @@ struct Interval {
   [[nodiscard]] std::string str() const;
 };
 
+/// An unconstrained real interval `[lo, hi]` — the value domain shared by
+/// the certified interval STA (rwprove): arrival/slew/delay bounds in ps.
+/// Unlike `Interval` it is not clamped to [0, 1] and its default is the
+/// degenerate point [0, 0]. The invariant lo <= hi is the caller's to keep
+/// (every constructor here preserves it).
+struct RealInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  static RealInterval point(double v) { return RealInterval{v, v}; }
+
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] bool is_point() const { return lo == hi; }
+  [[nodiscard]] bool contains(double v) const { return v >= lo && v <= hi; }
+  [[nodiscard]] bool contains(const RealInterval& other) const {
+    return lo <= other.lo && hi >= other.hi;
+  }
+
+  /// Smallest interval containing both.
+  [[nodiscard]] RealInterval hull(const RealInterval& other) const;
+  /// Exact interval sum: [a.lo + b.lo, a.hi + b.hi].
+  [[nodiscard]] RealInterval operator+(const RealInterval& other) const {
+    return RealInterval{lo + other.lo, hi + other.hi};
+  }
+  /// Widen symmetrically by `margin` (>= 0) on both sides.
+  [[nodiscard]] RealInterval widened(double margin) const {
+    return RealInterval{lo - margin, hi + margin};
+  }
+
+  [[nodiscard]] bool operator==(const RealInterval&) const = default;
+
+  /// "[123.4567, 130.0000]" with fixed decimals (stable across locales).
+  [[nodiscard]] std::string str() const;
+};
+
 /// Mean of `n` intervals accessed via `get(i)` — the footnote-2 pin average.
 /// Averaging is monotone, so no independence assumption is needed for it.
 template <typename Get>

@@ -1,5 +1,6 @@
 #include "util/interp.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -87,6 +88,63 @@ double Table2D::lookup(double x, double y) const {
   const double v0 = v00 + ty * (v01 - v00);
   const double v1 = v10 + ty * (v11 - v10);
   return v0 + tx * (v1 - v0);
+}
+
+namespace {
+
+/// Candidate coordinates for the extrema search: the query endpoints plus
+/// every axis knot strictly inside (lo, hi). Endpoints first so a degenerate
+/// query evaluates exactly once at the query point.
+void collect_candidates(const Axis& axis, double lo, double hi, std::vector<double>& out) {
+  out.clear();
+  out.push_back(lo);
+  if (hi > lo) {
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+      const double p = axis[i];
+      if (p > lo && p < hi) out.push_back(p);
+    }
+    out.push_back(hi);
+  }
+}
+
+/// Σ|w| of the 1-D linear weights {1 - t, t}: 1 inside the segment,
+/// |1 - t| + |t| when extrapolating.
+double weight_amp(const Axis& axis, double x) {
+  if (axis.size() < 2) return 1.0;
+  const std::size_t seg = axis.bracket(x);
+  const double t = axis.weight(seg, x);
+  const double amp = ((t < 0.0) ? -t : t) + ((t < 1.0) ? 1.0 - t : t - 1.0);
+  return amp < 1.0 ? 1.0 : amp;
+}
+
+}  // namespace
+
+TableRange table_range(const Table2D& table, double x_lo, double x_hi, double y_lo, double y_hi) {
+  static thread_local std::vector<double> xs;
+  static thread_local std::vector<double> ys;
+  collect_candidates(table.x_axis(), x_lo, x_hi, xs);
+  collect_candidates(table.y_axis(), y_lo, y_hi, ys);
+  TableRange r;
+  bool first = true;
+  for (const double x : xs) {
+    for (const double y : ys) {
+      const double v = table.lookup(x, y);
+      if (first) {
+        r.lo = v;
+        r.hi = v;
+        first = false;
+      } else {
+        if (v < r.lo) r.lo = v;
+        if (v > r.hi) r.hi = v;
+      }
+    }
+  }
+  // Extrapolation amplification is separable and monotone away from the
+  // table, so the per-axis maximum is at a query endpoint.
+  const double amp_x = std::max(weight_amp(table.x_axis(), x_lo), weight_amp(table.x_axis(), x_hi));
+  const double amp_y = std::max(weight_amp(table.y_axis(), y_lo), weight_amp(table.y_axis(), y_hi));
+  r.amp = amp_x * amp_y;
+  return r;
 }
 
 }  // namespace rw::util

@@ -84,4 +84,26 @@ class Table2D {
   std::vector<double> values_;
 };
 
+/// Exact range of a `Table2D` over an axis-aligned query rectangle, plus the
+/// worst-case extrapolation amplification for certified per-entry error
+/// bounds (see charlib/adaptive.hpp and sta/interval_sta.hpp).
+struct TableRange {
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Max over the rectangle of Σ|w_i| for the bilinear weights w used by
+  /// `lookup`. Exactly 1 inside the table; > 1 when the rectangle reaches
+  /// into the linear-extrapolation region, where a per-entry error bound of
+  /// b yields a lookup error bound of amp * b.
+  double amp = 1.0;
+};
+
+/// Exact `[min, max]` of `table.lookup` over `[x_lo, x_hi] × [y_lo, y_hi]`
+/// under the table's own piecewise-bilinear interpolation/extrapolation
+/// semantics: the extrema of a piecewise-bilinear function over a box lie at
+/// the box corners or on interior grid knots, so evaluating `lookup` at
+/// those candidate points is exhaustive, and a degenerate rectangle
+/// (x_lo == x_hi, y_lo == y_hi) reproduces `lookup(x, y)` bitwise.
+/// \pre x_lo <= x_hi and y_lo <= y_hi.
+TableRange table_range(const Table2D& table, double x_lo, double x_hi, double y_lo, double y_hi);
+
 }  // namespace rw::util

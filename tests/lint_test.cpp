@@ -14,6 +14,7 @@
 #include "liberty/library.hpp"
 #include "liberty/parser.hpp"
 #include "liberty/writer.hpp"
+#include "lint/baseline.hpp"
 #include "lint/diagnostic.hpp"
 #include "lint/linter.hpp"
 #include "flow/guardband_flow.hpp"
@@ -586,6 +587,126 @@ TEST(RwlintCli, UsageErrorsExit64) {
   run_cli("--format yaml --lib x.lib", exit_code);
   EXPECT_EQ(exit_code, 64);
   run_cli("", exit_code);
+  EXPECT_EQ(exit_code, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Rule-catalog completeness: the catalog, `--explain`, and the README rule
+// table must stay in lockstep, and everything the fixtures emit is cataloged.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(RuleCatalog, EveryEntryHasExplainTextAndExactlyOneReadmeRow) {
+  const std::string readme = read_file(RW_REPO_DIR "/README.md");
+  ASSERT_FALSE(readme.empty());
+  ASSERT_FALSE(rule_catalog().empty());
+  std::set<std::string> seen;
+  for (const RuleInfo& info : rule_catalog()) {
+    ASSERT_NE(info.id, nullptr);
+    EXPECT_TRUE(seen.insert(info.id).second) << "duplicate catalog id " << info.id;
+    // Non-empty --explain material.
+    ASSERT_NE(info.summary, nullptr) << info.id;
+    ASSERT_NE(info.fix_hint, nullptr) << info.id;
+    EXPECT_GT(std::string(info.summary).size(), 0u) << info.id;
+    EXPECT_GT(std::string(info.fix_hint).size(), 0u) << info.id;
+    // Exactly one README rule-table row "| <id> |".
+    const std::string row = "\n| " + std::string(info.id) + " |";
+    const std::size_t first = readme.find(row);
+    EXPECT_NE(first, std::string::npos) << info.id << " missing from the README rule table";
+    if (first != std::string::npos) {
+      EXPECT_EQ(readme.find(row, first + 1), std::string::npos)
+          << info.id << " appears more than once in the README rule table";
+    }
+    // The CLI renders the same entry.
+    int exit_code = -1;
+    const std::string out = run_cli("--explain " + std::string(info.id), exit_code);
+    EXPECT_EQ(exit_code, 0) << info.id;
+    EXPECT_NE(out.find(info.id), std::string::npos) << out;
+    EXPECT_NE(out.find(info.summary), std::string::npos) << out;
+  }
+  EXPECT_EQ(find_rule_info("ZZ999"), nullptr);
+}
+
+TEST(RuleCatalog, EveryFixtureDiagnosticIsCataloged) {
+  int exit_code = -1;
+  const std::string json =
+      run_cli("--format json --lib " RW_REPO_DIR "/examples/fixtures/mini.lib " RW_REPO_DIR
+              "/tests/fixtures/broken.v",
+              exit_code);
+  const auto ids = json_rule_ids(json);
+  ASSERT_FALSE(ids.empty()) << json;
+  for (const std::string& id : ids) {
+    EXPECT_NE(find_rule_info(id), nullptr) << id << " is emitted but not cataloged";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Baselines: record once, suppress exact matches, fail on new findings.
+
+TEST(Baseline, KeyFoldsNewlinesAndIgnoresFixHint) {
+  Diagnostic d{"NL001", Severity::kError, "top:u1", "line one\nline two", "hint A"};
+  const std::string key = baseline_key(d);
+  EXPECT_EQ(key.find('\n'), std::string::npos);
+  Diagnostic d2 = d;
+  d2.fix_hint = "completely different hint";
+  EXPECT_EQ(baseline_key(d2), key);
+  d2.message = "other message";
+  EXPECT_NE(baseline_key(d2), key);
+}
+
+TEST(Baseline, EncodeReadSuppressRoundTrip) {
+  const std::vector<Diagnostic> diags = {
+      {"NL002", Severity::kError, "top:n1", "floating net", ""},
+      {"SP002", Severity::kWarning, "top:n2", "stuck at 0", "remove it"},
+      {"NL002", Severity::kError, "top:n1", "floating net", ""},  // duplicate key
+  };
+  const std::string path = std::string(::testing::TempDir()) + "baseline_roundtrip.txt";
+  std::ofstream(path) << encode_baseline(diags);
+  std::set<std::string> keys;
+  ASSERT_TRUE(read_baseline(path, keys));
+  EXPECT_EQ(keys.size(), 2u);  // deduplicated
+  std::vector<Diagnostic> report = diags;
+  report.push_back({"NL005", Severity::kError, "top:u9", "unknown cell", ""});
+  EXPECT_EQ(suppress_baselined(report, keys), 3u);
+  ASSERT_EQ(report.size(), 1u);  // only the new finding survives
+  EXPECT_EQ(report[0].rule_id, "NL005");
+  std::remove(path.c_str());
+
+  std::set<std::string> missing;
+  EXPECT_FALSE(read_baseline(path + ".does-not-exist", missing));
+  EXPECT_TRUE(missing.empty());
+}
+
+TEST(RwlintCli, BaselineRecordsThenSuppressesThenCatchesNewFindings) {
+  const std::string path = std::string(::testing::TempDir()) + "rwlint_baseline.txt";
+  std::remove(path.c_str());
+  const std::string broken = "--lib " RW_REPO_DIR "/examples/fixtures/mini.lib " RW_REPO_DIR
+                             "/tests/fixtures/broken.v";
+  int exit_code = -1;
+  // 1. No baseline yet: the run records the findings and exits 0.
+  std::string out = run_cli("--baseline " + path + " " + broken, exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_NE(read_file(path).find("NL001"), std::string::npos);
+  // 2. Baseline present: the same findings are suppressed.
+  out = run_cli("--baseline " + path + " " + broken, exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_NE(out.find("suppressed by baseline"), std::string::npos) << out;
+  // 3. Re-recording against the clean fixture empties the baseline, so the
+  // broken design fails again — baselines never mask *new* findings.
+  out = run_cli("--baseline " + path + " --update-baseline --lib " RW_REPO_DIR
+                "/examples/fixtures/mini.lib " RW_REPO_DIR "/examples/fixtures/clean.v",
+                exit_code);
+  EXPECT_EQ(exit_code, 0) << out;
+  out = run_cli("--baseline " + path + " " + broken, exit_code);
+  EXPECT_EQ(exit_code, 2) << out;
+  std::remove(path.c_str());
+  // 4. --update-baseline without --baseline is a usage error.
+  run_cli("--update-baseline " + broken, exit_code);
   EXPECT_EQ(exit_code, 64);
 }
 

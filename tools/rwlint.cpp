@@ -17,6 +17,7 @@
 
 #include <cstring>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,9 @@
 #include "flow/orchestrator.hpp"
 #include "liberty/library.hpp"
 #include "liberty/parser.hpp"
+#include "lint/baseline.hpp"
 #include "lint/linter.hpp"
+#include "util/atomic_file.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/verilog.hpp"
 #include "util/thread_pool.hpp"
@@ -41,6 +44,9 @@ void print_usage(std::ostream& os) {
         "  --flow-manifest FILE  check a flow checkpoint manifest against its\n"
         "                   artifacts (FL001; repeatable)\n"
         "  --format FMT     output format: text (default) or json\n"
+        "  --baseline FILE  suppress findings recorded in FILE; when FILE does not\n"
+        "                   exist, record the current findings into it and exit 0\n"
+        "  --update-baseline  with --baseline: rewrite FILE from this run's findings\n"
         "  --threads N      worker threads for parallel rule execution\n"
         "  --list-rules     print the rule catalog and exit\n"
         "  --explain ID     print one rule's description and fix hint, then exit\n"
@@ -74,6 +80,8 @@ struct Args {
   std::string grid;
   std::string format = "text";
   std::string explain;
+  std::string baseline;
+  bool update_baseline = false;
   std::vector<std::string> flow_manifests;
   std::vector<std::string> netlists;
   bool list = false;
@@ -110,6 +118,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = need_value(i, "--format");
       if (v == nullptr) return false;
       args.format = v;
+    } else if (a == "--baseline") {
+      const char* v = need_value(i, "--baseline");
+      if (v == nullptr) return false;
+      args.baseline = v;
+    } else if (a == "--update-baseline") {
+      args.update_baseline = true;
     } else if (a == "--list-rules") {
       args.list = true;
     } else if (a == "--explain") {
@@ -131,6 +145,10 @@ bool parse_args(int argc, char** argv, Args& args) {
   }
   if (!args.grid.empty() && args.grid != "7x7" && args.grid != "3x3" && args.grid != "none") {
     std::cerr << "rwlint: --grid must be 7x7, 3x3, or none\n";
+    return false;
+  }
+  if (args.update_baseline && args.baseline.empty()) {
+    std::cerr << "rwlint: --update-baseline needs --baseline FILE\n";
     return false;
   }
   if (!args.netlists.empty() && args.lib_paths.empty()) {
@@ -245,13 +263,36 @@ int main(int argc, char** argv) {
     append(rw::flow::lint_flow_manifest(path));
   }
 
+  // Baseline handling: an existing file suppresses exact matches (only *new*
+  // findings affect the exit code); a missing file — or --update-baseline —
+  // records this run's findings as the accepted set.
+  std::size_t suppressed = 0;
+  if (!args.baseline.empty()) {
+    std::set<std::string> keys;
+    if (!args.update_baseline && rw::lint::read_baseline(args.baseline, keys)) {
+      suppressed = rw::lint::suppress_baselined(report, keys);
+    } else {
+      if (!rw::util::write_file_atomic_nothrow(args.baseline,
+                                               rw::lint::encode_baseline(report))) {
+        report.push_back(io_error(args.baseline, "cannot write baseline file"));
+      } else {
+        std::cerr << "rwlint: recorded " << report.size() << " finding(s) to baseline "
+                  << args.baseline << "\n";
+        suppressed = report.size();
+        report.clear();
+      }
+    }
+  }
+
   if (args.format == "json") {
     std::cout << rw::lint::to_json(report) << "\n";
   } else {
     std::cout << rw::lint::format_report(report);
     std::cout << "rwlint: " << rw::lint::count(report, rw::lint::Severity::kError) << " error(s), "
               << rw::lint::count(report, rw::lint::Severity::kWarning) << " warning(s), "
-              << rw::lint::count(report, rw::lint::Severity::kInfo) << " info\n";
+              << rw::lint::count(report, rw::lint::Severity::kInfo) << " info";
+    if (suppressed != 0) std::cout << ", " << suppressed << " suppressed by baseline";
+    std::cout << "\n";
   }
   switch (rw::lint::worst_severity(report)) {
     case rw::lint::Severity::kError:
