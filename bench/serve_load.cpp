@@ -1,0 +1,319 @@
+/// \file serve_load.cpp
+/// rwserved load harness: forks a real daemon (Server::run over a private
+/// disk cache) per configuration, drives it with forked client processes
+/// issuing characterize requests over the 6-pair (2 scenarios x 3 cells)
+/// working set, and reports per-request latency percentiles plus end-to-end
+/// throughput for every (workers x clients x cold|warm-cache) cell of the
+/// matrix. Writes BENCH_serve.json; exits non-zero if any request fails or
+/// any daemon refuses a clean drain, so the bench doubles as a load-path
+/// regression gate.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aging/scenario.hpp"
+#include "bench/common.hpp"
+#include "charlib/factory.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/atomic_file.hpp"
+#include "util/io.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kRequestsPerClient = 18;  // 3 laps over the 6-pair working set
+
+double now_ms(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The serve data plane under test: coarse grid, 3-cell catalog — the same
+/// shape the chaos campaign exercises, so latencies here are comparable to
+/// its wall clocks.
+rw::charlib::LibraryFactory::Options bench_factory_options(const std::string& cache_dir) {
+  rw::charlib::LibraryFactory::Options o;
+  o.characterize.grid = rw::charlib::OpcGrid::coarse();
+  o.cell_subset = {"INV_X1", "NAND2_X1", "DFF_X1"};
+  o.cache_dir = cache_dir;
+  return o;
+}
+
+std::vector<rw::aging::AgingScenario> bench_scenarios() {
+  return {rw::aging::AgingScenario{0.3, 0.3, 10.0, true},
+          rw::aging::AgingScenario{0.7, 0.7, 10.0, true}};
+}
+
+/// Short socket path (sun_path caps at ~100 bytes), unique per run cell.
+std::string socket_path_for(int run_index) {
+  return "/tmp/rwserve_ld_" + std::to_string(::getpid()) + "_" + std::to_string(run_index) +
+         ".sock";
+}
+
+/// Forks a real daemon running Server::run(); the child never returns.
+pid_t spawn_daemon(const rw::serve::ServeOptions& options) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  rw::flow::cancel_token().clear();
+  rw::flow::install_signal_handlers();  // SIGTERM drains, as in the rwserved CLI
+  int code = 2;
+  try {
+    rw::serve::Server server(options);
+    code = server.run();
+  } catch (...) {
+  }
+  _exit(code);
+}
+
+/// waitpid with a deadline; true when the child was reaped.
+bool wait_child(pid_t pid, int timeout_ms, int& status) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    const pid_t got = waitpid(pid, &status, WNOHANG);
+    if (got == pid) return true;
+    if (got < 0) return false;
+    if (now_ms(t0) > timeout_ms) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+/// One client process: issues kRequestsPerClient characterize requests with
+/// unique idempotent ids, timing each round trip, then publishes the latency
+/// list (one "%.3f" ms per line) atomically for the parent to aggregate.
+pid_t spawn_client(const std::string& socket_path, int run_index, int client_index,
+                   const std::string& latency_path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  int code = 0;
+  std::string lines;
+  try {
+    rw::serve::ClientOptions copt;
+    copt.socket_path = socket_path;
+    rw::serve::ServeClient client(copt);
+    const auto scenarios = bench_scenarios();
+    const std::vector<std::string> cells = {"INV_X1", "NAND2_X1", "DFF_X1"};
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      const rw::aging::AgingScenario& sc = scenarios[(i / cells.size()) % scenarios.size()];
+      rw::serve::Request req;
+      req.id = "ld-" + std::to_string(run_index) + "-" + std::to_string(client_index) + "-" +
+               std::to_string(i);
+      req.op = "characterize";
+      req.cell = cells[i % cells.size()];
+      req.lambda_p = sc.lambda_p;
+      req.lambda_n = sc.lambda_n;
+      req.years = sc.years;
+      req.include_mobility = sc.include_mobility;
+      const auto t0 = std::chrono::steady_clock::now();
+      const rw::serve::Response resp = client.request(req);
+      const double dt = now_ms(t0);
+      if (resp.status != "ok" || resp.library.empty()) {
+        lines = "ERROR response " + resp.status + ": " + resp.error + "\n";
+        code = 1;
+        break;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3f\n", dt);
+      lines += buf;
+    }
+  } catch (const std::exception& e) {
+    lines = std::string("ERROR ") + e.what() + "\n";
+    code = 1;
+  }
+  rw::util::write_file_atomic_nothrow(latency_path, lines);
+  _exit(code);
+}
+
+struct RunResult {
+  int workers = 0;
+  int clients = 0;
+  std::string cache;  // "cold" | "warm"
+  int requests = 0;
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool ok = false;
+  std::string detail;
+};
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size(), std::max<std::size_t>(rank, 1)) - 1];
+}
+
+/// One matrix cell: daemon up, C clients x kRequestsPerClient requests,
+/// graceful drain via op=shutdown, percentiles over the merged latencies.
+RunResult run_one(int run_index, int workers, int clients, const std::string& cache_kind,
+                  const std::string& cache_dir, const std::string& work_root) {
+  RunResult r;
+  r.workers = workers;
+  r.clients = clients;
+  r.cache = cache_kind;
+
+  const std::string socket_path = socket_path_for(run_index);
+  rw::serve::ServeOptions options;
+  options.socket_path = socket_path;
+  options.workers = workers;
+  options.factory = bench_factory_options(cache_dir);
+  pid_t daemon = spawn_daemon(options);
+  const auto finish = [&](bool ok, std::string detail) {
+    if (daemon > 0) {
+      ::kill(daemon, SIGKILL);
+      int status = 0;
+      (void)wait_child(daemon, 5000, status);
+      daemon = -1;
+    }
+    ::unlink(socket_path.c_str());
+    r.ok = ok;
+    r.detail = std::move(detail);
+    return r;
+  };
+  if (daemon < 0) return finish(false, "daemon fork failed");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<pid_t> kids;
+  std::vector<std::string> latency_paths;
+  for (int c = 0; c < clients; ++c) {
+    const std::string path =
+        work_root + "/lat_" + std::to_string(run_index) + "_" + std::to_string(c) + ".txt";
+    const pid_t kid = spawn_client(socket_path, run_index, c, path);
+    if (kid < 0) return finish(false, "client fork failed");
+    kids.push_back(kid);
+    latency_paths.push_back(path);
+  }
+  for (const pid_t kid : kids) {
+    int status = 0;
+    if (!wait_child(kid, 600000, status)) return finish(false, "client timed out");
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::string detail = "client failed";
+      for (const std::string& path : latency_paths) {
+        std::ifstream in(path);
+        std::string line;
+        if (std::getline(in, line) && line.rfind("ERROR", 0) == 0) detail = line;
+      }
+      return finish(false, detail);
+    }
+  }
+  r.wall_ms = now_ms(t0);
+
+  std::vector<double> latencies;
+  for (const std::string& path : latency_paths) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line.rfind("ERROR", 0) == 0) return finish(false, line);
+      latencies.push_back(std::strtod(line.c_str(), nullptr));
+    }
+  }
+  r.requests = static_cast<int>(latencies.size());
+  if (r.requests != clients * kRequestsPerClient) {
+    return finish(false, "latency count mismatch: " + std::to_string(r.requests));
+  }
+  std::sort(latencies.begin(), latencies.end());
+  r.p50_ms = percentile(latencies, 50.0);
+  r.p99_ms = percentile(latencies, 99.0);
+  r.throughput_rps = r.wall_ms > 0.0 ? 1000.0 * r.requests / r.wall_ms : 0.0;
+
+  // Graceful drain: op=shutdown must answer ok and the daemon must exit 0.
+  try {
+    rw::serve::ClientOptions copt;
+    copt.socket_path = socket_path;
+    rw::serve::ServeClient client(copt);
+    rw::serve::Request req;
+    req.id = "ld-" + std::to_string(run_index) + "-shutdown";
+    req.op = "shutdown";
+    const rw::serve::Response resp = client.request(req);
+    if (resp.status != "ok") return finish(false, "shutdown response " + resp.status);
+  } catch (const std::exception& e) {
+    return finish(false, std::string("shutdown request failed: ") + e.what());
+  }
+  int status = 0;
+  if (!wait_child(daemon, 30000, status) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return finish(false, "daemon did not drain to exit 0");
+  }
+  daemon = -1;
+  return finish(true, "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rw::bench::init(argc, argv);
+  rw::util::io::ignore_sigpipe();
+  // Daemons and clients are forked below; a live pool thread in the parent
+  // would be duplicated into every child in a locked, unusable state.
+  rw::util::set_shared_thread_count(1);
+  rw::bench::print_header("rwserved load: latency percentiles and throughput");
+
+  const std::string work_root = "serve_load_work";
+  std::error_code ec;
+  fs::remove_all(work_root, ec);
+  fs::create_directories(work_root, ec);
+
+  std::vector<RunResult> runs;
+  bool all_ok = true;
+  int run_index = 0;
+  std::printf("%-7s  %-7s  %-5s  %8s  %8s  %8s  %9s\n", "workers", "clients", "cache",
+              "p50_ms", "p99_ms", "wall_ms", "req_per_s");
+  for (const int workers : {1, 2}) {
+    for (const int clients : {1, 4}) {
+      // Cold fills this matrix cell's private cache; warm replays the same
+      // request mix against a fresh daemon over the now-populated cache.
+      const std::string cache_dir = work_root + "/cache_w" + std::to_string(workers) + "_c" +
+                                    std::to_string(clients);
+      for (const std::string cache_kind : {"cold", "warm"}) {
+        RunResult r = run_one(run_index++, workers, clients, cache_kind, cache_dir, work_root);
+        all_ok = all_ok && r.ok;
+        if (r.ok) {
+          std::printf("%-7d  %-7d  %-5s  %8.3f  %8.3f  %8.1f  %9.1f\n", r.workers, r.clients,
+                      r.cache.c_str(), r.p50_ms, r.p99_ms, r.wall_ms, r.throughput_rps);
+        } else {
+          std::printf("%-7d  %-7d  %-5s  FAILED: %s\n", r.workers, r.clients, r.cache.c_str(),
+                      r.detail.c_str());
+        }
+        runs.push_back(std::move(r));
+      }
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"serve_load\",\n  \"grid\": \"coarse\",\n";
+  json += "  \"cells\": 3,\n  \"scenarios\": 2,\n  \"requests_per_client\": " +
+          std::to_string(kRequestsPerClient) + ",\n  \"all_ok\": " +
+          (all_ok ? std::string("true") : std::string("false")) + ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    char row[512];
+    std::snprintf(row, sizeof row,
+                  "    {\"workers\": %d, \"clients\": %d, \"cache\": \"%s\", "
+                  "\"requests\": %d, \"ok\": %s, \"wall_ms\": %.3f, "
+                  "\"throughput_rps\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                  r.workers, r.clients, r.cache.c_str(), r.requests, r.ok ? "true" : "false",
+                  r.wall_ms, r.throughput_rps, r.p50_ms, r.p99_ms,
+                  i + 1 < runs.size() ? "," : "");
+    json += row;
+  }
+  json += "  ]\n}\n";
+  rw::util::write_file_atomic("BENCH_serve.json", json);
+  std::printf("%s\nwrote BENCH_serve.json\n",
+              all_ok ? "serve load contract held for every run" : "SERVE LOAD RUN FAILED");
+
+  rw::util::set_shared_thread_count(0);
+  return all_ok ? 0 : 2;
+}

@@ -75,6 +75,14 @@ echo "== chaos: fixed-seed campaign in the plain tree =="
 # so a filtered ctest invocation cannot silently drop the gate.
 ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure
 
+echo "== serve: crash-tolerant characterization service in the plain tree =="
+# rwserved's failure contract: worker leases + SIGKILL redelivery, daemon
+# restart with idempotent-id replay, cross-process dedup (exactly one SPICE
+# campaign for concurrent duplicates), bounded overload shedding, SIGTERM
+# drain — plus the 3-fixed-seed `rwchaos --serve` smoke. Re-run explicitly
+# so a filtered ctest invocation cannot drop the gate.
+ctest --test-dir "$BUILD_DIR" -L serve --output-on-failure
+
 echo "== prove: certified interval-STA suite in the plain tree =="
 # The soundness contract (simulated aged delay inside the proven interval,
 # scalar collapse, PV verdicts, fixture exit codes). As with the chaos label,
@@ -93,11 +101,15 @@ if [[ "${RW_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build "$TSAN_DIR" -j "$JOBS" --target \
     resilience_test thread_pool_test stress_test prove_test \
     cancel_test orchestrator_test flow_resume_test rwchaos rwprove \
-    perf_smoke_test adaptive_grid_test
+    perf_smoke_test adaptive_grid_test serve_test
   ctest --test-dir "$TSAN_DIR" -L resilience --output-on-failure -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" -L stress --output-on-failure -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" -L prove --output-on-failure -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" -L chaos --output-on-failure
+  # The serve label (daemon supervisor, socketpair worker protocol, client
+  # retry loop) forks real daemons; TSan watches the pre-fork pool shrink
+  # and the supervisor's reap/redeliver bookkeeping.
+  ctest --test-dir "$TSAN_DIR" -L serve --output-on-failure
   # The workspace-reuse solve path and the flattened batch scheduler are
   # the new concurrency surfaces: thread-local workspace caches, the shared
   # once-per-arc DC seed, and the batch's per-item error slots.

@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <optional>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "cells/catalog.hpp"
@@ -15,11 +17,17 @@
 #include "liberty/parser.hpp"
 #include "liberty/writer.hpp"
 #include "util/atomic_file.hpp"
+#include "util/proc_lease.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rw::charlib {
 
 namespace fs = std::filesystem;
+
+CacheMissError::CacheMissError(std::string scenario_id, std::string cell)
+    : std::runtime_error("cache miss (disk_only): " + cell + " scenario=" + scenario_id),
+      scenario_id_(std::move(scenario_id)),
+      cell_(std::move(cell)) {}
 
 LibraryFactory::Options LibraryFactory::default_options() {
   Options o;
@@ -30,6 +38,11 @@ LibraryFactory::Options LibraryFactory::default_options() {
   }
   if (const char* env = std::getenv("RW_CHAR_RESUME"); env != nullptr && *env != '\0') {
     o.resume = std::string(env) != "0";
+  }
+  if (const char* env = std::getenv("RW_CHAR_LEASE_MS"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const double ms = std::strtod(env, &end);
+    if (end != env && ms > 0.0) o.dedup_lease_ms = ms;
   }
   return o;
 }
@@ -54,8 +67,33 @@ std::string LibraryFactory::scenario_dir(const aging::AgingScenario& scenario) c
 }
 
 std::string LibraryFactory::manifest_path() const {
-  if (options_.cache_dir.empty()) return {};
+  if (options_.cache_dir.empty() || !options_.use_manifest) return {};
   return grid_dir() + "/manifest.json";
+}
+
+std::string LibraryFactory::cell_lib_path(const std::string& cell_name,
+                                          const aging::AgingScenario& scenario) const {
+  if (options_.cache_dir.empty()) return {};
+  return scenario_dir(scenario) + "/" + cell_name + ".lib";
+}
+
+bool LibraryFactory::is_quarantined(const std::string& scenario_id,
+                                    const std::string& cell_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantine_.count(CellKey{scenario_id, cell_name}) != 0;
+}
+
+std::string LibraryFactory::cache_path(const std::string& cell_name,
+                                       const aging::AgingScenario& scenario) const {
+  return cell_lib_path(cell_name, scenario);
+}
+
+void LibraryFactory::quarantine_pair(const std::string& scenario_id,
+                                     const std::string& cell_name, const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  quarantine_[CellKey{scenario_id, cell_name}] = error;
+  manifest_.record_failed(scenario_id, cell_name, error);
+  manifest_.save();
 }
 
 std::size_t LibraryFactory::resume() {
@@ -116,6 +154,9 @@ void LibraryFactory::store_cached_cell(const aging::AgingScenario& scenario,
 
 const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,
                                           const aging::AgingScenario& scenario) {
+  // Nothing claimed yet, so throwing here is always safe; this is what makes
+  // a tripped token stop a warm-cache library assembly promptly.
+  flow::throw_if_cancelled();
   const CellKey key{scenario.id(), cell_name};
   std::shared_ptr<CellJob> job;
   {
@@ -211,12 +252,15 @@ std::vector<aging::AgingScenario> LibraryFactory::direct_scenarios(
 
 liberty::Cell LibraryFactory::build_cell(const std::string& cell_name,
                                          const aging::AgingScenario& scenario) {
-  if (!options_.cache_dir.empty()) {
-    if (auto cached = load_cached_cell(scenario_dir(scenario) + "/" + cell_name + ".lib",
-                                       cell_name)) {
-      return std::move(*cached);
-    }
+  // Honor cancellation even on the all-disk-hit path: a SIGTERM during a
+  // large library load used to be noticed only at the next parallel_for
+  // poll, which never comes when every cell is a cache hit.
+  flow::throw_if_cancelled();
+  const std::string lib_path = cell_lib_path(cell_name, scenario);
+  if (!lib_path.empty()) {
+    if (auto cached = load_cached_cell(lib_path, cell_name)) return std::move(*cached);
   }
+  if (options_.disk_only) throw CacheMissError(scenario.id(), cell_name);
 
   const AdaptiveGridOptions& adaptive = options_.characterize.adaptive;
   if (adaptive.enabled && !on_lattice(scenario, adaptive.lattice_step)) {
@@ -244,19 +288,54 @@ liberty::Cell LibraryFactory::build_cell(const std::string& cell_name,
     stats::add_corner_refined();
   }
 
-  liberty::Cell result = characterize_cell(cells::find_cell(cell_name), scenario,
-                                           options_.characterize);
-  if (!options_.cache_dir.empty()) store_cached_cell(scenario, cell_name, result);
-  return result;
+  if (lib_path.empty()) {
+    return characterize_cell(cells::find_cell(cell_name), scenario, options_.characterize);
+  }
+
+  // Cross-process leader election on the cache entry's lease file: exactly
+  // one process (across every CLI / rwserved worker sharing this cache dir)
+  // runs the SPICE campaign; everyone else rendezvouses on the published
+  // cache file. A dead or over-TTL leader is broken and taken over, so a
+  // `kill -9` mid-characterization delays the pair, never wedges it.
+  const std::string lease_path = lib_path + ".lease";
+  for (;;) {
+    if (auto lease = util::FileLease::try_acquire(lease_path, options_.dedup_lease_ms)) {
+      // Re-probe under the lease: a prior leader may have published between
+      // our miss above and this acquire (the classic release/acquire race —
+      // without this, two forked clients can both run the campaign).
+      if (auto cached = load_cached_cell(lib_path, cell_name)) {
+        lease->release();
+        return std::move(*cached);
+      }
+      liberty::Cell result =
+          characterize_cell(cells::find_cell(cell_name), scenario, options_.characterize);
+      // Publish before releasing the lease, so a follower never observes
+      // "no lease and no file" after a successful leader.
+      store_cached_cell(scenario, cell_name, result);
+      lease->release();
+      return result;
+    }
+    // Follower: poll for the leader's publish (cheap — one exists() probe
+    // until the file lands), breaking the lease if its holder died.
+    flow::throw_if_cancelled();
+    if (auto cached = load_cached_cell(lib_path, cell_name)) return std::move(*cached);
+    if (!util::break_lease_if_stale(lease_path)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
 }
 
 void LibraryFactory::characterize_batch(
     const std::vector<std::pair<aging::AgingScenario, std::string>>& pairs) {
-  /// One claimed pair with live SPICE work in the flat queue.
+  /// One claimed pair: either live SPICE work in the flat queue (leader,
+  /// `work` set, holding `lease` when the disk cache is on) or a
+  /// cross-process rendezvous on another process's lease (`work` null; the
+  /// finish phase waits for — or takes over — that process's cache publish).
   struct BatchItem {
     CellKey key;
     aging::AgingScenario scenario;
     std::shared_ptr<CellJob> job;
+    std::optional<util::FileLease> lease;
     std::unique_ptr<CellCharJob> work;
     std::size_t first_task = 0;   ///< offset of this item's tasks in the queue
     std::size_t error_task = 0;   ///< lowest failing task index (determinism)
@@ -268,8 +347,22 @@ void LibraryFactory::characterize_batch(
   // the per-cell task queues. Construction failures (unknown cell, topology
   // bug) finalize here so waiters are never left hanging.
   std::exception_ptr first_error;  // first non-CharError, in pair order
+  auto note_failure = [&first_error](std::exception_ptr failure) {
+    if (first_error) return;
+    try {
+      std::rethrow_exception(std::move(failure));
+    } catch (const CharError&) {
+      // Quarantined; callers see it when they request the pair.
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+  };
   std::vector<std::unique_ptr<BatchItem>> items;
   for (const auto& [scenario, name] : pairs) {
+    // Cancellation: stop CLAIMING (never throw mid-claim — already claimed
+    // pairs must still be finalized below so their waiters are released).
+    // The fan-out tasks and the finish phase poll the token themselves.
+    if (flow::poll_cancellation()) break;
     const CellKey key{scenario.id(), name};
     std::shared_ptr<CellJob> job;
     {
@@ -281,29 +374,48 @@ void LibraryFactory::characterize_batch(
       job = std::make_shared<CellJob>();
       in_flight_.emplace(key, job);
     }
-    if (!options_.cache_dir.empty()) {
-      if (auto cached = load_cached_cell(scenario_dir(scenario) + "/" + name + ".lib", name)) {
-        finalize_success(key, job, std::move(*cached));
-        continue;
-      }
-    }
     auto item = std::make_unique<BatchItem>();
     item->key = key;
     item->scenario = scenario;
     item->job = std::move(job);
+    if (!options_.cache_dir.empty()) {
+      const std::string lib_path = cell_lib_path(name, scenario);
+      if (auto cached = load_cached_cell(lib_path, name)) {
+        finalize_success(item->key, item->job, std::move(*cached));
+        continue;
+      }
+      if (options_.disk_only) {
+        auto miss = std::make_exception_ptr(CacheMissError(key.first, name));
+        finalize_failure(item->key, item->job, miss);
+        note_failure(miss);
+        continue;
+      }
+      // Cross-process leader election (see build_cell): no lease means some
+      // other process owns the pair — register a rendezvous item instead of
+      // duplicating its SPICE campaign.
+      const std::string lease_path = lib_path + ".lease";
+      item->lease = util::FileLease::try_acquire(lease_path, options_.dedup_lease_ms);
+      if (!item->lease && util::break_lease_if_stale(lease_path)) {
+        item->lease = util::FileLease::try_acquire(lease_path, options_.dedup_lease_ms);
+      }
+      if (!item->lease) {
+        items.push_back(std::move(item));  // rendezvous in the finish phase
+        continue;
+      }
+      // Re-probe under the lease: the prior leader may have published
+      // between our miss above and this acquire.
+      if (auto cached = load_cached_cell(lib_path, name)) {
+        item->lease.reset();
+        finalize_success(item->key, item->job, std::move(*cached));
+        continue;
+      }
+    }
     try {
       item->work = std::make_unique<CellCharJob>(cells::find_cell(name), scenario,
                                                  options_.characterize);
     } catch (...) {
       finalize_failure(item->key, item->job, std::current_exception());
-      if (!first_error) {
-        try {
-          throw;
-        } catch (const CharError&) {
-        } catch (...) {
-          first_error = std::current_exception();
-        }
-      }
+      note_failure(std::current_exception());
       continue;
     }
     items.push_back(std::move(item));
@@ -320,7 +432,9 @@ void LibraryFactory::characterize_batch(
   task_end.reserve(items.size());
   for (auto& item : items) {
     item->first_task = total_tasks;
-    total_tasks += item->work->task_count();
+    // Rendezvous items (another process characterizes) contribute no local
+    // tasks; their zero-width interval is skipped by the lookup below.
+    total_tasks += item->work ? item->work->task_count() : 0;
     task_end.push_back(total_tasks);
   }
   std::mutex error_mutex;
@@ -347,24 +461,25 @@ void LibraryFactory::characterize_batch(
     std::exception_ptr failure = item->task_error;
     if (!failure) {
       try {
+        if (!item->work) {
+          // Rendezvous item: another process held the lease at claim time.
+          // build_cell waits for its publish — or takes over (this process
+          // becomes leader) if that process died and left a stale lease.
+          finalize_success(item->key, item->job, build_cell(item->key.second, item->scenario));
+          continue;
+        }
         liberty::Cell cell = item->work->finish();
         if (!options_.cache_dir.empty()) store_cached_cell(item->scenario, item->key.second, cell);
+        item->lease.reset();  // publish happened; let followers take the file
         finalize_success(item->key, item->job, std::move(cell));
         continue;
       } catch (...) {
         failure = std::current_exception();
       }
     }
+    item->lease.reset();
     finalize_failure(item->key, item->job, failure);
-    if (!first_error) {
-      try {
-        std::rethrow_exception(failure);
-      } catch (const CharError&) {
-        // Quarantined; callers see it when they request the pair.
-      } catch (...) {
-        first_error = std::current_exception();
-      }
-    }
+    note_failure(failure);
   }
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -38,11 +38,24 @@
 /// `CharError` after the solver's full retry ladder) are quarantined with
 /// their error chain: later requests for the pair fail fast with the same
 /// chain, and `merged()` skips quarantined pairs instead of aborting.
+///
+/// Cross-process dedup: when the disk cache is enabled, the in-flight-leader
+/// machinery extends across process boundaries via an `O_EXCL` lease file
+/// next to each cache entry (`<cell>.lib.lease`, see util/proc_lease.hpp).
+/// Exactly one process — a second CLI, an `rwserved` worker, anyone sharing
+/// the cache directory — characterizes a (scenario, cell); everyone else
+/// rendezvouses on the published cache file. A leader that crashes leaves a
+/// stale lease (dead pid, or TTL `Options::dedup_lease_ms` exceeded) that
+/// the next requester breaks and takes over, so dedup can delay but never
+/// wedge a characterization. The factory also polls the process-wide
+/// `CancelToken` on every cache probe, so a SIGTERM mid-library-load is
+/// honored even when every cell is a disk hit and no solver ever runs.
 
 #include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -52,6 +65,22 @@
 #include "liberty/library.hpp"
 
 namespace rw::charlib {
+
+/// Thrown (instead of characterizing) when `Options::disk_only` is set and a
+/// requested (scenario, cell) is not in the disk cache. Deliberately NOT a
+/// CharError: a cache miss is a routing problem for the caller (rwserved's
+/// supervisor re-queues the pair to a worker), never a permanent cell
+/// failure, so it must not be quarantined.
+class CacheMissError : public std::runtime_error {
+ public:
+  CacheMissError(std::string scenario_id, std::string cell);
+  [[nodiscard]] const std::string& scenario_id() const { return scenario_id_; }
+  [[nodiscard]] const std::string& cell() const { return cell_; }
+
+ private:
+  std::string scenario_id_;
+  std::string cell_;
+};
 
 class LibraryFactory {
  public:
@@ -66,6 +95,21 @@ class LibraryFactory {
     /// served from the disk cache, "failed" pairs go straight to quarantine.
     /// `default_options()` reads $RW_CHAR_RESUME (any value but "0").
     bool resume = false;
+    /// Serve from the disk cache ONLY: a miss raises CacheMissError instead
+    /// of characterizing in-process. Used by rwserved's supervisor, which
+    /// must never run SPICE on the accept loop — workers warm the cache.
+    bool disk_only = false;
+    /// Own manifest.json: record done/failed pairs and honor `resume`. Set
+    /// false for processes that share a cache directory with a coordinator
+    /// that owns the manifest (rwserved workers), so concurrent factories
+    /// never clobber each other's checkpoint file.
+    bool use_manifest = true;
+    /// TTL for the cross-process dedup lease next to each cache entry. A
+    /// leader crashed mid-characterization is taken over after its lease
+    /// goes stale (dead pid, or this TTL exceeded — the TTL covers pid
+    /// recycling and wedged-but-alive leaders). `default_options()` reads
+    /// $RW_CHAR_LEASE_MS.
+    double dedup_lease_ms = 600000.0;
   };
 
   static Options default_options();
@@ -106,7 +150,29 @@ class LibraryFactory {
   /// Snapshot of the quarantine in deterministic (scenario, cell) order.
   [[nodiscard]] std::vector<QuarantinedCell> quarantined() const;
 
-  /// Where this factory checkpoints ("" when the disk cache is disabled).
+  /// Quarantine a (scenario, cell) pair from outside the characterization
+  /// path — rwserved uses this when a pair exhausts its redelivery budget
+  /// (e.g. the cell reproducibly crashes every worker, so no CharError ever
+  /// comes back). Records "failed" in the manifest like an in-process
+  /// CharError would; later `cell()` calls fail fast with `error`.
+  void quarantine_pair(const std::string& scenario_id, const std::string& cell_name,
+                       const std::string& error);
+
+  /// True when the pair is quarantined (in memory or via a resumed
+  /// manifest). rwserved consults this at admission so a known-bad pair is
+  /// answered immediately instead of burning a worker dispatch.
+  [[nodiscard]] bool is_quarantined(const std::string& scenario_id,
+                                    const std::string& cell_name) const;
+
+  /// Disk-cache path this factory would use for one pair ("" when the disk
+  /// cache is disabled). The cross-process dedup lease lives at this path +
+  /// ".lease". Exposed for rwserved (cache-probe at admission) and lint
+  /// rule SV001.
+  [[nodiscard]] std::string cache_path(const std::string& cell_name,
+                                       const aging::AgingScenario& scenario) const;
+
+  /// Where this factory checkpoints ("" when the disk cache is disabled or
+  /// `Options::use_manifest` is off).
   [[nodiscard]] std::string manifest_path() const;
 
   [[nodiscard]] const Options& options() const { return options_; }
@@ -122,6 +188,10 @@ class LibraryFactory {
 
   std::string grid_dir() const;
   std::string scenario_dir(const aging::AgingScenario& scenario) const;
+  /// Disk-cache path for one pair ("" when the cache is disabled). The
+  /// cross-process dedup lease lives at this path + ".lease".
+  std::string cell_lib_path(const std::string& cell_name,
+                            const aging::AgingScenario& scenario) const;
   std::vector<std::string> cell_names() const;
   /// The scenarios that must be SPICE-characterized to serve `scenario`:
   /// the scenario itself, or — adaptive grid, off-lattice — its bracketing

@@ -97,6 +97,10 @@ double install_deadline_from_env() {
 void install_signal_handlers() {
   std::signal(SIGINT, on_cancel_signal);
   std::signal(SIGTERM, on_cancel_signal);
+  // Every CLI can end up writing to a pipe or socket whose reader died (a
+  // pager, a vanished rwclient); that must surface as an EPIPE write error,
+  // never as a SIGPIPE process kill.
+  std::signal(SIGPIPE, SIG_IGN);
 }
 
 void throw_if_cancelled() { cancel_token().throw_if_cancelled(); }

@@ -11,12 +11,17 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "flow/artifact.hpp"
 #include "flow/cancel.hpp"
+#include "liberty/writer.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "spice/fault.hpp"
 #include "spice/solver.hpp"
 #include "util/atomic_file.hpp"
+#include "util/io.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -298,7 +303,12 @@ ChaosCampaignResult run_chaos_campaign(std::uint64_t base_seed, int n_trials,
 }
 
 std::string campaign_json(const ChaosCampaignResult& campaign, std::uint64_t base_seed) {
-  std::string out = "{\"bench\":\"chaos_campaign\",\"base_seed\":" + std::to_string(base_seed) +
+  return campaign_json(campaign, base_seed, "chaos_campaign");
+}
+
+std::string campaign_json(const ChaosCampaignResult& campaign, std::uint64_t base_seed,
+                          const std::string& bench_name) {
+  std::string out = "{\"bench\":\"" + bench_name + "\",\"base_seed\":" + std::to_string(base_seed) +
                     ",\"trials\":" + std::to_string(campaign.trials.size()) +
                     ",\"all_good\":" + (campaign.all_good ? "true" : "false") +
                     ",\"histogram\":{";
@@ -327,6 +337,269 @@ std::string campaign_json(const ChaosCampaignResult& campaign, std::uint64_t bas
   }
   out += "]}\n";
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Serve campaign
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A short socket path (sun_path caps at ~100 bytes; ctest work dirs are
+/// routinely longer), unique per (harness pid, seed).
+std::string serve_socket_path(std::uint64_t seed) {
+  return "/tmp/rwserve_" + std::to_string(::getpid()) + "_" + std::to_string(seed) + ".sock";
+}
+
+serve::ServeOptions serve_trial_options(const ServeChaosPlan& plan, const std::string& work_dir,
+                                        const std::string& socket_path) {
+  serve::ServeOptions o;
+  o.socket_path = socket_path;
+  o.workers = plan.workers;
+  o.lease_ms = plan.lease_ms;
+  o.queue_max = 16;
+  o.backoff_base_ms = 25.0;
+  o.factory = chaos_factory_options();
+  o.factory.cache_dir = work_dir + "/cache";  // the serve data plane NEEDS a cache
+  if (plan.kind == "kill_worker") o.chaos_kill_worker_after = plan.after_dispatch;
+  if (plan.kind == "kill_daemon") o.chaos_exit_after = plan.after_dispatch;
+  if (plan.kind == "hang" || plan.kind == "client_timeout") {
+    o.chaos_hang_after = plan.after_dispatch;
+    o.chaos_hang_ms = plan.hang_ms;
+  }
+  return o;
+}
+
+/// Forks a real daemon running Server::run(). The child never returns.
+pid_t spawn_serve_daemon(const serve::ServeOptions& options) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  cancel_token().clear();       // a tripped harness token must not pre-drain us
+  install_signal_handlers();    // SIGTERM drains, exactly as in the rwserved CLI
+  int code = 2;
+  try {
+    serve::Server server(options);
+    code = server.run();
+  } catch (...) {
+  }
+  _exit(code);
+}
+
+/// waitpid with a deadline; true when the daemon was reaped.
+bool wait_daemon(pid_t pid, int timeout_ms, int& status) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    const pid_t got = waitpid(pid, &status, WNOHANG);
+    if (got == pid) return true;
+    if (got < 0) return false;
+    if (now_ms(t0) > timeout_ms) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+double stat_value(const serve::Response& resp, const std::string& name) {
+  for (const auto& [key, value] : resp.stats) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ServeChaosPlan serve_plan_for_seed(std::uint64_t seed) {
+  // Decorrelate from plan_for_seed so `--seed N` flow and serve campaigns
+  // exercise independent kind sequences.
+  util::Rng rng(seed ^ 0x5345525645ULL);
+  ServeChaosPlan plan;
+  plan.seed = seed;
+  static const char* kKinds[] = {"clean", "kill_worker", "hang", "kill_daemon",
+                                 "client_timeout"};
+  plan.kind = kKinds[rng.uniform_int(0, 4)];
+  // The single op=library request admits one task per catalog cell (3), so
+  // dispatch ordinals 1..3 always fire.
+  plan.after_dispatch = rng.uniform_int(1, 3);
+  plan.workers = rng.uniform_int(1, 2);
+  if (plan.kind == "hang") {
+    // Stall well past the lease so expiry -> SIGKILL -> redelivery is
+    // forced; generous enough that escalated redelivery leases (x2 each)
+    // outlast a clean solve even under TSan-grade slowdowns.
+    plan.lease_ms = rng.uniform(250.0, 400.0);
+    plan.hang_ms = plan.lease_ms * 2.2;
+  } else if (plan.kind == "client_timeout") {
+    // Stall past the CLIENT's per-attempt timeout but well inside the lease:
+    // only the idempotent-id resend path may save this trial.
+    plan.lease_ms = 5000.0;
+    plan.hang_ms = rng.uniform(450.0, 700.0);
+  }
+  return plan;
+}
+
+aging::AgingScenario serve_chaos_scenario() {
+  return aging::AgingScenario{0.5, 0.5, kYears, true};
+}
+
+std::string serve_reference_library() {
+  charlib::LibraryFactory factory(chaos_factory_options());
+  return liberty::write_library(factory.library(serve_chaos_scenario()));
+}
+
+ChaosTrialResult run_serve_chaos_trial(const ServeChaosPlan& plan, const std::string& work_dir,
+                                       const std::string& reference_library) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::error_code ec;
+  fs::remove_all(work_dir, ec);
+  fs::create_directories(work_dir, ec);
+  const std::string socket_path = serve_socket_path(plan.seed);
+  const serve::ServeOptions options = serve_trial_options(plan, work_dir, socket_path);
+
+  pid_t daemon = spawn_serve_daemon(options);
+  ChaosTrialResult out;
+  // Every exit funnels through here so the daemon is reaped and the socket
+  // unlinked even on a failed grade.
+  const auto finish = [&](std::string outcome, std::string detail) {
+    if (daemon > 0) {
+      ::kill(daemon, SIGKILL);
+      int status = 0;
+      (void)wait_daemon(daemon, 5000, status);
+      daemon = -1;
+    }
+    ::unlink(socket_path.c_str());
+    return classify({plan.seed, plan.kind}, std::move(outcome), std::move(detail), now_ms(t0));
+  };
+  if (daemon < 0) return finish("resume_failed", "fork failed");
+
+  const aging::AgingScenario scenario = serve_chaos_scenario();
+  serve::Request req;
+  req.id = "serve-trial-" + std::to_string(plan.seed);
+  req.op = "library";
+  req.lambda_p = scenario.lambda_p;
+  req.lambda_n = scenario.lambda_n;
+  req.years = scenario.years;
+  req.include_mobility = scenario.include_mobility;
+
+  serve::ClientOptions copt;
+  copt.socket_path = socket_path;
+  copt.timeout_ms = plan.kind == "client_timeout" ? 150 : 60000;
+  copt.max_attempts = plan.kind == "kill_daemon" ? 1 : 10;
+  copt.backoff_base_ms = 25.0;
+  const auto send = [&](const serve::Request& r) {
+    serve::ServeClient client(copt);
+    return client.request(r);
+  };
+
+  bool fault_seen = false;
+  std::string fault_note;
+  serve::Response resp;
+  try {
+    resp = send(req);
+  } catch (const std::exception& e) {
+    if (plan.kind != "kill_daemon") return finish("resume_failed", e.what());
+    // Expected: the daemon SIGKILLed itself mid-request. Prove it, restart a
+    // clean daemon over the SAME cache and socket, resend the SAME id.
+    int status = 0;
+    if (!wait_daemon(daemon, 5000, status) || !WIFSIGNALED(status) ||
+        WTERMSIG(status) != SIGKILL) {
+      daemon = -1;
+      return finish("no_report", "daemon did not SIGKILL itself as planned");
+    }
+    fault_seen = true;
+    fault_note = "daemon SIGKILL after dispatch " + std::to_string(plan.after_dispatch) +
+                 ", restarted";
+    serve::ServeOptions clean = options;
+    clean.chaos_exit_after = 0;
+    daemon = spawn_serve_daemon(clean);
+    if (daemon < 0) return finish("resume_failed", "restart fork failed");
+    copt.max_attempts = 10;
+    try {
+      resp = send(req);
+    } catch (const std::exception& e2) {
+      return finish("resume_failed", std::string("resend after restart failed: ") + e2.what());
+    }
+  }
+
+  if (resp.status != "ok") {
+    return finish("resume_failed", "response " + resp.status +
+                                       (resp.error.empty() ? "" : ": " + resp.error));
+  }
+  if (resp.library != reference_library) {
+    return finish("wrong_result", "served library differs from direct factory output");
+  }
+
+  // Fault evidence: the injected failure must actually have happened (a
+  // chaos campaign whose faults silently no-op proves nothing).
+  if (plan.kind != "clean" && !fault_seen) {
+    serve::Request stats_req;
+    stats_req.id = req.id + "-stats";
+    stats_req.op = "stats";
+    try {
+      const serve::Response stats = send(stats_req);
+      if (plan.kind == "kill_worker" && stat_value(stats, "workers_killed") >= 1.0) {
+        fault_seen = true;
+        fault_note = "worker SIGKILLed and respawned; task redelivered";
+      } else if (plan.kind == "hang" && stat_value(stats, "leases_expired") >= 1.0) {
+        fault_seen = true;
+        fault_note = "lease expired on the stalled task; redelivered";
+      } else if (plan.kind == "client_timeout" &&
+                 stat_value(stats, "duplicate_request_hits") >= 1.0) {
+        fault_seen = true;
+        fault_note = "client timed out; idempotent resend deduplicated";
+      }
+    } catch (const std::exception& e) {
+      return finish("resume_failed", std::string("stats request failed: ") + e.what());
+    }
+  }
+  if (plan.kind != "clean" && !fault_seen) {
+    return finish("no_report", "planned fault left no evidence in serve stats");
+  }
+
+  // Clean drain: op=shutdown must answer ok and the daemon must exit 0.
+  serve::Request shutdown_req;
+  shutdown_req.id = req.id + "-shutdown";
+  shutdown_req.op = "shutdown";
+  try {
+    const serve::Response bye = send(shutdown_req);
+    if (bye.status != "ok") return finish("resume_failed", "shutdown answered " + bye.status);
+  } catch (const std::exception& e) {
+    return finish("resume_failed", std::string("shutdown request failed: ") + e.what());
+  }
+  int status = 0;
+  if (!wait_daemon(daemon, 10000, status) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return finish("resume_failed", "daemon did not drain to exit 0");
+  }
+  daemon = -1;
+  ::unlink(socket_path.c_str());
+  if (plan.kind == "clean") {
+    return classify({plan.seed, plan.kind}, "ok", "served bitwise-identical to direct run",
+                    now_ms(t0));
+  }
+  return classify({plan.seed, plan.kind}, "failed_then_resumed", fault_note, now_ms(t0));
+}
+
+ChaosCampaignResult run_serve_chaos_campaign(std::uint64_t base_seed, int n_trials,
+                                             const std::string& work_root) {
+  util::set_shared_thread_count(1);  // the daemon forks; no live pool threads
+  util::io::ignore_sigpipe();        // daemon restarts race client writes
+  ChaosCampaignResult campaign;
+  std::error_code ec;
+  fs::create_directories(work_root, ec);
+
+  // The in-process reference every served byte is graded against.
+  const std::string reference_library = serve_reference_library();
+
+  for (int i = 0; i < n_trials; ++i) {
+    const ServeChaosPlan plan = serve_plan_for_seed(base_seed + static_cast<std::uint64_t>(i));
+    ChaosTrialResult trial = run_serve_chaos_trial(
+        plan, work_root + "/trial_" + std::to_string(plan.seed), reference_library);
+    campaign.histogram[trial.outcome] += 1;
+    campaign.trials.push_back(std::move(trial));
+  }
+  campaign.all_good = true;
+  for (const auto& [outcome, count] : campaign.histogram) {
+    (void)count;
+    if (outcome != "ok" && outcome != "failed_then_resumed") campaign.all_good = false;
+  }
+  util::set_shared_thread_count(0);
+  return campaign;
 }
 
 }  // namespace rw::flow

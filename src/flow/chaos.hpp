@@ -97,4 +97,61 @@ ChaosCampaignResult run_chaos_campaign(std::uint64_t base_seed, int n_trials,
 /// Machine-readable campaign summary (BENCH_chaos.json / rwchaos --json-out).
 std::string campaign_json(const ChaosCampaignResult& campaign, std::uint64_t base_seed);
 
+/// As above with an explicit bench name ("chaos_campaign",
+/// "serve_chaos_campaign", ...).
+std::string campaign_json(const ChaosCampaignResult& campaign, std::uint64_t base_seed,
+                          const std::string& bench_name);
+
+// ---------------------------------------------------------------------------
+// Serve campaign: the same crash-only contract, applied to rwserved.
+// ---------------------------------------------------------------------------
+
+/// What one seeded trial does to the characterization service. Every trial
+/// forks a real `serve::Server` daemon over a private disk cache, sends one
+/// op=library request through `serve::ServeClient`, and asserts that the
+/// served text is BITWISE identical to a direct in-process LibraryFactory
+/// run — faults may only cost latency, never bytes.
+struct ServeChaosPlan {
+  std::uint64_t seed = 0;
+  /// "clean"          — no fault; must grade ok.
+  /// "kill_worker"    — supervisor SIGKILLs the worker right after the k-th
+  ///                    dispatch; reap -> respawn -> redelivery.
+  /// "hang"           — the k-th dispatched task stalls past its lease; the
+  ///                    supervisor kills the wedged worker and redelivers.
+  /// "kill_daemon"    — the daemon SIGKILLs itself after the k-th dispatch;
+  ///                    the harness restarts it and the client resends the
+  ///                    SAME request id against the surviving cache.
+  /// "client_timeout" — the task stalls under a short client timeout; the
+  ///                    client's idempotent-id resends must dedup, not
+  ///                    recompute.
+  std::string kind = "clean";
+  long after_dispatch = 1;     ///< 1-based dispatch ordinal the chaos fires on
+  double hang_ms = 0.0;        ///< injected worker stall (hang / client_timeout)
+  double lease_ms = 10000.0;   ///< per-task lease deadline for this trial
+  int workers = 2;             ///< daemon worker-process count
+};
+
+/// Deterministic serve plan for a seed (decorrelated from plan_for_seed).
+ServeChaosPlan serve_plan_for_seed(std::uint64_t seed);
+
+/// The fixed scenario every serve trial characterizes.
+aging::AgingScenario serve_chaos_scenario();
+
+/// Direct (no daemon) LibraryFactory text for serve_chaos_scenario() over
+/// chaos_factory_options(): the byte-exact reference every served library
+/// must reproduce.
+std::string serve_reference_library();
+
+/// Runs one serve trial in `work_dir` (created fresh) against the reference
+/// text. Forks a daemon; the caller must have sized the shared pool to 1.
+ChaosTrialResult run_serve_chaos_trial(const ServeChaosPlan& plan,
+                                       const std::string& work_dir,
+                                       const std::string& reference_library);
+
+/// Runs `n_trials` seeded serve trials (seeds base_seed, base_seed+1, ...)
+/// under `work_root`. Computes the direct-factory reference first, forces
+/// the shared pool to one thread (fork safety), and ignores SIGPIPE.
+ChaosCampaignResult run_serve_chaos_campaign(std::uint64_t base_seed, int n_trials,
+                                             const std::string& work_root);
+
 }  // namespace rw::flow

@@ -83,6 +83,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {rules::kVacuousProof, Severity::kError,
        "proof is vacuous: an instance is missing in-bounds bracketing lattice corners",
        "characterize (or merge) the missing bracketing corners before trusting the bound"},
+      {rules::kStaleServeArtifact, Severity::kWarning,
+       "serve cache holds a stale worker lease or a dead daemon's socket file",
+       "safe to delete; a stale lease is also broken automatically by the next leader"},
       {"IO001", Severity::kError, "input file could not be read or parsed",
        "check the path and the file format"},
   };

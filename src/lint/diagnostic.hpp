@@ -61,6 +61,7 @@ inline constexpr const char* kFlowStaleArtifact = "FL001"; ///< flow manifest re
 inline constexpr const char* kGuardbandUnsound = "PV001"; ///< guardband below the proven upper bound
 inline constexpr const char* kWideProofInterval = "PV002"; ///< proven interval wider than the slack budget
 inline constexpr const char* kVacuousProof = "PV003";   ///< missing in-bounds bracketing corners
+inline constexpr const char* kStaleServeArtifact = "SV001"; ///< stale lease/socket in the serve cache
 }  // namespace rules
 
 /// One entry of the stable rule catalog (`rwlint --explain`, README table).
@@ -72,8 +73,8 @@ struct RuleInfo {
 };
 
 /// Every rule id the toolchain can emit, in catalog order (NL, LB, AN, SP,
-/// FL, PV, then CLI-level IO001). Descriptions and hints are the canonical
-/// wording.
+/// FL, PV, SV, then CLI-level IO001). Descriptions and hints are the
+/// canonical wording.
 const std::vector<RuleInfo>& rule_catalog();
 
 /// Catalog entry for `id`, or nullptr for unknown ids.

@@ -21,6 +21,7 @@ Linter Linter::all_rules() {
   linter.add_rules(annotation_rules());
   linter.add_rules(stress_rules());
   linter.add_rules(prove_rules());
+  linter.add_rules(serve_rules());
   return linter;
 }
 

@@ -43,6 +43,9 @@ struct LintSubject {
   /// Completed interval-STA run for the PV (certified-proof) rules; null
   /// keeps them silent.
   const sta::ProveSummary* prove = nullptr;
+  /// Characterization disk-cache root for the SV (serve-hygiene) rules;
+  /// empty keeps them silent.
+  std::string cache_dir;
 };
 
 /// One design rule. Implementations must be state-free (`run` is const and
@@ -61,6 +64,7 @@ std::vector<std::unique_ptr<Rule>> library_rules();     ///< LB001..LB007
 std::vector<std::unique_ptr<Rule>> annotation_rules();  ///< AN001..AN003
 std::vector<std::unique_ptr<Rule>> stress_rules();      ///< SP001..SP003
 std::vector<std::unique_ptr<Rule>> prove_rules();       ///< PV001..PV003
+std::vector<std::unique_ptr<Rule>> serve_rules();       ///< SV001
 
 class Linter {
  public:

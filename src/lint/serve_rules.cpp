@@ -1,0 +1,96 @@
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+#include "util/io.hpp"
+#include "util/proc_lease.hpp"
+#include "util/strings.hpp"
+
+namespace rw::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// SV001 over the characterization service's disk-cache root.
+///
+/// The serve data plane leaves two kinds of droppings behind when processes
+/// die uncleanly: `*.lease` files (cross-process dedup leader election; a
+/// SIGKILLed leader's lease survives until the next contender breaks it) and
+/// `*.sock` files (a daemon's listening socket; a SIGKILLed daemon cannot
+/// unlink it). Both are harmless to correctness — leases are broken as stale
+/// by design and `listen_unix` rebinds over dead sockets — but they are the
+/// forensic signature of a crash, so the linter surfaces them as warnings
+/// with the evidence (dead pid, expired TTL, refused connection) spelled
+/// out. Live leases and live sockets are NOT flagged.
+class ServeArtifactsRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "serve.artifacts"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "serve cache holds no stale worker leases or dead daemon sockets";
+  }
+  void run(const LintSubject& subject, std::vector<Diagnostic>& out) const override {
+    if (subject.cache_dir.empty()) return;
+    std::error_code ec;
+    if (!fs::is_directory(subject.cache_dir, ec)) {
+      out.push_back(Diagnostic{rules::kStaleServeArtifact, Severity::kWarning,
+                               subject.cache_dir, "cache directory does not exist",
+                               "point --cache-dir at a characterization cache root"});
+      return;
+    }
+    // Directory iteration order is unspecified; sort for a deterministic
+    // report (the linter's contract).
+    std::vector<std::string> leases;
+    std::vector<std::string> sockets;
+    for (fs::recursive_directory_iterator it(subject.cache_dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      const std::string path = it->path().string();
+      if (it->is_regular_file(ec) && path.ends_with(".lease")) leases.push_back(path);
+      if (it->is_socket(ec) && path.ends_with(".sock")) sockets.push_back(path);
+    }
+    std::sort(leases.begin(), leases.end());
+    std::sort(sockets.begin(), sockets.end());
+
+    for (const std::string& path : leases) {
+      const util::LeaseObservation obs = util::observe_lease(path);
+      if (!util::lease_is_stale(obs)) continue;  // absent or live holder
+      std::string why;
+      if (!obs.parsed) {
+        why = "unparsable (torn) lease file";
+      } else if (!obs.pid_alive) {
+        why = "holder pid " + std::to_string(obs.pid) + " is dead";
+      } else {
+        why = "TTL expired (age " + util::format_fixed(obs.age_ms, 0) + " ms > " +
+              util::format_fixed(obs.ttl_ms, 0) + " ms)";
+      }
+      out.push_back(Diagnostic{rules::kStaleServeArtifact, Severity::kWarning, path,
+                               "stale characterization lease: " + why,
+                               "safe to delete; the next leader breaks it automatically"});
+    }
+    for (const std::string& path : sockets) {
+      const int fd = util::io::connect_unix(path);
+      if (fd >= 0) {
+        ::close(fd);  // a live daemon answers; nothing to report
+        continue;
+      }
+      out.push_back(Diagnostic{rules::kStaleServeArtifact, Severity::kWarning, path,
+                               "socket file refuses connections (no live daemon bound)",
+                               "safe to delete; rwserved rebinds over dead sockets on start"});
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> serve_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<ServeArtifactsRule>());
+  return rules;
+}
+
+}  // namespace rw::lint

@@ -1,0 +1,112 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "flow/cancel.hpp"
+
+namespace rw::serve {
+
+namespace {
+
+void sleep_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+ServeClient::ServeClient(ClientOptions options) : options_(std::move(options)) {
+  util::io::ignore_sigpipe();
+}
+
+ServeClient::~ServeClient() { disconnect(); }
+
+void ServeClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  reader_.reset();
+}
+
+bool ServeClient::ensure_connected() {
+  if (fd_ >= 0) return true;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    const int fd = util::io::connect_unix(options_.socket_path);
+    if (fd >= 0) {
+      fd_ = fd;
+      reader_ = std::make_unique<util::io::LineReader>(fd);
+      return true;
+    }
+    // ENOENT/ECONNREFUSED: no daemon (yet) — it may be mid-restart, which
+    // is exactly the window idempotent retry exists for. Keep knocking
+    // until the connect budget runs out.
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() -
+                                                              t0)
+            .count();
+    if (elapsed >= options_.connect_timeout_ms) return false;
+    flow::throw_if_cancelled();
+    sleep_ms(50.0);
+  }
+}
+
+Response ServeClient::request(const Request& req) {
+  const std::string line = to_json(req) + "\n";
+  std::string last_failure = "never connected";
+  // Shedding responses ("overloaded"/"draining") are polite backpressure,
+  // not failures; honor Retry-After without burning the failure budget, but
+  // bound them so a daemon stuck shedding cannot spin us forever.
+  int sheds = 0;
+  const int max_sheds = 40;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    flow::throw_if_cancelled();
+    if (attempt > 0) {
+      sleep_ms(options_.backoff_base_ms * static_cast<double>(1L << (attempt - 1)));
+    }
+    if (!ensure_connected()) {
+      last_failure = "connect to " + options_.socket_path + " failed";
+      continue;
+    }
+    if (!util::io::write_all(fd_, line)) {
+      last_failure = "send failed (daemon died mid-request?)";
+      disconnect();
+      continue;
+    }
+    std::string resp_line;
+    const auto status = reader_->read_line(resp_line, options_.timeout_ms);
+    if (status != util::io::LineReader::Status::kLine) {
+      last_failure = status == util::io::LineReader::Status::kTimeout
+                         ? "timed out waiting for a response"
+                         : "connection lost waiting for a response";
+      disconnect();
+      continue;
+    }
+    Response resp;
+    std::string parse_error;
+    if (!parse_response(resp_line, resp, parse_error)) {
+      last_failure = "unparsable response: " + parse_error;
+      disconnect();
+      continue;
+    }
+    if (resp.status == "overloaded" || resp.status == "draining") {
+      if (++sheds > max_sheds) {
+        throw std::runtime_error("rwclient: request " + req.id + " shed " +
+                                 std::to_string(sheds) + " times (" + resp.status + ")");
+      }
+      if (resp.status == "draining") disconnect();  // successor daemon, new socket
+      sleep_ms(resp.retry_after_ms > 0.0 ? resp.retry_after_ms : 100.0);
+      --attempt;  // backpressure is not a failed attempt
+      continue;
+    }
+    return resp;
+  }
+  throw std::runtime_error("rwclient: request " + req.id + " got no response after " +
+                           std::to_string(options_.max_attempts) + " attempts (last: " +
+                           last_failure + ")");
+}
+
+}  // namespace rw::serve

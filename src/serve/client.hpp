@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file client.hpp
+/// rwclient's transport: a Unix-socket NDJSON client with timeouts, bounded
+/// exponential-backoff retries, and idempotent request ids. The retry loop
+/// leans on the daemon's dedup machinery — a resend after a timeout or a
+/// daemon restart carries the SAME id, so the work is never duplicated: the
+/// daemon either replays its cached response or attaches the new connection
+/// to the still-running request.
+
+#include <memory>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/io.hpp"
+
+namespace rw::serve {
+
+struct ClientOptions {
+  std::string socket_path;
+  /// Per-attempt wait for a response line.
+  int timeout_ms = 120000;
+  /// Per-attempt wait for the daemon to accept a connection (covers "the
+  /// chaos harness is restarting the daemon right now").
+  int connect_timeout_ms = 5000;
+  /// Total send attempts before request() throws.
+  int max_attempts = 5;
+  /// Reconnect backoff: base * 2^(attempt-1).
+  double backoff_base_ms = 100.0;
+};
+
+class ServeClient {
+ public:
+  explicit ServeClient(ClientOptions options);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Sends `req` and waits for its response, retrying across timeouts,
+  /// daemon restarts, and "overloaded"/"draining" shedding (which honor the
+  /// daemon's Retry-After hint and do not consume attempts beyond the
+  /// cap below). \throws std::runtime_error when every attempt fails.
+  Response request(const Request& req);
+
+  /// True when a connection is currently open (observability for tests).
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  bool ensure_connected();
+  void disconnect();
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::unique_ptr<util::io::LineReader> reader_;
+};
+
+}  // namespace rw::serve

@@ -1,0 +1,64 @@
+#include "serve/worker.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "charlib/characterizer.hpp"
+#include "serve/protocol.hpp"
+#include "util/io.hpp"
+
+namespace rw::serve {
+
+void worker_main(int fd, const WorkerConfig& config) {
+  util::io::ignore_sigpipe();
+  charlib::LibraryFactory::Options options = config.factory;
+  options.use_manifest = false;  // the supervisor owns manifest.json
+  options.disk_only = false;
+  options.resume = false;
+  charlib::LibraryFactory factory(options);
+
+  util::io::LineReader reader(fd);
+  std::string line;
+  for (;;) {
+    const auto status = reader.read_line(line);
+    // EOF/error: the supervisor died or closed us out; a worker must never
+    // outlive its supervisor (orphans would fight the next daemon's workers
+    // for leases), so exit instead of lingering.
+    if (status != util::io::LineReader::Status::kLine) ::_exit(0);
+
+    WorkerTask task;
+    std::string parse_error;
+    if (!parse_worker_task(line, task, parse_error)) ::_exit(2);
+    if (task.exit_now) ::_exit(0);
+    if (task.hang_ms > 0.0) {
+      // Chaos stall injection (supervisor-controlled, deterministic per
+      // dispatch): simulate a wedged solve so the lease-expiry path fires.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(task.hang_ms)));
+    }
+
+    WorkerReply reply;
+    reply.task = task.task;
+    try {
+      // cell() publishes into the shared disk cache (under the pair's dedup
+      // lease) before returning; the reply is only an ack.
+      (void)factory.cell(task.cell, task.scenario());
+      reply.status = "done";
+    } catch (const charlib::CharError& e) {
+      // The solver exhausted its full retry ladder: permanent, quarantine.
+      reply.status = "failed";
+      reply.error = e.what();
+      reply.permanent = true;
+    } catch (const std::exception& e) {
+      reply.status = "failed";
+      reply.error = e.what();
+      reply.permanent = false;
+    }
+    if (!util::io::write_all(fd, to_json(reply) + "\n")) ::_exit(0);
+  }
+}
+
+}  // namespace rw::serve

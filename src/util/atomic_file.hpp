@@ -4,8 +4,9 @@
 /// The one crash-safe file writer for every artifact the toolchain emits:
 /// Liberty libraries, run manifests, flow checkpoints, bench JSON baselines,
 /// and PGM images. Content is written to a unique temp sibling
-/// (`<path>.tmp.<pid>.<seq>`) and published with an atomic rename, so a
-/// concurrent reader — or a reader after `kill -9` mid-write — only ever
+/// (`<path>.tmp.<pid>.<seq>`), fsync'd, and published with an atomic rename
+/// followed by a directory fsync, so a concurrent reader — or a reader after
+/// `kill -9` mid-write, or after a power cut right after publish — only ever
 /// sees the previous complete file or the new complete file, never a
 /// truncated hybrid. Parent directories are created on demand.
 

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file proc_lease.hpp
+/// Cross-process leader election over a lease *file*: `O_CREAT | O_EXCL`
+/// guarantees exactly one process creates `<path>`, and that process is the
+/// leader for whatever the lease guards (one (scenario, cell)
+/// characterization in the factory's disk cache, the daemon's socket
+/// ownership). Everyone else observes the lease and rendezvouses on the
+/// leader's published result.
+///
+/// Crash tolerance is the point: a leader that dies mid-work leaves the file
+/// behind, so a lease is *stale* — and may be broken by any observer — when
+/// its recorded pid no longer exists, or when it has outlived its TTL
+/// (covers pid recycling and wedged-but-alive leaders). The file body is one
+/// JSON line `{"pid":N,"ttl_ms":N}`; age is measured from the file's mtime
+/// so observers need no shared clock beyond the filesystem's.
+///
+/// Lint rule SV001 uses `observe_lease` to flag leases that expired without
+/// ever being released (the footprint of a crashed worker).
+
+#include <optional>
+#include <string>
+
+#include <sys/types.h>
+
+namespace rw::util {
+
+/// What an observer can learn about a lease file without holding it.
+struct LeaseObservation {
+  bool exists = false;
+  bool parsed = false;   ///< body was a well-formed lease record
+  pid_t pid = 0;         ///< recorded holder ("0" when !parsed)
+  bool pid_alive = false;
+  double ttl_ms = 0.0;
+  double age_ms = 0.0;   ///< now - file mtime (clamped at 0)
+};
+
+/// Reads `<path>` and probes the recorded pid with `kill(pid, 0)`. A missing
+/// file yields `exists == false`; an unparsable one yields `parsed == false`
+/// (treated as stale — only a torn write or foreign file looks like that).
+LeaseObservation observe_lease(const std::string& path);
+
+/// A stale lease is safe to break: the file exists but its holder is
+/// provably gone (dead pid) or it outlived its TTL (wedged or recycled pid).
+bool lease_is_stale(const LeaseObservation& obs);
+
+/// Unlinks `<path>` iff it is observably stale right now. Returns true when
+/// the file was removed (the caller may then race others for acquisition).
+bool break_lease_if_stale(const std::string& path);
+
+/// RAII lease ownership; releasing unlinks the file. Move-only.
+class FileLease {
+ public:
+  /// One shot at leadership: O_EXCL-creates `<path>` recording this process
+  /// and `ttl_ms`. `std::nullopt` when the file already exists (someone else
+  /// leads) or on I/O failure (treat as contention, not corruption).
+  static std::optional<FileLease> try_acquire(const std::string& path, double ttl_ms);
+
+  FileLease(FileLease&& other) noexcept;
+  FileLease& operator=(FileLease&& other) noexcept;
+  FileLease(const FileLease&) = delete;
+  FileLease& operator=(const FileLease&) = delete;
+  ~FileLease() { release(); }
+
+  /// Unlinks the lease file (idempotent). Publish results *before* calling
+  /// this: release is the signal observers rendezvous on.
+  void release();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  explicit FileLease(std::string path) : path_(std::move(path)) {}
+  std::string path_;  ///< "" once released / moved from
+};
+
+}  // namespace rw::util

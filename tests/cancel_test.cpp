@@ -223,5 +223,34 @@ TEST_F(CancelTest, FactoryWaiterWakesWithCancelledErrorWhenLeaderIsCancelled) {
   EXPECT_EQ(cancelled_count.load(), 2);
 }
 
+TEST_F(CancelTest, WarmDiskCacheReadPathHonorsCancellation) {
+  // Regression: a SIGTERM during a fully warm library load used to be
+  // noticed only at the next parallel_for poll — which never comes when
+  // every cell is a disk-cache hit — so rwserved's drain could stall behind
+  // a large assembly. cell()/library() must throw promptly even when no
+  // characterization would run.
+  const std::string cache = std::string(::testing::TempDir()) + "cancel_warm_cache_" +
+                            std::to_string(::getpid());
+  charlib::LibraryFactory::Options opts;
+  opts.characterize.grid = charlib::OpcGrid::coarse();
+  opts.cell_subset = {"INV_X1"};
+  opts.cache_dir = cache;
+  const aging::AgingScenario scenario{0.5, 0.5, 10.0, true};
+  {
+    charlib::LibraryFactory warm(opts);
+    (void)warm.library(scenario);  // publish INV_X1 to disk
+  }
+
+  flow::cancel_token().request("test cancel");
+  charlib::LibraryFactory cold(opts);
+  EXPECT_THROW((void)cold.library(scenario), flow::CancelledError);
+  EXPECT_THROW((void)cold.cell("INV_X1", scenario), flow::CancelledError);
+
+  // Untripped, the same warm cache serves normally.
+  flow::cancel_token().clear();
+  charlib::LibraryFactory again(opts);
+  EXPECT_NO_THROW((void)again.library(scenario));
+}
+
 }  // namespace
 }  // namespace rw

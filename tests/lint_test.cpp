@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -630,6 +633,53 @@ TEST(RuleCatalog, EveryEntryHasExplainTextAndExactlyOneReadmeRow) {
     EXPECT_NE(out.find(info.summary), std::string::npos) << out;
   }
   EXPECT_EQ(find_rule_info("ZZ999"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SV001: stale serve artifacts in a characterization cache.
+
+TEST(ServeHygiene, StaleLeaseIsFlaggedAndLiveLeaseIsNot) {
+  const std::string dir = std::string(::testing::TempDir()) + "sv001_cache_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir + "/3x3/L0.50_0.50_y10");
+  // A dead holder's lease (pid far above pid_max) and a live one (our own).
+  std::ofstream(dir + "/3x3/L0.50_0.50_y10/NAND2_X1.lib.lease")
+      << "{\"pid\":999999999,\"ttl_ms\":60000}\n";
+  std::ofstream(dir + "/3x3/L0.50_0.50_y10/INV_X1.lib.lease")
+      << "{\"pid\":" << ::getpid() << ",\"ttl_ms\":600000}\n";
+
+  Linter linter;
+  linter.add_rules(serve_rules());
+  LintSubject subject;
+  subject.cache_dir = dir;
+  const std::vector<Diagnostic> report = linter.run(subject);
+  ASSERT_EQ(report.size(), 1u) << format_report(report);
+  EXPECT_EQ(report[0].rule_id, rules::kStaleServeArtifact);
+  EXPECT_EQ(report[0].severity, Severity::kWarning);
+  EXPECT_NE(report[0].location.find("NAND2_X1.lib.lease"), std::string::npos);
+  EXPECT_NE(report[0].message.find("dead"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeHygiene, CacheDirFlagDrivesSv001ThroughTheCli) {
+  const std::string dir = std::string(::testing::TempDir()) + "sv001_cli_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/torn.lease") << "garbage";
+
+  int exit_code = -1;
+  const std::string out = run_cli("--cache-dir " + dir, exit_code);
+  EXPECT_EQ(exit_code, 1) << out;  // warnings only
+  EXPECT_NE(out.find("SV001"), std::string::npos) << out;
+
+  // A clean cache lints clean.
+  std::filesystem::remove(dir + "/torn.lease");
+  const std::string clean = run_cli("--cache-dir " + dir, exit_code);
+  EXPECT_EQ(exit_code, 0) << clean;
+  EXPECT_EQ(clean.find("SV001"), std::string::npos) << clean;
+  std::filesystem::remove_all(dir);
 }
 
 TEST(RuleCatalog, EveryFixtureDiagnosticIsCataloged) {

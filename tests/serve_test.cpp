@@ -1,0 +1,445 @@
+/// The characterization service: protocol codec round-trips, cross-process
+/// lease-file semantics, the daemon's crash-only contract (worker SIGKILL,
+/// lease-expiry stalls, daemon SIGKILL + restart, client-timeout dedup —
+/// each via the seeded serve-chaos harness), graceful overload shedding,
+/// SIGTERM drain, and the headline dedup guarantee: two forked clients
+/// racing the same (scenario, cell) pair cost exactly one SPICE campaign
+/// and read bitwise-identical libraries.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "aging/scenario.hpp"
+#include "charlib/factory.hpp"
+#include "charlib/opc.hpp"
+#include "flow/cancel.hpp"
+#include "flow/chaos.hpp"
+#include "liberty/writer.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "spice/stats.hpp"
+#include "util/atomic_file.hpp"
+#include "util/io.hpp"
+#include "util/proc_lease.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rw {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string unique_dir(const std::string& stem) {
+  return std::string(::testing::TempDir()) + stem + "_" + std::to_string(::getpid());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Serve tests fork daemons and workers: the shared pool must be size 1 (a
+/// child forked while pool threads hold locks would deadlock), and a dead
+/// peer must surface as EPIPE, not SIGPIPE.
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::set_shared_thread_count(1);
+    util::io::ignore_sigpipe();
+    flow::cancel_token().clear();
+  }
+  void TearDown() override {
+    flow::cancel_token().clear();
+    util::set_shared_thread_count(0);
+  }
+};
+
+/// Forks a real daemon running Server::run() (same shape as the chaos
+/// harness's private helper).
+pid_t spawn_daemon(const serve::ServeOptions& options) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  flow::cancel_token().clear();
+  flow::install_signal_handlers();  // SIGTERM must drain, as in the rwserved CLI
+  int code = 2;
+  try {
+    serve::Server server(options);
+    code = server.run();
+  } catch (...) {
+  }
+  _exit(code);
+}
+
+serve::ServeOptions base_options(const std::string& work_dir, const std::string& socket_path) {
+  serve::ServeOptions o;
+  o.socket_path = socket_path;
+  o.workers = 1;
+  o.factory = flow::chaos_factory_options();
+  o.factory.cache_dir = work_dir + "/cache";
+  return o;
+}
+
+/// The reference text every served library must match, computed once (a
+/// direct in-process LibraryFactory run; ~100 ms on the coarse grid).
+const std::string& reference_library() {
+  static const std::string text = flow::serve_reference_library();
+  return text;
+}
+
+flow::ServeChaosPlan plan(const std::string& kind) {
+  flow::ServeChaosPlan p;
+  p.seed = 7777;  // fixed: these tests pin the kind, not the seed derivation
+  p.kind = kind;
+  p.after_dispatch = 1;
+  p.workers = 2;
+  if (kind == "hang") {
+    // Lease escalation (x2 per redelivery) absorbs slow machines: under
+    // TSan a clean coarse-grid characterization can itself outlast the
+    // first lease, and must NOT end in quarantine.
+    p.lease_ms = 300.0;
+    p.hang_ms = 700.0;
+  } else if (kind == "client_timeout") {
+    p.lease_ms = 5000.0;
+    p.hang_ms = 500.0;
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol codec
+
+TEST(ServeProtocol, RequestRoundTripsThroughJson) {
+  serve::Request req;
+  req.id = "id with \"quotes\" and \\slashes\\";
+  req.op = "merged";
+  req.cell = "NAND2_X1";
+  req.lambda_p = 0.125;
+  req.lambda_n = 1.0 / 3.0;  // not representable in decimal: %.17g must hold it
+  req.years = 10.0;
+  req.include_mobility = false;
+  req.corners = {{0.0, 1.0}, {0.5, 0.25}};
+
+  serve::Request back;
+  std::string error;
+  ASSERT_TRUE(serve::parse_request(serve::to_json(req), back, error)) << error;
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.op, req.op);
+  EXPECT_EQ(back.cell, req.cell);
+  EXPECT_EQ(back.lambda_p, req.lambda_p);
+  EXPECT_EQ(back.lambda_n, req.lambda_n);  // bitwise: %.17g round-trip
+  EXPECT_EQ(back.years, req.years);
+  EXPECT_EQ(back.include_mobility, req.include_mobility);
+  ASSERT_EQ(back.corners.size(), 2u);
+  EXPECT_EQ(back.corners[1][0], 0.5);
+  EXPECT_EQ(back.corners[1][1], 0.25);
+}
+
+TEST(ServeProtocol, ResponseRoundTripsAndToleratesUnknownKeys) {
+  serve::Response resp;
+  resp.id = "r1";
+  resp.status = "ok";
+  resp.library = "library (x) {\n  line\n}\n";  // embedded newlines must escape
+  resp.retry_after_ms = 250.0;
+  resp.stats = {{"tasks_done", 3.0}, {"dispatches", 4.0}};
+
+  serve::Response back;
+  std::string error;
+  ASSERT_TRUE(serve::parse_response(serve::to_json(resp), back, error)) << error;
+  EXPECT_EQ(back.library, resp.library);
+  EXPECT_EQ(back.retry_after_ms, 250.0);
+  ASSERT_EQ(back.stats.size(), 2u);
+  EXPECT_EQ(back.stats[0].first, "tasks_done");
+
+  // Unknown keys (forward compatibility) are skipped, including nested ones.
+  const std::string extended =
+      "{\"id\":\"r2\",\"status\":\"ok\",\"future\":{\"nested\":[1,2,{\"x\":true}]},"
+      "\"note\":\"hi\"}";
+  serve::Response ext;
+  ASSERT_TRUE(serve::parse_response(extended, ext, error)) << error;
+  EXPECT_EQ(ext.id, "r2");
+  EXPECT_EQ(ext.status, "ok");
+}
+
+TEST(ServeProtocol, MalformedLinesAreRejectedNotCrashed) {
+  serve::Request req;
+  std::string error;
+  EXPECT_FALSE(serve::parse_request("", req, error));
+  EXPECT_FALSE(serve::parse_request("not json", req, error));
+  EXPECT_FALSE(serve::parse_request("{\"id\":", req, error));
+  EXPECT_FALSE(serve::parse_request("{\"id\":\"unterminated", req, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocol, WorkerFramesRoundTrip) {
+  serve::WorkerTask task;
+  task.task = "3x3/L0.50_0.50_y10/NAND2_X1";
+  task.cell = "NAND2_X1";
+  task.lambda_p = 0.5;
+  task.lambda_n = 0.5;
+  task.years = 10.0;
+  task.hang_ms = 123.5;
+  serve::WorkerTask task_back;
+  std::string error;
+  ASSERT_TRUE(serve::parse_worker_task(serve::to_json(task), task_back, error)) << error;
+  EXPECT_EQ(task_back.task, task.task);
+  EXPECT_EQ(task_back.hang_ms, 123.5);
+  EXPECT_FALSE(task_back.exit_now);
+
+  serve::WorkerReply reply;
+  reply.task = task.task;
+  reply.status = "failed";
+  reply.error = "solver exhausted the retry ladder";
+  reply.permanent = true;
+  serve::WorkerReply reply_back;
+  ASSERT_TRUE(serve::parse_worker_reply(serve::to_json(reply), reply_back, error)) << error;
+  EXPECT_EQ(reply_back.status, "failed");
+  EXPECT_TRUE(reply_back.permanent);
+}
+
+// ---------------------------------------------------------------------------
+// Lease files (the cross-process dedup primitive)
+
+TEST(ServeLease, AcquireContendReleaseAndStaleBreak) {
+  const std::string dir = unique_dir("lease");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/cell.lib.lease";
+
+  auto lease = util::FileLease::try_acquire(path, 60000.0);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_FALSE(util::FileLease::try_acquire(path, 60000.0).has_value());  // held
+  EXPECT_FALSE(util::break_lease_if_stale(path));  // we are alive; not stale
+  lease->release();
+  EXPECT_TRUE(util::FileLease::try_acquire(path, 60000.0).has_value());  // free again
+
+  // A dead holder's lease is stale and breakable.
+  std::ofstream(path) << "{\"pid\":999999999,\"ttl_ms\":60000}\n";
+  const util::LeaseObservation obs = util::observe_lease(path);
+  EXPECT_TRUE(obs.parsed);
+  EXPECT_FALSE(obs.pid_alive);
+  EXPECT_TRUE(util::lease_is_stale(obs));
+  EXPECT_TRUE(util::break_lease_if_stale(path));
+  EXPECT_FALSE(fs::exists(path));
+
+  // A torn (unparsable) lease is stale by definition.
+  std::ofstream(path) << "garbage";
+  EXPECT_TRUE(util::lease_is_stale(util::observe_lease(path)));
+}
+
+TEST(ServeLease, AcquireCreatesMissingParentDirectories) {
+  // Regression: the first lease under a scenario directory nobody has
+  // published into yet (the cache creates dirs only on WRITE) used to fail
+  // with ENOENT forever, wedging followers in the poll loop.
+  const std::string dir = unique_dir("lease_parent");
+  fs::remove_all(dir);
+  const std::string path = dir + "/3x3/L0.50_0.50_y10/NAND2_X1.lib.lease";
+  auto lease = util::FileLease::try_acquire(path, 60000.0);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_TRUE(fs::exists(path));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-only service contract, one seeded trial per failure mode. Each trial
+// forks a REAL daemon, runs a real client, and grades bitwise identity
+// against the direct-factory reference.
+
+TEST_F(ServeTest, CleanTrialServesBitwiseIdenticalToDirectFactory) {
+  const flow::ChaosTrialResult t =
+      flow::run_serve_chaos_trial(plan("clean"), unique_dir("serve_clean"), reference_library());
+  EXPECT_EQ(t.outcome, "ok") << t.detail;
+}
+
+TEST_F(ServeTest, WorkerSigkillIsReapedRespawnedAndRedelivered) {
+  const flow::ChaosTrialResult t = flow::run_serve_chaos_trial(
+      plan("kill_worker"), unique_dir("serve_kill_worker"), reference_library());
+  EXPECT_EQ(t.outcome, "failed_then_resumed") << t.detail;
+}
+
+TEST_F(ServeTest, StalledTaskExpiresItsLeaseAndIsRedelivered) {
+  const flow::ChaosTrialResult t =
+      flow::run_serve_chaos_trial(plan("hang"), unique_dir("serve_hang"), reference_library());
+  EXPECT_EQ(t.outcome, "failed_then_resumed") << t.detail;
+}
+
+TEST_F(ServeTest, DaemonSigkillRestartCompletesTheSameRequestId) {
+  const flow::ChaosTrialResult t = flow::run_serve_chaos_trial(
+      plan("kill_daemon"), unique_dir("serve_kill_daemon"), reference_library());
+  EXPECT_EQ(t.outcome, "failed_then_resumed") << t.detail;
+}
+
+TEST_F(ServeTest, ClientTimeoutResendsDedupInsteadOfRecomputing) {
+  const flow::ChaosTrialResult t = flow::run_serve_chaos_trial(
+      plan("client_timeout"), unique_dir("serve_client_timeout"), reference_library());
+  EXPECT_EQ(t.outcome, "failed_then_resumed") << t.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Overload + drain
+
+TEST_F(ServeTest, OverloadShedsBoundedlyAndTheDaemonStaysResponsive) {
+  const std::string dir = unique_dir("serve_overload");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string socket_path =
+      "/tmp/rwservetest_ovl_" + std::to_string(::getpid()) + ".sock";
+  serve::ServeOptions options = base_options(dir, socket_path);
+  options.queue_max = 1;        // a library request needs 3 tasks: always shed
+  options.retry_after_ms = 20.0;  // keep the client's shed loop fast
+  const pid_t daemon = spawn_daemon(options);
+  ASSERT_GT(daemon, 0);
+
+  serve::ClientOptions copt;
+  copt.socket_path = socket_path;
+  copt.timeout_ms = 5000;
+  copt.max_attempts = 2;
+
+  serve::Request req;
+  req.id = "overload-1";
+  req.op = "library";
+  req.lambda_p = 0.5;
+  req.lambda_n = 0.5;
+  req.years = 10.0;
+  bool threw = false;
+  try {
+    serve::ServeClient client(copt);
+    (void)client.request(req);
+  } catch (const std::exception& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("overloaded"), std::string::npos) << e.what();
+  }
+  EXPECT_TRUE(threw);
+
+  // Shedding is graceful: the daemon still answers control traffic.
+  serve::Request ping;
+  ping.id = "overload-ping";
+  ping.op = "ping";
+  serve::ServeClient client(copt);
+  EXPECT_EQ(client.request(ping).status, "ok");
+
+  serve::Request bye;
+  bye.id = "overload-bye";
+  bye.op = "shutdown";
+  EXPECT_EQ(client.request(bye).status, "ok");
+  int status = 0;
+  ASSERT_EQ(waitpid(daemon, &status, 0), daemon);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  ::unlink(socket_path.c_str());
+}
+
+TEST_F(ServeTest, SigtermDrainsToExitZeroAndWritesTheReport) {
+  const std::string dir = unique_dir("serve_drain");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string socket_path =
+      "/tmp/rwservetest_drn_" + std::to_string(::getpid()) + ".sock";
+  serve::ServeOptions options = base_options(dir, socket_path);
+  options.report_path = dir + "/report.json";
+  const pid_t daemon = spawn_daemon(options);
+  ASSERT_GT(daemon, 0);
+
+  // Wait for the socket to answer, then deliver SIGTERM.
+  serve::ClientOptions copt;
+  copt.socket_path = socket_path;
+  copt.timeout_ms = 5000;
+  serve::Request ping;
+  ping.id = "drain-ping";
+  ping.op = "ping";
+  {
+    serve::ServeClient client(copt);
+    ASSERT_EQ(client.request(ping).status, "ok");
+  }
+  ASSERT_EQ(::kill(daemon, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(daemon, &status, 0), daemon);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  const std::string report = read_file(options.report_path);
+  EXPECT_NE(report.find("\"status\": \"ok\""), std::string::npos) << report;
+  EXPECT_NE(report.find("\"requests\""), std::string::npos) << report;
+  // The drain unlinked its socket.
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+// ---------------------------------------------------------------------------
+// The headline guarantee: concurrent duplicate requests from two PROCESSES
+// cost exactly one SPICE campaign, and both observers read identical bytes.
+
+TEST_F(ServeTest, TwoForkedClientsSamePairRunExactlyOneSpiceCampaign) {
+  const std::string dir = unique_dir("serve_dedup");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  charlib::LibraryFactory::Options opt = flow::chaos_factory_options();
+  opt.cell_subset = {"NAND2_X1"};
+  opt.cache_dir = dir + "/cache";
+  opt.use_manifest = false;  // keep the two processes' bookkeeping independent
+  const aging::AgingScenario scenario = flow::serve_chaos_scenario();
+
+  // Reference: what one campaign costs (and produces) without any cache.
+  spice::reset_solver_counters();
+  std::string ref_text;
+  {
+    charlib::LibraryFactory::Options ref_opt = opt;
+    ref_opt.cache_dir.clear();
+    charlib::LibraryFactory ref(ref_opt);
+    ref_text = liberty::write_library(ref.library(scenario));
+  }
+  const std::uint64_t ref_attempts = spice::solver_counters().transient_attempts;
+  ASSERT_GT(ref_attempts, 0u);
+
+  pid_t pids[2] = {-1, -1};
+  for (int i = 0; i < 2; ++i) {
+    pids[i] = fork();
+    ASSERT_GE(pids[i], 0);
+    if (pids[i] == 0) {
+      spice::reset_solver_counters();
+      try {
+        charlib::LibraryFactory factory(opt);
+        const std::string text = liberty::write_library(factory.library(scenario));
+        util::write_file_atomic(dir + "/child" + std::to_string(i) + ".lib", text);
+        util::write_file_atomic(
+            dir + "/child" + std::to_string(i) + ".count",
+            std::to_string(spice::solver_counters().transient_attempts));
+        _exit(0);
+      } catch (...) {
+        _exit(3);
+      }
+    }
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  const std::uint64_t c0 = std::stoull(read_file(dir + "/child0.count"));
+  const std::uint64_t c1 = std::stoull(read_file(dir + "/child1.count"));
+  // Exactly one campaign total: the loser waited on the winner's lease (or
+  // found the published file) and solved NOTHING.
+  EXPECT_EQ(c0 + c1, ref_attempts) << "c0=" << c0 << " c1=" << c1;
+  EXPECT_EQ(std::min(c0, c1), 0u);
+
+  // Both observers — and the cache-less reference — read identical bytes.
+  const std::string t0 = read_file(dir + "/child0.lib");
+  const std::string t1 = read_file(dir + "/child1.lib");
+  ASSERT_FALSE(t0.empty());
+  EXPECT_EQ(t0, t1);
+  EXPECT_EQ(t0, ref_text);
+}
+
+}  // namespace
+}  // namespace rw

@@ -11,8 +11,15 @@
 ///   2  at least one contract violation (wrong_result/no_report/resume_failed)
 ///   64 usage error (bad flags), as in sysexits.h
 ///
+/// With --serve the campaign targets the characterization service instead:
+/// every trial forks a real rwserved daemon over a private cache, injects a
+/// seeded fault (worker SIGKILL, task stall past its lease, daemon SIGKILL +
+/// restart, client timeout), and asserts the served library text is bitwise
+/// identical to a direct in-process LibraryFactory run.
+///
 /// Typical runs:
 ///   rwchaos --seeds 25 --dir /tmp/chaos
+///   rwchaos --serve --seeds 20 --dir /tmp/chaos_serve
 ///   RW_CHAOS_SEED=1337 rwchaos --seeds 5 --json-out BENCH_chaos.json
 
 #include <cstdint>
@@ -34,6 +41,7 @@ void print_usage(std::ostream& os) {
         "  --seeds N         number of seeded trials (default 25)\n"
         "  --seed S          base seed (default 1; $RW_CHAOS_SEED overrides)\n"
         "  --dir PATH        campaign work root (default ./chaos_campaign)\n"
+        "  --serve           run the rwserved service campaign instead\n"
         "  --json-out PATH   write the machine-readable campaign summary\n"
         "  -h, --help        this message\n"
         "exit codes: 0 contract held for every trial, 2 violations, 64 usage\n";
@@ -44,6 +52,7 @@ struct Args {
   std::uint64_t base_seed = 1;
   std::string dir = "chaos_campaign";
   std::string json_out;
+  bool serve = false;
   bool help = false;
 };
 
@@ -78,6 +87,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = need_value(i, "--dir");
       if (v == nullptr) return false;
       args.dir = v;
+    } else if (a == "--serve") {
+      args.serve = true;
     } else if (a == "--json-out") {
       const char* v = need_value(i, "--json-out");
       if (v == nullptr) return false;
@@ -106,7 +117,8 @@ int main(int argc, char** argv) {
   }
 
   const rw::flow::ChaosCampaignResult campaign =
-      rw::flow::run_chaos_campaign(args.base_seed, args.seeds, args.dir);
+      args.serve ? rw::flow::run_serve_chaos_campaign(args.base_seed, args.seeds, args.dir)
+                 : rw::flow::run_chaos_campaign(args.base_seed, args.seeds, args.dir);
 
   for (const rw::flow::ChaosTrialResult& t : campaign.trials) {
     std::cout << "seed " << t.seed << "  " << t.kind << " -> " << t.outcome;
@@ -122,8 +134,10 @@ int main(int argc, char** argv) {
                                   : "CHAOS CONTRACT VIOLATED\n");
 
   if (!args.json_out.empty()) {
-    rw::util::write_file_atomic(args.json_out,
-                                rw::flow::campaign_json(campaign, args.base_seed));
+    rw::util::write_file_atomic(
+        args.json_out,
+        rw::flow::campaign_json(campaign, args.base_seed,
+                                args.serve ? "serve_chaos_campaign" : "chaos_campaign"));
     std::cout << "wrote " << args.json_out << "\n";
   }
   return campaign.all_good ? 0 : 2;

@@ -43,6 +43,8 @@ void print_usage(std::ostream& os) {
         "  --grid SPEC      expected OPC grid: 7x7 (paper), 3x3 (coarse), or none\n"
         "  --flow-manifest FILE  check a flow checkpoint manifest against its\n"
         "                   artifacts (FL001; repeatable)\n"
+        "  --cache-dir DIR  scan a characterization cache for stale serve\n"
+        "                   artifacts: dead leases, dead sockets (SV001)\n"
         "  --format FMT     output format: text (default) or json\n"
         "  --baseline FILE  suppress findings recorded in FILE; when FILE does not\n"
         "                   exist, record the current findings into it and exit 0\n"
@@ -83,6 +85,7 @@ struct Args {
   std::string baseline;
   bool update_baseline = false;
   std::vector<std::string> flow_manifests;
+  std::string cache_dir;
   std::vector<std::string> netlists;
   bool list = false;
   bool help = false;
@@ -114,6 +117,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = need_value(i, "--flow-manifest");
       if (v == nullptr) return false;
       args.flow_manifests.emplace_back(v);
+    } else if (a == "--cache-dir") {
+      const char* v = need_value(i, "--cache-dir");
+      if (v == nullptr) return false;
+      args.cache_dir = v;
     } else if (a == "--format") {
       const char* v = need_value(i, "--format");
       if (v == nullptr) return false;
@@ -156,7 +163,7 @@ bool parse_args(int argc, char** argv, Args& args) {
     return false;
   }
   if (args.netlists.empty() && args.lib_paths.empty() && args.flow_manifests.empty() &&
-      !args.list && !args.help && args.explain.empty()) {
+      args.cache_dir.empty() && !args.list && !args.help && args.explain.empty()) {
     print_usage(std::cerr);
     return false;
   }
@@ -261,6 +268,15 @@ int main(int argc, char** argv) {
   // FL001: flow checkpoint manifests vs the artifacts they reference.
   for (const auto& path : args.flow_manifests) {
     append(rw::flow::lint_flow_manifest(path));
+  }
+
+  // SV001: stale serve artifacts (dead leases/sockets) in a cache root.
+  if (!args.cache_dir.empty()) {
+    rw::lint::Linter serve_linter;
+    serve_linter.add_rules(rw::lint::serve_rules());
+    rw::lint::LintSubject subject;
+    subject.cache_dir = args.cache_dir;
+    append(serve_linter.run(subject));
   }
 
   // Baseline handling: an existing file suppresses exact matches (only *new*

@@ -1,0 +1,118 @@
+/// \file rwserved.cpp
+/// `rwserved` — the crash-tolerant characterization daemon. Accepts NDJSON
+/// requests (see serve/protocol.hpp) on a Unix-domain socket, shards the
+/// (scenario, cell) work across fork-based workers with leased deadlines,
+/// and serves every byte from the shared disk cache. SIGTERM (or a client
+/// op=shutdown) drains gracefully: admitted work finishes, new requests are
+/// shed as "draining", workers exit, an optional report is written.
+///
+/// Exit codes:
+///   0  clean drain
+///   2  startup failure (socket taken by a live daemon, no cache dir)
+///   64 usage error
+///
+/// Typical runs:
+///   rwserved --socket /tmp/rw.sock --cache ~/.cache/reliaware --workers 4
+///   RW_SERVE_WORKERS=8 RW_SERVE_LEASE_MS=60000 rwserved --socket /tmp/rw.sock
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "charlib/opc.hpp"
+#include "flow/cancel.hpp"
+#include "serve/server.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+constexpr int kExitUsage = 64;
+
+void print_usage(std::ostream& os) {
+  os << "usage: rwserved --socket PATH [options]\n"
+        "  --socket PATH     Unix-domain socket ($RW_SERVE_SOCKET)\n"
+        "  --cache DIR       disk cache root ($RW_LIBCACHE)\n"
+        "  --workers N       worker processes ($RW_SERVE_WORKERS, default 2)\n"
+        "  --lease-ms MS     per-task lease deadline ($RW_SERVE_LEASE_MS, default 10000)\n"
+        "  --queue-max N     queued+leased task bound ($RW_SERVE_QUEUE_MAX, default 64)\n"
+        "  --grid paper|coarse  OPC grid (default paper)\n"
+        "  --cells A,B,C     restrict the cell catalog (tests)\n"
+        "  --resume          honor an existing manifest.json\n"
+        "  --report PATH     write a drain report JSON on shutdown\n"
+        "  -h, --help        this message\n"
+        "exit codes: 0 clean drain, 2 startup failure, 64 usage\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rw::flow::install_signal_handlers();  // SIGTERM/SIGINT -> drain, SIGPIPE -> EPIPE
+  rw::flow::install_deadline_from_env();
+
+  rw::serve::ServeOptions options = rw::serve::ServeOptions::from_env();
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "rwserved: " << flag << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "-h" || a == "--help") {
+      print_usage(std::cout);
+      return 0;
+    } else if (a == "--socket") {
+      if ((v = need_value(i, "--socket")) == nullptr) return kExitUsage;
+      options.socket_path = v;
+    } else if (a == "--cache") {
+      if ((v = need_value(i, "--cache")) == nullptr) return kExitUsage;
+      options.factory.cache_dir = v;
+    } else if (a == "--workers") {
+      if ((v = need_value(i, "--workers")) == nullptr) return kExitUsage;
+      options.workers = std::atoi(v);
+      if (options.workers < 1) {
+        std::cerr << "rwserved: --workers must be >= 1\n";
+        return kExitUsage;
+      }
+    } else if (a == "--lease-ms") {
+      if ((v = need_value(i, "--lease-ms")) == nullptr) return kExitUsage;
+      options.lease_ms = std::atof(v);
+    } else if (a == "--queue-max") {
+      if ((v = need_value(i, "--queue-max")) == nullptr) return kExitUsage;
+      options.queue_max = std::atoi(v);
+    } else if (a == "--grid") {
+      if ((v = need_value(i, "--grid")) == nullptr) return kExitUsage;
+      const std::string grid = v;
+      if (grid == "paper") {
+        options.factory.characterize.grid = rw::charlib::OpcGrid::paper();
+      } else if (grid == "coarse") {
+        options.factory.characterize.grid = rw::charlib::OpcGrid::coarse();
+      } else {
+        std::cerr << "rwserved: unknown grid \"" << grid << "\"\n";
+        return kExitUsage;
+      }
+    } else if (a == "--cells") {
+      if ((v = need_value(i, "--cells")) == nullptr) return kExitUsage;
+      options.factory.cell_subset = rw::util::split(v, ",");
+    } else if (a == "--resume") {
+      options.factory.resume = true;
+    } else if (a == "--report") {
+      if ((v = need_value(i, "--report")) == nullptr) return kExitUsage;
+      options.report_path = v;
+    } else {
+      std::cerr << "rwserved: unknown argument " << a << "\n";
+      print_usage(std::cerr);
+      return kExitUsage;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::cerr << "rwserved: --socket (or $RW_SERVE_SOCKET) is required\n";
+    print_usage(std::cerr);
+    return kExitUsage;
+  }
+
+  rw::serve::Server server(std::move(options));
+  return server.run();
+}
