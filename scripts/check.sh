@@ -38,6 +38,13 @@ RWSTRESS="$BUILD_DIR/tools/rwstress"
 diff "$BUILD_DIR/rwstress.1t.out" "$BUILD_DIR/rwstress.nt.out"
 echo "rwstress output bitwise identical at 1 vs $JOBS threads"
 
+echo "== rwactivity: proven toggle bounds must be deterministic across thread counts =="
+RWACTIVITY="$BUILD_DIR/tools/rwactivity"
+"$RWACTIVITY" --threads 1 --lib examples/fixtures/mini.lib examples/fixtures/clean.v > "$BUILD_DIR/rwactivity.1t.out"
+"$RWACTIVITY" --threads "$JOBS" --lib examples/fixtures/mini.lib examples/fixtures/clean.v > "$BUILD_DIR/rwactivity.nt.out"
+diff "$BUILD_DIR/rwactivity.1t.out" "$BUILD_DIR/rwactivity.nt.out"
+echo "rwactivity output bitwise identical at 1 vs $JOBS threads"
+
 echo "== rwprove: certified bounds must be deterministic across thread counts =="
 RWPROVE="$BUILD_DIR/tools/rwprove"
 "$RWPROVE" --threads 1 --fresh examples/fixtures/mini.lib \
@@ -89,6 +96,13 @@ echo "== prove: certified interval-STA suite in the plain tree =="
 # re-run explicitly so a filtered ctest invocation cannot drop the gate.
 ctest --test-dir "$BUILD_DIR" -L prove --output-on-failure -j "$JOBS"
 
+echo "== activity: switching-activity bounds suite in the plain tree =="
+# The toggle-rate soundness contract (simulated rates inside the proven
+# density intervals on every paper circuit, zero-width collapse to
+# simulator-exact rates, CLI thread invariance + AC verdicts). Re-run
+# explicitly so a filtered ctest invocation cannot drop the gate.
+ctest --test-dir "$BUILD_DIR" -L activity --output-on-failure -j "$JOBS"
+
 echo "== resilience + stress + chaos suites under ThreadSanitizer =="
 # The fault-injection paths (injector arming, in-flight dedup failure
 # propagation, manifest writes), the stress analyzer's levelized parallel
@@ -99,11 +113,15 @@ if [[ "${RW_SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DRW_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$JOBS" --target \
-    resilience_test thread_pool_test stress_test prove_test \
+    resilience_test thread_pool_test stress_test activity_test prove_test \
     cancel_test orchestrator_test flow_resume_test rwchaos rwprove \
-    perf_smoke_test adaptive_grid_test serve_test
+    rwactivity perf_smoke_test adaptive_grid_test serve_test
   ctest --test-dir "$TSAN_DIR" -L resilience --output-on-failure -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" -L stress --output-on-failure -j "$JOBS"
+  # The density sweep shares the stress analyzer's levelized parallel
+  # evaluation (one writer per output net); activity_test also drives the
+  # rwactivity CLI's thread-invariance contract under TSan.
+  ctest --test-dir "$TSAN_DIR" -L activity --output-on-failure -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" -L prove --output-on-failure -j "$JOBS"
   ctest --test-dir "$TSAN_DIR" -L chaos --output-on-failure
   # The serve label (daemon supervisor, socketpair worker protocol, client

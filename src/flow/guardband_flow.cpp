@@ -1,5 +1,6 @@
 #include "flow/guardband_flow.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <set>
@@ -156,24 +157,64 @@ DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
   preflight(module, fresh);
 
   // 1+2. Gate-level simulation of the workload (Modelsim's role) and
-  // duty-cycle extraction. One stage: the activity counters are meaningless
-  // without the extraction that interprets them.
-  const std::vector<netlist::InstanceDuty> duties = run.stage(
+  // duty-cycle extraction, plus post-warm-up per-net toggle rates for the
+  // AC001 oracle below. One stage: the activity counters are meaningless
+  // without the extraction that interprets them. The toggle window skips the
+  // start-up transient (X-free here, but the settled window is what the
+  // stationary bounds speak about); nets with no post-warm-up data carry the
+  // -1 sentinel and are skipped by the oracle.
+  struct SimulateOut {
+    std::vector<netlist::InstanceDuty> duties;
+    std::vector<double> toggles;  // per net, toggles/cycle; -1 = no data
+  };
+  const SimulateOut sim_out = run.stage(
       "simulate",
       [&] {
         logicsim::CycleSimulator sim(module, fresh);
         logicsim::ActivityCollector activity(module.net_count());
+        logicsim::ActivityCollector settled(module.net_count());
+        const int warmup = std::min(64, cycles / 4);
         for (int k = 0; k < cycles; ++k) {
           throw_if_cancelled();
           stimulus(sim, k);
           sim.evaluate();
           activity.observe(sim);
+          if (k >= warmup) settled.observe(sim);
           sim.clock_edge();
         }
-        return logicsim::extract_duty_cycles(module, fresh, activity);
+        SimulateOut out;
+        out.duties = logicsim::extract_duty_cycles(module, fresh, activity);
+        out.toggles.resize(static_cast<std::size_t>(module.net_count()), -1.0);
+        for (std::size_t n = 0; n < out.toggles.size(); ++n) {
+          const auto rate = settled.toggle_rate(static_cast<netlist::NetId>(n));
+          if (rate.has_value()) out.toggles[n] = *rate;
+        }
+        return out;
       },
-      [](const std::vector<netlist::InstanceDuty>& d) { return artifact::encode_duties(d); },
-      [](const std::string& text) { return artifact::decode_duties(text); });
+      [](const SimulateOut& s) {
+        std::vector<double> v;
+        v.reserve(1 + 2 * s.duties.size() + s.toggles.size());
+        v.push_back(static_cast<double>(s.duties.size()));
+        for (const netlist::InstanceDuty& d : s.duties) {
+          v.push_back(d.lambda_p);
+          v.push_back(d.lambda_n);
+        }
+        for (double t : s.toggles) v.push_back(t);
+        return artifact::encode_doubles(v);
+      },
+      [](const std::string& text) {
+        const std::vector<double> v = artifact::decode_doubles(text);
+        if (v.empty()) throw std::runtime_error("simulate artifact: empty");
+        const auto n = static_cast<std::size_t>(v[0]);
+        if (v.size() < 1 + 2 * n) throw std::runtime_error("simulate artifact: bad length");
+        SimulateOut s;
+        for (std::size_t i = 0; i < n; ++i) {
+          s.duties.push_back(netlist::InstanceDuty{v[1 + 2 * i], v[2 + 2 * i]});
+        }
+        s.toggles.assign(v.begin() + static_cast<std::ptrdiff_t>(1 + 2 * n), v.end());
+        return s;
+      });
+  const std::vector<netlist::InstanceDuty>& duties = sim_out.duties;
 
   // Annotation is pure arithmetic over the duty cycles — recomputed inline
   // on every run (including resumed ones) rather than checkpointed.
@@ -191,13 +232,24 @@ DynamicAgingResult dynamic_workload_guardband(const netlist::Module& module,
   preflight_library(merged, fresh);
 
   // Oracle cross-check: every simulated annotation must sit inside the
-  // statically proven workload-independent λ bounds (SP001). A finding here
-  // is a bug in the simulate/extract/annotate pipeline, not in the design —
-  // fail loudly rather than time against corrupt corners.
+  // statically proven workload-independent λ bounds (SP001), and every
+  // post-warm-up measured toggle rate inside the proven activity bounds
+  // (AC001). A finding here is a bug in the simulate/extract/annotate
+  // pipeline, not in the design — fail loudly rather than time against
+  // corrupt corners. The tiny slack absorbs float accumulation over the
+  // measurement window, nothing more.
   {
+    lint::ActivityMeasurement measured;
+    measured.slack = 1e-9;
+    for (std::size_t n = 0; n < sim_out.toggles.size(); ++n) {
+      if (sim_out.toggles[n] < 0.0) continue;
+      measured.toggle_rates.emplace_back(module.net_name(static_cast<netlist::NetId>(n)),
+                                         sim_out.toggles[n]);
+    }
     lint::LintSubject subject;
     subject.module = &result.annotated;
     subject.library = &merged;
+    subject.measured_activity = &measured;
     lint::report_diagnostics(lint::lint_or_throw(lint::Linter::netlist_linter(), subject));
   }
 

@@ -71,6 +71,17 @@ const std::vector<RuleInfo>& rule_catalog() {
       {rules::kVacuousBound, Severity::kInfo,
        "instance λ bound is the full [0,1] despite declared input intervals",
        "reconvergent-fanout widening discarded the information; tighten or decorrelate inputs"},
+      {rules::kToggleOutsideBounds, Severity::kError,
+       "measured toggle rate falls outside the statically proven activity bounds",
+       "the measurement pipeline disagrees with a workload-independent bound; "
+       "check the warm-up window, the input model, and the sampling convention"},
+      {rules::kProvenQuiet, Severity::kInfo,
+       "net is proven to (almost) never toggle under the declared input model",
+       "a rejuvenation/clock-gating candidate — or dead logic worth removing"},
+      {rules::kActivityHotspot, Severity::kWarning,
+       "net's proven toggle lower bound exceeds the activity-hotspot threshold",
+       "every admissible workload stresses this net (EM/HCI risk); resize or "
+       "restructure the blamed driver, or relax the input model"},
       {rules::kFlowStaleArtifact, Severity::kWarning,
        "flow manifest references a missing or stale stage artifact",
        "delete the flow directory (or the offending stage file) so the stage recomputes"},

@@ -57,6 +57,9 @@ inline constexpr const char* kUnannotated = "AN003";    ///< plain cell amid λ-
 inline constexpr const char* kLambdaOutsideBounds = "SP001"; ///< annotated λ outside proven bounds
 inline constexpr const char* kProvenConstant = "SP002"; ///< net proven stuck at 0/1
 inline constexpr const char* kVacuousBound = "SP003";   ///< declared inputs, yet bound is [0,1]
+inline constexpr const char* kToggleOutsideBounds = "AC001"; ///< measured toggle rate outside proven bounds
+inline constexpr const char* kProvenQuiet = "AC002";    ///< net proven to (almost) never toggle
+inline constexpr const char* kActivityHotspot = "AC003"; ///< toggle lower bound above the hotspot threshold
 inline constexpr const char* kFlowStaleArtifact = "FL001"; ///< flow manifest references missing/stale artifact
 inline constexpr const char* kGuardbandUnsound = "PV001"; ///< guardband below the proven upper bound
 inline constexpr const char* kWideProofInterval = "PV002"; ///< proven interval wider than the slack budget
@@ -73,7 +76,7 @@ struct RuleInfo {
 };
 
 /// Every rule id the toolchain can emit, in catalog order (NL, LB, AN, SP,
-/// FL, PV, SV, then CLI-level IO001). Descriptions and hints are the
+/// AC, FL, PV, SV, then CLI-level IO001). Descriptions and hints are the
 /// canonical wording.
 const std::vector<RuleInfo>& rule_catalog();
 

@@ -20,6 +20,7 @@ Linter Linter::all_rules() {
   linter.add_rules(library_rules());
   linter.add_rules(annotation_rules());
   linter.add_rules(stress_rules());
+  linter.add_rules(activity_rules());
   linter.add_rules(prove_rules());
   linter.add_rules(serve_rules());
   return linter;
@@ -30,6 +31,7 @@ Linter Linter::netlist_linter() {
   linter.add_rules(netlist_rules());
   linter.add_rules(annotation_rules());
   linter.add_rules(stress_rules());
+  linter.add_rules(activity_rules());
   return linter;
 }
 

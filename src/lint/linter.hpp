@@ -17,10 +17,13 @@
 #include <string_view>
 #include <vector>
 
+#include <utility>
+
 #include "charlib/opc.hpp"
 #include "liberty/library.hpp"
 #include "lint/diagnostic.hpp"
 #include "netlist/netlist.hpp"
+#include "stress/activity_bounds.hpp"
 #include "stress/analyzer.hpp"
 
 namespace rw::sta {
@@ -28,6 +31,18 @@ struct ProveSummary;  // sta/interval_sta.hpp; kept opaque to the rule engine
 }  // namespace rw::sta
 
 namespace rw::lint {
+
+/// Measured per-net toggle rates — the AC001 oracle input. Rates come from a
+/// post-warm-up simulation window (`ActivityCollector::toggle_rate`).
+struct ActivityMeasurement {
+  /// (net name, measured toggles/cycle); names absent from the module are
+  /// ignored, as are clock-fed nets (cycle sampling cannot observe
+  /// intra-cycle edges).
+  std::vector<std::pair<std::string, double>> toggle_rates;
+  /// Slack added on both sides of the proven interval before comparing
+  /// (absorbs finite-window sampling noise when the model is empirical).
+  double slack = 0.0;
+};
 
 /// What a lint run looks at. Any pointer may be null; rules skip the parts
 /// they need that are absent. Pointees must outlive the `run()` call.
@@ -40,6 +55,16 @@ struct LintSubject {
   /// Input model for the SP (static-stress) rules; null runs them with the
   /// default all-[0,1] model (SP003 then stays silent by construction).
   const stress::AnalyzeOptions* stress = nullptr;
+  /// Input model for the AC (switching-activity) rules; null runs them on
+  /// the default model, with the probability half taken from `stress` when
+  /// that is set (AC002/AC003 then stay silent on live logic by
+  /// construction).
+  const stress::ActivityOptions* activity = nullptr;
+  /// Measured toggle rates for the AC001 oracle check; null keeps it silent.
+  const ActivityMeasurement* measured_activity = nullptr;
+  /// AC003 fires when a net's proven toggle *lower* bound reaches this
+  /// (toggles/cycle): every admissible workload stresses the net that hard.
+  double activity_hotspot_threshold = 1.0;
   /// Completed interval-STA run for the PV (certified-proof) rules; null
   /// keeps them silent.
   const sta::ProveSummary* prove = nullptr;
@@ -63,6 +88,7 @@ std::vector<std::unique_ptr<Rule>> netlist_rules();     ///< NL001..NL006
 std::vector<std::unique_ptr<Rule>> library_rules();     ///< LB001..LB007
 std::vector<std::unique_ptr<Rule>> annotation_rules();  ///< AN001..AN003
 std::vector<std::unique_ptr<Rule>> stress_rules();      ///< SP001..SP003
+std::vector<std::unique_ptr<Rule>> activity_rules();    ///< AC001..AC003
 std::vector<std::unique_ptr<Rule>> prove_rules();       ///< PV001..PV003
 std::vector<std::unique_ptr<Rule>> serve_rules();       ///< SV001
 

@@ -5,33 +5,14 @@
 #include <cstddef>
 #include <stdexcept>
 
-#include "util/strings.hpp"
+#include "stress/network.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rw::stress {
 
 namespace {
 
-constexpr int kMaxInputs = 6;
-
-/// Per-instance data resolved once up front.
-struct Node {
-  const liberty::Cell* cell = nullptr;
-  std::uint64_t truth = 0;
-  int k = 0;
-  bool is_flop = false;
-  int data_pin = -1;               ///< flop: fanin index of the non-clock pin
-  std::uint64_t clock_pin_mask = 0;  ///< bit j set when input pin j is a clock pin
-};
-
-const liberty::Cell* resolve_cell(const liberty::Library& library, const std::string& name) {
-  if (const liberty::Cell* c = library.find(name)) return c;
-  std::string base;
-  double lp = 0.0;
-  double ln = 0.0;
-  if (util::parse_indexed_cell_name(name, base, lp, ln)) return library.find(base);
-  return nullptr;
-}
+constexpr int kMaxInputs = kMaxGateInputs;
 
 /// Multilinear evaluation of the truth table at one probability vector:
 /// Shannon reduction over the highest variable first, O(2^k).
@@ -129,156 +110,12 @@ std::size_t StressReport::constant_net_count() const {
   return n;
 }
 
-StressReport analyze(const netlist::Module& module, const liberty::Library& library,
-                     const AnalyzeOptions& options) {
-  if (!module.extra_drivers().empty()) {
-    throw std::runtime_error("stress: module '" + module.name() +
-                             "' has multi-driven nets; lint it first");
-  }
+StressReport analyze_network(const NetworkModel& model, const AnalyzeOptions& options) {
+  const netlist::Module& module = model.module();
   const auto& instances = module.instances();
+  const auto& nodes = model.nodes();
   const std::size_t n_inst = instances.size();
   const std::size_t n_net = static_cast<std::size_t>(module.net_count());
-
-  // -- Resolve every instance against the library (λ-indexed names fall back
-  //    to their base cell: the function is λ-invariant).
-  std::vector<Node> nodes(n_inst);
-  for (std::size_t i = 0; i < n_inst; ++i) {
-    const netlist::Instance& inst = instances[i];
-    const liberty::Cell* cell = resolve_cell(library, inst.cell);
-    if (cell == nullptr) {
-      throw std::runtime_error("stress: unknown cell '" + inst.cell + "' on instance '" +
-                               inst.name + "'");
-    }
-    const int k = cell->n_inputs();
-    if (static_cast<int>(inst.fanin.size()) != k) {
-      throw std::runtime_error("stress: instance '" + inst.name + "' has " +
-                               std::to_string(inst.fanin.size()) + " fanins but cell '" +
-                               cell->name + "' expects " + std::to_string(k));
-    }
-    if (k > kMaxInputs) {
-      throw std::runtime_error("stress: cell '" + cell->name + "' exceeds " +
-                               std::to_string(kMaxInputs) + " inputs");
-    }
-    Node& node = nodes[i];
-    node.cell = cell;
-    node.k = k;
-    node.is_flop = cell->is_flop;
-    node.truth = cell->truth;
-    int pin_index = 0;
-    for (const liberty::Pin* pin : cell->input_pins()) {
-      if (pin->is_clock) {
-        node.clock_pin_mask |= std::uint64_t{1} << pin_index;
-      } else if (node.data_pin < 0) {
-        node.data_pin = pin_index;
-      }
-      ++pin_index;
-    }
-    if (node.is_flop && node.data_pin < 0) {
-      throw std::runtime_error("stress: flop cell '" + cell->name + "' has no data pin");
-    }
-  }
-
-  // -- Levelize the combinational instances (Kahn). Sources (PIs, undriven
-  //    nets, flop outputs) sit at level 0.
-  std::vector<int> comb_driver(n_net, -1);  // combinational driver per net
-  for (std::size_t i = 0; i < n_inst; ++i) {
-    if (!nodes[i].is_flop && instances[i].out != netlist::kNoNet) {
-      comb_driver[static_cast<std::size_t>(instances[i].out)] = static_cast<int>(i);
-    }
-  }
-  std::vector<int> level(n_inst, 0);
-  std::vector<int> indeg(n_inst, 0);
-  std::size_t comb_count = 0;
-  for (std::size_t i = 0; i < n_inst; ++i) {
-    if (nodes[i].is_flop) continue;
-    ++comb_count;
-    for (netlist::NetId f : instances[i].fanin) {
-      if (f != netlist::kNoNet && comb_driver[static_cast<std::size_t>(f)] >= 0) ++indeg[i];
-    }
-  }
-  std::vector<std::size_t> ready;
-  for (std::size_t i = 0; i < n_inst; ++i) {
-    if (!nodes[i].is_flop && indeg[i] == 0) ready.push_back(i);
-  }
-  std::vector<std::vector<std::size_t>> levels;
-  std::size_t processed = 0;
-  for (std::size_t head = 0; head < ready.size(); ++head) {
-    const std::size_t i = ready[head];
-    ++processed;
-    const int lv = level[i];
-    if (static_cast<std::size_t>(lv) >= levels.size()) levels.resize(lv + 1);
-    levels[static_cast<std::size_t>(lv)].push_back(i);
-    if (instances[i].out == netlist::kNoNet) continue;
-    for (int s : module.sinks(instances[i].out)) {
-      const auto si = static_cast<std::size_t>(s);
-      if (nodes[si].is_flop) continue;
-      level[si] = std::max(level[si], lv + 1);
-      if (--indeg[si] == 0) ready.push_back(si);
-    }
-  }
-  if (processed != comb_count) {
-    throw std::runtime_error("stress: combinational cycle in module '" + module.name() + "'");
-  }
-  for (auto& lv : levels) std::sort(lv.begin(), lv.end());
-
-  // -- Support bitsets. Sources: every undriven net (PIs, the clock, danglers)
-  //    plus every flop output.
-  std::vector<int> source_bit(n_net, -1);
-  int n_sources = 0;
-  for (std::size_t net = 0; net < n_net; ++net) {
-    const auto id = static_cast<netlist::NetId>(net);
-    const int drv = module.driver(id);
-    const bool flop_out = drv >= 0 && nodes[static_cast<std::size_t>(drv)].is_flop;
-    if (drv < 0 || flop_out) source_bit[net] = n_sources++;
-  }
-  const std::size_t words = (static_cast<std::size_t>(n_sources) + 63) / 64;
-  std::vector<std::vector<std::uint64_t>> support(n_net, std::vector<std::uint64_t>(words, 0));
-  for (std::size_t net = 0; net < n_net; ++net) {
-    if (source_bit[net] >= 0) {
-      support[net][static_cast<std::size_t>(source_bit[net]) / 64] |=
-          std::uint64_t{1} << (static_cast<std::size_t>(source_bit[net]) % 64);
-    }
-  }
-  // Temporal collapse: support(flop Q) = {Q} ∪ support(D), iterated with the
-  // combinational propagation until nothing grows.
-  const std::size_t max_passes = n_inst + 2;
-  for (std::size_t pass = 0; pass < max_passes; ++pass) {
-    bool changed = false;
-    for (const auto& lv : levels) {
-      for (std::size_t i : lv) {
-        const netlist::NetId out = instances[i].out;
-        if (out == netlist::kNoNet) continue;
-        auto& dst = support[static_cast<std::size_t>(out)];
-        for (netlist::NetId f : instances[i].fanin) {
-          if (f == netlist::kNoNet) continue;
-          const auto& src = support[static_cast<std::size_t>(f)];
-          for (std::size_t w = 0; w < words; ++w) {
-            const std::uint64_t merged = dst[w] | src[w];
-            if (merged != dst[w]) {
-              dst[w] = merged;
-              changed = true;
-            }
-          }
-        }
-      }
-    }
-    for (std::size_t i = 0; i < n_inst; ++i) {
-      if (!nodes[i].is_flop || instances[i].out == netlist::kNoNet) continue;
-      const netlist::NetId d = nodes[i].data_pin >= 0 ? instances[i].fanin[nodes[i].data_pin]
-                                                      : netlist::kNoNet;
-      if (d == netlist::kNoNet) continue;
-      auto& dst = support[static_cast<std::size_t>(instances[i].out)];
-      const auto& src = support[static_cast<std::size_t>(d)];
-      for (std::size_t w = 0; w < words; ++w) {
-        const std::uint64_t merged = dst[w] | src[w];
-        if (merged != dst[w]) {
-          dst[w] = merged;
-          changed = true;
-        }
-      }
-    }
-    if (!changed) break;
-  }
 
   // -- Initial intervals: declared PI intervals; ⊤ for the clock net,
   //    undriven nets, and every flop output.
@@ -297,7 +134,7 @@ StressReport analyze(const netlist::Module& module, const liberty::Library& libr
   //    correlation, so they never force widening).
   auto eval_instance = [&](std::size_t i) {
     const netlist::Instance& inst = instances[i];
-    const Node& node = nodes[i];
+    const NetworkNode& node = nodes[i];
     if (inst.out == netlist::kNoNet) return;
     Interval in[kMaxInputs];
     for (int j = 0; j < node.k; ++j) {
@@ -311,17 +148,9 @@ StressReport analyze(const netlist::Module& module, const liberty::Library& libr
       for (int b = a + 1; b < node.k && !overlap; ++b) {
         if (in[b].is_constant()) continue;
         const netlist::NetId fb = inst.fanin[static_cast<std::size_t>(b)];
-        if (fa == fb || fa == netlist::kNoNet || fb == netlist::kNoNet) {
+        if (fa == fb || fa == netlist::kNoNet || fb == netlist::kNoNet ||
+            model.supports_overlap(fa, fb)) {
           overlap = true;
-          break;
-        }
-        const auto& sa = support[static_cast<std::size_t>(fa)];
-        const auto& sb = support[static_cast<std::size_t>(fb)];
-        for (std::size_t w = 0; w < words; ++w) {
-          if ((sa[w] & sb[w]) != 0) {
-            overlap = true;
-            break;
-          }
         }
       }
     }
@@ -339,7 +168,7 @@ StressReport analyze(const netlist::Module& module, const liberty::Library& libr
   report.converged = false;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     report.iterations = iter;
-    for (const auto& lv : levels) {
+    for (const auto& lv : model.levels()) {
       if (options.parallel && lv.size() > 1) {
         pool.parallel_for(lv.size(), [&](std::size_t idx) { eval_instance(lv[idx]); });
       } else {
@@ -372,7 +201,7 @@ StressReport analyze(const netlist::Module& module, const liberty::Library& libr
   report.instances.resize(n_inst);
   for (std::size_t i = 0; i < n_inst; ++i) {
     const netlist::Instance& inst = instances[i];
-    const Node& node = nodes[i];
+    const NetworkNode& node = nodes[i];
     const Interval ln = average(static_cast<std::size_t>(node.k), [&](std::size_t j) {
       if ((node.clock_pin_mask >> j) & 1u) return Interval::point(options.clock_probability);
       const netlist::NetId f = inst.fanin[j];
@@ -385,6 +214,11 @@ StressReport analyze(const netlist::Module& module, const liberty::Library& libr
         report.net_widened[static_cast<std::size_t>(inst.out)] != 0;
   }
   return report;
+}
+
+StressReport analyze(const netlist::Module& module, const liberty::Library& library,
+                     const AnalyzeOptions& options) {
+  return analyze_network(NetworkModel::build(module, library), options);
 }
 
 }  // namespace rw::stress

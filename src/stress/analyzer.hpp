@@ -92,6 +92,13 @@ struct StressReport {
 StressReport analyze(const netlist::Module& module, const liberty::Library& library,
                      const AnalyzeOptions& options = {});
 
+class NetworkModel;
+
+/// Same analysis over a prebuilt structural model (see network.hpp), so a
+/// caller running several interpretations — e.g. the switching-activity
+/// analysis — resolves and levelizes the netlist exactly once.
+StressReport analyze_network(const NetworkModel& model, const AnalyzeOptions& options = {});
+
 /// Exact interval image of a k-input Boolean function (truth-table bit `p` =
 /// output for pattern `p`) assuming the inputs are independent: the
 /// multilinear polynomial evaluated over all 2^k box vertices. k ≤ 6.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "stress/activity_bounds.hpp"
 #include "stress/analyzer.hpp"
 
 namespace rw::stress {
@@ -19,6 +20,22 @@ struct NodeState {
   std::uint64_t pin_support = 0;  ///< bit per spec input the node depends on
   bool known = false;
 };
+
+/// Build the pull-down conduction truth table over the stage's signals.
+std::uint64_t stage_truth(const cells::Stage& stage, const std::vector<std::string>& signals) {
+  const int k = static_cast<int>(signals.size());
+  std::uint64_t truth = 0;
+  for (std::uint64_t pat = 0; pat < (std::uint64_t{1} << k); ++pat) {
+    const bool on = stage.pulldown.conducts([&](const std::string& sig) {
+      for (int i = 0; i < k; ++i) {
+        if (signals[static_cast<std::size_t>(i)] == sig) return ((pat >> i) & 1u) != 0;
+      }
+      return false;
+    });
+    if (on) truth |= std::uint64_t{1} << pat;
+  }
+  return truth;
+}
 
 }  // namespace
 
@@ -65,16 +82,7 @@ std::vector<TransistorStress> transistor_stress_bounds(
           seen |= s.pin_support;
         }
       }
-      std::uint64_t truth = 0;
-      for (std::uint64_t pat = 0; pat < (std::uint64_t{1} << k); ++pat) {
-        const bool on = stage.pulldown.conducts([&](const std::string& sig) {
-          for (int i = 0; i < k; ++i) {
-            if (signals[static_cast<std::size_t>(i)] == sig) return ((pat >> i) & 1u) != 0;
-          }
-          return false;
-        });
-        if (on) truth |= std::uint64_t{1} << pat;
-      }
+      const std::uint64_t truth = stage_truth(stage, signals);
       const Interval conducting = correlated ? transfer_correlated(truth, k, in)
                                              : transfer_independent(truth, k, in);
       out.value = conducting.complement();  // static CMOS stage inverts
@@ -92,6 +100,95 @@ std::vector<TransistorStress> transistor_stress_bounds(
     // nMOS stressed while the gate is high (PBTI); pMOS while low (NBTI).
     ts.lambda = t.type == device::MosType::kNmos ? gate_high : gate_high.complement();
     result.push_back(ts);
+  }
+  return result;
+}
+
+std::vector<TransistorActivity> transistor_activity_bounds(
+    const cells::CellSpec& spec, const std::vector<Interval>& pin_probabilities,
+    const std::vector<Interval>& pin_toggles) {
+  if (spec.is_flop || spec.stages.empty()) {
+    throw std::invalid_argument("stress: transistor activity needs a staged combinational cell");
+  }
+  if (pin_probabilities.size() != spec.inputs.size() ||
+      pin_toggles.size() != spec.inputs.size()) {
+    throw std::invalid_argument("stress: pin interval count does not match '" + spec.name + "'");
+  }
+  const std::uint64_t all_pins =
+      spec.inputs.size() >= 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << spec.inputs.size()) - 1;
+  // Sound fallback density for unknown nodes: at most one change per sample
+  // boundary unless a pin itself is intra-cycle (clock-fed, hi > 1).
+  double top_hi = 1.0;
+  for (const Interval& t : pin_toggles) top_hi = std::max(top_hi, t.hi);
+  const Interval top_density{0.0, top_hi};
+
+  struct DynState {
+    Interval prob = Interval::full();
+    Interval dens = Interval::full();
+    std::uint64_t pin_support = 0;
+    bool known = false;
+  };
+  std::unordered_map<std::string, DynState> node;
+  for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+    node[spec.inputs[i]] = DynState{pin_probabilities[i].clamped(), pin_toggles[i],
+                                    std::uint64_t{1} << i, true};
+  }
+  auto state_of = [&](const std::string& name) {
+    const auto it = node.find(name);
+    return it != node.end() ? it->second : DynState{Interval::full(), top_density, all_pins, false};
+  };
+
+  for (const cells::Stage& stage : spec.stages) {
+    const std::vector<std::string> signals = stage.pulldown.signals();
+    const int k = static_cast<int>(signals.size());
+    DynState out;
+    out.known = true;
+    for (const std::string& s : signals) out.pin_support |= state_of(s).pin_support;
+    if (k > kMaxSignals) {
+      double sum = 0.0;
+      bool clockish = false;
+      for (const std::string& s : signals) {
+        const double h = state_of(s).dens.hi;
+        sum += h;
+        if (h > 1.0) clockish = true;
+      }
+      out.prob = Interval::full();
+      out.dens = Interval{0.0, clockish ? sum : std::min(1.0, sum)};
+    } else {
+      Interval probs[kMaxSignals];
+      Interval dens[kMaxSignals];
+      bool correlated = false;
+      std::uint64_t seen = 0;
+      for (int i = 0; i < k; ++i) {
+        const DynState s = state_of(signals[static_cast<std::size_t>(i)]);
+        probs[i] = s.prob;
+        dens[i] = s.dens;
+        if (!s.prob.is_constant()) {
+          if ((seen & s.pin_support) != 0) correlated = true;
+          seen |= s.pin_support;
+        }
+      }
+      const std::uint64_t truth = stage_truth(stage, signals);
+      // The stage output is the complement of the conduction function, and
+      // negation preserves toggles: D(out) = D(conducting).
+      out.dens = correlated ? density_correlated(truth, k, probs, dens)
+                            : density_independent(truth, k, probs, dens);
+      const Interval conducting = correlated ? transfer_correlated(truth, k, probs)
+                                             : transfer_independent(truth, k, probs);
+      out.prob = conducting.complement();
+    }
+    node[stage.out] = out;
+  }
+
+  std::vector<TransistorActivity> result;
+  for (const cells::PlacedTransistor& t : cells::materialize(spec, device::ptm45())) {
+    TransistorActivity ta;
+    ta.type = t.type;
+    ta.gate = t.gate;
+    ta.width_um = t.width_um;
+    ta.toggles = state_of(t.gate).dens;
+    result.push_back(ta);
   }
   return result;
 }

@@ -36,6 +36,28 @@ struct TransistorStress {
 std::vector<TransistorStress> transistor_stress_bounds(
     const cells::CellSpec& spec, const std::vector<Interval>& pin_intervals);
 
+struct TransistorActivity {
+  device::MosType type = device::MosType::kNmos;
+  std::string gate;    ///< gate node: a pin or an internal stage output
+  double width_um = 0.0;
+  /// Bound on the gate node's toggles per cycle — the HCI stress driver
+  /// (hot carriers are injected during switching events, so per-device HCI
+  /// exposure scales with gate-node activity, not duty cycle).
+  Interval toggles;
+};
+
+/// Per-transistor switching-activity bounds for a combinational cell spec:
+/// the stage-output toggle intervals are propagated through each stage's
+/// pull-down conduction function with the density transfer of
+/// activity_bounds.hpp (a static CMOS stage inverts, and negation preserves
+/// toggles), using the same independent/correlated split as
+/// `transistor_stress_bounds`. `pin_probabilities` and `pin_toggles` are
+/// aligned with `spec.inputs`. \throws std::invalid_argument for flops or on
+/// size mismatch.
+std::vector<TransistorActivity> transistor_activity_bounds(
+    const cells::CellSpec& spec, const std::vector<Interval>& pin_probabilities,
+    const std::vector<Interval>& pin_toggles);
+
 /// Widest per-device deviation from the cell-level footnote-2 average:
 /// max over devices of the distance between the device's λ interval midpoint
 /// and the aggregate λ midpoint for its polarity. Used by the bench to

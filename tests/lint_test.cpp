@@ -493,6 +493,114 @@ TEST(Linter, LintOrThrowCarriesDiagnostics) {
 }
 
 // ---------------------------------------------------------------------------
+// AC rules: the switching-activity analysis behind rwactivity.
+
+/// y = INV(a) with a declared input model rich enough to pin y's density.
+netlist::Module inverter_module() {
+  netlist::Module m("t");
+  const auto a = m.add_net("a");
+  m.mark_input(a);
+  const auto y = m.add_net("y");
+  m.add_instance("u1", "INV_X1", {a}, y);
+  m.mark_output(y);
+  return m;
+}
+
+TEST(ActivityRules, MeasuredRateOutsideBoundsIsAc001ErrorWithGoldenJson) {
+  const liberty::Library lib = small_lib();
+  const netlist::Module m = inverter_module();
+  stress::ActivityOptions options;
+  options.probability.input_intervals["a"] = stress::Interval{0.5, 0.5};
+  options.input_densities["a"] = stress::Interval{0.2, 0.2};  // y inherits [0.2, 0.2]
+  ActivityMeasurement measured;
+  measured.toggle_rates = {{"y", 0.9}};
+
+  LintSubject subject;
+  subject.module = &m;
+  subject.library = &lib;
+  subject.activity = &options;
+  subject.measured_activity = &measured;
+  Linter linter;
+  linter.add_rules(activity_rules());
+  const auto diags = linter.run(subject);
+  const std::string expected =
+      "{\"diagnostics\":["
+      "{\"rule\":\"AC001\",\"severity\":\"error\",\"location\":\"t:net y\","
+      "\"message\":\"measured toggle rate 0.900000 escapes the proven activity bound "
+      "[0.2000, 0.2000]\",\"fix_hint\":\"the measurement contradicts a "
+      "workload-independent bound; check the warm-up window, the declared input model, "
+      "and the sampling convention\"}"
+      "],\"counts\":{\"error\":1,\"warning\":0,\"info\":0},\"worst\":\"error\"}";
+  EXPECT_EQ(to_json(diags), expected);
+
+  // A rate inside the proven interval (up to slack) stays silent.
+  measured.toggle_rates = {{"y", 0.2}, {"absent_net", 5.0}};
+  EXPECT_TRUE(linter.run(subject).empty());
+}
+
+TEST(ActivityRules, QuietNetsAndHotspotsAreReported) {
+  const liberty::Library lib = small_lib();
+  const netlist::Module m = inverter_module();
+
+  // Declared-quiet input, free probability: y provably never toggles but is
+  // not a proven constant — AC002, not SP002's territory.
+  stress::ActivityOptions quiet;
+  quiet.input_densities["a"] = stress::Interval{0.0, 0.0};
+  LintSubject subject;
+  subject.module = &m;
+  subject.library = &lib;
+  subject.activity = &quiet;
+  Linter linter;
+  linter.add_rules(activity_rules());
+  auto diags = linter.run(subject);
+  EXPECT_TRUE(has_rule(diags, rules::kProvenQuiet, Severity::kInfo));
+  EXPECT_FALSE(has_rule(diags, rules::kActivityHotspot, Severity::kWarning));
+
+  // Input toggling every cycle: y's lower bound reaches the default hotspot
+  // threshold, with the blame pointing at the driving pin.
+  stress::ActivityOptions hot;
+  hot.probability.input_intervals["a"] = stress::Interval{0.5, 0.5};
+  hot.input_densities["a"] = stress::Interval{1.0, 1.0};
+  subject.activity = &hot;
+  diags = linter.run(subject);
+  ASSERT_TRUE(has_rule(diags, rules::kActivityHotspot, Severity::kWarning));
+  bool blamed = false;
+  for (const auto& d : diags) {
+    if (d.rule_id == rules::kActivityHotspot &&
+        d.message.find("pin net a") != std::string::npos) {
+      blamed = true;
+    }
+  }
+  EXPECT_TRUE(blamed);
+  // A higher threshold silences it.
+  subject.activity_hotspot_threshold = 1.5;
+  EXPECT_FALSE(has_rule(linter.run(subject), rules::kActivityHotspot, Severity::kWarning));
+}
+
+TEST(ActivityRules, LintOrThrowRefusesContradictedMeasurements) {
+  const liberty::Library lib = small_lib();
+  const netlist::Module m = inverter_module();
+  stress::ActivityOptions options;
+  options.probability.input_intervals["a"] = stress::Interval{0.5, 0.5};
+  options.input_densities["a"] = stress::Interval{0.0, 0.1};
+  ActivityMeasurement measured;
+  measured.toggle_rates = {{"y", 0.75}};
+  measured.slack = 1e-9;
+  LintSubject subject;
+  subject.module = &m;
+  subject.library = &lib;
+  subject.activity = &options;
+  subject.measured_activity = &measured;
+  try {
+    lint_or_throw(Linter::netlist_linter(), subject);
+    FAIL() << "expected LintError";
+  } catch (const LintError& e) {
+    EXPECT_EQ(rule_ids(e.diagnostics()).count(std::string(rules::kToggleOutsideBounds)), 1u);
+    EXPECT_NE(std::string(e.what()).find("AC001"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // The flows refuse bad inputs with the same diagnostics rwlint reports.
 
 TEST(FlowPreflight, GuardbandFlowRefusesBrokenNetlist) {

@@ -96,9 +96,13 @@ TEST(Activity, ProbabilitiesAndDuties) {
     act.observe(sim);
     sim.clock_edge();
   }
-  EXPECT_DOUBLE_EQ(act.probability_high(d.a), 1.0);
-  EXPECT_DOUBLE_EQ(act.probability_high(d.b), 0.0);
+  ASSERT_TRUE(act.probability_high(d.a).has_value());
+  EXPECT_DOUBLE_EQ(*act.probability_high(d.a), 1.0);
+  EXPECT_DOUBLE_EQ(*act.probability_high(d.b), 0.0);
   EXPECT_EQ(act.cycles(), 100u);
+  // Constant inputs never toggle; measured rates are exactly 0.
+  EXPECT_DOUBLE_EQ(*act.toggle_rate(d.a), 0.0);
+  EXPECT_DOUBLE_EQ(*act.toggle_rate(d.b), 0.0);
 
   const auto duties = extract_duty_cycles(d.m, lib(), act);
   ASSERT_EQ(duties.size(), d.m.instances().size());
@@ -109,6 +113,45 @@ TEST(Activity, ProbabilitiesAndDuties) {
   }
   // First gate is XOR2(a, b) with P(a)=1, P(b)=0 -> avg high 0.5.
   EXPECT_NEAR(duties[0].lambda_n, 0.5, 1e-9);
+}
+
+TEST(Activity, ToggleRateCountsTransitions) {
+  TestDesign d = make_design();
+  CycleSimulator sim(d.m, lib());
+  ActivityCollector act(d.m.net_count());
+  // a alternates every cycle, b is constant: rate(a) = 1, rate(b) = 0, and
+  // the first XOR2(a, b) output follows a exactly.
+  const netlist::NetId axb = d.m.instances()[0].out;
+  for (int k = 0; k < 64; ++k) {
+    sim.set_input(d.a, (k & 1) != 0);
+    sim.set_input(d.b, false);
+    sim.evaluate();
+    act.observe(sim);
+    sim.clock_edge();
+  }
+  EXPECT_DOUBLE_EQ(*act.toggle_rate(d.a), 1.0);
+  EXPECT_DOUBLE_EQ(*act.toggle_rate(d.b), 0.0);
+  EXPECT_DOUBLE_EQ(*act.toggle_rate(axb), 1.0);
+  // 64 observations alternating 0/1: exactly half are high.
+  EXPECT_DOUBLE_EQ(*act.probability_high(d.a), 0.5);
+}
+
+TEST(Activity, NoDataIsExplicit) {
+  TestDesign d = make_design();
+  ActivityCollector act(d.m.net_count());
+  // Zero observations: no probability, no rate — and no invented 0.5.
+  EXPECT_FALSE(act.probability_high(d.a).has_value());
+  EXPECT_FALSE(act.toggle_rate(d.a).has_value());
+  EXPECT_THROW((void)extract_duty_cycles(d.m, lib(), act), std::invalid_argument);
+
+  // One observation pins probabilities but no boundary has been seen yet.
+  CycleSimulator sim(d.m, lib());
+  sim.set_input(d.a, true);
+  sim.set_input(d.b, false);
+  sim.evaluate();
+  act.observe(sim);
+  EXPECT_TRUE(act.probability_high(d.a).has_value());
+  EXPECT_FALSE(act.toggle_rate(d.a).has_value());
 }
 
 TEST(TimingSimulator, MatchesCycleSimAtGenerousPeriod) {

@@ -1,0 +1,361 @@
+/// \file rwactivity.cpp
+/// `rwactivity` — simulation-free switching-activity analysis over a
+/// gate-level netlist: proves per-net transition-density intervals
+/// (toggles/cycle) that hold for *every* workload admitted by the declared
+/// input model, derives per-instance toggle / switched-capacitance / HCI
+/// activity bounds, then cross-checks everything with the AC lint rules
+/// (AC001 measured-vs-bound oracle, AC002 proven-quiet nets, AC003
+/// unavoidable hotspots).
+///
+/// Exit codes match rwlint:
+///   0  clean, or info-level findings only
+///   1  warnings
+///   2  errors (including unreadable inputs / structurally broken netlists)
+///   64 usage error (bad flags), as in sysexits.h
+///
+/// Typical runs:
+///   rwactivity --lib fresh.lib design.v
+///   rwactivity --lib fresh.lib --input start=0.4:0.6 --density start=0.2:0.4
+///              --threshold 0.9 --format json design.v   (one command line)
+///
+/// Output is deterministic and bitwise identical for any --threads value.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "flow/cancel.hpp"
+#include "liberty/library.hpp"
+#include "liberty/parser.hpp"
+#include "lint/linter.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/verilog.hpp"
+#include "stress/activity_bounds.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+constexpr int kExitUsage = 64;
+
+void print_usage(std::ostream& os) {
+  os << "usage: rwactivity [options] netlist.v\n"
+        "  --lib FILE         Liberty library to resolve cells against (repeatable)\n"
+        "  --input NET=L:H    probability interval for one primary input (repeatable)\n"
+        "  --density NET=L:H  toggles/cycle interval for one primary input (repeatable)\n"
+        "  --default L:H      probability interval for undeclared inputs (default 0:1)\n"
+        "  --default-density L:H  toggles/cycle for undeclared inputs (default: derived)\n"
+        "  --clock T          transitions/cycle on the clock net (default 2)\n"
+        "  --threshold X      AC003 hotspot threshold, toggles/cycle (default 1)\n"
+        "  --iterations N     cap on sequential fixed-point rounds (default 64)\n"
+        "  --format FMT       output format: text (default) or json\n"
+        "  --threads N        worker threads for the levelized evaluation\n"
+        "  -h, --help         this message\n"
+        "exit codes: 0 clean/info, 1 warnings, 2 errors, 64 usage error\n";
+}
+
+struct Args {
+  std::vector<std::string> lib_paths;
+  rw::stress::ActivityOptions options;
+  double threshold = 1.0;
+  std::string format = "text";
+  std::string netlist;
+  bool help = false;
+};
+
+bool parse_interval(const std::string& text, rw::stress::Interval& out) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  try {
+    out.lo = std::stod(text.substr(0, colon));
+    out.hi = std::stod(text.substr(colon + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return out.lo <= out.hi && out.lo >= 0.0 && out.hi <= 1.0;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "rwactivity: " << flag << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  const auto parse_net_interval = [&](const char* v, const char* flag,
+                                      rw::stress::Interval& interval, std::string& net) {
+    const std::string spec = v;
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || !parse_interval(spec.substr(eq + 1), interval)) {
+      std::cerr << "rwactivity: " << flag << " wants NET=LO:HI with 0 <= LO <= HI <= 1\n";
+      return false;
+    }
+    net = spec.substr(0, eq);
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--lib") {
+      const char* v = need_value(i, "--lib");
+      if (v == nullptr) return false;
+      args.lib_paths.emplace_back(v);
+    } else if (a == "--input") {
+      const char* v = need_value(i, "--input");
+      if (v == nullptr) return false;
+      rw::stress::Interval interval;
+      std::string net;
+      if (!parse_net_interval(v, "--input", interval, net)) return false;
+      args.options.probability.input_intervals[net] = interval;
+    } else if (a == "--density") {
+      const char* v = need_value(i, "--density");
+      if (v == nullptr) return false;
+      rw::stress::Interval interval;
+      std::string net;
+      if (!parse_net_interval(v, "--density", interval, net)) return false;
+      args.options.input_densities[net] = interval;
+    } else if (a == "--default") {
+      const char* v = need_value(i, "--default");
+      if (v == nullptr) return false;
+      if (!parse_interval(v, args.options.probability.default_input)) {
+        std::cerr << "rwactivity: --default wants LO:HI with 0 <= LO <= HI <= 1\n";
+        return false;
+      }
+    } else if (a == "--default-density") {
+      const char* v = need_value(i, "--default-density");
+      if (v == nullptr) return false;
+      rw::stress::Interval interval;
+      if (!parse_interval(v, interval)) {
+        std::cerr << "rwactivity: --default-density wants LO:HI with 0 <= LO <= HI <= 1\n";
+        return false;
+      }
+      args.options.default_input_density = interval;
+    } else if (a == "--clock") {
+      const char* v = need_value(i, "--clock");
+      if (v == nullptr) return false;
+      try {
+        args.options.clock_transitions = std::stod(v);
+      } catch (const std::exception&) {
+        args.options.clock_transitions = -1.0;
+      }
+      if (args.options.clock_transitions < 0.0) {
+        std::cerr << "rwactivity: --clock wants transitions/cycle >= 0\n";
+        return false;
+      }
+    } else if (a == "--threshold") {
+      const char* v = need_value(i, "--threshold");
+      if (v == nullptr) return false;
+      try {
+        args.threshold = std::stod(v);
+      } catch (const std::exception&) {
+        args.threshold = -1.0;
+      }
+      if (args.threshold < 0.0) {
+        std::cerr << "rwactivity: --threshold wants toggles/cycle >= 0\n";
+        return false;
+      }
+    } else if (a == "--iterations") {
+      const char* v = need_value(i, "--iterations");
+      if (v == nullptr) return false;
+      args.options.probability.max_iterations = std::atoi(v);
+      if (args.options.probability.max_iterations < 1) {
+        std::cerr << "rwactivity: --iterations wants a positive count\n";
+        return false;
+      }
+    } else if (a == "--format") {
+      const char* v = need_value(i, "--format");
+      if (v == nullptr) return false;
+      args.format = v;
+    } else if (a == "-h" || a == "--help") {
+      args.help = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "rwactivity: unknown flag " << a << "\n";
+      return false;
+    } else if (args.netlist.empty()) {
+      args.netlist = a;
+    } else {
+      std::cerr << "rwactivity: exactly one netlist per run\n";
+      return false;
+    }
+  }
+  if (args.format != "text" && args.format != "json") {
+    std::cerr << "rwactivity: --format must be text or json\n";
+    return false;
+  }
+  if (!args.help && (args.netlist.empty() || args.lib_paths.empty())) {
+    print_usage(std::cerr);
+    return false;
+  }
+  return true;
+}
+
+void append_interval_json(std::string& out, double lo, double hi) {
+  out += "{\"lo\":" + rw::util::format_fixed(lo, 6) +
+         ",\"hi\":" + rw::util::format_fixed(hi, 6) + "}";
+}
+
+std::string interval_str(double lo, double hi) {
+  return "[" + rw::util::format_fixed(lo, 6) + ", " + rw::util::format_fixed(hi, 6) + "]";
+}
+
+void print_json(const rw::netlist::Module& module, const rw::stress::ActivityReport& report,
+                const std::vector<rw::lint::Diagnostic>& diagnostics) {
+  using rw::util::append_json_string;
+  std::string out = "{\"module\":";
+  append_json_string(out, module.name());
+  out += ",\"iterations\":" + std::to_string(report.probability.iterations);
+  out += std::string(",\"converged\":") + (report.probability.converged ? "true" : "false");
+  out += ",\"widened_nets\":" + std::to_string(report.widened_density_count());
+  out += ",\"quiet_nets\":" + std::to_string(report.quiet_driven_nets);
+  out += ",\"nets\":[";
+  for (std::size_t net = 0; net < report.density.size(); ++net) {
+    if (net != 0) out += ',';
+    out += "{\"name\":";
+    append_json_string(out, module.net_name(static_cast<rw::netlist::NetId>(net)));
+    out += ",\"probability\":";
+    append_interval_json(out, report.probability.net[net].lo, report.probability.net[net].hi);
+    out += ",\"density\":";
+    append_interval_json(out, report.density[net].lo, report.density[net].hi);
+    out += std::string(",\"widened\":") + (report.density_widened[net] != 0 ? "true" : "false");
+    out += std::string(",\"clock_fed\":") + (report.clock_fed[net] != 0 ? "true" : "false");
+    out += '}';
+  }
+  out += "],\"instances\":[";
+  for (std::size_t i = 0; i < report.instances.size(); ++i) {
+    const auto& inst = report.instances[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":";
+    append_json_string(out, module.instances()[i].name);
+    out += ",\"cell\":";
+    append_json_string(out, module.instances()[i].cell);
+    out += ",\"output_toggles\":";
+    append_interval_json(out, inst.output_toggles.lo, inst.output_toggles.hi);
+    out += ",\"load_ff\":" + rw::util::format_fixed(inst.load_ff, 6);
+    out += ",\"switch_cap_ff\":";
+    append_interval_json(out, inst.switch_cap_ff.lo, inst.switch_cap_ff.hi);
+    out += ",\"hci\":";
+    append_interval_json(out, inst.hci.lo, inst.hci.hi);
+    out += std::string(",\"hci_from_stacks\":") + (inst.hci_from_stacks ? "true" : "false");
+    out += std::string(",\"widened\":") + (inst.widened ? "true" : "false");
+    out += '}';
+  }
+  out += "],\"lint\":" + rw::lint::to_json(diagnostics) + "}";
+  std::cout << out << "\n";
+}
+
+void print_text(const rw::netlist::Module& module, const rw::stress::ActivityReport& report,
+                const std::vector<rw::lint::Diagnostic>& diagnostics) {
+  std::cout << "module " << module.name() << ": " << module.net_count() << " nets, "
+            << module.instances().size() << " instances\n"
+            << "fixed point: " << report.probability.iterations << " iteration(s), "
+            << (report.probability.converged ? "converged" : "NOT converged") << "; "
+            << report.widened_density_count() << " widened net(s), "
+            << report.quiet_driven_nets << " proven-quiet driven net(s)\n";
+  for (std::size_t net = 0; net < report.density.size(); ++net) {
+    std::cout << "net " << module.net_name(static_cast<rw::netlist::NetId>(net))
+              << ": prob " << report.probability.net[net].str() << ", density "
+              << report.density[net].str()
+              << (report.density_widened[net] != 0 ? " widened" : "")
+              << (report.clock_fed[net] != 0 ? " clock-fed" : "") << "\n";
+  }
+  for (std::size_t i = 0; i < report.instances.size(); ++i) {
+    const auto& inst = module.instances()[i];
+    const auto& a = report.instances[i];
+    std::cout << "inst " << inst.name << " (" << inst.cell << "): toggles "
+              << a.output_toggles.str() << ", switch_cap_ff "
+              << interval_str(a.switch_cap_ff.lo, a.switch_cap_ff.hi) << ", hci "
+              << interval_str(a.hci.lo, a.hci.hi)
+              << (a.hci_from_stacks ? "" : " (coarse)") << (a.widened ? " widened" : "")
+              << "\n";
+  }
+  std::cout << rw::lint::format_report(diagnostics);
+  std::cout << "rwactivity: " << rw::lint::count(diagnostics, rw::lint::Severity::kError)
+            << " error(s), " << rw::lint::count(diagnostics, rw::lint::Severity::kWarning)
+            << " warning(s), " << rw::lint::count(diagnostics, rw::lint::Severity::kInfo)
+            << " info\n";
+}
+
+rw::lint::Diagnostic io_error(const std::string& path, const std::string& what) {
+  return rw::lint::Diagnostic{"IO001", rw::lint::Severity::kError, path, what,
+                              "fix the file or the flag pointing at it"};
+}
+
+int exit_code(const std::vector<rw::lint::Diagnostic>& diagnostics) {
+  switch (rw::lint::worst_severity(diagnostics)) {
+    case rw::lint::Severity::kError:
+      return 2;
+    case rw::lint::Severity::kWarning:
+      return 1;
+    case rw::lint::Severity::kInfo:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rw::flow::install_signal_handlers();
+  rw::flow::install_deadline_from_env();
+  rw::util::consume_thread_flag(argc, argv);
+  Args args;
+  if (!parse_args(argc, argv, args)) return kExitUsage;
+  if (args.help) {
+    print_usage(std::cout);
+    return 0;
+  }
+
+  std::vector<rw::lint::Diagnostic> report;
+  rw::liberty::Library pool("rwactivity_pool");
+  for (const auto& path : args.lib_paths) {
+    try {
+      const rw::liberty::Library lib = rw::liberty::parse_library_file(path);
+      for (const auto& cell : lib.cells()) {
+        if (pool.find(cell.name) == nullptr) pool.add_cell(cell);
+      }
+    } catch (const std::exception& e) {
+      report.push_back(io_error(path, e.what()));
+    }
+  }
+  if (!report.empty()) {
+    std::cout << rw::lint::format_report(report);
+    return exit_code(report);
+  }
+
+  rw::netlist::Module module("empty");
+  try {
+    module = rw::netlist::parse_verilog_file(args.netlist, pool, {.lenient = true});
+  } catch (const std::exception& e) {
+    report.push_back(io_error(args.netlist, e.what()));
+    std::cout << rw::lint::format_report(report);
+    return exit_code(report);
+  }
+
+  // Full netlist lint (structural + SP + AC rules) with the declared input
+  // model; the analysis below needs a structurally sound module, so errors
+  // end the run with the diagnostics as the report.
+  rw::lint::LintSubject subject;
+  subject.module = &module;
+  subject.library = &pool;
+  subject.stress = &args.options.probability;
+  subject.activity = &args.options;
+  subject.activity_hotspot_threshold = args.threshold;
+  const auto diagnostics = rw::lint::Linter::netlist_linter().run(subject);
+
+  rw::stress::ActivityReport activity;
+  try {
+    activity = rw::stress::analyze_activity(module, pool, args.options);
+  } catch (const std::exception& e) {
+    std::cout << rw::lint::format_report(diagnostics);
+    std::cerr << "rwactivity: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (args.format == "json") {
+    print_json(module, activity, diagnostics);
+  } else {
+    print_text(module, activity, diagnostics);
+  }
+  return exit_code(diagnostics);
+}
