@@ -3,8 +3,10 @@
 /// disk cache) per configuration, drives it with forked client processes
 /// issuing characterize requests over the 6-pair (2 scenarios x 3 cells)
 /// working set, and reports per-request latency percentiles plus end-to-end
-/// throughput for every (workers x clients x cold|warm-cache) cell of the
-/// matrix. Writes BENCH_serve.json; exits non-zero if any request fails or
+/// throughput for every (daemons x workers x clients x cold|warm-cache) cell
+/// of the matrix — including two-daemon fleet cells where both daemons share
+/// one cache directory and clients are split round-robin across the fleet.
+/// Writes BENCH_serve.json; exits non-zero if any request fails or
 /// any daemon refuses a clean drain, so the bench doubles as a load-path
 /// regression gate.
 
@@ -58,10 +60,11 @@ std::vector<rw::aging::AgingScenario> bench_scenarios() {
           rw::aging::AgingScenario{0.7, 0.7, 10.0, true}};
 }
 
-/// Short socket path (sun_path caps at ~100 bytes), unique per run cell.
-std::string socket_path_for(int run_index) {
+/// Short socket path (sun_path caps at ~100 bytes), unique per run cell and
+/// per daemon within a fleet.
+std::string socket_path_for(int run_index, int daemon_index) {
   return "/tmp/rwserve_ld_" + std::to_string(::getpid()) + "_" + std::to_string(run_index) +
-         ".sock";
+         "_" + std::to_string(daemon_index) + ".sock";
 }
 
 /// Forks a real daemon running Server::run(); the child never returns.
@@ -138,6 +141,7 @@ pid_t spawn_client(const std::string& socket_path, int run_index, int client_ind
 }
 
 struct RunResult {
+  int daemons = 1;
   int workers = 0;
   int clients = 0;
   std::string cache;  // "cold" | "warm"
@@ -157,34 +161,79 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(sorted.size(), std::max<std::size_t>(rank, 1)) - 1];
 }
 
-/// One matrix cell: daemon up, C clients x kRequestsPerClient requests,
-/// graceful drain via op=shutdown, percentiles over the merged latencies.
-RunResult run_one(int run_index, int workers, int clients, const std::string& cache_kind,
-                  const std::string& cache_dir, const std::string& work_root) {
+/// One matrix cell: a fleet of `daemons` daemons sharing one cache directory
+/// (daemons == 1 is the classic single-daemon cell), C clients split
+/// round-robin across the fleet x kRequestsPerClient requests, graceful
+/// drain via op=shutdown to every daemon, percentiles over the merged
+/// latencies.
+RunResult run_one(int run_index, int daemons, int workers, int clients,
+                  const std::string& cache_kind, const std::string& cache_dir,
+                  const std::string& work_root) {
   RunResult r;
+  r.daemons = daemons;
   r.workers = workers;
   r.clients = clients;
   r.cache = cache_kind;
 
-  const std::string socket_path = socket_path_for(run_index);
-  rw::serve::ServeOptions options;
-  options.socket_path = socket_path;
-  options.workers = workers;
-  options.factory = bench_factory_options(cache_dir);
-  pid_t daemon = spawn_daemon(options);
+  std::vector<std::string> socket_paths;
+  std::vector<pid_t> fleet;
   const auto finish = [&](bool ok, std::string detail) {
-    if (daemon > 0) {
-      ::kill(daemon, SIGKILL);
+    for (pid_t& pid : fleet) {
+      if (pid <= 0) continue;
+      ::kill(pid, SIGKILL);
       int status = 0;
-      (void)wait_child(daemon, 5000, status);
-      daemon = -1;
+      (void)wait_child(pid, 5000, status);
+      pid = -1;
     }
-    ::unlink(socket_path.c_str());
+    for (const std::string& path : socket_paths) ::unlink(path.c_str());
     r.ok = ok;
     r.detail = std::move(detail);
     return r;
   };
-  if (daemon < 0) return finish(false, "daemon fork failed");
+  for (int d = 0; d < daemons; ++d) {
+    socket_paths.push_back(socket_path_for(run_index, d));
+    rw::serve::ServeOptions options;
+    options.socket_path = socket_paths.back();
+    options.workers = workers;
+    options.factory = bench_factory_options(cache_dir);
+    const pid_t pid = spawn_daemon(options);
+    fleet.push_back(pid);
+    if (pid < 0) return finish(false, "daemon fork failed");
+  }
+
+  if (cache_kind == "warm") {
+    // A warm row measures the steady-state hit path, so prime it before the
+    // clock starts: one untimed lap over the working set against every
+    // daemon. This also absorbs the daemons' socket-bind latency, which
+    // would otherwise be billed to the first timed request.
+    for (int d = 0; d < daemons; ++d) {
+      try {
+        rw::serve::ClientOptions copt;
+        copt.socket_path = socket_paths[d];
+        rw::serve::ServeClient client(copt);
+        int i = 0;
+        for (const auto& sc : bench_scenarios()) {
+          for (const std::string cell : {"INV_X1", "NAND2_X1", "DFF_X1"}) {
+            rw::serve::Request req;
+            req.id = "warmup-" + std::to_string(run_index) + "-" + std::to_string(d) + "-" +
+                     std::to_string(i++);
+            req.op = "characterize";
+            req.cell = cell;
+            req.lambda_p = sc.lambda_p;
+            req.lambda_n = sc.lambda_n;
+            req.years = sc.years;
+            req.include_mobility = sc.include_mobility;
+            const rw::serve::Response resp = client.request(req);
+            if (resp.status != "ok") {
+              return finish(false, "warmup response " + resp.status + ": " + resp.error);
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        return finish(false, std::string("warmup failed: ") + e.what());
+      }
+    }
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<pid_t> kids;
@@ -192,7 +241,7 @@ RunResult run_one(int run_index, int workers, int clients, const std::string& ca
   for (int c = 0; c < clients; ++c) {
     const std::string path =
         work_root + "/lat_" + std::to_string(run_index) + "_" + std::to_string(c) + ".txt";
-    const pid_t kid = spawn_client(socket_path, run_index, c, path);
+    const pid_t kid = spawn_client(socket_paths[c % daemons], run_index, c, path);
     if (kid < 0) return finish(false, "client fork failed");
     kids.push_back(kid);
     latency_paths.push_back(path);
@@ -231,24 +280,27 @@ RunResult run_one(int run_index, int workers, int clients, const std::string& ca
   r.p99_ms = percentile(latencies, 99.0);
   r.throughput_rps = r.wall_ms > 0.0 ? 1000.0 * r.requests / r.wall_ms : 0.0;
 
-  // Graceful drain: op=shutdown must answer ok and the daemon must exit 0.
-  try {
-    rw::serve::ClientOptions copt;
-    copt.socket_path = socket_path;
-    rw::serve::ServeClient client(copt);
-    rw::serve::Request req;
-    req.id = "ld-" + std::to_string(run_index) + "-shutdown";
-    req.op = "shutdown";
-    const rw::serve::Response resp = client.request(req);
-    if (resp.status != "ok") return finish(false, "shutdown response " + resp.status);
-  } catch (const std::exception& e) {
-    return finish(false, std::string("shutdown request failed: ") + e.what());
+  // Graceful drain: op=shutdown must answer ok and every daemon must exit 0.
+  for (int d = 0; d < daemons; ++d) {
+    try {
+      rw::serve::ClientOptions copt;
+      copt.socket_path = socket_paths[d];
+      rw::serve::ServeClient client(copt);
+      rw::serve::Request req;
+      req.id = "ld-" + std::to_string(run_index) + "-shutdown-" + std::to_string(d);
+      req.op = "shutdown";
+      const rw::serve::Response resp = client.request(req);
+      if (resp.status != "ok") return finish(false, "shutdown response " + resp.status);
+    } catch (const std::exception& e) {
+      return finish(false, std::string("shutdown request failed: ") + e.what());
+    }
+    int status = 0;
+    if (!wait_child(fleet[d], 30000, status) || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      return finish(false, "daemon did not drain to exit 0");
+    }
+    fleet[d] = -1;
   }
-  int status = 0;
-  if (!wait_child(daemon, 30000, status) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-    return finish(false, "daemon did not drain to exit 0");
-  }
-  daemon = -1;
   return finish(true, "");
 }
 
@@ -270,8 +322,19 @@ int main(int argc, char** argv) {
   std::vector<RunResult> runs;
   bool all_ok = true;
   int run_index = 0;
-  std::printf("%-7s  %-7s  %-5s  %8s  %8s  %8s  %9s\n", "workers", "clients", "cache",
-              "p50_ms", "p99_ms", "wall_ms", "req_per_s");
+  std::printf("%-7s  %-7s  %-7s  %-5s  %8s  %8s  %8s  %9s\n", "daemons", "workers", "clients",
+              "cache", "p50_ms", "p99_ms", "wall_ms", "req_per_s");
+  const auto report = [&](RunResult r) {
+    all_ok = all_ok && r.ok;
+    if (r.ok) {
+      std::printf("%-7d  %-7d  %-7d  %-5s  %8.3f  %8.3f  %8.1f  %9.1f\n", r.daemons, r.workers,
+                  r.clients, r.cache.c_str(), r.p50_ms, r.p99_ms, r.wall_ms, r.throughput_rps);
+    } else {
+      std::printf("%-7d  %-7d  %-7d  %-5s  FAILED: %s\n", r.daemons, r.workers, r.clients,
+                  r.cache.c_str(), r.detail.c_str());
+    }
+    runs.push_back(std::move(r));
+  };
   for (const int workers : {1, 2}) {
     for (const int clients : {1, 4}) {
       // Cold fills this matrix cell's private cache; warm replays the same
@@ -279,17 +342,21 @@ int main(int argc, char** argv) {
       const std::string cache_dir = work_root + "/cache_w" + std::to_string(workers) + "_c" +
                                     std::to_string(clients);
       for (const std::string cache_kind : {"cold", "warm"}) {
-        RunResult r = run_one(run_index++, workers, clients, cache_kind, cache_dir, work_root);
-        all_ok = all_ok && r.ok;
-        if (r.ok) {
-          std::printf("%-7d  %-7d  %-5s  %8.3f  %8.3f  %8.1f  %9.1f\n", r.workers, r.clients,
-                      r.cache.c_str(), r.p50_ms, r.p99_ms, r.wall_ms, r.throughput_rps);
-        } else {
-          std::printf("%-7d  %-7d  %-5s  FAILED: %s\n", r.workers, r.clients, r.cache.c_str(),
-                      r.detail.c_str());
-        }
-        runs.push_back(std::move(r));
+        report(run_one(run_index++, /*daemons=*/1, workers, clients, cache_kind, cache_dir,
+                       work_root));
       }
+    }
+  }
+  // Fleet cells: two daemons cooperating over ONE shared cache directory,
+  // clients split round-robin across the fleet. Cold exercises cross-process
+  // dedup (both daemons racing to characterize the same 6 pairs under
+  // per-entry leases); warm measures the horizontally scaled hit path.
+  for (const int workers : {1, 2}) {
+    const int clients = 4;
+    const std::string cache_dir = work_root + "/cache_fleet_w" + std::to_string(workers);
+    for (const std::string cache_kind : {"cold", "warm"}) {
+      report(run_one(run_index++, /*daemons=*/2, workers, clients, cache_kind, cache_dir,
+                     work_root));
     }
   }
 
@@ -301,11 +368,11 @@ int main(int argc, char** argv) {
     const RunResult& r = runs[i];
     char row[512];
     std::snprintf(row, sizeof row,
-                  "    {\"workers\": %d, \"clients\": %d, \"cache\": \"%s\", "
+                  "    {\"daemons\": %d, \"workers\": %d, \"clients\": %d, \"cache\": \"%s\", "
                   "\"requests\": %d, \"ok\": %s, \"wall_ms\": %.3f, "
                   "\"throughput_rps\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
-                  r.workers, r.clients, r.cache.c_str(), r.requests, r.ok ? "true" : "false",
-                  r.wall_ms, r.throughput_rps, r.p50_ms, r.p99_ms,
+                  r.daemons, r.workers, r.clients, r.cache.c_str(), r.requests,
+                  r.ok ? "true" : "false", r.wall_ms, r.throughput_rps, r.p50_ms, r.p99_ms,
                   i + 1 < runs.size() ? "," : "");
     json += row;
   }

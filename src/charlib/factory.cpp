@@ -1,8 +1,12 @@
 #include "charlib/factory.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <exception>
 #include <filesystem>
 #include <optional>
@@ -60,6 +64,10 @@ std::string LibraryFactory::grid_dir() const {
     dir += "-" + tag;
   }
   return dir;
+}
+
+std::string LibraryFactory::grid_cache_dir() const {
+  return options_.cache_dir.empty() ? std::string{} : grid_dir();
 }
 
 std::string LibraryFactory::scenario_dir(const aging::AgingScenario& scenario) const {
@@ -123,6 +131,28 @@ std::vector<std::string> LibraryFactory::cell_names() const {
   return names;
 }
 
+namespace {
+
+/// Refreshes the usage-stamp sidecar next to `lib_path`. The stamp's mtime
+/// IS the datum — a hit on an existing stamp only needs a metadata touch —
+/// and creation goes through the shared atomic writer so kill -9 can never
+/// leave a torn stamp. Touches are throttled to once a minute per stamp: a
+/// warm library assembly re-reads every cell, and that hot path must not
+/// become a metadata-write storm on the shared cache.
+void touch_usage_stamp(const std::string& lib_path) {
+  if (lib_path.empty()) return;
+  const std::string stamp = LibraryFactory::usage_stamp_path(lib_path);
+  struct stat st {};
+  if (::stat(stamp.c_str(), &st) == 0) {
+    if (std::time(nullptr) - st.st_mtime < 60) return;
+    (void)::utimensat(AT_FDCWD, stamp.c_str(), nullptr, 0);
+    return;
+  }
+  (void)util::write_file_atomic_nothrow(stamp, "{\"usage\":\"stamp\"}\n");
+}
+
+}  // namespace
+
 std::unique_ptr<liberty::Cell> LibraryFactory::load_cached_cell(
     const std::string& path, const std::string& cell_name) const {
   std::error_code ec;
@@ -130,6 +160,7 @@ std::unique_ptr<liberty::Cell> LibraryFactory::load_cached_cell(
   try {
     liberty::Library single = liberty::parse_library_file(path);
     if (const liberty::Cell* c = single.find(cell_name)) {
+      touch_usage_stamp(path);
       return std::make_unique<liberty::Cell>(*c);
     }
   } catch (const std::exception&) {
@@ -148,8 +179,9 @@ void LibraryFactory::store_cached_cell(const aging::AgingScenario& scenario,
   // Shared atomic temp+rename writer: concurrent factories (threads or
   // processes) never expose a partially written file, and the last complete
   // write wins. The cache is an optimization; failures never fail the run.
-  (void)util::write_file_atomic_nothrow(scenario_dir(scenario) + "/" + cell_name + ".lib",
-                                        liberty::write_library(single));
+  const std::string lib_path = scenario_dir(scenario) + "/" + cell_name + ".lib";
+  (void)util::write_file_atomic_nothrow(lib_path, liberty::write_library(single));
+  touch_usage_stamp(lib_path);
 }
 
 const liberty::Cell& LibraryFactory::cell(const std::string& cell_name,

@@ -175,6 +175,20 @@ class LibraryFactory {
   /// `Options::use_manifest` is off).
   [[nodiscard]] std::string manifest_path() const;
 
+  /// Grid-level cache directory this factory keys everything under (""
+  /// when the disk cache is disabled). rwserved fleets spool queued task
+  /// files in `<grid dir>/spool/` so peers sharing the cache can steal or
+  /// adopt each other's work.
+  [[nodiscard]] std::string grid_cache_dir() const;
+
+  /// Usage-stamp sidecar next to a cached cell (`<cell>.lib.stamp`). Its
+  /// mtime is the pair's last-used time: refreshed (throttled) on every
+  /// cache hit and publish, consumed by rwserved's age/usage-aware GC, and
+  /// audited for orphans by lint rule SV002.
+  [[nodiscard]] static std::string usage_stamp_path(const std::string& lib_path) {
+    return lib_path + ".stamp";
+  }
+
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:

@@ -602,4 +602,356 @@ ChaosCampaignResult run_serve_chaos_campaign(std::uint64_t base_seed, int n_tria
   return campaign;
 }
 
+// ---------------------------------------------------------------------------
+// Fleet campaign
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string fleet_socket_path(std::uint64_t seed, char which) {
+  return "/tmp/rwfleet_" + std::to_string(::getpid()) + "_" + std::to_string(seed) + "_" +
+         which + ".sock";
+}
+
+/// Baseline options for one fleet member: shared cache under `work_dir`, a
+/// fast steal cadence (the whole point of the trial), private socket.
+serve::ServeOptions fleet_daemon_options(const std::string& work_dir,
+                                         const std::string& socket_path, int workers) {
+  serve::ServeOptions o;
+  o.socket_path = socket_path;
+  o.workers = workers;
+  o.queue_max = 16;
+  o.backoff_base_ms = 25.0;
+  o.steal_interval_ms = 40.0;
+  o.factory = chaos_factory_options();
+  o.factory.cache_dir = work_dir + "/cache";  // the SHARED data plane
+  return o;
+}
+
+/// Polls `op=stats` on the daemon at `socket_path` until `counter` reaches
+/// `at_least` or `timeout_ms` elapses; returns the last observed value.
+double poll_stat(const std::string& socket_path, const std::string& counter, double at_least,
+                 int timeout_ms) {
+  serve::ClientOptions copt;
+  copt.socket_path = socket_path;
+  copt.timeout_ms = 2000;
+  copt.max_attempts = 3;
+  copt.backoff_base_ms = 25.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double last = 0.0;
+  std::uint64_t n = 0;
+  while (now_ms(t0) < timeout_ms) {
+    serve::Request req;
+    req.id = "fleet-stat-" + std::to_string(::getpid()) + "-" + std::to_string(++n);
+    req.op = "stats";
+    try {
+      serve::ServeClient client(copt);
+      last = stat_value(client.request(req), counter);
+      if (last >= at_least) return last;
+    } catch (const std::exception&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return last;
+}
+
+/// Drains the daemon at `socket_path` (op=shutdown) and requires exit 0.
+/// Returns an empty string on success, a grading detail otherwise.
+std::string drain_daemon(pid_t& daemon, const std::string& socket_path,
+                         const std::string& trial_id) {
+  serve::ClientOptions copt;
+  copt.socket_path = socket_path;
+  copt.timeout_ms = 60000;
+  copt.max_attempts = 5;
+  copt.backoff_base_ms = 25.0;
+  serve::Request req;
+  req.id = trial_id + "-shutdown";
+  req.op = "shutdown";
+  try {
+    serve::ServeClient client(copt);
+    const serve::Response bye = client.request(req);
+    if (bye.status != "ok") return "shutdown answered " + bye.status;
+  } catch (const std::exception& e) {
+    return std::string("shutdown request failed: ") + e.what();
+  }
+  int status = 0;
+  if (!wait_daemon(daemon, 15000, status) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return "daemon did not drain to exit 0";
+  }
+  daemon = -1;
+  return {};
+}
+
+}  // namespace
+
+FleetChaosPlan fleet_plan_for_seed(std::uint64_t seed) {
+  // Decorrelate from plan_for_seed and serve_plan_for_seed.
+  util::Rng rng(seed ^ 0x464c454554ULL);
+  FleetChaosPlan plan;
+  plan.seed = seed;
+  static const char* kKinds[] = {"kill_daemon_mid_load", "gc_during_char", "lease_steal"};
+  plan.kind = kKinds[rng.uniform_int(0, 2)];
+  // One op=library request admits one task per catalog cell (3), so
+  // dispatch ordinals 1..3 always fire.
+  plan.after_dispatch = rng.uniform_int(1, 3);
+  plan.workers = rng.uniform_int(1, 2);
+  if (plan.kind == "lease_steal") {
+    // Wedge A's ONLY worker long enough that B's 40ms steal cadence plus the
+    // ~120ms spool TTL always beats it, even under TSan-grade slowdowns.
+    plan.workers = 1;
+    plan.hang_ms = rng.uniform(1500.0, 2500.0);
+  } else if (plan.kind == "gc_during_char") {
+    // Briefly wedge ONE of A's two workers: the other worker's published
+    // cells then sit idle mid-request long enough to clear GC's 250ms idle
+    // floor, so the sweeps have a real eviction window to hit.
+    plan.workers = 2;
+    plan.hang_ms = rng.uniform(700.0, 1100.0);
+  }
+  return plan;
+}
+
+ChaosTrialResult run_serve_fleet_trial(const FleetChaosPlan& plan, const std::string& work_dir,
+                                       const std::string& reference_library) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::error_code ec;
+  fs::remove_all(work_dir, ec);
+  fs::create_directories(work_dir, ec);
+  const std::string socket_a = fleet_socket_path(plan.seed, 'a');
+  const std::string socket_b = fleet_socket_path(plan.seed, 'b');
+  const std::string trial_id = "fleet-" + std::to_string(plan.seed);
+
+  serve::ServeOptions opt_a = fleet_daemon_options(work_dir, socket_a, plan.workers);
+  serve::ServeOptions opt_b = fleet_daemon_options(work_dir, socket_b, 2);
+  if (plan.kind == "kill_daemon_mid_load") {
+    opt_a.chaos_exit_after = plan.after_dispatch;
+  } else if (plan.kind == "gc_during_char") {
+    // The hang stretches the characterization window (see the plan); the
+    // default 60s spool TTL keeps B from stealing, so GC is the only
+    // concurrent actor under test.
+    opt_a.chaos_hang_after = 1;
+    opt_a.chaos_hang_ms = plan.hang_ms;
+  } else if (plan.kind == "lease_steal") {
+    opt_a.chaos_hang_after = 1;
+    opt_a.chaos_hang_ms = plan.hang_ms;
+    opt_a.lease_ms = 60000.0;   // the wedge must NOT be rescued by lease expiry...
+    opt_a.spool_ttl_ms = 120.0;  // ...only by B stealing the stale spool entries
+  }
+
+  pid_t daemon_a = spawn_serve_daemon(opt_a);
+  pid_t daemon_b = daemon_a < 0 ? -1 : spawn_serve_daemon(opt_b);
+  const auto finish = [&](std::string outcome, std::string detail) {
+    for (pid_t* d : {&daemon_a, &daemon_b}) {
+      if (*d > 0) {
+        ::kill(*d, SIGKILL);
+        int status = 0;
+        (void)wait_daemon(*d, 5000, status);
+        *d = -1;
+      }
+    }
+    ::unlink(socket_a.c_str());
+    ::unlink(socket_b.c_str());
+    return classify({plan.seed, plan.kind}, std::move(outcome), std::move(detail), now_ms(t0));
+  };
+  if (daemon_a < 0 || daemon_b < 0) return finish("resume_failed", "fork failed");
+
+  const aging::AgingScenario scenario = serve_chaos_scenario();
+  serve::Request req;
+  req.id = trial_id;
+  req.op = "library";
+  req.lambda_p = scenario.lambda_p;
+  req.lambda_n = scenario.lambda_n;
+  req.years = scenario.years;
+  req.include_mobility = scenario.include_mobility;
+
+  serve::ClientOptions copt;
+  copt.socket_path = socket_a;
+  copt.timeout_ms = 120000;
+  copt.max_attempts = plan.kind == "kill_daemon_mid_load" ? 1 : 10;
+  copt.backoff_base_ms = 25.0;
+
+  std::string fault_note;
+  serve::Response resp;
+
+  if (plan.kind == "kill_daemon_mid_load") {
+    // A dies mid-request; B must ADOPT A's spooled work, and the client's
+    // idempotent resend of the SAME id to B must finish the job.
+    try {
+      serve::ServeClient client(copt);
+      resp = client.request(req);
+      return finish("no_report", "request to doomed daemon A unexpectedly succeeded");
+    } catch (const std::exception&) {
+    }
+    int status = 0;
+    if (!wait_daemon(daemon_a, 10000, status) || !WIFSIGNALED(status) ||
+        WTERMSIG(status) != SIGKILL) {
+      daemon_a = -1;
+      return finish("no_report", "daemon A did not SIGKILL itself as planned");
+    }
+    daemon_a = -1;
+    ::unlink(socket_a.c_str());
+    const double adopted = poll_stat(socket_b, "tasks_adopted", 1.0, 30000);
+    if (adopted < 1.0) {
+      return finish("no_report", "daemon B never adopted the dead peer's spooled work");
+    }
+    copt.socket_path = socket_b;
+    copt.max_attempts = 10;
+    try {
+      serve::ServeClient client(copt);
+      resp = client.request(req);
+    } catch (const std::exception& e) {
+      return finish("resume_failed", std::string("resend to surviving peer failed: ") + e.what());
+    }
+    fault_note = "daemon A SIGKILLed after dispatch " + std::to_string(plan.after_dispatch) +
+                 "; B adopted its spooled work and served the same id";
+  } else if (plan.kind == "gc_during_char") {
+    // A characterizes while B's max_age_ms=0 sweeps evict entries from under
+    // it; re-characterization is deterministic, so bytes must not change.
+    const std::string served_path = work_dir + "/served.lib";
+    const std::string helper_err_path = work_dir + "/helper_err.txt";
+    const pid_t helper = fork();
+    if (helper == 0) {
+      cancel_token().clear();
+      int code = 1;
+      std::string err = "unknown";
+      try {
+        serve::ServeClient client(copt);
+        const serve::Response r = client.request(req);
+        if (r.status == "ok" && util::write_file_atomic_nothrow(served_path, r.library)) {
+          code = 0;
+        } else {
+          err = "response " + r.status + (r.error.empty() ? "" : ": " + r.error);
+        }
+      } catch (const std::exception& e) {
+        err = e.what();
+      } catch (...) {
+      }
+      if (code != 0) (void)util::write_file_atomic_nothrow(helper_err_path, err);
+      _exit(code);
+    }
+    if (helper < 0) return finish("resume_failed", "helper fork failed");
+    serve::ClientOptions gopt;
+    gopt.socket_path = socket_b;
+    gopt.timeout_ms = 10000;
+    gopt.max_attempts = 3;
+    gopt.backoff_base_ms = 25.0;
+    double evicted = 0.0;
+    std::uint64_t sweeps = 0;
+    int helper_status = 0;
+    for (;;) {
+      const pid_t got = waitpid(helper, &helper_status, WNOHANG);
+      if (got == helper) break;
+      // A BOUNDED burst of max_age_ms=0 sweeps: enough overlap with the
+      // characterization window to evict freshly published entries (the
+      // fault under test), but not an unbounded hammer — GC's own 250ms
+      // idle floor plus the daemon's assembly-retry budget guarantee
+      // convergence only when the sweeping eventually stops or slows. The
+      // spacing must exceed the floor so published-then-idle entries are
+      // actually eligible before the burst runs out.
+      if (sweeps < 10) {
+        serve::Request gc;
+        gc.id = trial_id + "-gc-" + std::to_string(++sweeps);
+        gc.op = "gc";
+        gc.max_age_ms = 0.0;
+        try {
+          serve::ServeClient client(gopt);
+          const serve::Response r = client.request(gc);
+          if (r.status == "ok") evicted += stat_value(r, "gc_evicted");
+        } catch (const std::exception&) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(sweeps < 10 ? 300 : 50));
+      if (now_ms(t0) > 120000.0) {
+        ::kill(helper, SIGKILL);
+        (void)waitpid(helper, &helper_status, 0);
+        return finish("resume_failed", "characterization under concurrent GC never finished");
+      }
+    }
+    if (!WIFEXITED(helper_status) || WEXITSTATUS(helper_status) != 0) {
+      std::string why = "client failed while GC swept the shared cache";
+      std::ifstream err_in(helper_err_path, std::ios::binary);
+      if (err_in) {
+        std::ostringstream eos;
+        eos << err_in.rdbuf();
+        if (!eos.str().empty()) why += ": " + eos.str();
+      }
+      return finish("resume_failed", why);
+    }
+    std::ifstream in(served_path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    resp.status = "ok";
+    resp.library = os.str();
+    if (evicted >= 1.0) {
+      fault_note = "GC evicted " + std::to_string(static_cast<long>(evicted)) +
+                   " entries mid-characterization; bytes unchanged";
+    }
+  } else {  // lease_steal
+    // A's only worker wedges on task 1 with a lease too long to expire; B
+    // must STEAL the stale spooled tasks and publish them to the shared
+    // cache, which A then serves from disk.
+    try {
+      serve::ServeClient client(copt);
+      resp = client.request(req);
+    } catch (const std::exception& e) {
+      return finish("resume_failed", std::string("request to wedged daemon failed: ") + e.what());
+    }
+    const double stolen = poll_stat(socket_b, "tasks_stolen", 1.0, 5000);
+    if (stolen < 1.0) {
+      return finish("no_report", "daemon B never stole the wedged peer's spooled work");
+    }
+    fault_note = "A's worker wedged " + std::to_string(static_cast<long>(plan.hang_ms)) +
+                 "ms; B stole the stale spool entries";
+  }
+
+  if (resp.status != "ok") {
+    return finish("resume_failed", "response " + resp.status +
+                                       (resp.error.empty() ? "" : ": " + resp.error));
+  }
+  if (resp.library != reference_library) {
+    return finish("wrong_result", "fleet-served library differs from direct factory output");
+  }
+
+  // Clean drain of every survivor: op=shutdown must answer ok, exit 0.
+  if (daemon_a > 0) {
+    const std::string err = drain_daemon(daemon_a, socket_a, trial_id + "-a");
+    if (!err.empty()) return finish("resume_failed", "daemon A: " + err);
+    ::unlink(socket_a.c_str());
+  }
+  const std::string err = drain_daemon(daemon_b, socket_b, trial_id + "-b");
+  if (!err.empty()) return finish("resume_failed", "daemon B: " + err);
+  ::unlink(socket_b.c_str());
+
+  if (fault_note.empty()) {
+    return classify({plan.seed, plan.kind}, "ok",
+                    "fleet served bitwise-identical output (fault window missed)", now_ms(t0));
+  }
+  return classify({plan.seed, plan.kind}, "failed_then_resumed", fault_note, now_ms(t0));
+}
+
+ChaosCampaignResult run_serve_fleet_campaign(std::uint64_t base_seed, int n_trials,
+                                             const std::string& work_root) {
+  util::set_shared_thread_count(1);  // the daemons fork; no live pool threads
+  util::io::ignore_sigpipe();        // daemon deaths race client writes
+  ChaosCampaignResult campaign;
+  std::error_code ec;
+  fs::create_directories(work_root, ec);
+
+  const std::string reference_library = serve_reference_library();
+
+  for (int i = 0; i < n_trials; ++i) {
+    const FleetChaosPlan plan = fleet_plan_for_seed(base_seed + static_cast<std::uint64_t>(i));
+    ChaosTrialResult trial = run_serve_fleet_trial(
+        plan, work_root + "/trial_" + std::to_string(plan.seed), reference_library);
+    campaign.histogram[trial.outcome] += 1;
+    campaign.trials.push_back(std::move(trial));
+  }
+  campaign.all_good = true;
+  for (const auto& [outcome, count] : campaign.histogram) {
+    (void)count;
+    if (outcome != "ok" && outcome != "failed_then_resumed") campaign.all_good = false;
+  }
+  util::set_shared_thread_count(0);
+  return campaign;
+}
+
 }  // namespace rw::flow

@@ -154,4 +154,42 @@ ChaosTrialResult run_serve_chaos_trial(const ServeChaosPlan& plan,
 ChaosCampaignResult run_serve_chaos_campaign(std::uint64_t base_seed, int n_trials,
                                              const std::string& work_root);
 
+// ---------------------------------------------------------------------------
+// Fleet campaign: TWO daemons sharing one cache, no coordinator.
+// ---------------------------------------------------------------------------
+
+/// What one seeded trial does to a two-daemon fleet sharing `work_dir/cache`.
+/// Every trial asserts the fleet answer is BITWISE identical to the direct
+/// in-process reference — peers, steals, and GC may only cost latency.
+struct FleetChaosPlan {
+  std::uint64_t seed = 0;
+  /// "kill_daemon_mid_load" — daemon A SIGKILLs itself after the k-th
+  ///                          dispatch; B adopts A's spooled work and the
+  ///                          client resends the SAME id to B.
+  /// "gc_during_char"       — op=gc sweeps (max_age_ms=0) hammer daemon B
+  ///                          while A characterizes; evictions force
+  ///                          re-characterization, bytes must not change.
+  /// "lease_steal"          — A's single worker wedges on its first task;
+  ///                          B steals A's still-spooled entries and
+  ///                          publishes them; A completes from disk hits.
+  std::string kind = "kill_daemon_mid_load";
+  long after_dispatch = 1;  ///< 1-based dispatch ordinal A's chaos fires on
+  double hang_ms = 0.0;     ///< injected worker stall (lease_steal)
+  int workers = 2;          ///< worker-process count per daemon
+};
+
+/// Deterministic fleet plan for a seed (decorrelated from the other plans).
+FleetChaosPlan fleet_plan_for_seed(std::uint64_t seed);
+
+/// Runs one fleet trial in `work_dir` (created fresh) against the reference
+/// text. Forks two daemons; the caller must have sized the shared pool to 1.
+ChaosTrialResult run_serve_fleet_trial(const FleetChaosPlan& plan,
+                                       const std::string& work_dir,
+                                       const std::string& reference_library);
+
+/// Runs `n_trials` seeded fleet trials (seeds base_seed, base_seed+1, ...)
+/// under `work_root`. Same setup contract as run_serve_chaos_campaign.
+ChaosCampaignResult run_serve_fleet_campaign(std::uint64_t base_seed, int n_trials,
+                                             const std::string& work_root);
+
 }  // namespace rw::flow

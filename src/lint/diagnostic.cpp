@@ -97,6 +97,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {rules::kStaleServeArtifact, Severity::kWarning,
        "serve cache holds a stale worker lease or a dead daemon's socket file",
        "safe to delete; a stale lease is also broken automatically by the next leader"},
+      {rules::kOrphanGcArtifact, Severity::kWarning,
+       "serve cache holds an interrupted-GC tombstone or a mismatched usage-stamp sidecar",
+       "run `rwserved --gc` to complete interrupted sweeps; orphan stamps are safe to delete"},
       {"IO001", Severity::kError, "input file could not be read or parsed",
        "check the path and the file format"},
   };

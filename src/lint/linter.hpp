@@ -90,7 +90,7 @@ std::vector<std::unique_ptr<Rule>> annotation_rules();  ///< AN001..AN003
 std::vector<std::unique_ptr<Rule>> stress_rules();      ///< SP001..SP003
 std::vector<std::unique_ptr<Rule>> activity_rules();    ///< AC001..AC003
 std::vector<std::unique_ptr<Rule>> prove_rules();       ///< PV001..PV003
-std::vector<std::unique_ptr<Rule>> serve_rules();       ///< SV001
+std::vector<std::unique_ptr<Rule>> serve_rules();       ///< SV001..SV002
 
 class Linter {
  public:

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
@@ -17,10 +18,31 @@ void sleep_ms(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
+/// Per-process jitter seed when the caller did not pin one: pid mixed with
+/// the monotonic clock, so a fleet of clients forked in the same millisecond
+/// still decorrelates.
+std::uint64_t derive_jitter_seed() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  return (static_cast<std::uint64_t>(::getpid()) << 32) ^ static_cast<std::uint64_t>(now);
+}
+
 }  // namespace
 
-ServeClient::ServeClient(ClientOptions options) : options_(std::move(options)) {
+ServeClient::ServeClient(ClientOptions options)
+    : options_(std::move(options)),
+      rng_(options_.jitter_seed != 0 ? options_.jitter_seed : derive_jitter_seed()) {
   util::io::ignore_sigpipe();
+}
+
+double ServeClient::backoff_delay_ms(int attempt) {
+  const int exponent = std::min(std::max(attempt - 1, 0), 10);
+  const double cap = options_.backoff_base_ms * static_cast<double>(1L << exponent);
+  return rng_.uniform(0.0, cap);
+}
+
+double ServeClient::shed_delay_ms(double retry_after_ms) {
+  const double hint = retry_after_ms > 0.0 ? retry_after_ms : 100.0;
+  return hint / 2.0 + rng_.uniform(0.0, hint / 2.0);
 }
 
 ServeClient::~ServeClient() { disconnect(); }
@@ -50,7 +72,7 @@ bool ServeClient::ensure_connected() {
             .count();
     if (elapsed >= options_.connect_timeout_ms) return false;
     flow::throw_if_cancelled();
-    sleep_ms(50.0);
+    sleep_ms(rng_.uniform(25.0, 75.0));
   }
 }
 
@@ -64,9 +86,7 @@ Response ServeClient::request(const Request& req) {
   const int max_sheds = 40;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     flow::throw_if_cancelled();
-    if (attempt > 0) {
-      sleep_ms(options_.backoff_base_ms * static_cast<double>(1L << (attempt - 1)));
-    }
+    if (attempt > 0) sleep_ms(backoff_delay_ms(attempt));
     if (!ensure_connected()) {
       last_failure = "connect to " + options_.socket_path + " failed";
       continue;
@@ -98,7 +118,7 @@ Response ServeClient::request(const Request& req) {
                                  std::to_string(sheds) + " times (" + resp.status + ")");
       }
       if (resp.status == "draining") disconnect();  // successor daemon, new socket
-      sleep_ms(resp.retry_after_ms > 0.0 ? resp.retry_after_ms : 100.0);
+      sleep_ms(shed_delay_ms(resp.retry_after_ms));
       --attempt;  // backpressure is not a failed attempt
       continue;
     }

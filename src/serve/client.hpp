@@ -8,11 +8,13 @@
 /// daemon either replays its cached response or attaches the new connection
 /// to the still-running request.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "serve/protocol.hpp"
 #include "util/io.hpp"
+#include "util/rng.hpp"
 
 namespace rw::serve {
 
@@ -25,8 +27,13 @@ struct ClientOptions {
   int connect_timeout_ms = 5000;
   /// Total send attempts before request() throws.
   int max_attempts = 5;
-  /// Reconnect backoff: base * 2^(attempt-1).
+  /// Reconnect backoff CAP: attempt n sleeps uniform(0, base * 2^(n-1)) —
+  /// FULL jitter, so a daemon restart is not greeted by every waiting
+  /// client at the same instant.
   double backoff_base_ms = 100.0;
+  /// Jitter seed; 0 derives one from pid+clock (per-process decorrelation).
+  /// Tests pin it for reproducible spread assertions.
+  std::uint64_t jitter_seed = 0;
 };
 
 class ServeClient {
@@ -46,11 +53,22 @@ class ServeClient {
   /// True when a connection is currently open (observability for tests).
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
 
+  /// Next reconnect delay for 1-based `attempt`: uniform in [0, cap) with
+  /// cap = backoff_base_ms * 2^(attempt-1), capped at 2^10. Public (and
+  /// draining the same RNG request() uses) so tests can assert the spread.
+  double backoff_delay_ms(int attempt);
+
+  /// Next shed ("overloaded"/"draining") delay for a Retry-After hint:
+  /// EQUAL jitter — hint/2 + uniform(0, hint/2) — so shed clients stay
+  /// polite (never retry before half the hint) yet decorrelate.
+  double shed_delay_ms(double retry_after_ms);
+
  private:
   bool ensure_connected();
   void disconnect();
 
   ClientOptions options_;
+  util::Rng rng_;
   int fd_ = -1;
   std::unique_ptr<util::io::LineReader> reader_;
 };

@@ -191,6 +191,10 @@ std::string to_json(const Request& r) {
   append_field(out, "lambda_n", r.lambda_n, first);
   append_field(out, "years", r.years, first);
   append_field(out, "mobility", r.include_mobility, first);
+  if (!r.netlist.empty()) append_field(out, "netlist", r.netlist, first);
+  if (r.guardband_ps >= 0.0) append_field(out, "guardband_ps", r.guardband_ps, first);
+  if (r.deadline_ms > 0.0) append_field(out, "deadline_ms", r.deadline_ms, first);
+  if (r.max_age_ms >= 0.0) append_field(out, "max_age_ms", r.max_age_ms, first);
   if (!r.corners.empty()) {
     out += ",\"corners\":[";
     for (std::size_t i = 0; i < r.corners.size(); ++i) {
@@ -214,6 +218,7 @@ std::string to_json(const Response& r) {
   append_field(out, "status", r.status, first);
   if (!r.error.empty()) append_field(out, "error", r.error, first);
   if (!r.library.empty()) append_field(out, "library", r.library, first);
+  if (!r.result.empty()) append_field(out, "result", r.result, first);
   if (r.retry_after_ms > 0.0) append_field(out, "retry_after_ms", r.retry_after_ms, first);
   if (!r.stats.empty()) {
     out += ",\"stats\":{";
@@ -251,6 +256,7 @@ std::string to_json(const WorkerReply& r) {
   append_field(out, "status", r.status, first);
   if (!r.error.empty()) append_field(out, "error", r.error, first);
   append_field(out, "permanent", r.permanent, first);
+  if (!r.payload.empty()) append_field(out, "payload", r.payload, first);
   out += '}';
   return out;
 }
@@ -288,6 +294,10 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
     if (key == "lambda_n") return scan.parse_number(out.lambda_n);
     if (key == "years") return scan.parse_number(out.years);
     if (key == "mobility") return scan.parse_bool(out.include_mobility);
+    if (key == "netlist") return scan.parse_string(out.netlist);
+    if (key == "guardband_ps") return scan.parse_number(out.guardband_ps);
+    if (key == "deadline_ms") return scan.parse_number(out.deadline_ms);
+    if (key == "max_age_ms") return scan.parse_number(out.max_age_ms);
     if (key == "corners") {
       if (!scan.consume('[')) return false;
       if (scan.consume(']')) return true;
@@ -313,6 +323,7 @@ bool parse_response(const std::string& line, Response& out, std::string& error) 
     if (key == "status") return scan.parse_string(out.status);
     if (key == "error") return scan.parse_string(out.error);
     if (key == "library") return scan.parse_string(out.library);
+    if (key == "result") return scan.parse_string(out.result);
     if (key == "retry_after_ms") return scan.parse_number(out.retry_after_ms);
     if (key == "stats") {
       if (!scan.consume('{')) return false;
@@ -354,6 +365,7 @@ bool parse_worker_reply(const std::string& line, WorkerReply& out, std::string& 
     if (key == "status") return scan.parse_string(out.status);
     if (key == "error") return scan.parse_string(out.error);
     if (key == "permanent") return scan.parse_bool(out.permanent);
+    if (key == "payload") return scan.parse_string(out.payload);
     return scan.skip_value();
   });
 }

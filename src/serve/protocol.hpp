@@ -33,6 +33,13 @@ namespace rw::serve {
 ///  - "library":      full library for one scenario.
 ///  - "merged":       merged library over `corners` (each {λp, λn}) at the
 ///                    shared `years` / `include_mobility`.
+///  - "prove":        certified interval-STA guardband over `netlist`
+///                    (Verilog text) at `years`; optional `guardband_ps`
+///                    asks for a PV verdict against that budget.
+///  - "guardband":    point static guardband over `netlist` at the request
+///                    scenario.
+///  - "gc":           sweep the shared cache; `max_age_ms` overrides the
+///                    daemon's age threshold (< 0 = daemon default).
 ///  - "stats":        daemon counters (chaos/test observability).
 ///  - "shutdown":     begin a graceful drain (same as SIGTERM).
 struct Request {
@@ -44,6 +51,14 @@ struct Request {
   double years = 0.0;
   bool include_mobility = true;
   std::vector<std::array<double, 2>> corners;
+  /// Verilog source for op=prove / op=guardband (runs server-side).
+  std::string netlist;
+  /// op=prove: PV budget in ps (< 0 = bound-only, no verdict).
+  double guardband_ps = -1.0;
+  /// Per-op wall deadline for prove/guardband (<= 0 = daemon default).
+  double deadline_ms = 0.0;
+  /// op=gc: entries idle longer than this are evicted (< 0 = daemon default).
+  double max_age_ms = -1.0;
 
   [[nodiscard]] aging::AgingScenario scenario() const;
 };
@@ -59,6 +74,9 @@ struct Response {
   std::string status;
   std::string error;
   std::string library;
+  /// op=prove / op=guardband result document (one-line JSON, itself built
+  /// with format_double so fleet grading can compare it bitwise).
+  std::string result;
   double retry_after_ms = 0.0;
   std::vector<std::pair<std::string, double>> stats;
 };
@@ -89,6 +107,9 @@ struct WorkerReply {
   std::string status;
   std::string error;
   bool permanent = false;
+  /// Op-runner children (prove/guardband) reuse this frame; unlike cell
+  /// characterization their result is not a cache file, so it rides here.
+  std::string payload;
 };
 
 /// %.17g — doubles survive the wire bit-exactly.

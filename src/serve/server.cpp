@@ -1,8 +1,10 @@
 #include "serve/server.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -26,10 +28,14 @@
 #include "charlib/characterizer.hpp"
 #include "flow/cancel.hpp"
 #include "liberty/writer.hpp"
+#include "serve/gc.hpp"
+#include "serve/ops.hpp"
 #include "serve/protocol.hpp"
+#include "serve/spool.hpp"
 #include "serve/worker.hpp"
 #include "util/atomic_file.hpp"
 #include "util/io.hpp"
+#include "util/proc_lease.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -84,6 +90,12 @@ ServeOptions ServeOptions::from_env() {
   if (o.workers < 1) o.workers = 1;
   o.lease_ms = env_double("RW_SERVE_LEASE_MS", o.lease_ms);
   o.queue_max = static_cast<int>(env_long("RW_SERVE_QUEUE_MAX", o.queue_max));
+  o.steal_interval_ms = env_double("RW_SERVE_STEAL_MS", o.steal_interval_ms);
+  o.spool_ttl_ms = env_double("RW_SERVE_SPOOL_TTL_MS", o.spool_ttl_ms);
+  o.op_max = static_cast<int>(env_long("RW_SERVE_OP_MAX", o.op_max));
+  if (o.op_max < 1) o.op_max = 1;
+  o.op_deadline_ms = env_double("RW_SERVE_OP_DEADLINE_MS", o.op_deadline_ms);
+  o.gc_max_age_ms = env_double("RW_SERVE_GC_MAX_AGE_MS", o.gc_max_age_ms);
   o.chaos_kill_worker_after = env_long("RW_SERVE_CHAOS_KILL_AFTER_DISPATCH", 0);
   o.chaos_exit_after = env_long("RW_SERVE_CHAOS_EXIT_AFTER_DISPATCH", 0);
   o.chaos_hang_after = env_long("RW_SERVE_CHAOS_HANG_AFTER_DISPATCH", 0);
@@ -111,6 +123,19 @@ std::vector<std::pair<std::string, double>> ServeStats::as_pairs() const {
       {"workers_died", static_cast<double>(workers_died)},
       {"workers_respawned", static_cast<double>(workers_respawned)},
       {"quarantined", static_cast<double>(quarantined)},
+      {"tasks_spooled", static_cast<double>(tasks_spooled)},
+      {"tasks_adopted", static_cast<double>(tasks_adopted)},
+      {"tasks_stolen", static_cast<double>(tasks_stolen)},
+      {"ops_admitted", static_cast<double>(ops_admitted)},
+      {"ops_done", static_cast<double>(ops_done)},
+      {"ops_failed", static_cast<double>(ops_failed)},
+      {"ops_cancelled", static_cast<double>(ops_cancelled)},
+      {"ops_expired", static_cast<double>(ops_expired)},
+      {"gc_sweeps", static_cast<double>(gc_sweeps)},
+      {"gc_evicted", static_cast<double>(gc_evicted)},
+      {"gc_skipped_leased", static_cast<double>(gc_skipped_leased)},
+      {"gc_skipped_quarantined", static_cast<double>(gc_skipped_quarantined)},
+      {"gc_tombstones_completed", static_cast<double>(gc_tombstones_completed)},
   };
 }
 
@@ -145,6 +170,24 @@ struct Server::Impl {
   };
   std::vector<Conn> conns;
 
+  /// One forked op-runner child (op=prove / op=guardband). Crash-only
+  /// cancellation: deadline expiry and client disconnect are both SIGKILL;
+  /// the reap path turns an unanswered death into a structured error.
+  struct OpSlot {
+    pid_t pid = -1;
+    int fd = -1;
+    std::unique_ptr<util::io::LineReader> reader;
+    std::string id;     ///< request id ("" once answered)
+    int conn_fd = -1;
+    double deadline = 0.0;
+    bool cancelled = false;  ///< client vanished; do not answer or cache
+    bool expired = false;    ///< deadline blown; answer "error" at reap
+  };
+  std::vector<OpSlot> ops;
+
+  std::string spool_root;       ///< "<grid dir>/spool" ("" disables the fleet plane)
+  double next_steal_at = 0.0;   ///< steal-pass cadence gate
+
   struct Task {
     aging::AgingScenario scenario;
     std::string cell;
@@ -165,6 +208,14 @@ struct Server::Impl {
   std::map<std::string, Pending> pending;        ///< by request id
   std::map<std::string, std::string> completed;  ///< id -> response line
   std::deque<std::string> completed_order;       ///< LRU bound for `completed`
+
+  /// Warm-path memo: assembled library payloads by "<op>|<scenario>|<cell>".
+  /// Repeat hits skip the disk read + liberty parse + re-serialization.
+  /// Safe across concurrent GC evictions: re-characterization is bitwise
+  /// deterministic, so a memoized payload is byte-identical to a fresh
+  /// reassembly of the re-published entry.
+  std::map<std::string, std::string> assembled;
+  std::deque<std::string> assembled_order;  ///< LRU bound for `assembled`
 
   explicit Impl(ServeOptions& options, ServeStats& s) : opt(options), stats(s) {}
 
@@ -207,6 +258,119 @@ struct Server::Impl {
     return n;
   }
 
+  std::size_t live_ops() const {
+    std::size_t n = 0;
+    for (const OpSlot& slot : ops) {
+      if (slot.pid >= 0) ++n;
+    }
+    return n;
+  }
+
+  // -- fleet spool -----------------------------------------------------------
+
+  static WorkerTask worker_task_of(const std::string& key, const Task& t) {
+    WorkerTask wt;
+    wt.task = key;
+    wt.cell = t.cell;
+    wt.lambda_p = t.scenario.lambda_p;
+    wt.lambda_n = t.scenario.lambda_n;
+    wt.years = t.scenario.years;
+    wt.include_mobility = t.scenario.include_mobility;
+    return wt;
+  }
+
+  /// Mirrors an admitted task into the shared spool so fleet peers can see
+  /// it. Best-effort: a daemon that cannot spool still serves — it just
+  /// cannot be stolen from.
+  void spool_task(const std::string& key, const Task& t) {
+    if (spool_root.empty()) return;
+    if (write_spool_record(spool_path(spool_root, key), worker_task_of(key, t),
+                           opt.spool_ttl_ms)) {
+      stats.tasks_spooled += 1;
+    }
+  }
+
+  void unspool_task(const std::string& key) {
+    if (spool_root.empty()) return;
+    ::unlink(spool_path(spool_root, key).c_str());
+  }
+
+  /// The fleet steal pass: claim spool entries whose owner is dead (adopt)
+  /// or whose entry outlived its TTL while the owner wedged (steal), then
+  /// run them as our own. Arbitrated with an O_EXCL `.claim` lease so two
+  /// survivors never double-adopt; takeover rewrites the entry under our
+  /// pid (atomic rename) so later scans see a fresh, live owner.
+  void adopt_spooled_work() {
+    if (spool_root.empty() || draining) return;
+    const double now = now_ms();
+    if (now < next_steal_at) return;
+    next_steal_at = now + opt.steal_interval_ms;
+    const pid_t self = ::getpid();
+    for (const std::string& path : list_spool_tasks(spool_root)) {
+      util::LeaseObservation obs = util::observe_lease(path);
+      if (!obs.exists) continue;
+      if (obs.parsed && obs.pid == self) continue;  // our own entry
+      if (!util::lease_is_stale(obs)) continue;  // live owner inside its TTL
+      auto claim = util::FileLease::try_acquire(path + ".claim", 10000.0);
+      if (!claim) {
+        // A peer is mid-takeover — or died mid-takeover; break the debris
+        // so SOME later pass can claim it.
+        (void)util::break_lease_if_stale(path + ".claim");
+        continue;
+      }
+      // Re-observe under the claim: the owner may have completed (file
+      // gone) or a peer may have finished a takeover between our scan and
+      // the claim.
+      obs = util::observe_lease(path);
+      if (!obs.exists || !util::lease_is_stale(obs)) continue;  // ~FileLease releases
+      const bool owner_alive = obs.parsed && obs.pid_alive;
+      SpoolRecord rec;
+      if (!read_spool_record(path, rec)) {
+        ::unlink(path.c_str());  // torn + stale: crash debris
+        continue;
+      }
+      const aging::AgingScenario scenario = rec.task.scenario();
+      const std::string key = task_key_of(scenario, rec.task.cell);
+      if (key != rec.task.task) {  // corrupt record; keys are derived, never trusted
+        ::unlink(path.c_str());
+        continue;
+      }
+      if (const auto it = tasks.find(key); it != tasks.end()) {
+        // Already tracked here (a client sent us the same work). Done or
+        // failed: the spool entry is debris. In flight: take the entry
+        // over so our completion unlinks it.
+        if (it->second.state == Task::State::kDone || it->second.state == Task::State::kFailed) {
+          ::unlink(path.c_str());
+        } else {
+          spool_task(key, it->second);
+        }
+        continue;
+      }
+      std::error_code ec;
+      if (fs::exists(factory->cache_path(rec.task.cell, scenario), ec)) {
+        // The pair was published before the owner died (e.g. by its
+        // orphaned worker): adopting it is just completing the paperwork.
+        ::unlink(path.c_str());
+      } else if (factory->is_quarantined(scenario.id(), rec.task.cell)) {
+        ::unlink(path.c_str());
+      } else if (outstanding_tasks() < static_cast<std::size_t>(opt.queue_max)) {
+        Task t;
+        t.scenario = scenario;
+        t.cell = rec.task.cell;
+        spool_task(key, t);  // re-own FIRST: live lease before the claim drops
+        tasks.emplace(key, std::move(t));
+        queue.push_back(key);
+      } else {
+        continue;  // at capacity: leave the entry for a peer (or next pass)
+      }
+      if (owner_alive) {
+        stats.tasks_stolen += 1;
+      } else {
+        stats.tasks_adopted += 1;
+      }
+    }
+  }
+
   // -- worker lifecycle ------------------------------------------------------
 
   void spawn_worker(std::size_t slot) {
@@ -234,6 +398,9 @@ struct Server::Impl {
       }
       for (const auto& c : conns) {
         if (c.fd >= 0) ::close(c.fd);
+      }
+      for (const auto& o : ops) {
+        if (o.fd >= 0) ::close(o.fd);
       }
       std::signal(SIGCHLD, SIG_DFL);
       std::signal(SIGTERM, SIG_DFL);
@@ -265,31 +432,80 @@ struct Server::Impl {
     }
   }
 
-  /// Reaps every dead child: its leased task (if any) is re-queued with
-  /// backoff, and the slot is respawned unless the daemon is fully drained.
+  /// Reaps every dead child: a worker's leased task (if any) is re-queued
+  /// with backoff and the slot respawned unless the daemon is fully
+  /// drained; an op runner that died unanswered becomes a structured error.
   void reap_children() {
     for (;;) {
       int status = 0;
       const pid_t pid = ::waitpid(-1, &status, WNOHANG);
       if (pid <= 0) break;
-      stats.workers_died += 1;
-      for (std::size_t slot = 0; slot < workers.size(); ++slot) {
-        WorkerSlot& w = workers[slot];
-        if (w.pid != pid) continue;
-        close_worker_fd(w);
-        w.pid = -1;
-        w.dying = false;
-        if (!w.task_key.empty()) {
-          const std::string key = w.task_key;
-          w.task_key.clear();
-          requeue(key, "worker pid " + std::to_string(pid) + " died");
-        }
-        if (!draining || outstanding_tasks() > 0) {
-          spawn_worker(slot);
-          stats.workers_respawned += 1;
-        }
-        break;
+      if (reap_worker(pid)) {
+        stats.workers_died += 1;
+        continue;
       }
+      reap_op(pid);
+    }
+  }
+
+  bool reap_worker(pid_t pid) {
+    for (std::size_t slot = 0; slot < workers.size(); ++slot) {
+      WorkerSlot& w = workers[slot];
+      if (w.pid != pid) continue;
+      close_worker_fd(w);
+      w.pid = -1;
+      w.dying = false;
+      if (!w.task_key.empty()) {
+        const std::string key = w.task_key;
+        w.task_key.clear();
+        requeue(key, "worker pid " + std::to_string(pid) + " died");
+      }
+      if (!draining || outstanding_tasks() > 0) {
+        spawn_worker(slot);
+        stats.workers_respawned += 1;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void reap_op(pid_t pid) {
+    for (OpSlot& slot : ops) {
+      if (slot.pid != pid) continue;
+      slot.pid = -1;
+      if (slot.fd < 0) return;  // already answered; this reap is bookkeeping
+      if (!slot.cancelled && !slot.expired) {
+        // A runner that replies and _exit()s immediately can be reaped
+        // before its fd is polled; the reply bytes outlive the process in
+        // the socketpair buffer. Drain once before classifying the exit as
+        // a death.
+        handle_op_readable(slot);
+        if (slot.fd < 0) return;  // the reply was there after all
+      }
+      ::close(slot.fd);
+      slot.fd = -1;
+      slot.reader.reset();
+      if (slot.cancelled) return;  // client gone; nothing to answer or cache
+      Response resp;
+      resp.id = slot.id;
+      resp.status = "error";
+      resp.error = slot.expired ? "op deadline exceeded; runner killed"
+                                : "op runner died before replying";
+      stats.responses_error += 1;
+      if (slot.expired) {
+        stats.ops_expired += 1;
+      } else {
+        stats.ops_failed += 1;
+      }
+      const std::string line = to_json(resp);
+      // A blown deadline is cached by id (deterministic for this daemon's
+      // budget); a crashed runner is NOT — the same id resent simply runs
+      // again, which is the retry clients expect.
+      if (slot.expired) remember_completed(resp.id, line);
+      send_response(slot.conn_fd, line);
+      slot.id.clear();
+      slot.conn_fd = -1;
+      return;
     }
   }
 
@@ -311,6 +527,7 @@ struct Server::Impl {
       stats.tasks_failed += 1;
       stats.quarantined += 1;
       factory->quarantine_pair(t.scenario.id(), t.cell, t.error);
+      unspool_task(key);
       return;
     }
     stats.redeliveries += 1;
@@ -412,12 +629,14 @@ struct Server::Impl {
     if (reply.status == "done") {
       t.state = Task::State::kDone;
       stats.tasks_done += 1;
+      unspool_task(reply.task);
     } else if (reply.permanent) {
       t.state = Task::State::kFailed;
       t.error = reply.error.empty() ? "worker failure" : reply.error;
       stats.tasks_failed += 1;
       stats.quarantined += 1;
       factory->quarantine_pair(t.scenario.id(), t.cell, t.error);
+      unspool_task(reply.task);
     } else {
       // Transient (I/O, bad_alloc): the pair itself may be fine — retry.
       t.state = Task::State::kLeased;  // requeue() expects a leased task
@@ -444,6 +663,118 @@ struct Server::Impl {
     }
   }
 
+  // -- op runners (prove/guardband) ------------------------------------------
+
+  void spawn_op_runner(const Request& req, int conn_fd) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      std::fprintf(stderr, "rwserved: socketpair: %s\n", std::strerror(errno));
+      Response resp;
+      resp.id = req.id;
+      resp.status = "error";
+      resp.error = "op runner spawn failed";
+      stats.responses_error += 1;
+      send_response(conn_fd, to_json(resp));
+      return;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      Response resp;
+      resp.id = req.id;
+      resp.status = "error";
+      resp.error = "op runner fork failed";
+      stats.responses_error += 1;
+      send_response(conn_fd, to_json(resp));
+      return;
+    }
+    if (pid == 0) {
+      // Same fd hygiene as a worker: only our socketpair end survives.
+      ::close(sv[0]);
+      if (listen_fd >= 0) ::close(listen_fd);
+      if (chld_r >= 0) ::close(chld_r);
+      if (chld_w >= 0) ::close(chld_w);
+      for (const auto& w : workers) {
+        if (w.fd >= 0) ::close(w.fd);
+      }
+      for (const auto& c : conns) {
+        if (c.fd >= 0) ::close(c.fd);
+      }
+      for (const auto& o : ops) {
+        if (o.fd >= 0) ::close(o.fd);
+      }
+      std::signal(SIGCHLD, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      std::signal(SIGINT, SIG_IGN);
+      op_runner_main(sv[1], opt.factory, req);  // noreturn
+    }
+    ::close(sv[1]);
+    OpSlot slot;
+    slot.pid = pid;
+    slot.fd = sv[0];
+    slot.reader = std::make_unique<util::io::LineReader>(sv[0]);
+    slot.id = req.id;
+    slot.conn_fd = conn_fd;
+    slot.deadline =
+        now_ms() + (req.deadline_ms > 0.0 ? req.deadline_ms : opt.op_deadline_ms);
+    ops.push_back(std::move(slot));
+    stats.ops_admitted += 1;
+  }
+
+  void expire_ops() {
+    const double now = now_ms();
+    for (OpSlot& slot : ops) {
+      if (slot.pid < 0 || slot.fd < 0 || slot.cancelled || slot.expired) continue;
+      if (now < slot.deadline) continue;
+      // Crash-only cancellation: no protocol with the runner, just SIGKILL.
+      // The reap path sends the deadline error.
+      slot.expired = true;
+      ::kill(slot.pid, SIGKILL);
+    }
+  }
+
+  void handle_op_readable(OpSlot& slot) {
+    std::string line;
+    const auto st = slot.reader->read_line(line, 0);
+    if (st == util::io::LineReader::Status::kTimeout) return;
+    if (st != util::io::LineReader::Status::kLine) {
+      // EOF without a reply line: let the reap path classify it.
+      if (slot.pid >= 0) ::kill(slot.pid, SIGKILL);
+      return;
+    }
+    WorkerReply reply;
+    std::string error;
+    Response resp;
+    resp.id = slot.id;
+    if (!parse_worker_reply(line, reply, error)) {
+      resp.status = "error";
+      resp.error = "op runner protocol error: " + error;
+      stats.ops_failed += 1;
+      stats.responses_error += 1;
+    } else if (reply.status == "done") {
+      resp.status = "ok";
+      resp.result = reply.payload;
+      stats.ops_done += 1;
+      stats.responses_ok += 1;
+    } else {
+      resp.status = "error";
+      resp.error = reply.error.empty() ? "op failed" : reply.error;
+      stats.ops_failed += 1;
+      stats.responses_error += 1;
+    }
+    const std::string out = to_json(resp);
+    if (!slot.cancelled) {
+      remember_completed(resp.id, out);
+      send_response(slot.conn_fd, out);
+    }
+    ::close(slot.fd);
+    slot.fd = -1;
+    slot.reader.reset();
+    slot.id.clear();
+    slot.conn_fd = -1;
+  }
+
   // -- client plane ----------------------------------------------------------
 
   void accept_clients() {
@@ -465,6 +796,18 @@ struct Server::Impl {
     for (auto& [id, pr] : pending) {
       if (pr.conn_fd == c.fd) pr.conn_fd = -1;  // finish the work, cache the answer
     }
+    // Op runners are the opposite of pending tasks: their work benefits no
+    // one but the asking client, so a disconnect cancels (SIGKILL) instead
+    // of finishing-and-caching. A resent id simply runs the op again.
+    for (OpSlot& slot : ops) {
+      if (slot.conn_fd != c.fd) continue;
+      slot.conn_fd = -1;
+      if (slot.pid >= 0 && slot.fd >= 0 && !slot.cancelled) {
+        slot.cancelled = true;
+        stats.ops_cancelled += 1;
+        ::kill(slot.pid, SIGKILL);
+      }
+    }
     ::close(c.fd);
     c.fd = -1;
     c.reader.reset();
@@ -485,6 +828,16 @@ struct Server::Impl {
       while (completed_order.size() > 256) {
         completed.erase(completed_order.front());
         completed_order.pop_front();
+      }
+    }
+  }
+
+  void remember_assembled(const std::string& key, const std::string& payload) {
+    if (assembled.emplace(key, payload).second) {
+      assembled_order.push_back(key);
+      while (assembled_order.size() > 256) {
+        assembled.erase(assembled_order.front());
+        assembled_order.pop_front();
       }
     }
   }
@@ -543,12 +896,55 @@ struct Server::Impl {
       p->second.conn_fd = c.fd;
       return;
     }
+    for (OpSlot& slot : ops) {
+      // An op already running under this id: re-attach (the client timed
+      // out and reconnected) instead of forking a duplicate runner.
+      if (slot.id == req.id && slot.pid >= 0 && slot.fd >= 0 && !slot.cancelled) {
+        stats.duplicate_request_hits += 1;
+        slot.conn_fd = c.fd;
+        return;
+      }
+    }
 
     if (draining) {
       resp.status = "draining";
       resp.retry_after_ms = opt.retry_after_ms;
       stats.responses_draining += 1;
       send_response(c.fd, to_json(resp));
+      return;
+    }
+    if (req.op == "gc") {
+      GcOptions gc;
+      gc.cache_dir = opt.factory.cache_dir;
+      gc.max_age_ms = req.max_age_ms >= 0.0 ? req.max_age_ms : opt.gc_max_age_ms;
+      const GcResult swept = gc_sweep(gc);
+      stats.gc_sweeps += 1;
+      stats.gc_evicted += swept.evicted;
+      stats.gc_skipped_leased += swept.skipped_leased;
+      stats.gc_skipped_quarantined += swept.skipped_quarantined;
+      stats.gc_tombstones_completed += swept.tombstones_completed;
+      resp.status = "ok";
+      resp.stats = swept.as_pairs();
+      stats.responses_ok += 1;
+      send_response(c.fd, to_json(resp));
+      return;
+    }
+    if (req.op == "prove" || req.op == "guardband") {
+      if (req.id.empty() || req.netlist.empty()) {
+        resp.status = "error";
+        resp.error = "malformed " + req.op + " request (missing id/netlist)";
+        stats.responses_error += 1;
+        send_response(c.fd, to_json(resp));
+        return;
+      }
+      if (live_ops() >= static_cast<std::size_t>(opt.op_max)) {
+        resp.status = "overloaded";
+        resp.retry_after_ms = opt.retry_after_ms;
+        stats.responses_overloaded += 1;
+        send_response(c.fd, to_json(resp));
+        return;
+      }
+      spawn_op_runner(req, c.fd);
       return;
     }
     if (req.op != "characterize" && req.op != "library" && req.op != "merged") {
@@ -602,6 +998,7 @@ struct Server::Impl {
       Task t;
       t.scenario = scenario;
       t.cell = name;
+      spool_task(key, t);  // visible to fleet peers before the first dispatch
       tasks.emplace(key, std::move(t));
       queue.push_back(key);
       waiting.insert(key);
@@ -639,12 +1036,30 @@ struct Server::Impl {
     resp.id = req.id;
     try {
       if (req.op == "characterize") {
-        const liberty::Cell& cell = factory->cell(req.cell, req.scenario());
-        liberty::Library lib("reliaware_" + req.scenario().id());
-        lib.add_cell(cell);
-        resp.library = liberty::write_library(lib);
+        const std::string memo_key = "c|" + req.scenario().id() + "|" + req.cell;
+        if (const auto hit = assembled.find(memo_key); hit != assembled.end()) {
+          resp.library = hit->second;
+          // Keep the GC idle signal honest: a memo hit is still a cache hit,
+          // so refresh the usage stamp's mtime (no-op if GC evicted it; the
+          // memoized bytes stay correct either way).
+          const std::string stamp = charlib::LibraryFactory::usage_stamp_path(
+              factory->cache_path(req.cell, req.scenario()));
+          (void)::utimensat(AT_FDCWD, stamp.c_str(), nullptr, 0);
+        } else {
+          const liberty::Cell& cell = factory->cell(req.cell, req.scenario());
+          liberty::Library lib("reliaware_" + req.scenario().id());
+          lib.add_cell(cell);
+          resp.library = liberty::write_library(lib);
+          remember_assembled(memo_key, resp.library);
+        }
       } else if (req.op == "library") {
-        resp.library = liberty::write_library(factory->library(req.scenario()));
+        const std::string memo_key = "l|" + req.scenario().id();
+        if (const auto hit = assembled.find(memo_key); hit != assembled.end()) {
+          resp.library = hit->second;
+        } else {
+          resp.library = liberty::write_library(factory->library(req.scenario()));
+          remember_assembled(memo_key, resp.library);
+        }
       } else {
         std::vector<aging::AgingScenario> scenarios;
         scenarios.reserve(req.corners.size());
@@ -658,9 +1073,13 @@ struct Server::Impl {
       stats.responses_ok += 1;
       return true;
     } catch (const charlib::CacheMissError& e) {
-      // The entry this request waited for is gone (evicted, torn file
-      // removed by a reader). Not a failure — re-queue just that pair.
-      if (pr.assembly_retries < 3) {
+      // The entry this request waited for is gone (GC eviction, torn file
+      // removed by a reader). Not a failure — re-queue just that pair. The
+      // budget is generous because an aggressive concurrent GC (max_age 0)
+      // can legitimately evict freshly published entries several times
+      // before an assembly wins the race; each retry re-characterizes
+      // bitwise-identically, so patience is correctness here.
+      if (pr.assembly_retries < 8) {
         pr.assembly_retries += 1;
         const std::string key = e.scenario_id() + "/" + e.cell();
         for (const auto& [scenario, name] : expand_pairs(req)) {
@@ -672,6 +1091,7 @@ struct Server::Impl {
           if (inserted || t.state == Task::State::kDone) {
             t.state = Task::State::kQueued;
             t.not_before = 0.0;
+            spool_task(key, t);
             queue.push_back(key);
             stats.tasks_admitted += 1;
           }
@@ -812,6 +1232,7 @@ int Server::run() {
     impl.factory = std::make_unique<charlib::LibraryFactory>(supervisor);
   }
   impl.worker_config.factory = options_.factory;
+  impl.spool_root = spool_dir(impl.factory->grid_cache_dir());
 
   int chld[2];
   if (::pipe(chld) != 0) {
@@ -835,17 +1256,24 @@ int Server::run() {
       impl.begin_drain(flow::cancel_token().reason());
     }
     impl.expire_leases();
+    impl.expire_ops();
+    impl.adopt_spooled_work();
     impl.dispatch_ready();
     impl.resolve_pending();
-    if (impl.draining && impl.pending.empty() && impl.outstanding_tasks() == 0) break;
+    if (impl.draining && impl.pending.empty() && impl.outstanding_tasks() == 0 &&
+        impl.live_ops() == 0) {
+      break;
+    }
 
     // Poll set: [0]=sigchld pipe, optional listen fd, then one entry per
-    // live conn/worker. `conn_at`/`worker_at` map pollfd index -> container
-    // index (container indices stay valid within one pass: conns only grow
-    // via accept and are swept at the end, workers never resize).
+    // live conn/worker/op-runner. `conn_at`/`worker_at`/`op_at` map pollfd
+    // index -> container index (container indices stay valid within one
+    // pass: conns/ops only grow via accept/spawn and are swept at the end,
+    // workers never resize).
     std::vector<pollfd> fds;
     std::vector<std::size_t> conn_at(impl.conns.size(), SIZE_MAX);
     std::vector<std::size_t> worker_at(impl.workers.size(), SIZE_MAX);
+    std::vector<std::size_t> op_at(impl.ops.size(), SIZE_MAX);
     fds.push_back(pollfd{impl.chld_r, POLLIN, 0});
     const std::size_t listen_at = fds.size();
     if (impl.listen_fd >= 0) fds.push_back(pollfd{impl.listen_fd, POLLIN, 0});
@@ -858,6 +1286,11 @@ int Server::run() {
       if (impl.workers[i].fd < 0) continue;
       worker_at[i] = fds.size();
       fds.push_back(pollfd{impl.workers[i].fd, POLLIN, 0});
+    }
+    for (std::size_t i = 0; i < impl.ops.size(); ++i) {
+      if (impl.ops[i].fd < 0) continue;
+      op_at[i] = fds.size();
+      fds.push_back(pollfd{impl.ops[i].fd, POLLIN, 0});
     }
 
     const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 25);
@@ -896,10 +1329,32 @@ int Server::run() {
         impl.handle_worker_readable(w);
       }
     }
-    // Drop closed connections.
+    for (std::size_t i = 0; i < op_at.size(); ++i) {
+      if (op_at[i] == SIZE_MAX) continue;
+      Impl::OpSlot& slot = impl.ops[i];
+      if (slot.fd != fds[op_at[i]].fd) continue;
+      if ((fds[op_at[i]].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        impl.handle_op_readable(slot);
+      }
+    }
+    // Drop closed connections and fully retired op runners.
     std::erase_if(impl.conns, [](const Impl::Conn& c) { return c.fd < 0; });
+    std::erase_if(impl.ops,
+                  [](const Impl::OpSlot& o) { return o.pid < 0 && o.fd < 0; });
   }
 
+  // Normally drained to zero before the loop exits; a poll failure can
+  // leave runners behind — crash-only cleanup, as everywhere.
+  for (auto& slot : impl.ops) {
+    if (slot.pid < 0) continue;
+    ::kill(slot.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    slot.pid = -1;
+    if (slot.fd >= 0) ::close(slot.fd);
+    slot.fd = -1;
+  }
   impl.shutdown_workers();
   std::signal(SIGCHLD, SIG_DFL);
   g_sigchld_fd = -1;

@@ -25,6 +25,19 @@
 ///    hint. SIGTERM (or op=shutdown) drains: admitted work finishes, new
 ///    requests get "draining", workers exit cleanly, a serve report is
 ///    written, exit 0.
+///  * Fleets need no coordinator: daemons sharing `--cache` mirror queued
+///    work as spool files (see spool.hpp) and periodically adopt a dead
+///    peer's entries or steal a wedged peer's, arbitrated with the same
+///    O_EXCL lease protocol the cache itself uses. A client holding a
+///    request id can resend it to ANY peer; the disk cache is the shared
+///    truth, so the answer is bitwise identical.
+///  * Higher-level ops (op=prove / op=guardband) run in forked op-runner
+///    children with a per-op deadline; a blown deadline or a client
+///    disconnect is SIGKILL on the runner (crash-only cancellation — the
+///    only durable side effect is cells published to the shared cache).
+///  * op=gc / --gc sweep the cache with temp+rename tombstones (gc.hpp):
+///    age/usage-aware, never touches leased or quarantined/spooled pairs,
+///    and kill -9 mid-sweep is completed by the next sweep.
 ///
 /// The supervisor NEVER characterizes in-process (its factory runs
 /// `disk_only`); a vanished cache entry surfaces as CacheMissError and is
@@ -59,6 +72,22 @@ struct ServeOptions {
   double backoff_base_ms = 50.0;
   /// Retry-After hint handed to shed clients.
   double retry_after_ms = 250.0;
+  /// Fleet steal cadence ($RW_SERVE_STEAL_MS): how often the spool is
+  /// scanned for a dead peer's (adopt) or a wedged peer's (steal) entries.
+  double steal_interval_ms = 1000.0;
+  /// TTL written into this daemon's spool entries ($RW_SERVE_SPOOL_TTL_MS):
+  /// peers treat an entry older than its TTL as stealable even when the
+  /// owner is alive. Duplicated dispatch is benign (the per-pair cache
+  /// lease still serializes SPICE), so this only tunes steal latency.
+  double spool_ttl_ms = 60000.0;
+  /// Concurrent op-runner children ($RW_SERVE_OP_MAX); beyond it prove/
+  /// guardband requests shed as "overloaded".
+  int op_max = 2;
+  /// Default per-op wall deadline ($RW_SERVE_OP_DEADLINE_MS); the request's
+  /// own `deadline_ms` (when > 0) wins.
+  double op_deadline_ms = 120000.0;
+  /// Default op=gc idle-age threshold ($RW_SERVE_GC_MAX_AGE_MS).
+  double gc_max_age_ms = 7.0 * 24.0 * 3600.0 * 1000.0;
   /// Written on drain ("" = no report): counters + drain status JSON.
   std::string report_path;
   /// Supervisor/worker factory options; `cache_dir` must be non-empty (the
@@ -97,6 +126,25 @@ struct ServeStats {
   std::uint64_t workers_died = 0;      ///< reaped for any reason
   std::uint64_t workers_respawned = 0;
   std::uint64_t quarantined = 0;
+
+  // Fleet cooperation over the shared spool.
+  std::uint64_t tasks_spooled = 0;
+  std::uint64_t tasks_adopted = 0;  ///< taken over from a DEAD peer
+  std::uint64_t tasks_stolen = 0;   ///< taken over from a live but wedged peer
+
+  // Served prove/guardband op runners.
+  std::uint64_t ops_admitted = 0;
+  std::uint64_t ops_done = 0;
+  std::uint64_t ops_failed = 0;
+  std::uint64_t ops_cancelled = 0;  ///< client disconnected; runner SIGKILLed
+  std::uint64_t ops_expired = 0;    ///< per-op deadline blown; runner SIGKILLed
+
+  // op=gc sweeps run by this daemon (counters accumulate across sweeps).
+  std::uint64_t gc_sweeps = 0;
+  std::uint64_t gc_evicted = 0;
+  std::uint64_t gc_skipped_leased = 0;
+  std::uint64_t gc_skipped_quarantined = 0;
+  std::uint64_t gc_tombstones_completed = 0;
 
   [[nodiscard]] std::vector<std::pair<std::string, double>> as_pairs() const;
 };

@@ -1,0 +1,80 @@
+#include "serve/spool.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "util/atomic_file.hpp"
+
+namespace rw::serve {
+
+namespace fs = std::filesystem;
+
+std::string spool_dir(const std::string& grid_dir) { return grid_dir + "/spool"; }
+
+std::string spool_path(const std::string& dir, const std::string& task_key) {
+  std::string flat = task_key;
+  std::replace(flat.begin(), flat.end(), '/', '_');
+  return dir + "/" + flat + ".task";
+}
+
+bool write_spool_record(const std::string& path, const WorkerTask& task, double ttl_ms) {
+  // The body is a WorkerTask document with the two lease keys prepended.
+  // parse_worker_task skips unknown keys, observe_lease only looks for
+  // "pid"/"ttl_ms" — one file, both readers.
+  std::string body = "{\"pid\":" + std::to_string(static_cast<long>(::getpid())) +
+                     ",\"ttl_ms\":" + format_double(ttl_ms) + ",";
+  const std::string task_json = to_json(task);
+  body.append(task_json, 1, task_json.size() - 1);  // splice past the '{'
+  body += '\n';
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  return util::write_file_atomic_nothrow(path, body);
+}
+
+bool read_spool_record(const std::string& path, SpoolRecord& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  std::string error;
+  WorkerTask task;
+  if (!parse_worker_task(line, task, error) || task.task.empty() || task.cell.empty()) {
+    return false;
+  }
+  // Re-scan the two lease keys (parse_worker_task skipped them).
+  const auto number_after = [&line](const char* key, double& value) {
+    const std::size_t at = line.find(key);
+    if (at == std::string::npos) return false;
+    char* end = nullptr;
+    const char* start = line.c_str() + at + std::char_traits<char>::length(key);
+    value = std::strtod(start, &end);
+    return end != start;
+  };
+  double pid = 0.0;
+  double ttl = 0.0;
+  if (!number_after("\"pid\":", pid) || !number_after("\"ttl_ms\":", ttl)) return false;
+  out.task = std::move(task);
+  out.owner = static_cast<pid_t>(pid);
+  out.ttl_ms = ttl;
+  return true;
+}
+
+std::vector<std::string> list_spool_tasks(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::string p = it->path().string();
+    if (p.size() >= 5 && p.compare(p.size() - 5, 5, ".task") == 0) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rw::serve

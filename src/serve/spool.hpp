@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file spool.hpp
+/// Fleet work spool: how rwserved daemons sharing one cache directory see
+/// each other's queued work. Every admitted (scenario, cell) task is
+/// mirrored as a file in `<grid dir>/spool/` whose one-line JSON body is a
+/// WorkerTask document *plus* the owning daemon's `"pid"` and a `"ttl_ms"`
+/// — exactly the two keys `util::observe_lease()` looks for, so a spool
+/// file doubles as a lease on the task:
+///
+///  * owner alive and the file younger than its TTL  -> leave it alone;
+///  * owner dead (SIGKILL)                            -> ADOPT it;
+///  * owner alive but the file older than its TTL     -> STEAL it (the
+///    owner is wedged; charlib's per-pair `.lib.lease` still guarantees at
+///    most one SPICE campaign, so a duplicate dispatch is benign — the
+///    slower daemon just finds the cell on disk).
+///
+/// Claims are arbitrated with the same O_EXCL `util::FileLease` protocol
+/// at `<spool file>.claim`; the winner atomically rewrites the spool file
+/// under its own pid (temp+rename), so a contender that re-reads it after
+/// losing sees a fresh, live lease. The owner unlinks the file when the
+/// task completes or quarantines; files are crash debris otherwise, which
+/// is precisely what makes adoption work.
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace rw::serve {
+
+/// One spooled task as read back from disk.
+struct SpoolRecord {
+  WorkerTask task;
+  pid_t owner = 0;
+  double ttl_ms = 0.0;
+};
+
+/// `<grid dir>/spool` — peers sharing a grid cache share one spool.
+std::string spool_dir(const std::string& grid_dir);
+
+/// Spool file for one task key ('/' flattened; keys never collide because
+/// scenario ids contain no '_''-runs that would alias).
+std::string spool_path(const std::string& dir, const std::string& task_key);
+
+/// Atomically writes (temp+rename) the spool file: WorkerTask fields plus
+/// {"pid": <caller>, "ttl_ms": ttl}. False on I/O failure — spooling is
+/// best-effort; a daemon that cannot spool still serves, it just cannot be
+/// stolen from.
+bool write_spool_record(const std::string& path, const WorkerTask& task, double ttl_ms);
+
+/// Parses a spool file. False on a torn/absent file (a torn file is still
+/// observable as a stale lease and will be claimed + discarded).
+bool read_spool_record(const std::string& path, SpoolRecord& out);
+
+/// All `*.task` files under `dir`, sorted (deterministic steal order).
+std::vector<std::string> list_spool_tasks(const std::string& dir);
+
+}  // namespace rw::serve

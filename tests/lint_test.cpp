@@ -790,6 +790,86 @@ TEST(ServeHygiene, CacheDirFlagDrivesSv001ThroughTheCli) {
   std::filesystem::remove_all(dir);
 }
 
+// ---------------------------------------------------------------------------
+// SV002: debris of the GC protocol — tombstones and mismatched usage stamps.
+
+TEST(ServeHygiene, GcDebrisIsFlaggedAndHealthyPairsAreNot) {
+  const std::string dir = std::string(::testing::TempDir()) + "sv002_cache_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  const std::string grid = dir + "/3x3/L0.50_0.50_y10";
+  std::filesystem::create_directories(grid);
+  // Orphan tombstone: a sweep was killed after writing the marker.
+  std::ofstream(grid + "/TOMB.lib") << "library (t) {}\n";
+  std::ofstream(grid + "/TOMB.lib.tomb") << "";
+  // Stamp without its entry (crash between eviction steps, or hand-deleted).
+  std::ofstream(grid + "/ORPHAN.lib.stamp") << "";
+  // Entry without a stamp (pre-GC cache or crash right after publish).
+  std::ofstream(grid + "/BARE.lib") << "library (b) {}\n";
+  // A healthy pair must stay silent.
+  std::ofstream(grid + "/GOOD.lib") << "library (g) {}\n";
+  std::ofstream(grid + "/GOOD.lib.stamp") << "";
+
+  Linter linter;
+  linter.add_rules(serve_rules());
+  LintSubject subject;
+  subject.cache_dir = dir;
+  const std::vector<Diagnostic> report = linter.run(subject);
+  ASSERT_EQ(report.size(), 3u) << format_report(report);
+  for (const Diagnostic& d : report) {
+    EXPECT_EQ(d.rule_id, rules::kOrphanGcArtifact);
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.location.find("GOOD"), std::string::npos) << d.location;
+  }
+  const std::string all = format_report(report);
+  EXPECT_NE(all.find("TOMB.lib.tomb"), std::string::npos) << all;
+  EXPECT_NE(all.find("interrupted sweep"), std::string::npos) << all;
+  EXPECT_NE(all.find("ORPHAN.lib.stamp"), std::string::npos) << all;
+  EXPECT_NE(all.find("BARE.lib"), std::string::npos) << all;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeHygiene, TombstoneSuppressesTheStampAndLibFindingsForItsEntry) {
+  // Mid-eviction crash leaves lib+stamp+tomb (or just stamp+tomb); the
+  // tombstone diagnostic alone tells the whole story — no double report.
+  const std::string dir = std::string(::testing::TempDir()) + "sv002_tomb_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/X.lib.tomb") << "";
+  std::ofstream(dir + "/X.lib.stamp") << "";
+
+  Linter linter;
+  linter.add_rules(serve_rules());
+  LintSubject subject;
+  subject.cache_dir = dir;
+  const std::vector<Diagnostic> report = linter.run(subject);
+  ASSERT_EQ(report.size(), 1u) << format_report(report);
+  EXPECT_EQ(report[0].rule_id, rules::kOrphanGcArtifact);
+  EXPECT_NE(report[0].location.find("X.lib.tomb"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeHygiene, CacheDirFlagDrivesSv002ThroughTheCli) {
+  const std::string dir = std::string(::testing::TempDir()) + "sv002_cli_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/NAND2_X1.lib.tomb") << "";
+
+  int exit_code = -1;
+  const std::string out = run_cli("--cache-dir " + dir, exit_code);
+  EXPECT_EQ(exit_code, 1) << out;  // warnings only
+  EXPECT_NE(out.find("SV002"), std::string::npos) << out;
+
+  // Completing the sweep (tombstone gone) lints clean.
+  std::filesystem::remove(dir + "/NAND2_X1.lib.tomb");
+  const std::string clean = run_cli("--cache-dir " + dir, exit_code);
+  EXPECT_EQ(exit_code, 0) << clean;
+  EXPECT_EQ(clean.find("SV002"), std::string::npos) << clean;
+  std::filesystem::remove_all(dir);
+}
+
 TEST(RuleCatalog, EveryFixtureDiagnosticIsCataloged) {
   int exit_code = -1;
   const std::string json =

@@ -17,9 +17,14 @@
 /// restart, client timeout), and asserts the served library text is bitwise
 /// identical to a direct in-process LibraryFactory run.
 ///
+/// With --serve-fleet every trial runs TWO daemons over one shared cache and
+/// injects a fleet fault (daemon SIGKILL mid-load with peer adoption, cache
+/// GC concurrent with characterization, work stealing from a wedged peer).
+///
 /// Typical runs:
 ///   rwchaos --seeds 25 --dir /tmp/chaos
 ///   rwchaos --serve --seeds 20 --dir /tmp/chaos_serve
+///   rwchaos --serve-fleet --seeds 20 --dir /tmp/chaos_fleet
 ///   RW_CHAOS_SEED=1337 rwchaos --seeds 5 --json-out BENCH_chaos.json
 
 #include <cstdint>
@@ -42,6 +47,7 @@ void print_usage(std::ostream& os) {
         "  --seed S          base seed (default 1; $RW_CHAOS_SEED overrides)\n"
         "  --dir PATH        campaign work root (default ./chaos_campaign)\n"
         "  --serve           run the rwserved service campaign instead\n"
+        "  --serve-fleet     run the two-daemon shared-cache fleet campaign\n"
         "  --json-out PATH   write the machine-readable campaign summary\n"
         "  -h, --help        this message\n"
         "exit codes: 0 contract held for every trial, 2 violations, 64 usage\n";
@@ -53,6 +59,7 @@ struct Args {
   std::string dir = "chaos_campaign";
   std::string json_out;
   bool serve = false;
+  bool fleet = false;
   bool help = false;
 };
 
@@ -89,6 +96,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.dir = v;
     } else if (a == "--serve") {
       args.serve = true;
+    } else if (a == "--serve-fleet") {
+      args.fleet = true;
     } else if (a == "--json-out") {
       const char* v = need_value(i, "--json-out");
       if (v == nullptr) return false;
@@ -117,8 +126,9 @@ int main(int argc, char** argv) {
   }
 
   const rw::flow::ChaosCampaignResult campaign =
-      args.serve ? rw::flow::run_serve_chaos_campaign(args.base_seed, args.seeds, args.dir)
-                 : rw::flow::run_chaos_campaign(args.base_seed, args.seeds, args.dir);
+      args.fleet ? rw::flow::run_serve_fleet_campaign(args.base_seed, args.seeds, args.dir)
+      : args.serve ? rw::flow::run_serve_chaos_campaign(args.base_seed, args.seeds, args.dir)
+                   : rw::flow::run_chaos_campaign(args.base_seed, args.seeds, args.dir);
 
   for (const rw::flow::ChaosTrialResult& t : campaign.trials) {
     std::cout << "seed " << t.seed << "  " << t.kind << " -> " << t.outcome;
@@ -137,7 +147,9 @@ int main(int argc, char** argv) {
     rw::util::write_file_atomic(
         args.json_out,
         rw::flow::campaign_json(campaign, args.base_seed,
-                                args.serve ? "serve_chaos_campaign" : "chaos_campaign"));
+                                args.fleet   ? "serve_fleet_campaign"
+                                : args.serve ? "serve_chaos_campaign"
+                                             : "chaos_campaign"));
     std::cout << "wrote " << args.json_out << "\n";
   }
   return campaign.all_good ? 0 : 2;

@@ -13,6 +13,9 @@
 ///   rwclient --socket /tmp/rw.sock ping
 ///   rwclient --socket /tmp/rw.sock characterize --cell NAND2_X1 --lp 0.4 --ln 0.6 --years 10
 ///   rwclient --socket /tmp/rw.sock merged --years 10 --corners 0:0,0.5:0.5,1:1 --out merged.lib
+///   rwclient --socket /tmp/rw.sock prove --netlist design.v --years 10
+///   rwclient --socket /tmp/rw.sock guardband --netlist design.v --lp 0.5 --ln 0.5
+///   rwclient --socket /tmp/rw.sock gc --max-age-ms 86400000
 ///   rwclient --socket /tmp/rw.sock shutdown
 
 #include <unistd.h>
@@ -21,6 +24,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "flow/cancel.hpp"
@@ -35,6 +39,7 @@ constexpr int kExitUsage = 64;
 void print_usage(std::ostream& os) {
   os << "usage: rwclient --socket PATH OP [options]\n"
         "  OP: ping | stats | shutdown | characterize | library | merged\n"
+        "      | prove | guardband | gc\n"
         "  --socket PATH     daemon socket ($RW_SERVE_SOCKET)\n"
         "  --id ID           idempotent request id (default: derived, unique)\n"
         "  --cell NAME       cell for `characterize`\n"
@@ -42,6 +47,10 @@ void print_usage(std::ostream& os) {
         "  --years Y         lifetime (default 10)\n"
         "  --no-mobility     disable mobility degradation\n"
         "  --corners LP:LN,LP:LN,...   corners for `merged`\n"
+        "  --netlist PATH    Verilog netlist for `prove`/`guardband`\n"
+        "  --guardband PS    explicit guardband to certify (`prove`; default: derived)\n"
+        "  --deadline-ms MS  server-side op deadline (`prove`/`guardband`)\n"
+        "  --max-age-ms MS   GC idle-age threshold (`gc`; default: daemon's)\n"
         "  --out PATH        write the library text to PATH (default stdout)\n"
         "  --timeout-ms MS   per-attempt response timeout (default 120000)\n"
         "  --attempts N      send attempts before giving up (default 5)\n"
@@ -86,6 +95,7 @@ int main(int argc, char** argv) {
   req.years = 10.0;
   std::string out_path;
   std::string corners_text;
+  std::string netlist_path;
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -123,6 +133,18 @@ int main(int argc, char** argv) {
     } else if (a == "--corners") {
       if ((v = need_value(i, "--corners")) == nullptr) return kExitUsage;
       corners_text = v;
+    } else if (a == "--netlist") {
+      if ((v = need_value(i, "--netlist")) == nullptr) return kExitUsage;
+      netlist_path = v;
+    } else if (a == "--guardband") {
+      if ((v = need_value(i, "--guardband")) == nullptr) return kExitUsage;
+      req.guardband_ps = std::atof(v);
+    } else if (a == "--deadline-ms") {
+      if ((v = need_value(i, "--deadline-ms")) == nullptr) return kExitUsage;
+      req.deadline_ms = std::atof(v);
+    } else if (a == "--max-age-ms") {
+      if ((v = need_value(i, "--max-age-ms")) == nullptr) return kExitUsage;
+      req.max_age_ms = std::atof(v);
     } else if (a == "--out") {
       if ((v = need_value(i, "--out")) == nullptr) return kExitUsage;
       out_path = v;
@@ -154,6 +176,20 @@ int main(int argc, char** argv) {
     std::cerr << "rwclient: merged needs --corners LP:LN,...\n";
     return kExitUsage;
   }
+  if (req.op == "prove" || req.op == "guardband") {
+    if (netlist_path.empty()) {
+      std::cerr << "rwclient: " << req.op << " needs --netlist PATH\n";
+      return kExitUsage;
+    }
+    std::ifstream in(netlist_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "rwclient: cannot read " << netlist_path << "\n";
+      return 2;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    req.netlist = os.str();
+  }
   if (req.id.empty()) req.id = default_id();
 
   try {
@@ -169,6 +205,7 @@ int main(int argc, char** argv) {
         std::cout << name << " = " << rw::serve::format_double(value) << "\n";
       }
     }
+    if (!resp.result.empty()) std::cout << resp.result << "\n";
     if (!resp.library.empty()) {
       if (out_path.empty()) {
         std::cout << resp.library;
@@ -176,7 +213,7 @@ int main(int argc, char** argv) {
         rw::util::write_file_atomic(out_path, resp.library);
         std::cerr << "rwclient: wrote " << out_path << "\n";
       }
-    } else if (resp.stats.empty()) {
+    } else if (resp.stats.empty() && resp.result.empty()) {
       std::cout << "ok\n";
     }
     return 0;

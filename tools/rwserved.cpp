@@ -14,6 +14,7 @@
 /// Typical runs:
 ///   rwserved --socket /tmp/rw.sock --cache ~/.cache/reliaware --workers 4
 ///   RW_SERVE_WORKERS=8 RW_SERVE_LEASE_MS=60000 rwserved --socket /tmp/rw.sock
+///   rwserved --gc --cache ~/.cache/reliaware --gc-max-age-ms 86400000
 
 #include <cstdlib>
 #include <iostream>
@@ -21,6 +22,7 @@
 
 #include "charlib/opc.hpp"
 #include "flow/cancel.hpp"
+#include "serve/gc.hpp"
 #include "serve/server.hpp"
 #include "util/strings.hpp"
 
@@ -39,8 +41,16 @@ void print_usage(std::ostream& os) {
         "  --cells A,B,C     restrict the cell catalog (tests)\n"
         "  --resume          honor an existing manifest.json\n"
         "  --report PATH     write a drain report JSON on shutdown\n"
+        "  --steal-ms MS     fleet spool scan cadence ($RW_SERVE_STEAL_MS, default 1000)\n"
+        "  --spool-ttl-ms MS spool entry TTL before peers may steal\n"
+        "                    ($RW_SERVE_SPOOL_TTL_MS, default 60000)\n"
+        "  --op-max N        concurrent prove/guardband runners ($RW_SERVE_OP_MAX, default 2)\n"
+        "  --op-deadline-ms MS  default per-op deadline ($RW_SERVE_OP_DEADLINE_MS)\n"
+        "  --gc              one-shot cache GC sweep (needs --cache), then exit\n"
+        "  --gc-max-age-ms MS   GC idle-age threshold ($RW_SERVE_GC_MAX_AGE_MS, default 7d)\n"
+        "  --gc-dry-run      with --gc: report what WOULD be evicted, delete nothing\n"
         "  -h, --help        this message\n"
-        "exit codes: 0 clean drain, 2 startup failure, 64 usage\n";
+        "exit codes: 0 clean drain / gc done, 2 startup failure, 64 usage\n";
 }
 
 }  // namespace
@@ -50,6 +60,8 @@ int main(int argc, char** argv) {
   rw::flow::install_deadline_from_env();
 
   rw::serve::ServeOptions options = rw::serve::ServeOptions::from_env();
+  bool gc_oneshot = false;
+  bool gc_dry_run = false;
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
       std::cerr << "rwserved: " << flag << " needs a value\n";
@@ -101,10 +113,55 @@ int main(int argc, char** argv) {
     } else if (a == "--report") {
       if ((v = need_value(i, "--report")) == nullptr) return kExitUsage;
       options.report_path = v;
+    } else if (a == "--steal-ms") {
+      if ((v = need_value(i, "--steal-ms")) == nullptr) return kExitUsage;
+      options.steal_interval_ms = std::atof(v);
+    } else if (a == "--spool-ttl-ms") {
+      if ((v = need_value(i, "--spool-ttl-ms")) == nullptr) return kExitUsage;
+      options.spool_ttl_ms = std::atof(v);
+    } else if (a == "--op-max") {
+      if ((v = need_value(i, "--op-max")) == nullptr) return kExitUsage;
+      options.op_max = std::atoi(v);
+      if (options.op_max < 1) {
+        std::cerr << "rwserved: --op-max must be >= 1\n";
+        return kExitUsage;
+      }
+    } else if (a == "--op-deadline-ms") {
+      if ((v = need_value(i, "--op-deadline-ms")) == nullptr) return kExitUsage;
+      options.op_deadline_ms = std::atof(v);
+    } else if (a == "--gc") {
+      gc_oneshot = true;
+    } else if (a == "--gc-max-age-ms") {
+      if ((v = need_value(i, "--gc-max-age-ms")) == nullptr) return kExitUsage;
+      options.gc_max_age_ms = std::atof(v);
+    } else if (a == "--gc-dry-run") {
+      gc_dry_run = true;
     } else {
       std::cerr << "rwserved: unknown argument " << a << "\n";
       print_usage(std::cerr);
       return kExitUsage;
+    }
+  }
+  if (gc_oneshot) {
+    // One-shot sweep: no socket, no workers — just the crash-safe GC over
+    // the shared cache, the same code path op=gc runs in a live daemon.
+    if (options.factory.cache_dir.empty()) {
+      std::cerr << "rwserved: --gc needs --cache (or $RW_LIBCACHE)\n";
+      return kExitUsage;
+    }
+    try {
+      rw::serve::GcOptions gc;
+      gc.cache_dir = options.factory.cache_dir;
+      gc.max_age_ms = options.gc_max_age_ms;
+      gc.dry_run = gc_dry_run;
+      const rw::serve::GcResult swept = rw::serve::gc_sweep(gc);
+      for (const auto& [name, value] : swept.as_pairs()) {
+        std::cout << name << " = " << static_cast<long>(value) << "\n";
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "rwserved: gc failed: " << e.what() << "\n";
+      return 2;
     }
   }
   if (options.socket_path.empty()) {
